@@ -1,0 +1,400 @@
+// Repository benchmarks: one testing.B benchmark per table and figure in
+// the paper's evaluation (E1–E5, see DESIGN.md / EXPERIMENTS.md), plus
+// ablations for the design choices DESIGN.md calls out and microbenchmarks
+// of the latency-critical primitives.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks report their headline numbers as custom
+// metrics, so `-bench` output doubles as the reproduction record.
+package matrix_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"matrix"
+	"matrix/internal/experiments"
+	"matrix/internal/game"
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/load"
+	"matrix/internal/overlap"
+	"matrix/internal/protocol"
+	"matrix/internal/sim"
+	"matrix/internal/space"
+)
+
+// --- E1: Figure 2 ---
+
+// fig2Result caches the Figure 2 run across the two panel benchmarks (the
+// paper's two panels come from one experiment).
+var fig2Result *sim.Result
+
+func fig2(b *testing.B) *sim.Result {
+	b.Helper()
+	if fig2Result == nil {
+		res, err := experiments.RunFigure2(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig2Result = res
+	}
+	return fig2Result
+}
+
+// BenchmarkFigure2aHotspotClients regenerates Figure 2(a): clients per
+// server over time under the 600-client hotspot.
+func BenchmarkFigure2aHotspotClients(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := fig2(b)
+		r := experiments.Figure2a(res)
+		b.ReportMetric(r.Numbers["peak_servers"], "peak-servers")
+		b.ReportMetric(r.Numbers["splits"], "splits")
+		b.ReportMetric(r.Numbers["reclaims"], "reclaims")
+		b.ReportMetric(r.Numbers["final_servers"], "final-servers")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkFigure2bQueueLengths regenerates Figure 2(b): receive-queue
+// length per server over time for the same run.
+func BenchmarkFigure2bQueueLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := fig2(b)
+		r := experiments.Figure2b(res)
+		b.ReportMetric(r.Numbers["peak_queue"], "peak-queue")
+		b.ReportMetric(r.Numbers["final_queue"], "final-queue")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// --- E2: static partitioning vs Matrix ---
+
+// BenchmarkStaticVsMatrix regenerates the §4.2 comparison for all three
+// games: static partitioning saturates and drops; Matrix deploys extra
+// servers and recovers.
+func BenchmarkStaticVsMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunStaticVsMatrix(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Numbers["bzflag/static/dropped"], "bzflag-static-drops")
+		b.ReportMetric(r.Numbers["bzflag/matrix/dropped"], "bzflag-matrix-drops")
+		b.ReportMetric(r.Numbers["bzflag/matrix/peak_servers"], "bzflag-matrix-servers")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// --- E3: microbenchmarks ---
+
+// BenchmarkSwitchingLatency regenerates the client switching-latency
+// microbenchmark (E3a).
+func BenchmarkSwitchingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSwitchingMicro(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Numbers["mean_ms"], "mean-ms")
+		b.ReportMetric(r.Numbers["p95_ms"], "p95-ms")
+		b.ReportMetric(r.Numbers["switches"], "switches")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkCoordinatorOverhead regenerates the MC-overhead microbenchmark
+// (E3b): overlap-table recompute cost vs fleet size.
+func BenchmarkCoordinatorOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCoordinatorMicro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Numbers["ms_n128"], "ms-at-128-servers")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkOverlapTraffic regenerates the traffic-vs-overlap microbenchmark
+// (E3c): inter-Matrix bytes track overlap-region size linearly.
+func BenchmarkOverlapTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTrafficMicro(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Numbers["fwd_packets_r10"], "fwd-pkts-r10")
+		b.ReportMetric(r.Numbers["fwd_packets_r80"], "fwd-pkts-r80")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// --- E4: user-study proxy ---
+
+// BenchmarkUserTransparency regenerates the user-study proxy: steady-state
+// response latency with and without splits.
+func BenchmarkUserTransparency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunUserStudy(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Numbers["quiet_p95"], "quiet-p95-ms")
+		b.ReportMetric(r.Numbers["busy_p95"], "busy-p95-ms")
+		b.ReportMetric(r.Numbers["busy_switches"], "switches")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// --- E5: asymptotic analysis ---
+
+// BenchmarkAsymptoticModel regenerates the §4.2 scaling model sweep.
+func BenchmarkAsymptoticModel(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAsymptotic()
+		last = r.Numbers["players_at_10k"]
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+	b.ReportMetric(last, "players-at-10k-servers")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// ablationConfig is a small hotspot scenario shared by the ablations.
+func ablationConfig(seed int64) sim.Config {
+	world := geom.R(0, 0, 1000, 1000)
+	return sim.Config{
+		Profile:         game.Bzflag(),
+		World:           world,
+		Seed:            seed,
+		DurationSeconds: 90,
+		MaxServers:      6,
+		BasePopulation:  20,
+		Script: game.Script{
+			{At: 5, Kind: game.EventJoin, Count: 120, Center: geom.Pt(800, 300), Spread: 150, Tag: "hot"},
+			{At: 40, Kind: game.EventLeave, Count: 120, Tag: "hot"},
+		},
+		LoadPolicy: load.Config{
+			OverloadClients:  60,
+			UnderloadClients: 30,
+			SplitCooldown:    2 * time.Second,
+			ReclaimDwell:     3 * time.Second,
+			ReclaimHeadroom:  0.8,
+		},
+	}
+}
+
+// BenchmarkAblationReclaimDwell compares the paper-style dwell hysteresis
+// against a near-zero dwell, counting topology churn (splits+reclaims): the
+// "simple heuristics to prevent oscillations" at work.
+func BenchmarkAblationReclaimDwell(b *testing.B) {
+	run := func(dwell time.Duration) float64 {
+		cfg := ablationConfig(3)
+		cfg.LoadPolicy.ReclaimDwell = dwell
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(len(res.Events))
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(3 * time.Second)
+		without = run(time.Millisecond)
+	}
+	b.ReportMetric(with, "events-with-dwell")
+	b.ReportMetric(without, "events-no-dwell")
+}
+
+// BenchmarkAblationSplitPolicy compares split-to-left against the mirror
+// split-to-right on identical load: both are load-oblivious, showing the
+// paper's "though simple, this algorithm still provides good performance"
+// is not sensitive to the handedness choice.
+func BenchmarkAblationSplitPolicy(b *testing.B) {
+	run := func(policy space.SplitPolicy) (float64, float64) {
+		m, err := space.NewMap(geom.R(0, 0, 1024, 1024), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gen id.Generator
+		gen.NextServer()
+		live := []id.ServerID{1}
+		for i := 0; len(live) < 64; i++ {
+			// Deterministic round-robin victim selection.
+			victim := live[(i*7+3)%len(live)]
+			child := gen.NextServer()
+			if _, _, err := m.Split(victim, child, policy); err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, child)
+		}
+		// Quality metrics: worst aspect ratio and overlap area at R=20.
+		worstAspect := 1.0
+		tables, err := overlap.BuildAll(m.Partitions(), 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var overlapArea float64
+		for _, p := range m.Partitions() {
+			a := p.Bounds.Width() / p.Bounds.Height()
+			if a < 1 {
+				a = 1 / a
+			}
+			if a > worstAspect {
+				worstAspect = a
+			}
+			overlapArea += tables[p.Owner].OverlapArea()
+		}
+		return worstAspect, overlapArea
+	}
+	var la, ra float64
+	for i := 0; i < b.N; i++ {
+		la, _ = run(space.SplitToLeft{})
+		ra, _ = run(space.SplitToRight{})
+	}
+	b.ReportMetric(la, "left-worst-aspect")
+	b.ReportMetric(ra, "right-worst-aspect")
+}
+
+// --- primitive microbenchmarks (the O(1) and codec claims) ---
+
+// BenchmarkTableLookup measures the fast-path consistency-set lookup the
+// paper claims is O(1): the cost must stay flat as the fleet grows.
+func BenchmarkTableLookup(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("servers-%d", n), func(b *testing.B) {
+			m, err := space.NewMap(geom.R(0, 0, 4096, 4096), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var gen id.Generator
+			gen.NextServer()
+			live := []id.ServerID{1}
+			for i := 0; len(live) < n; i++ {
+				victim := live[(i*13+5)%len(live)]
+				child := gen.NextServer()
+				if _, _, err := m.Split(victim, child, space.SplitToLeft{}); err != nil {
+					b.Fatal(err)
+				}
+				live = append(live, child)
+			}
+			tab, err := overlap.BuildTable(1, m.Partitions(), 25, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bounds := tab.Bounds()
+			pts := make([]geom.Point, 64)
+			for i := range pts {
+				fx := float64(i%8) / 8
+				fy := float64(i/8) / 8
+				pts[i] = geom.Pt(bounds.MinX+fx*bounds.Width(), bounds.MinY+fy*bounds.Height())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tab.Lookup(pts[i%len(pts)])
+			}
+		})
+	}
+}
+
+// BenchmarkCodecGameUpdate measures wire-codec throughput for the dominant
+// packet type.
+func BenchmarkCodecGameUpdate(b *testing.B) {
+	u := &protocol.GameUpdate{
+		Client: 42, Seq: 7, Kind: protocol.KindMove,
+		Origin: geom.Pt(123.5, 456.25), Dest: geom.Pt(124, 457),
+		SentUnix: 1234567890, Payload: make([]byte, 48),
+	}
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := protocol.Marshal(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	frame, err := protocol.Marshal(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := protocol.Unmarshal(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOverlapTableBuild measures the MC-side table construction that
+// runs on every split/reclaim.
+func BenchmarkOverlapTableBuild(b *testing.B) {
+	m, err := space.NewMap(geom.R(0, 0, 4096, 4096), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gen id.Generator
+	gen.NextServer()
+	live := []id.ServerID{1}
+	for i := 0; len(live) < 32; i++ {
+		victim := live[(i*13+5)%len(live)]
+		child := gen.NextServer()
+		if _, _, err := m.Split(victim, child, space.SplitToLeft{}); err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, child)
+	}
+	parts := m.Partitions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := overlap.BuildAll(parts, 25, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSimTick measures whole-cluster simulation throughput
+// (packets processed per wall second), characterizing the harness itself.
+func BenchmarkEndToEndSimTick(b *testing.B) {
+	cfg := matrix.SimulationConfig{
+		Profile:         matrix.BzflagProfile(),
+		World:           matrix.R(0, 0, 1000, 1000),
+		Seed:            1,
+		DurationSeconds: 10,
+		MaxServers:      2,
+		BasePopulation:  100,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.RunSimulation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command matrix-bench regenerates every table and figure in the paper's
+// evaluation (§4). Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records the expected shapes.
+//
+// Usage:
+//
+//	matrix-bench -exp all
+//	matrix-bench -exp fig2a,fig2b -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"matrix/internal/experiments"
+	"matrix/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "matrix-bench:", err)
+		os.Exit(1)
+	}
+}
+
+var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic"}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("matrix-bench", flag.ContinueOnError)
+	expFlag := fs.String("exp", "all", "experiments to run: all or a comma list of "+strings.Join(order, ","))
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range order {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			e = strings.TrimSpace(e)
+			if e == "" {
+				continue
+			}
+			found := false
+			for _, known := range order {
+				if e == known {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown experiment %q (known: %s)", e, strings.Join(order, ","))
+			}
+			want[e] = true
+		}
+	}
+
+	// Figure 2's two panels come from one simulation run.
+	var fig2 *sim.Result
+	if want["fig2a"] || want["fig2b"] {
+		fmt.Fprintln(os.Stderr, "running Figure 2 hotspot scenario (300 simulated seconds)...")
+		res, err := experiments.RunFigure2(*seed)
+		if err != nil {
+			return err
+		}
+		fig2 = res
+	}
+	for _, e := range order {
+		if !want[e] {
+			continue
+		}
+		switch e {
+		case "fig2a":
+			fmt.Print(experiments.Figure2a(fig2).String())
+		case "fig2b":
+			fmt.Print(experiments.Figure2b(fig2).String())
+		case "staticvs":
+			r, err := experiments.RunStaticVsMatrix(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+		case "microswitch":
+			r, err := experiments.RunSwitchingMicro(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+		case "micromc":
+			r, err := experiments.RunCoordinatorMicro()
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+		case "microtraffic":
+			r, err := experiments.RunTrafficMicro(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+		case "userstudy":
+			r, err := experiments.RunUserStudy(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+		case "asymptotic":
+			fmt.Print(experiments.RunAsymptotic().String())
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command matrix-coordinator runs a standalone Matrix Coordinator (MC) over
+// TCP. Matrix servers (cmd/matrix-server) dial it to register; the MC owns
+// the world partitioning and pushes overlap tables after every split or
+// reclamation.
+//
+// Usage:
+//
+//	matrix-coordinator -addr :7000 -world 1000x1000
+//	matrix-coordinator -addr :7000 -world 1000x1000 -static 4   # baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"matrix"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "matrix-coordinator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("matrix-coordinator", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7000", "listen address for server registrations")
+	world := fs.String("world", "1000x1000", "game world size WxH")
+	staticN := fs.Int("static", 0, "run the static-partitioning baseline with N fixed servers (0 = adaptive Matrix)")
+	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, h, err := parseWorld(*world)
+	if err != nil {
+		return err
+	}
+	opts := []matrix.Option{
+		matrix.WithAddr(*addr),
+		matrix.WithWorld(matrix.R(0, 0, w, h)),
+		matrix.WithLogger(log.New(os.Stderr, "mc ", log.LstdFlags)),
+	}
+	if *staticN > 0 {
+		tiles, err := matrix.StaticGrid(matrix.R(0, 0, w, h), *staticN)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, matrix.WithStaticPartitions(tiles))
+	}
+	mc, err := matrix.ServeCoordinator(opts...)
+	if err != nil {
+		return err
+	}
+	defer mc.Close()
+	log.Printf("coordinator listening at %s (world %gx%g, static=%d)", mc.Addr(), w, h, *staticN)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *statusEvery <= 0 {
+		<-stop
+		return nil
+	}
+	ticker := time.NewTicker(*statusEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+			parts := mc.Partitions()
+			log.Printf("status: %d active servers, %d splits, %d reclaims",
+				len(parts), mc.Splits(), mc.Reclaims())
+			for sid, bounds := range parts {
+				log.Printf("  %v -> %v", sid, bounds)
+			}
+		}
+	}
+}
+
+// parseWorld parses "WxH".
+func parseWorld(s string) (w, h float64, err error) {
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("invalid -world %q (want WxH)", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%g", &w); err != nil {
+		return 0, 0, fmt.Errorf("invalid world width %q", parts[0])
+	}
+	if _, err := fmt.Sscanf(parts[1], "%g", &h); err != nil {
+		return 0, 0, fmt.Errorf("invalid world height %q", parts[1])
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("world dimensions must be positive")
+	}
+	return w, h, nil
+}

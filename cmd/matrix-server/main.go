@@ -1,0 +1,81 @@
+// Command matrix-server runs one Matrix server with its co-located game
+// server over TCP. It registers with the coordinator; the first registered
+// server owns the whole world and later ones wait in the spare pool until a
+// split assigns them a partition.
+//
+// Usage:
+//
+//	matrix-server -coordinator 127.0.0.1:7000 -addr :7101 -radius 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"matrix"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "matrix-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("matrix-server", flag.ContinueOnError)
+	mcAddr := fs.String("coordinator", "127.0.0.1:7000", "coordinator address")
+	addr := fs.String("addr", "127.0.0.1:0", "listen address for clients and peers")
+	radius := fs.Float64("radius", 40, "game visibility radius")
+	overload := fs.Int("overload", 300, "client count that triggers a split")
+	underload := fs.Int("underload", 150, "client count below which a child may be reclaimed")
+	overloadQ := fs.Int("overload-queue", 0, "queue length that also triggers a split (0 = off)")
+	serviceRate := fs.Int("service-rate", 500, "packets processed per tick")
+	tick := fs.Duration("tick", 10*time.Millisecond, "game-server processing tick")
+	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policy := matrix.DefaultLoadPolicy()
+	policy.OverloadClients = *overload
+	policy.UnderloadClients = *underload
+	policy.OverloadQueue = *overloadQ
+
+	srv, err := matrix.StartServer(*mcAddr,
+		matrix.WithAddr(*addr),
+		matrix.WithRadius(*radius),
+		matrix.WithLoadPolicy(policy),
+		matrix.WithServiceRate(*serviceRate),
+		matrix.WithTickInterval(*tick),
+		matrix.WithLogger(log.New(os.Stderr, "server ", log.LstdFlags)),
+	)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("server %v listening at %s (bounds %v)", srv.ID(), srv.Addr(), srv.Bounds())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *statusEvery <= 0 {
+		<-stop
+		return nil
+	}
+	ticker := time.NewTicker(*statusEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+			log.Printf("status: active=%v bounds=%v clients=%d queue=%d",
+				srv.Active(), srv.Bounds(), srv.ClientCount(), srv.QueueLen())
+		}
+	}
+}

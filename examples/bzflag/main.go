@@ -1,0 +1,121 @@
+// Bzflag: a live tank-battle workload against a real (in-process) Matrix
+// cluster — the networked counterpart of the simulation examples.
+//
+// Forty tanks roam a battlefield served by up to three servers; the battle
+// drifts toward one corner until Matrix splits the map, and the program
+// shows the cluster reshaping itself around the fight in real time.
+//
+//	go run ./examples/bzflag
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"matrix"
+	"matrix/internal/game"
+)
+
+const tanks = 40
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	nw := matrix.NewMemNetwork()
+	world := matrix.R(0, 0, 1000, 1000)
+
+	mc, err := matrix.ServeCoordinator(matrix.WithNetwork(nw), matrix.WithWorld(world))
+	if err != nil {
+		return err
+	}
+	defer mc.Close()
+
+	// Aggressive thresholds so 40 tanks are enough to force splits.
+	policy := matrix.DefaultLoadPolicy()
+	policy.OverloadClients = 25
+	policy.UnderloadClients = 10
+	policy.SplitCooldown = 500 * time.Millisecond
+
+	var servers []*matrix.Server
+	for i := 0; i < 3; i++ {
+		srv, err := matrix.StartServer(mc.Addr(),
+			matrix.WithNetwork(nw),
+			matrix.WithRadius(40),
+			matrix.WithLoadPolicy(policy),
+			matrix.WithTickInterval(2*time.Millisecond),
+			matrix.WithReportInterval(200*time.Millisecond),
+		)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+	}
+
+	// Tanks spawn across the map, then converge on the south-east corner.
+	profile := matrix.BzflagProfile()
+	battle := matrix.Pt(800, 200)
+	rnd := rand.New(rand.NewSource(42))
+	type tank struct {
+		cl    *matrix.Client
+		mover *game.Mover
+	}
+	var fleet []tank
+	for i := 0; i < tanks; i++ {
+		pos := matrix.Pt(rnd.Float64()*1000, rnd.Float64()*1000)
+		cl, err := matrix.Dial(servers[0].Addr(), matrix.ClientID(i+1), pos, matrix.WithNetwork(nw))
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		mover := game.NewMover(profile, world, int64(i)*31)
+		mover.Attract(battle, 120)
+		fleet = append(fleet, tank{cl: cl, mover: mover})
+	}
+	fmt.Printf("%d tanks rolling toward (%.0f,%.0f)\n", tanks, battle.X, battle.Y)
+
+	// Drive the battle for six seconds of wall time.
+	const dt = 50 * time.Millisecond
+	ticker := time.NewTicker(dt)
+	defer ticker.Stop()
+	start := time.Now()
+	for time.Since(start) < 6*time.Second {
+		<-ticker.C
+		for _, tk := range fleet {
+			pos := tk.cl.Pos()
+			// Drive and occasionally fire at a nearby point.
+			if err := tk.cl.Move(tk.mover.Step(pos, dt.Seconds())); err != nil {
+				continue // mid-redirect; next tick retries
+			}
+			if rnd.Intn(4) == 0 {
+				ang := rnd.Float64() * 2 * math.Pi
+				target := matrix.Pt(pos.X+30*math.Cos(ang), pos.Y+30*math.Sin(ang))
+				_ = tk.cl.Act(matrix.KindAction, world.Clamp(target))
+			}
+		}
+	}
+
+	// Report what Matrix did underneath the battle.
+	fmt.Printf("splits performed: %d\n", mc.Splits())
+	for sid, bounds := range mc.Partitions() {
+		fmt.Printf("  %v owns %v\n", sid, bounds)
+	}
+	var switches, echoes uint64
+	for _, tk := range fleet {
+		st := tk.cl.Stats()
+		switches += st.Switches
+		echoes += st.Echoes
+	}
+	fmt.Printf("tank echoes: %d, transparent server switches: %d\n", echoes, switches)
+	if mc.Splits() == 0 {
+		fmt.Println("note: no split this run — raise tank count or lower thresholds")
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Hotspot: the paper's Figure 2 experiment end-to-end.
+//
+// A 600-client BzFlag hotspot lands on a one-server world at t=10s; Matrix
+// splits recursively, spreads the load, and reclaims the extra servers as
+// the crowd drains — then handles a second hotspot elsewhere. The program
+// prints both Figure 2 panels (clients per server and queue lengths over
+// time) plus the split/reclaim timeline.
+//
+//	go run ./examples/hotspot            # full 300s scenario (~30s wall)
+//	go run ./examples/hotspot -short     # first hotspot only (~8s wall)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"matrix"
+)
+
+func main() {
+	short := flag.Bool("short", false, "run only the first hotspot (60 simulated seconds)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	world := matrix.R(0, 0, 1000, 1000)
+	policy := matrix.DefaultLoadPolicy() // the paper's 300/150 thresholds
+	policy.OverloadQueue = 3000
+
+	cfg := matrix.SimulationConfig{
+		Profile:            matrix.BzflagProfile(),
+		World:              world,
+		Seed:               *seed,
+		DurationSeconds:    300,
+		MaxServers:         8,
+		ServiceRatePerTick: 300,
+		BasePopulation:     100,
+		Script:             matrix.Figure2Script(world),
+		LoadPolicy:         policy,
+		SampleEverySeconds: 5,
+	}
+	if *short {
+		cfg.DurationSeconds = 60
+	}
+
+	res, err := matrix.RunSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== clients per server (Figure 2a) ==")
+	printSeries(res, "clients/", cfg.DurationSeconds)
+	fmt.Println("\n== receive-queue length (Figure 2b) ==")
+	printSeries(res, "queue/", cfg.DurationSeconds)
+
+	fmt.Println("\n== topology events ==")
+	for _, e := range res.Events {
+		fmt.Printf("  t=%3.0fs %-8s %v\n", e.Time, e.Kind, e.Server)
+	}
+	fmt.Printf("\npeak servers %d, final %d; %d redirects; %d dropped packets\n",
+		res.PeakServers, res.FinalServers, res.Redirects, res.DroppedPackets)
+	fmt.Printf("response latency: p50=%.0fms p95=%.0fms p99=%.0fms\n",
+		res.Latency.Quantile(0.50), res.Latency.Quantile(0.95), res.Latency.Quantile(0.99))
+}
+
+// printSeries renders one Figure 2 panel as a table.
+func printSeries(res *matrix.SimulationResult, prefix string, duration float64) {
+	series := res.Metrics.SeriesByPrefix(prefix)
+	fmt.Printf("%-6s", "t(s)")
+	for _, s := range series {
+		fmt.Printf("%12s", s.Name()[len(prefix):])
+	}
+	fmt.Println()
+	for t := 0.0; t <= duration; t += 20 {
+		fmt.Printf("%-6.0f", t)
+		for _, s := range series {
+			fmt.Printf("%12.0f", s.At(t))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,99 @@
+// Quickstart: a complete Matrix deployment in one process.
+//
+// It starts a coordinator, two servers (one active, one spare in the pool)
+// and two game clients over the in-memory transport, exchanges a few
+// updates, and prints what each side saw. Swap NewMemNetwork for TCP() and
+// the same code runs across machines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"matrix"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	nw := matrix.NewMemNetwork()
+
+	// 1. The Matrix Coordinator owns the world partitioning.
+	mc, err := matrix.ServeCoordinator(
+		matrix.WithNetwork(nw),
+		matrix.WithWorld(matrix.R(0, 0, 1000, 1000)),
+	)
+	if err != nil {
+		return err
+	}
+	defer mc.Close()
+
+	// 2. Two servers register: the first owns the whole world, the second
+	// waits in the spare pool until a split needs it.
+	srv1, err := matrix.StartServer(mc.Addr(),
+		matrix.WithNetwork(nw),
+		matrix.WithRadius(40),
+		matrix.WithTickInterval(2*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+	defer srv1.Close()
+	srv2, err := matrix.StartServer(mc.Addr(),
+		matrix.WithNetwork(nw),
+		matrix.WithRadius(40),
+		matrix.WithTickInterval(2*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+	defer srv2.Close()
+	fmt.Printf("server %v owns %v; server %v is a spare (active=%v)\n",
+		srv1.ID(), srv1.Bounds(), srv2.ID(), srv2.Active())
+
+	// 3. Two players join near each other.
+	alice, err := matrix.Dial(srv1.Addr(), 1, matrix.Pt(100, 100), matrix.WithNetwork(nw))
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+	bob, err := matrix.Dial(srv1.Addr(), 2, matrix.Pt(110, 100), matrix.WithNetwork(nw))
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+
+	// 4. Alice fires; both tanks are within the 40-unit zone of
+	// visibility, so Bob sees it and Alice gets her echo.
+	if err := alice.Act(matrix.KindAction, matrix.Pt(105, 100)); err != nil {
+		return err
+	}
+	if err := alice.Move(matrix.Pt(102, 101)); err != nil {
+		return err
+	}
+	waitUntil(func() bool { return bob.Stats().Received >= 1 && alice.Stats().Echoes >= 1 })
+
+	fmt.Printf("alice: sent=%d echoes=%d; bob: received=%d\n",
+		alice.Stats().Sent, alice.Stats().Echoes, bob.Stats().Received)
+	if lats := alice.Latencies(); len(lats) > 0 {
+		fmt.Printf("alice's first response latency: %v\n", lats[0])
+	}
+	fmt.Printf("cluster: %d active server(s), %d split(s)\n",
+		len(mc.ActiveServers()), mc.Splits())
+	return nil
+}
+
+// waitUntil polls a condition for up to five seconds.
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !cond() {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

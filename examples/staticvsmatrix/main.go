@@ -1,0 +1,76 @@
+// Staticvsmatrix: the paper's §4.2 comparison, runnable.
+//
+// The same hotspot workload hits (a) a statically partitioned 4-server
+// deployment — the Everquest-era strategy — and (b) adaptive Matrix with a
+// pool of 10. Static partitioning saturates and drops packets for as long
+// as the hotspot lasts; Matrix deploys extra servers and recovers.
+//
+//	go run ./examples/staticvsmatrix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"matrix"
+)
+
+func main() {
+	world := matrix.R(0, 0, 1000, 1000)
+	script := matrix.Script{
+		{At: 10, Kind: matrix.EventJoin, Count: 600, Center: matrix.Pt(800, 300), Spread: 120, Tag: "hot"},
+	}
+	policy := matrix.DefaultLoadPolicy()
+	policy.OverloadQueue = 1500
+
+	base := matrix.SimulationConfig{
+		Profile:            matrix.BzflagProfile(),
+		World:              world,
+		Seed:               4,
+		DurationSeconds:    120,
+		ServiceRatePerTick: 250,
+		MaxQueue:           2000,
+		BasePopulation:     100,
+		Script:             script,
+		LoadPolicy:         policy,
+	}
+
+	tiles, err := matrix.StaticGrid(world, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	staticCfg := base
+	staticCfg.Static = tiles
+	staticCfg.MaxServers = 4
+
+	matrixCfg := base
+	matrixCfg.MaxServers = 10
+
+	fmt.Println("running static baseline (4 fixed servers)...")
+	staticRes, err := matrix.RunSimulation(staticCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("running adaptive Matrix (pool of 10)...")
+	matrixRes, err := matrix.RunSimulation(matrixCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %12s %12s\n", "", "static", "matrix")
+	row := func(name string, a, b any) { fmt.Printf("%-22s %12v %12v\n", name, a, b) }
+	row("servers used", staticRes.PeakServers, matrixRes.PeakServers)
+	row("dropped packets", staticRes.DroppedPackets, matrixRes.DroppedPackets)
+	row("p95 latency (ms)", int(staticRes.Latency.Quantile(0.95)), int(matrixRes.Latency.Quantile(0.95)))
+	row("p99 latency (ms)", int(staticRes.Latency.Quantile(0.99)), int(matrixRes.Latency.Quantile(0.99)))
+	row("splits", len(staticRes.Events), len(matrixRes.Events))
+
+	// "Failure" means drops continue at steady state.
+	lastWindow := func(r *matrix.SimulationResult) float64 {
+		s := r.Metrics.Series("drops/total")
+		return s.At(120) - s.At(90)
+	}
+	row("drops in final 30s", int(lastWindow(staticRes)), int(lastWindow(matrixRes)))
+	fmt.Println("\nstatic partitioning keeps failing while the hotspot lasts;")
+	fmt.Println("Matrix absorbs it with extra servers and recovers completely.")
+}

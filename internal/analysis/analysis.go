@@ -1,0 +1,171 @@
+// Package analysis implements the paper's §4.2 asymptotic model of Matrix
+// scalability. The paper's two conclusions were:
+//
+//	a) Matrix scales to very large player populations (> 1,000,000 players
+//	   and 10,000 servers) only if the number of players inside overlap
+//	   regions is small relative to the total population, and
+//	b) Matrix's scalability is ultimately limited by the maximum I/O
+//	   capacity of individual servers.
+//
+// The model here makes those statements computable. Consider N servers
+// tiling a world of area A, each holding P/N of a uniformly distributed
+// player population P with visibility radius R and per-player update rate u
+// (packets/s of size b bytes). For a square partition of side L = sqrt(A/N):
+//
+//   - overlap fraction f ≈ area of the R-band around the partition border
+//     divided by the partition area = (L² - (L-2R)²)/L² (clamped to 1);
+//   - a server's inbound client traffic is (P/N)·u packets/s;
+//   - its inter-server traffic is f·(P/N)·u·E[|C|] where E[|C|] ≈ the mean
+//     number of peers per overlap point (≈ 1 edge band, 3 at corners);
+//   - per-player delivery fan-out adds density·π·R²·u deliveries/s.
+//
+// The maximum supportable population is the largest P for which every
+// per-server flow stays under the server's I/O capacity.
+package analysis
+
+import (
+	"errors"
+	"math"
+)
+
+// Model holds the deployment parameters.
+type Model struct {
+	// WorldArea is the total map area (world units squared).
+	WorldArea float64
+	// Servers is the number of equally loaded servers N.
+	Servers int
+	// Radius is the visibility radius R.
+	Radius float64
+	// UpdatesPerSec is the per-player update rate u.
+	UpdatesPerSec float64
+	// PacketBytes is the mean packet size b (wire bytes).
+	PacketBytes float64
+	// ServerCapacityBps is one server's I/O capacity in bytes/second.
+	ServerCapacityBps float64
+}
+
+// Validate checks the parameters.
+func (m Model) Validate() error {
+	if m.WorldArea <= 0 || m.Servers <= 0 || m.Radius < 0 {
+		return errors.New("analysis: world, servers and radius must be positive")
+	}
+	if m.UpdatesPerSec <= 0 || m.PacketBytes <= 0 || m.ServerCapacityBps <= 0 {
+		return errors.New("analysis: rates and capacities must be positive")
+	}
+	return nil
+}
+
+// PartitionSide returns the side length L of one (square-modelled)
+// partition.
+func (m Model) PartitionSide() float64 {
+	return math.Sqrt(m.WorldArea / float64(m.Servers))
+}
+
+// OverlapFraction returns f: the fraction of a partition's area lying
+// within R of its border (whose population needs inter-server forwarding).
+// It clamps to 1 when the partition is smaller than the visibility band —
+// the regime where localized consistency degenerates to global broadcast.
+func (m Model) OverlapFraction() float64 {
+	l := m.PartitionSide()
+	if 2*m.Radius >= l {
+		return 1
+	}
+	inner := l - 2*m.Radius
+	return (l*l - inner*inner) / (l * l)
+}
+
+// meanConsistencySetSize approximates E[|C(σ)|] for points inside the
+// overlap band: most band points see one neighbour, corner points three.
+func (m Model) meanConsistencySetSize() float64 {
+	l := m.PartitionSide()
+	if 2*m.Radius >= l {
+		// Everything overlaps everything nearby; cap at 8 neighbours.
+		return 8
+	}
+	band := m.OverlapFraction()
+	if band == 0 {
+		return 0
+	}
+	// Corner sub-area: 4 squares of side 2R see ~3 peers; the rest of the
+	// band sees 1.
+	corner := 4 * (2 * m.Radius) * (2 * m.Radius) / (l * l)
+	if corner > band {
+		corner = band
+	}
+	edge := band - corner
+	return (edge*1 + corner*3) / band
+}
+
+// PerServerLoadBps returns one server's total I/O in bytes/second when the
+// deployment holds population players: client traffic in, event deliveries
+// out, and inter-server forwards both ways.
+func (m Model) PerServerLoadBps(population float64) float64 {
+	perServer := population / float64(m.Servers)
+	clientIn := perServer * m.UpdatesPerSec * m.PacketBytes
+
+	// Delivery fan-out: each update is delivered to every player within R.
+	density := population / m.WorldArea
+	neighbours := density * math.Pi * m.Radius * m.Radius
+	deliverOut := perServer * m.UpdatesPerSec * neighbours * m.PacketBytes
+
+	// Inter-server: band players' updates forwarded to E[|C|] peers, and a
+	// symmetric amount received from the neighbours.
+	f := m.OverlapFraction()
+	interOut := f * perServer * m.UpdatesPerSec * m.meanConsistencySetSize() * m.PacketBytes
+	interIn := interOut
+
+	return clientIn + deliverOut + interOut + interIn
+}
+
+// MaxPopulation returns the largest total player population (and the
+// binding overlap fraction) for which no server exceeds its I/O capacity.
+// The load is monotone in population, so it binary-searches.
+func (m Model) MaxPopulation() float64 {
+	if m.Validate() != nil {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for m.PerServerLoadBps(hi) < m.ServerCapacityBps && hi < 1e15 {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if m.PerServerLoadBps(mid) <= m.ServerCapacityBps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// InterServerShare returns the fraction of a server's total load spent on
+// inter-server forwarding at the given population — the quantity statement
+// (a) of the paper says must stay small.
+func (m Model) InterServerShare(population float64) float64 {
+	total := m.PerServerLoadBps(population)
+	if total == 0 {
+		return 0
+	}
+	perServer := population / float64(m.Servers)
+	f := m.OverlapFraction()
+	inter := 2 * f * perServer * m.UpdatesPerSec * m.meanConsistencySetSize() * m.PacketBytes
+	return inter / total
+}
+
+// SweepServers evaluates MaxPopulation over a range of fleet sizes,
+// returning parallel slices (servers, maxPlayers, overlapFraction). This is
+// the scaling curve behind the paper's ">1M players on 10k servers" claim.
+func (m Model) SweepServers(serverCounts []int) (servers []int, maxPlayers, overlapFrac []float64) {
+	servers = make([]int, 0, len(serverCounts))
+	maxPlayers = make([]float64, 0, len(serverCounts))
+	overlapFrac = make([]float64, 0, len(serverCounts))
+	for _, n := range serverCounts {
+		mm := m
+		mm.Servers = n
+		servers = append(servers, n)
+		maxPlayers = append(maxPlayers, mm.MaxPopulation())
+		overlapFrac = append(overlapFrac, mm.OverlapFraction())
+	}
+	return servers, maxPlayers, overlapFrac
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// paperScale is a deployment modeled on the paper's asymptotic claim:
+// 10,000 servers on a very large world, gigabit-class servers.
+func paperScale() Model {
+	return Model{
+		WorldArea:         1e8, // 10,000 x 10,000 world
+		Servers:           10000,
+		Radius:            5,
+		UpdatesPerSec:     5,
+		PacketBytes:       100,
+		ServerCapacityBps: 125e6, // 1 Gbps
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperScale().Validate(); err != nil {
+		t.Fatalf("paper-scale model invalid: %v", err)
+	}
+	bad := paperScale()
+	bad.Servers = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero servers must fail")
+	}
+	bad = paperScale()
+	bad.ServerCapacityBps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero capacity must fail")
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	m := paperScale()
+	// L = sqrt(1e8/1e4) = 100, R=5: f = (100^2 - 90^2)/100^2 = 0.19.
+	if got := m.PartitionSide(); got != 100 {
+		t.Fatalf("PartitionSide = %v", got)
+	}
+	if got := m.OverlapFraction(); math.Abs(got-0.19) > 1e-12 {
+		t.Fatalf("OverlapFraction = %v, want 0.19", got)
+	}
+	// Degenerate: partitions smaller than the band -> fraction 1.
+	m.Radius = 60
+	if got := m.OverlapFraction(); got != 1 {
+		t.Fatalf("degenerate OverlapFraction = %v, want 1", got)
+	}
+	// Zero radius: no overlap at all.
+	m.Radius = 0
+	if got := m.OverlapFraction(); got != 0 {
+		t.Fatalf("zero-radius OverlapFraction = %v", got)
+	}
+}
+
+func TestLoadMonotoneInPopulation(t *testing.T) {
+	m := paperScale()
+	prev := 0.0
+	for _, p := range []float64{1e3, 1e4, 1e5, 1e6, 1e7} {
+		cur := m.PerServerLoadBps(p)
+		if cur <= prev {
+			t.Fatalf("load not monotone: %v at %v after %v", cur, p, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestMaxPopulationRespectsCapacity(t *testing.T) {
+	m := paperScale()
+	maxP := m.MaxPopulation()
+	if maxP <= 0 {
+		t.Fatal("MaxPopulation = 0")
+	}
+	at := m.PerServerLoadBps(maxP)
+	if at > m.ServerCapacityBps*1.0001 {
+		t.Fatalf("load at max population %v exceeds capacity %v", at, m.ServerCapacityBps)
+	}
+	if m.PerServerLoadBps(maxP*1.1) <= m.ServerCapacityBps {
+		t.Fatal("max population is not tight")
+	}
+}
+
+// TestPaperClaimMillionPlayers reproduces §4.2(a): with small overlap
+// populations, Matrix scales past 1,000,000 players on 10,000 servers.
+func TestPaperClaimMillionPlayers(t *testing.T) {
+	m := paperScale()
+	maxP := m.MaxPopulation()
+	if maxP < 1e6 {
+		t.Fatalf("paper-scale deployment supports only %.0f players, want > 1M", maxP)
+	}
+	// And the inter-server share at that population must be small.
+	if share := m.InterServerShare(maxP); share > 0.5 {
+		t.Errorf("inter-server share = %v; claim requires it small", share)
+	}
+}
+
+// TestOverlapGrowthKillsScaling reproduces the converse: when R grows until
+// overlap regions swallow the partitions, supportable population collapses.
+func TestOverlapGrowthKillsScaling(t *testing.T) {
+	small := paperScale()
+	big := paperScale()
+	big.Radius = 50 // partition side is 100: the band covers everything
+	if big.OverlapFraction() != 1 {
+		t.Fatal("setup: expected fully-overlapped partitions")
+	}
+	ratio := small.MaxPopulation() / big.MaxPopulation()
+	if ratio < 2 {
+		t.Fatalf("large overlap should cost at least 2x population; ratio=%v", ratio)
+	}
+	// The absolute inter-server traffic at equal population must be much
+	// larger (delivery fan-out grows too, so compare the raw flows).
+	p := big.MaxPopulation()
+	interSmall := small.InterServerShare(p) * small.PerServerLoadBps(p)
+	interBig := big.InterServerShare(p) * big.PerServerLoadBps(p)
+	if interBig < interSmall*5 {
+		t.Errorf("inter-server bytes: big=%v small=%v; want >= 5x", interBig, interSmall)
+	}
+}
+
+// TestCapacityIsTheBindingLimit reproduces §4.2(b): doubling per-server I/O
+// capacity raises the supportable population; nothing else about the
+// deployment needs to change.
+func TestCapacityIsTheBindingLimit(t *testing.T) {
+	m := paperScale()
+	m2 := paperScale()
+	m2.ServerCapacityBps *= 2
+	p1, p2 := m.MaxPopulation(), m2.MaxPopulation()
+	if p2 <= p1 {
+		t.Fatalf("doubling capacity did not raise max population: %v -> %v", p1, p2)
+	}
+}
+
+func TestSweepServersShape(t *testing.T) {
+	m := paperScale()
+	counts := []int{100, 1000, 10000}
+	servers, players, fracs := m.SweepServers(counts)
+	if len(servers) != 3 || len(players) != 3 || len(fracs) != 3 {
+		t.Fatal("sweep lengths wrong")
+	}
+	// More servers => more total players (until overlap dominates).
+	if !(players[1] > players[0] && players[2] > players[1]) {
+		t.Errorf("population not increasing with servers: %v", players)
+	}
+	// More servers => smaller partitions => larger overlap fraction.
+	if !(fracs[2] > fracs[1] && fracs[1] > fracs[0]) {
+		t.Errorf("overlap fraction not increasing with servers: %v", fracs)
+	}
+}
+
+func TestMaxPopulationInvalidModel(t *testing.T) {
+	var m Model
+	if got := m.MaxPopulation(); got != 0 {
+		t.Errorf("invalid model MaxPopulation = %v", got)
+	}
+}
+
+func TestInterServerShareZeroPopulation(t *testing.T) {
+	m := paperScale()
+	if got := m.InterServerShare(0); got != 0 {
+		t.Errorf("share at zero population = %v", got)
+	}
+}

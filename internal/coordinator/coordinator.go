@@ -1,0 +1,473 @@
+// Package coordinator implements the Matrix Coordinator (MC).
+//
+// The MC is deliberately off the packet fast path: it only acts when the
+// world partitioning changes (registration, split, reclamation) and for the
+// rare non-proximal interaction queries. Its job is to own the authoritative
+// space.Map, compute overlap tables with axis-aligned bounding-box
+// arithmetic, and push the updated tables to every Matrix server after each
+// topology change (paper §3.2.4).
+//
+// The Coordinator is a synchronous state machine: every handler returns the
+// messages to deliver ("envelopes") instead of performing I/O, so the same
+// code is driven by the TCP message pumps in production and by the
+// deterministic simulation harness in the evaluation.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/overlap"
+	"matrix/internal/protocol"
+	"matrix/internal/space"
+)
+
+// Coordinator errors.
+var (
+	ErrPoolExhausted = errors.New("coordinator: no spare servers available")
+	ErrUnknownServer = errors.New("coordinator: unknown server")
+	ErrNotSpare      = errors.New("coordinator: server is not a spare")
+	ErrBadRadius     = errors.New("coordinator: radius must be positive")
+)
+
+// Envelope is one message the caller must deliver to a Matrix server.
+type Envelope struct {
+	To  id.ServerID
+	Msg protocol.Message
+}
+
+// Config tunes the Coordinator.
+type Config struct {
+	// World is the full map rectangle of the game.
+	World geom.Rect
+	// ExtraRadii lists additional visibility radii beyond the game default
+	// (the paper's "distinct sets of overlap regions, each for a different
+	// R" for exceptional object classes).
+	ExtraRadii []float64
+	// Static, when non-empty, switches the coordinator into the paper's
+	// static-partitioning baseline: the i-th registering server is pinned
+	// to Static[i] forever, and all split/reclaim requests are denied.
+	// The rectangles must tile World exactly.
+	Static []geom.Rect
+}
+
+// serverState tracks one registered server.
+type serverState struct {
+	id      id.ServerID
+	addr    string
+	radius  float64
+	active  bool // owns a partition (vs. spare in the pool)
+	clients int
+}
+
+// Coordinator is the MC. Safe for concurrent use.
+type Coordinator struct {
+	mu      sync.Mutex
+	cfg     Config
+	gen     id.Generator
+	m       *space.Map // nil until the first active server registers
+	servers map[id.ServerID]*serverState
+	spares  []id.ServerID // FIFO resource pool of registered, unassigned servers
+	radius  float64       // the game's default visibility radius
+	splits  int
+	reclaim int
+
+	// Static-baseline state: partitions assigned so far, pending map build.
+	staticAssigned []space.Partition
+}
+
+// New creates a Coordinator for the given world.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.World.Empty() {
+		return nil, errors.New("coordinator: empty world")
+	}
+	for _, r := range cfg.ExtraRadii {
+		if r <= 0 {
+			return nil, fmt.Errorf("%w: %v", ErrBadRadius, r)
+		}
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		servers: make(map[id.ServerID]*serverState),
+	}, nil
+}
+
+// Register adds a server. The first registration becomes the active root
+// server owning the whole world; later registrations join the spare pool
+// (the paper's "non-Matrix external entity" that supplies available
+// servers). The returned envelopes carry the initial overlap tables.
+func (c *Coordinator) Register(addr string, radius float64) (*protocol.RegisterReply, []Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if radius < 0 {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadRadius, radius)
+	}
+	sid := c.gen.NextServer()
+	st := &serverState{id: sid, addr: addr, radius: radius}
+	c.servers[sid] = st
+
+	if len(c.cfg.Static) > 0 {
+		return c.registerStaticLocked(st)
+	}
+
+	if c.m == nil {
+		m, err := space.NewMap(c.cfg.World, sid)
+		if err != nil {
+			delete(c.servers, sid)
+			return nil, nil, err
+		}
+		c.m = m
+		c.radius = radius
+		st.active = true
+		reply := &protocol.RegisterReply{Server: sid, Bounds: c.cfg.World, World: c.cfg.World}
+		envs, err := c.tableEnvelopesLocked()
+		if err != nil {
+			return nil, nil, err
+		}
+		return reply, envs, nil
+	}
+
+	// Spare: no partition yet.
+	c.spares = append(c.spares, sid)
+	reply := &protocol.RegisterReply{Server: sid, Bounds: geom.Rect{}, World: c.cfg.World}
+	return reply, nil, nil
+}
+
+// registerStaticLocked pins registrations to the preset static partitions.
+// Once every partition has an owner, the preset map is built and the
+// overlap tables go out to everyone.
+func (c *Coordinator) registerStaticLocked(st *serverState) (*protocol.RegisterReply, []Envelope, error) {
+	idx := len(c.staticAssigned)
+	if idx >= len(c.cfg.Static) {
+		// Extra servers beyond the static layout idle as spares forever.
+		c.spares = append(c.spares, st.id)
+		return &protocol.RegisterReply{Server: st.id, World: c.cfg.World}, nil, nil
+	}
+	bounds := c.cfg.Static[idx]
+	st.active = true
+	if idx == 0 {
+		c.radius = st.radius
+	}
+	c.staticAssigned = append(c.staticAssigned, space.Partition{Owner: st.id, Bounds: bounds})
+	reply := &protocol.RegisterReply{Server: st.id, Bounds: bounds, World: c.cfg.World}
+	if len(c.staticAssigned) < len(c.cfg.Static) {
+		return reply, nil, nil
+	}
+	m, err := space.NewPresetMap(c.cfg.World, c.staticAssigned)
+	if err != nil {
+		return nil, nil, fmt.Errorf("coordinator: static layout: %w", err)
+	}
+	c.m = m
+	envs, err := c.tableEnvelopesLocked()
+	if err != nil {
+		return nil, nil, err
+	}
+	return reply, envs, nil
+}
+
+// HandleMessage dispatches a control message from server `from` and returns
+// the envelopes to deliver.
+func (c *Coordinator) HandleMessage(from id.ServerID, m protocol.Message) ([]Envelope, error) {
+	switch msg := m.(type) {
+	case *protocol.SplitRequest:
+		return c.handleSplit(from, msg)
+	case *protocol.ReclaimRequest:
+		return c.handleReclaim(from, msg)
+	case *protocol.LoadReport:
+		return c.handleLoadReport(from, msg)
+	case *protocol.NonProximalQuery:
+		return c.handleNonProximal(from, msg)
+	default:
+		return nil, fmt.Errorf("coordinator: unexpected message %v from %v", m.MsgType(), from)
+	}
+}
+
+// handleSplit services a split request: acquire a spare, split the
+// requester's partition, and broadcast fresh overlap tables.
+func (c *Coordinator) handleSplit(from id.ServerID, req *protocol.SplitRequest) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.servers[from]
+	if !ok || !st.active || c.m == nil {
+		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: "unknown or inactive server"}}},
+			fmt.Errorf("%w: %v", ErrUnknownServer, from)
+	}
+	st.clients = int(req.Clients)
+	if len(c.cfg.Static) > 0 {
+		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: "static partitioning"}}}, nil
+	}
+	if len(c.spares) == 0 {
+		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: "pool exhausted"}}}, nil
+	}
+	childID := c.spares[0]
+	child := c.servers[childID]
+	keep, give, err := c.m.Split(from, childID, space.SplitToLeft{})
+	if err != nil {
+		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: err.Error()}}}, nil
+	}
+	c.spares = c.spares[1:]
+	child.active = true
+	c.splits++
+
+	out := []Envelope{
+		{To: from, Msg: &protocol.SplitReply{
+			Granted:   true,
+			Child:     childID,
+			ChildAddr: child.addr,
+			Keep:      keep,
+			Give:      give,
+		}},
+		{To: childID, Msg: &protocol.RangeUpdate{Server: childID, Bounds: give}},
+	}
+	tables, err := c.tableEnvelopesLocked()
+	if err != nil {
+		return out, err
+	}
+	return append(out, tables...), nil
+}
+
+// handleReclaim folds child back into parent and rebroadcasts tables.
+func (c *Coordinator) handleReclaim(from id.ServerID, req *protocol.ReclaimRequest) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deny := func(reason string) []Envelope {
+		return []Envelope{{To: from, Msg: &protocol.ReclaimReply{Granted: false, Reason: reason}}}
+	}
+	if c.m == nil {
+		return deny("no active map"), nil
+	}
+	if len(c.cfg.Static) > 0 {
+		return deny("static partitioning"), nil
+	}
+	if req.Parent != from {
+		return deny("only the parent may reclaim"), nil
+	}
+	parent, err := c.m.Parent(req.Child)
+	if err != nil || parent != req.Parent {
+		return deny("not your child"), nil
+	}
+	if !c.m.CanReclaim(req.Child) {
+		if kids := c.m.Children(req.Child); len(kids) > 0 {
+			return deny(fmt.Sprintf("child still has children %v", kids)), nil
+		}
+		return deny("child partition not mergeable yet"), nil
+	}
+	_, merged, err := c.m.Reclaim(req.Child)
+	if err != nil {
+		return deny(err.Error()), nil
+	}
+	child := c.servers[req.Child]
+	child.active = false
+	child.clients = 0
+	c.spares = append(c.spares, req.Child)
+	c.reclaim++
+
+	parentAddr := ""
+	if ps, ok := c.servers[from]; ok {
+		parentAddr = ps.addr
+	}
+	out := []Envelope{
+		{To: from, Msg: &protocol.ReclaimReply{Granted: true, Merged: merged}},
+		// The reclaimed child is deactivated (empty bounds) and told to
+		// hand every client to the absorbing parent.
+		{To: req.Child, Msg: &protocol.RangeUpdate{
+			Server: req.Child,
+			Bounds: geom.Rect{},
+			Handoff: []protocol.HandoffTarget{{
+				Server: from,
+				Addr:   parentAddr,
+				Bounds: merged,
+			}},
+		}},
+	}
+	tables, err := c.tableEnvelopesLocked()
+	if err != nil {
+		return out, err
+	}
+	return append(out, tables...), nil
+}
+
+// handleLoadReport records a server's load and relays it to the server's
+// split-tree parent so reclaim decisions stay local to the parent.
+func (c *Coordinator) handleLoadReport(from id.ServerID, rep *protocol.LoadReport) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.servers[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownServer, from)
+	}
+	st.clients = int(rep.Clients)
+	if c.m == nil || !st.active {
+		return nil, nil
+	}
+	parent, err := c.m.Parent(from)
+	if err != nil || !parent.Valid() {
+		return nil, nil
+	}
+	return []Envelope{{To: parent, Msg: &protocol.LoadReport{
+		Server:   from,
+		Clients:  rep.Clients,
+		QueueLen: rep.QueueLen,
+	}}}, nil
+}
+
+// handleNonProximal answers the consistency set for an arbitrary point —
+// the paper's fallback for "uncommon cases involving non-proximal
+// interactions".
+func (c *Coordinator) handleNonProximal(from id.ServerID, q *protocol.NonProximalQuery) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		return nil, errors.New("coordinator: no active map")
+	}
+	radius := q.Radius
+	if radius <= 0 {
+		radius = c.radius
+	}
+	set := overlap.ConsistencySet(q.Point, from, c.m.Partitions(), radius)
+	reply := &protocol.NonProximalReply{
+		Servers: set,
+		Peers:   c.peerAddrsLocked(set),
+	}
+	return []Envelope{{To: from, Msg: reply}}, nil
+}
+
+// tableEnvelopesLocked recomputes and packages overlap tables for every
+// active server, one per distinct radius in use.
+func (c *Coordinator) tableEnvelopesLocked() ([]Envelope, error) {
+	parts := c.m.Partitions()
+	version := c.m.Version()
+	radii := c.radiiLocked()
+	var out []Envelope
+	for _, r := range radii {
+		tables, err := overlap.BuildAll(parts, r, version)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: build tables (r=%v): %w", r, err)
+		}
+		for _, part := range parts {
+			tab := tables[part.Owner]
+			regions := tab.Regions()
+			// Collect the peers this table can route to, with addresses.
+			var peerSet overlap.Set
+			for _, reg := range regions {
+				peerSet = peerSet.Union(reg.Peers)
+			}
+			out = append(out, Envelope{
+				To: part.Owner,
+				Msg: &protocol.OverlapTable{
+					Server:  part.Owner,
+					Version: version,
+					Bounds:  part.Bounds,
+					Radius:  r,
+					Regions: protocol.RegionsToWire(regions),
+					Peers:   c.peerAddrsLocked(peerSet),
+				},
+			})
+		}
+	}
+	// Deterministic delivery order helps tests and debugging.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return out, nil
+}
+
+// radiiLocked returns the default radius plus configured extras, deduped.
+func (c *Coordinator) radiiLocked() []float64 {
+	radii := []float64{c.radius}
+	for _, r := range c.cfg.ExtraRadii {
+		dup := false
+		for _, have := range radii {
+			if have == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			radii = append(radii, r)
+		}
+	}
+	return radii
+}
+
+// peerAddrsLocked resolves addresses and current bounds for a set of
+// servers.
+func (c *Coordinator) peerAddrsLocked(set overlap.Set) []protocol.PeerAddr {
+	out := make([]protocol.PeerAddr, 0, len(set))
+	for _, sid := range set {
+		st, ok := c.servers[sid]
+		if !ok {
+			continue
+		}
+		var bounds geom.Rect
+		if c.m != nil {
+			if b, err := c.m.Bounds(sid); err == nil {
+				bounds = b
+			}
+		}
+		out = append(out, protocol.PeerAddr{Server: sid, Addr: st.addr, Bounds: bounds})
+	}
+	return out
+}
+
+// --- introspection (used by tooling, experiments and tests) ---
+
+// ActiveServers returns the IDs of servers that currently own partitions,
+// sorted.
+func (c *Coordinator) ActiveServers() []id.ServerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []id.ServerID
+	for sid, st := range c.servers {
+		if st.active {
+			out = append(out, sid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SpareCount returns the number of servers waiting in the pool.
+func (c *Coordinator) SpareCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spares)
+}
+
+// Partitions snapshots the current partitioning (empty before the first
+// registration).
+func (c *Coordinator) Partitions() []space.Partition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		return nil
+	}
+	return c.m.Partitions()
+}
+
+// Splits returns the number of granted splits.
+func (c *Coordinator) Splits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.splits
+}
+
+// Reclaims returns the number of granted reclamations.
+func (c *Coordinator) Reclaims() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reclaim
+}
+
+// Validate checks the internal space invariants (used by tests and
+// long-running soak tooling).
+func (c *Coordinator) Validate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		return nil
+	}
+	return c.m.Validate()
+}

@@ -1,0 +1,105 @@
+package coordinator
+
+import (
+	"testing"
+
+	"matrix/internal/geom"
+	"matrix/internal/protocol"
+	"matrix/internal/staticpart"
+)
+
+func newStaticMC(t *testing.T, n int) (*Coordinator, []*protocol.RegisterReply) {
+	t.Helper()
+	world := geom.R(0, 0, 100, 100)
+	tiles, err := staticpart.Grid(world, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{World: world, Static: tiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replies := make([]*protocol.RegisterReply, n)
+	for i := 0; i < n; i++ {
+		reply, envs, err := c.Register("s", 5)
+		if err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+		replies[i] = reply
+		// Tables only go out once the last static server registers.
+		if i < n-1 && len(envs) != 0 {
+			t.Fatalf("register %d produced %d envelopes before layout complete", i, len(envs))
+		}
+		if i == n-1 && len(envs) != n {
+			t.Fatalf("final register produced %d envelopes, want %d tables", len(envs), n)
+		}
+	}
+	return c, replies
+}
+
+func TestStaticRegistrationAssignsTiles(t *testing.T) {
+	c, replies := newStaticMC(t, 4)
+	seen := map[string]bool{}
+	for _, r := range replies {
+		if r.Bounds.Empty() {
+			t.Fatalf("static server %v got empty bounds", r.Server)
+		}
+		seen[r.Bounds.String()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct tiles = %d", len(seen))
+	}
+	if got := len(c.ActiveServers()); got != 4 {
+		t.Errorf("active = %d", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestStaticDeniesSplit(t *testing.T) {
+	c, replies := newStaticMC(t, 2)
+	envs, err := c.HandleMessage(replies[0].Server, &protocol.SplitRequest{Server: replies[0].Server, Clients: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := envs[0].Msg.(*protocol.SplitReply)
+	if !ok || rep.Granted {
+		t.Fatalf("static split must be denied: %+v", envs[0].Msg)
+	}
+	if rep.Reason != "static partitioning" {
+		t.Errorf("reason = %q", rep.Reason)
+	}
+	if c.Splits() != 0 {
+		t.Errorf("Splits = %d", c.Splits())
+	}
+}
+
+func TestStaticDeniesReclaim(t *testing.T) {
+	c, replies := newStaticMC(t, 2)
+	envs, err := c.HandleMessage(replies[0].Server, &protocol.ReclaimRequest{Parent: replies[0].Server, Child: replies[1].Server})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := envs[0].Msg.(*protocol.ReclaimReply)
+	if !ok || rep.Granted {
+		t.Fatalf("static reclaim must be denied: %+v", envs[0].Msg)
+	}
+}
+
+func TestStaticExtraRegistrationsAreIdleSpares(t *testing.T) {
+	c, _ := newStaticMC(t, 2)
+	reply, envs, err := c.Register("extra", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Bounds.Empty() {
+		t.Error("extra static server must be a spare")
+	}
+	if len(envs) != 0 {
+		t.Error("extra registration must not emit tables")
+	}
+	if c.SpareCount() != 1 {
+		t.Errorf("SpareCount = %d", c.SpareCount())
+	}
+}

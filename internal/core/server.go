@@ -1,0 +1,629 @@
+// Package core implements the Matrix server, "the heart of our distributed
+// middleware" (paper §3.2.3). A Matrix server
+//
+//   - receives spatially-tagged game packets from its co-located game server
+//     and routes them to the peer Matrix servers in the packet's consistency
+//     set via an O(1) overlap-table lookup;
+//   - verifies the range of packets forwarded by peers before handing them
+//     to its own game server;
+//   - watches its game server's load and makes purely local split decisions
+//     when overloaded, and reclaim decisions for its underloaded children;
+//   - consults the Matrix Coordinator only for topology changes and rare
+//     non-proximal interactions.
+//
+// The server is a synchronous state machine: handlers return envelopes (the
+// messages to deliver) instead of doing I/O, so production transports and
+// the deterministic simulation harness drive identical code.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"matrix/internal/clock"
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/load"
+	"matrix/internal/overlap"
+	"matrix/internal/protocol"
+)
+
+// Core server errors.
+var (
+	ErrInactive   = errors.New("core: server owns no partition")
+	ErrNoTable    = errors.New("core: no overlap table installed")
+	ErrBadPeer    = errors.New("core: unknown peer server")
+	ErrNoPending  = errors.New("core: non-proximal reply without pending packet")
+	ErrNilMessage = errors.New("core: nil message")
+)
+
+// Dest says where an envelope must be delivered.
+type Dest uint8
+
+// Envelope destinations.
+const (
+	// DestCoordinator delivers to the MC.
+	DestCoordinator Dest = iota + 1
+	// DestGameServer delivers to the co-located game server.
+	DestGameServer
+	// DestPeer delivers to the peer Matrix server named by Envelope.Peer.
+	DestPeer
+)
+
+// String implements fmt.Stringer.
+func (d Dest) String() string {
+	switch d {
+	case DestCoordinator:
+		return "coordinator"
+	case DestGameServer:
+		return "game-server"
+	case DestPeer:
+		return "peer"
+	default:
+		return fmt.Sprintf("dest(%d)", uint8(d))
+	}
+}
+
+// Envelope is one message a handler wants delivered.
+type Envelope struct {
+	Dest Dest
+	Peer id.ServerID // set when Dest == DestPeer
+	Addr string      // dialable address of Peer, when known
+	Msg  protocol.Message
+}
+
+// peerInfo is what a Matrix server knows about a peer: where to dial it and
+// which part of the world it currently owns.
+type peerInfo struct {
+	addr   string
+	bounds geom.Rect
+}
+
+// Config tunes a Matrix server.
+type Config struct {
+	// Load is the split/reclaim policy (zero value = paper defaults).
+	Load load.Config
+	// Clock drives the policy timers (nil = wall clock).
+	Clock clock.Clock
+	// KindRadius optionally overrides the visibility radius per update
+	// kind — the paper's "different visibility radii for exceptions". A
+	// kind without an entry uses the game's default radius.
+	KindRadius map[protocol.UpdateKind]float64
+}
+
+// Stats is a snapshot of a server's traffic counters, used by the
+// evaluation harness.
+type Stats struct {
+	GamePacketsIn    uint64 // packets received from the local game server
+	PeerPacketsIn    uint64 // forwards received from peers
+	PeerPacketsOut   uint64 // forwards sent to peers
+	PeerBytesOut     uint64 // encoded bytes of forwards sent to peers
+	DeliveredToGame  uint64 // peer packets handed to the local game server
+	RangeRejected    uint64 // peer packets dropped by range verification
+	NonProximalSent  uint64 // MC consistency-set queries
+	SplitsRequested  uint64
+	SplitsGranted    uint64
+	ReclaimRequested uint64
+	ReclaimGranted   uint64
+}
+
+// Server is one Matrix server. Safe for concurrent use.
+type Server struct {
+	mu           sync.Mutex
+	cfg          Config
+	id           id.ServerID
+	world        geom.Rect
+	bounds       geom.Rect
+	active       bool
+	radius       float64 // game default visibility radius
+	tables       map[float64]*overlap.Table
+	peers        map[id.ServerID]peerInfo
+	peersVersion uint64
+	parent       id.ServerID
+	child        map[id.ServerID]bool
+	// childOrder records adoption order. Reclaims try children newest
+	// first: splits always halve the parent's current rectangle, so only
+	// the most recent unreclaimed child is guaranteed to merge back
+	// cleanly (last-split-first order).
+	childOrder []id.ServerID
+	tracker    *load.Tracker
+
+	pendingSplit   bool
+	pendingReclaim id.ServerID // child being reclaimed, id.None when idle
+	// reclaimDeniedUntil backs off children whose reclaim the MC denied
+	// (not yet mergeable, or they have children of their own).
+	reclaimDeniedUntil map[id.ServerID]time.Time
+	pendingNonProx     []*protocol.GameUpdate
+
+	stats Stats
+}
+
+// NewServer creates a Matrix server from its registration reply.
+func NewServer(cfg Config, reply *protocol.RegisterReply, radius float64) (*Server, error) {
+	if reply == nil {
+		return nil, errors.New("core: nil registration reply")
+	}
+	if !reply.Server.Valid() {
+		return nil, errors.New("core: invalid server id in registration")
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("core: negative radius %v", radius)
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	return &Server{
+		cfg:                cfg,
+		id:                 reply.Server,
+		world:              reply.World,
+		bounds:             reply.Bounds,
+		active:             !reply.Bounds.Empty(),
+		radius:             radius,
+		tables:             make(map[float64]*overlap.Table),
+		peers:              make(map[id.ServerID]peerInfo),
+		child:              make(map[id.ServerID]bool),
+		tracker:            load.NewTracker(cfg.Load, clk),
+		reclaimDeniedUntil: make(map[id.ServerID]time.Time),
+	}, nil
+}
+
+// ID returns the server's identity.
+func (s *Server) ID() id.ServerID { return s.id }
+
+// Bounds returns the currently owned partition (empty when spare).
+func (s *Server) Bounds() geom.Rect {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bounds
+}
+
+// Active reports whether the server currently owns a partition.
+func (s *Server) Active() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Parent returns the split-tree parent (id.None for root or spares).
+func (s *Server) Parent() id.ServerID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parent
+}
+
+// Children returns this server's current children, sorted.
+func (s *Server) Children() []id.ServerID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]id.ServerID, 0, len(s.child))
+	for c := range s.child {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns a copy of the traffic counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Tracker exposes the load tracker (read-mostly; used by hosts to render
+// status).
+func (s *Server) Tracker() *load.Tracker { return s.tracker }
+
+// HandleMessage dispatches any message arriving at this Matrix server and
+// returns the envelopes to deliver.
+//
+// The from argument identifies peer Matrix servers for Forward and
+// StateTransfer messages; messages from the MC or the local game server
+// pass id.None.
+func (s *Server) HandleMessage(from id.ServerID, m protocol.Message) ([]Envelope, error) {
+	if m == nil {
+		return nil, ErrNilMessage
+	}
+	switch msg := m.(type) {
+	case *protocol.GameUpdate:
+		return s.HandleGameUpdate(msg)
+	case *protocol.Forward:
+		return s.handlePeerForward(msg)
+	case *protocol.LoadReport:
+		if msg.Server == s.id || !msg.Server.Valid() {
+			return s.HandleLocalLoad(int(msg.Clients), int(msg.QueueLen))
+		}
+		return s.handleChildLoad(msg)
+	case *protocol.OverlapTable:
+		return nil, s.handleOverlapTable(msg)
+	case *protocol.SplitReply:
+		return s.handleSplitReply(msg)
+	case *protocol.ReclaimReply:
+		return s.handleReclaimReply(msg)
+	case *protocol.RangeUpdate:
+		return s.handleRangeUpdate(msg)
+	case *protocol.StateTransfer:
+		return s.handleStateTransfer(from, msg)
+	case *protocol.NonProximalReply:
+		return s.handleNonProximalReply(msg)
+	default:
+		return nil, fmt.Errorf("core: unexpected message %v", m.MsgType())
+	}
+}
+
+// HandleGameUpdate routes one spatially-tagged packet from the local game
+// server to every peer in its consistency set. This is the latency-critical
+// fast path: a table lookup and one Forward per peer, no MC involvement
+// unless the destination is non-proximal.
+func (s *Server) HandleGameUpdate(u *protocol.GameUpdate) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.active {
+		return nil, ErrInactive
+	}
+	s.stats.GamePacketsIn++
+
+	radius := s.radiusForLocked(u.Kind)
+	tab, ok := s.tables[radius]
+	if !ok {
+		return nil, fmt.Errorf("%w: radius %v", ErrNoTable, radius)
+	}
+
+	// Non-proximal destination: the table only covers our own partition,
+	// so a far-away Dest needs the MC's global view (paper §3.2.4).
+	if u.Dest != u.Origin && !s.bounds.Contains(u.Dest) && !tabCovers(tab, u.Dest, radius) {
+		s.pendingNonProx = append(s.pendingNonProx, u)
+		s.stats.NonProximalSent++
+		return []Envelope{{Dest: DestCoordinator, Msg: &protocol.NonProximalQuery{
+			Server: s.id,
+			Point:  u.Dest,
+			Radius: radius,
+		}}}, nil
+	}
+
+	peers := tab.Lookup(u.Origin)
+	if u.Dest != u.Origin {
+		peers = peers.Union(tab.Lookup(u.Dest))
+	}
+	return s.forwardLocked(u, peers)
+}
+
+// tabCovers reports whether p is close enough to our partition that the
+// local table's conservative expansion already accounts for it.
+func tabCovers(tab *overlap.Table, p geom.Point, radius float64) bool {
+	return tab.Bounds().Expand(radius).ContainsClosed(p)
+}
+
+// forwardLocked emits Forward envelopes for every peer in set.
+func (s *Server) forwardLocked(u *protocol.GameUpdate, peers overlap.Set) ([]Envelope, error) {
+	if len(peers) == 0 {
+		return nil, nil
+	}
+	fwd := &protocol.Forward{From: s.id, Update: *u}
+	size, err := protocol.Size(fwd)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Envelope, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, Envelope{Dest: DestPeer, Peer: p, Addr: s.peers[p].addr, Msg: fwd})
+		s.stats.PeerPacketsOut++
+		s.stats.PeerBytesOut += uint64(size)
+	}
+	return out, nil
+}
+
+// handlePeerForward verifies a peer-forwarded packet's range and, when
+// valid, hands it to the local game server ("which then forward the packet,
+// after verifying the packet's range, to their own game servers").
+func (s *Server) handlePeerForward(f *protocol.Forward) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.active {
+		return nil, ErrInactive
+	}
+	s.stats.PeerPacketsIn++
+	radius := s.radiusForLocked(f.Update.Kind)
+	reach := s.bounds.Expand(radius)
+	if !reach.ContainsClosed(f.Update.Origin) && !reach.ContainsClosed(f.Update.Dest) {
+		s.stats.RangeRejected++
+		return nil, nil
+	}
+	s.stats.DeliveredToGame++
+	u := f.Update
+	return []Envelope{{Dest: DestGameServer, Msg: &u}}, nil
+}
+
+// HandleLocalLoad ingests the local game server's load report and applies
+// the split/reclaim policy. Splits are purely local decisions: the server
+// asks the MC for a spare the moment its own tracker says so.
+func (s *Server) HandleLocalLoad(clients, queueLen int) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracker.SetLoad(clients, queueLen)
+	if !s.active {
+		return nil, nil
+	}
+	var out []Envelope
+	// Report load to the MC (it relays child loads to parents).
+	out = append(out, Envelope{Dest: DestCoordinator, Msg: &protocol.LoadReport{
+		Server:   s.id,
+		Clients:  int32(clients),
+		QueueLen: int32(queueLen),
+	}})
+	if !s.pendingSplit && s.tracker.ShouldSplit() {
+		s.pendingSplit = true
+		s.stats.SplitsRequested++
+		out = append(out, Envelope{Dest: DestCoordinator, Msg: &protocol.SplitRequest{
+			Server:  s.id,
+			Clients: int32(clients),
+		}})
+	}
+	if s.pendingReclaim == id.None {
+		// Try children newest-first: only the most recently split-off
+		// piece is guaranteed to merge back into our current rectangle.
+		now := s.clockNow()
+		for i := len(s.childOrder) - 1; i >= 0; i-- {
+			child := s.childOrder[i]
+			if until, denied := s.reclaimDeniedUntil[child]; denied && now.Before(until) {
+				continue
+			}
+			if s.tracker.ReclaimCandidate(child) {
+				s.pendingReclaim = child
+				s.stats.ReclaimRequested++
+				out = append(out, Envelope{Dest: DestCoordinator, Msg: &protocol.ReclaimRequest{
+					Parent: s.id,
+					Child:  child,
+				}})
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// clockNow reads the policy clock.
+func (s *Server) clockNow() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock.Now()
+	}
+	return time.Now()
+}
+
+// handleChildLoad ingests a child's load report relayed by the MC.
+func (s *Server) handleChildLoad(rep *protocol.LoadReport) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.child[rep.Server] {
+		// A report for a server we no longer parent; ignore.
+		return nil, nil
+	}
+	s.tracker.SetChildLoad(rep.Server, int(rep.Clients), int(rep.QueueLen))
+	return nil, nil
+}
+
+// handleOverlapTable installs a freshly pushed routing table.
+func (s *Server) handleOverlapTable(msg *protocol.OverlapTable) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if msg.Server != s.id {
+		return fmt.Errorf("core: table for %v delivered to %v", msg.Server, s.id)
+	}
+	// Ignore stale pushes (the MC may race a split with a reclaim).
+	if old, ok := s.tables[msg.Radius]; ok && old.Version() > msg.Version {
+		return nil
+	}
+	tab, err := overlap.NewTableFromRegions(s.id, msg.Bounds, msg.Radius, msg.Version, protocol.RegionsFromWire(msg.Regions))
+	if err != nil {
+		return fmt.Errorf("core: install table: %w", err)
+	}
+	s.tables[msg.Radius] = tab
+	s.bounds = msg.Bounds
+	s.active = true
+	// A strictly newer topology version invalidates everything we knew
+	// about peers (stale bounds would misroute client handoffs); same-
+	// version pushes (per-radius tables of one topology) merge.
+	if msg.Version > s.peersVersion {
+		s.peers = make(map[id.ServerID]peerInfo, len(msg.Peers))
+		s.peersVersion = msg.Version
+	}
+	for _, p := range msg.Peers {
+		s.peers[p.Server] = peerInfo{addr: p.Addr, bounds: p.Bounds}
+	}
+	return nil
+}
+
+// handleSplitReply finishes a split: adopt the kept bounds, remember the
+// child, and tell the game server to shrink its range (which triggers the
+// client redirects and state transfer).
+func (s *Server) handleSplitReply(r *protocol.SplitReply) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pendingSplit = false
+	if !r.Granted {
+		return nil, nil
+	}
+	s.stats.SplitsGranted++
+	s.tracker.NoteSplit()
+	s.bounds = r.Keep
+	if !s.child[r.Child] {
+		s.childOrder = append(s.childOrder, r.Child)
+	}
+	s.child[r.Child] = true
+	s.peers[r.Child] = peerInfo{addr: r.ChildAddr, bounds: r.Give}
+	return []Envelope{{Dest: DestGameServer, Msg: &protocol.RangeUpdate{
+		Server: s.id,
+		Bounds: r.Keep,
+		Handoff: []protocol.HandoffTarget{{
+			Server: r.Child,
+			Addr:   r.ChildAddr,
+			Bounds: r.Give,
+		}},
+	}}}, nil
+}
+
+// handleReclaimReply finishes a reclamation: adopt the merged bounds and
+// widen the game server's range. The reclaimed child's clients are
+// transferred by the child's own game server reacting to its empty range.
+func (s *Server) handleReclaimReply(r *protocol.ReclaimReply) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	child := s.pendingReclaim
+	s.pendingReclaim = id.None
+	if !r.Granted {
+		// Back the denied child off for one dwell period so other
+		// children get a turn on the next load report.
+		if child.Valid() {
+			s.reclaimDeniedUntil[child] = s.clockNow().Add(s.tracker.Config().ReclaimDwell)
+		}
+		return nil, nil
+	}
+	s.stats.ReclaimGranted++
+	if child.Valid() {
+		delete(s.child, child)
+		delete(s.reclaimDeniedUntil, child)
+		for i, c := range s.childOrder {
+			if c == child {
+				s.childOrder = append(s.childOrder[:i], s.childOrder[i+1:]...)
+				break
+			}
+		}
+		s.tracker.ForgetChild(child)
+	}
+	s.bounds = r.Merged
+	return []Envelope{{Dest: DestGameServer, Msg: &protocol.RangeUpdate{
+		Server: s.id,
+		Bounds: r.Merged,
+	}}}, nil
+}
+
+// handleRangeUpdate applies an MC-pushed range change: activation of a
+// spare (split gave it a partition) or deactivation (it was reclaimed).
+func (s *Server) handleRangeUpdate(r *protocol.RangeUpdate) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.Server != s.id {
+		return nil, fmt.Errorf("core: range update for %v delivered to %v", r.Server, s.id)
+	}
+	s.bounds = r.Bounds
+	wasActive := s.active
+	s.active = !r.Bounds.Empty()
+	// Handoff targets are peers we are about to ship state to.
+	for _, h := range r.Handoff {
+		s.peers[h.Server] = peerInfo{addr: h.Addr, bounds: h.Bounds}
+	}
+	if !s.active && wasActive {
+		// Deactivated: clear topology state; we are a spare again.
+		s.child = make(map[id.ServerID]bool)
+		s.childOrder = nil
+		s.parent = id.None
+		s.tables = make(map[float64]*overlap.Table)
+		s.pendingSplit = false
+		s.pendingReclaim = id.None
+		s.reclaimDeniedUntil = make(map[id.ServerID]time.Time)
+	}
+	// The co-located game server always mirrors our range (handoff targets
+	// included, so it can redirect displaced clients).
+	return []Envelope{{Dest: DestGameServer, Msg: &protocol.RangeUpdate{
+		Server:  s.id,
+		Bounds:  r.Bounds,
+		Handoff: r.Handoff,
+	}}}, nil
+}
+
+// handleStateTransfer routes migrating game state: outbound chunks from the
+// local game server go to the destination's Matrix server; inbound chunks
+// are delivered to the local game server.
+func (s *Server) handleStateTransfer(from id.ServerID, st *protocol.StateTransfer) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.To == s.id {
+		return []Envelope{{Dest: DestGameServer, Msg: st}}, nil
+	}
+	// Outbound: must come from the local game server (from == id.None) or
+	// be relayed on behalf of our own id.
+	info, ok := s.peers[st.To]
+	if !ok && !from.Valid() {
+		return nil, fmt.Errorf("%w: %v", ErrBadPeer, st.To)
+	}
+	return []Envelope{{Dest: DestPeer, Peer: st.To, Addr: info.addr, Msg: st}}, nil
+}
+
+// handleNonProximalReply resolves the oldest pending non-proximal packet
+// with the MC's consistency set. Replies arrive in request order because
+// both the MC and the transports preserve ordering.
+func (s *Server) handleNonProximalReply(r *protocol.NonProximalReply) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pendingNonProx) == 0 {
+		return nil, ErrNoPending
+	}
+	u := s.pendingNonProx[0]
+	s.pendingNonProx = s.pendingNonProx[1:]
+	for _, p := range r.Peers {
+		s.peers[p.Server] = peerInfo{addr: p.Addr, bounds: p.Bounds}
+	}
+	return s.forwardLocked(u, overlap.NewSet(r.Servers...))
+}
+
+// radiusForLocked resolves the visibility radius for an update kind.
+func (s *Server) radiusForLocked(k protocol.UpdateKind) float64 {
+	if r, ok := s.cfg.KindRadius[k]; ok {
+		return r
+	}
+	return s.radius
+}
+
+// PeerAddr returns the known address for a peer server.
+func (s *Server) PeerAddr(p id.ServerID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.peers[p]
+	return info.addr, ok
+}
+
+// ResolveOwner returns the peer server whose partition contains p, with its
+// address. It is how the co-located game server learns where to hand off a
+// client whose movement carried it across a partition boundary ("Matrix
+// provides the identity of the appropriate game server"). Movement is
+// continuous, so the new owner is always an adjacent partition, which the
+// overlap tables already name as a peer.
+func (s *Server) ResolveOwner(p geom.Point) (id.ServerID, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bounds.Contains(p) {
+		return s.id, "", false // still ours: no handoff
+	}
+	for sid, info := range s.peers {
+		if info.bounds.Contains(p) {
+			return sid, info.addr, true
+		}
+	}
+	return id.None, "", false
+}
+
+// TableVersion returns the installed table version for the default radius
+// (0 when none).
+func (s *Server) TableVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tab, ok := s.tables[s.radius]; ok {
+		return tab.Version()
+	}
+	return 0
+}
+
+// OverlapArea returns the total overlap-region area of the default-radius
+// table (the paper's traffic-predicting metric).
+func (s *Server) OverlapArea() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tab, ok := s.tables[s.radius]; ok {
+		return tab.OverlapArea()
+	}
+	return 0
+}

@@ -1,0 +1,214 @@
+// Package game models the three games the paper evaluated Matrix with —
+// BzFlag (tank shooter), Daimonin (role-playing game) and Quake 2 (fast
+// shooter) — as synthetic workload profiles.
+//
+// Matrix never interprets game logic: it sees only spatially tagged packets.
+// What distinguishes games from the middleware's point of view is their
+// traffic shape: update rate, movement speed, visibility radius, payload
+// size and the mix of update kinds. Reproducing those shapes exercises the
+// same middleware code paths as running the real games.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"matrix/internal/geom"
+	"matrix/internal/protocol"
+)
+
+// Profile is one game's traffic shape.
+type Profile struct {
+	// Name identifies the game in experiment output.
+	Name string
+	// Radius is the zone of visibility in world units.
+	Radius float64
+	// MoveSpeed is avatar speed in world units per second.
+	MoveSpeed float64
+	// UpdatesPerSec is the per-client update rate.
+	UpdatesPerSec float64
+	// PayloadBytes is the typical opaque payload size per update.
+	PayloadBytes int
+	// MoveFraction, ActionFraction and ChatFraction give the traffic mix
+	// (they should sum to 1; Validate checks).
+	MoveFraction, ActionFraction, ChatFraction float64
+	// ActionRange is how far actions (shots, spells) land from the actor.
+	ActionRange float64
+}
+
+// Validate checks internal consistency.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return errors.New("game: profile needs a name")
+	}
+	if p.Radius <= 0 || p.MoveSpeed < 0 || p.UpdatesPerSec <= 0 {
+		return fmt.Errorf("game: profile %q has non-positive rates", p.Name)
+	}
+	sum := p.MoveFraction + p.ActionFraction + p.ChatFraction
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("game: profile %q mix sums to %v, want 1", p.Name, sum)
+	}
+	return nil
+}
+
+// Bzflag returns the BzFlag-like profile: a tank battle with moderate
+// movement, frequent shots, and a generous visibility radius (tanks see far
+// across open battlefields).
+func Bzflag() Profile {
+	return Profile{
+		Name:           "bzflag",
+		Radius:         40,
+		MoveSpeed:      25,
+		UpdatesPerSec:  5,
+		PayloadBytes:   48,
+		MoveFraction:   0.70,
+		ActionFraction: 0.28,
+		ChatFraction:   0.02,
+		ActionRange:    40,
+	}
+}
+
+// Daimonin returns the Daimonin-like profile: a role-playing game with slow
+// tile-based movement, short sight range, and plenty of chat.
+func Daimonin() Profile {
+	return Profile{
+		Name:           "daimonin",
+		Radius:         25,
+		MoveSpeed:      8,
+		UpdatesPerSec:  2,
+		PayloadBytes:   96,
+		MoveFraction:   0.55,
+		ActionFraction: 0.20,
+		ChatFraction:   0.25,
+		ActionRange:    10,
+	}
+}
+
+// Quake2 returns the Quake 2-like profile: a twitch shooter with fast
+// movement and a very high update rate over a modest visibility radius.
+func Quake2() Profile {
+	return Profile{
+		Name:           "quake2",
+		Radius:         35,
+		MoveSpeed:      40,
+		UpdatesPerSec:  10,
+		PayloadBytes:   32,
+		MoveFraction:   0.60,
+		ActionFraction: 0.39,
+		ChatFraction:   0.01,
+		ActionRange:    80,
+	}
+}
+
+// Profiles returns all bundled profiles keyed by name.
+func Profiles() map[string]Profile {
+	out := map[string]Profile{}
+	for _, p := range []Profile{Bzflag(), Daimonin(), Quake2()} {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// Mover drives one avatar's movement: a random waypoint walk, optionally
+// pinned near an attraction point (the hotspot). Not safe for concurrent
+// use; each simulated client owns one.
+type Mover struct {
+	rng     *rand.Rand
+	profile Profile
+	world   geom.Rect
+	target  geom.Point
+	attract *geom.Point // non-nil pins the walk near this point
+	spread  float64
+}
+
+// NewMover creates a mover starting toward a random waypoint.
+func NewMover(profile Profile, world geom.Rect, seed int64) *Mover {
+	m := &Mover{
+		rng:     rand.New(rand.NewSource(seed)),
+		profile: profile,
+		world:   world,
+	}
+	m.target = m.randomPoint()
+	return m
+}
+
+// Attract pins the walk to waypoints within spread of center (how hotspot
+// crowds mill about the town hall). Passing spread <= 0 releases the pin.
+func (m *Mover) Attract(center geom.Point, spread float64) {
+	if spread <= 0 {
+		m.attract = nil
+		return
+	}
+	c := center
+	m.attract = &c
+	m.spread = spread
+	m.target = m.randomPoint()
+}
+
+// randomPoint picks the next waypoint.
+func (m *Mover) randomPoint() geom.Point {
+	if m.attract != nil {
+		ang := m.rng.Float64() * 2 * math.Pi
+		// sqrt makes the waypoints area-uniform over the disc (a plain
+		// uniform radius would pile density up at the center).
+		r := math.Sqrt(m.rng.Float64()) * m.spread
+		p := geom.Pt(m.attract.X+r*math.Cos(ang), m.attract.Y+r*math.Sin(ang))
+		return clampInterior(m.world, p)
+	}
+	return geom.Pt(
+		m.world.MinX+m.rng.Float64()*m.world.Width(),
+		m.world.MinY+m.rng.Float64()*m.world.Height(),
+	)
+}
+
+// clampInterior clamps p into the half-open world.
+func clampInterior(w geom.Rect, p geom.Point) geom.Point {
+	q := w.Clamp(p)
+	if q.X >= w.MaxX {
+		q.X = math.Nextafter(w.MaxX, w.MinX)
+	}
+	if q.Y >= w.MaxY {
+		q.Y = math.Nextafter(w.MaxY, w.MinY)
+	}
+	return q
+}
+
+// Step advances the avatar from pos by dt seconds toward the current
+// waypoint, picking a fresh waypoint on arrival.
+func (m *Mover) Step(pos geom.Point, dt float64) geom.Point {
+	if dt <= 0 {
+		return pos
+	}
+	maxDist := m.profile.MoveSpeed * dt
+	delta := m.target.Sub(pos)
+	dist := delta.Norm()
+	if dist <= maxDist || dist == 0 {
+		arrived := m.target
+		m.target = m.randomPoint()
+		return clampInterior(m.world, arrived)
+	}
+	step := delta.Scale(maxDist / dist)
+	return clampInterior(m.world, pos.Add(step))
+}
+
+// PickKind draws an update kind from the profile's traffic mix.
+func (m *Mover) PickKind() protocol.UpdateKind {
+	v := m.rng.Float64()
+	switch {
+	case v < m.profile.MoveFraction:
+		return protocol.KindMove
+	case v < m.profile.MoveFraction+m.profile.ActionFraction:
+		return protocol.KindAction
+	default:
+		return protocol.KindChat
+	}
+}
+
+// ActionTarget picks where an action lands relative to pos.
+func (m *Mover) ActionTarget(pos geom.Point) geom.Point {
+	ang := m.rng.Float64() * 2 * math.Pi
+	r := m.rng.Float64() * m.profile.ActionRange
+	return clampInterior(m.world, geom.Pt(pos.X+r*math.Cos(ang), pos.Y+r*math.Sin(ang)))
+}

@@ -1,0 +1,256 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"matrix/internal/geom"
+	"matrix/internal/protocol"
+)
+
+func TestBundledProfilesValid(t *testing.T) {
+	for name, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile keyed %q has name %q", name, p.Name)
+		}
+	}
+	if len(Profiles()) != 3 {
+		t.Errorf("bundled profiles = %d, want 3 (the paper's games)", len(Profiles()))
+	}
+}
+
+func TestProfileShapesDiffer(t *testing.T) {
+	bz, dm, q2 := Bzflag(), Daimonin(), Quake2()
+	// The traffic shapes that matter to Matrix must be distinct: Quake is
+	// fastest, Daimonin slowest and chattiest.
+	if !(q2.UpdatesPerSec > bz.UpdatesPerSec && bz.UpdatesPerSec > dm.UpdatesPerSec) {
+		t.Error("update rates must order quake2 > bzflag > daimonin")
+	}
+	if !(dm.ChatFraction > bz.ChatFraction && dm.ChatFraction > q2.ChatFraction) {
+		t.Error("daimonin must be the chattiest")
+	}
+	if !(q2.MoveSpeed > bz.MoveSpeed && bz.MoveSpeed > dm.MoveSpeed) {
+		t.Error("move speeds must order quake2 > bzflag > daimonin")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := Bzflag()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name must fail")
+	}
+	bad = Bzflag()
+	bad.MoveFraction = 0.9 // breaks the mix sum
+	if err := bad.Validate(); err == nil {
+		t.Error("bad mix must fail")
+	}
+	bad = Bzflag()
+	bad.Radius = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero radius must fail")
+	}
+}
+
+func TestMoverStaysInWorld(t *testing.T) {
+	world := geom.R(0, 0, 100, 100)
+	for _, p := range Profiles() {
+		m := NewMover(p, world, 7)
+		pos := geom.Pt(50, 50)
+		for i := 0; i < 2000; i++ {
+			pos = m.Step(pos, 0.1)
+			if !world.Contains(pos) {
+				t.Fatalf("%s: escaped world at %v after step %d", p.Name, pos, i)
+			}
+		}
+	}
+}
+
+func TestMoverSpeedBound(t *testing.T) {
+	p := Bzflag()
+	world := geom.R(0, 0, 1000, 1000)
+	m := NewMover(p, world, 3)
+	pos := geom.Pt(500, 500)
+	const dt = 0.1
+	for i := 0; i < 500; i++ {
+		next := m.Step(pos, dt)
+		moved := next.Sub(pos).Norm()
+		// A step may be shorter (waypoint arrival) but never much longer
+		// than speed*dt, except for the waypoint-arrival teleport to the
+		// target itself, which is also bounded by speed*dt by definition
+		// of arrival... allow tiny epsilon.
+		if moved > p.MoveSpeed*dt+1e-9 {
+			// Arrival at waypoint jumps to the target; that jump is <=
+			// speed*dt only when dist <= maxDist, which Step guarantees.
+			t.Fatalf("step %d moved %v > speed*dt %v", i, moved, p.MoveSpeed*dt)
+		}
+		pos = next
+	}
+}
+
+func TestMoverZeroDt(t *testing.T) {
+	m := NewMover(Bzflag(), geom.R(0, 0, 10, 10), 1)
+	p := geom.Pt(5, 5)
+	if got := m.Step(p, 0); got != p {
+		t.Errorf("zero dt moved: %v", got)
+	}
+}
+
+func TestMoverAttraction(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	m := NewMover(Bzflag(), world, 11)
+	center := geom.Pt(800, 300)
+	const spread = 50.0
+	m.Attract(center, spread)
+	pos := center
+	// After settling, positions stay within spread (+ one step slack).
+	slack := Bzflag().MoveSpeed * 0.1
+	for i := 0; i < 3000; i++ {
+		pos = m.Step(pos, 0.1)
+		if d := pos.Sub(center).Norm(); d > spread+slack+1e-9 {
+			t.Fatalf("attracted mover strayed %v from center at step %d", d, i)
+		}
+	}
+	// Release: eventually leaves the hotspot.
+	m.Attract(center, 0)
+	escaped := false
+	for i := 0; i < 5000; i++ {
+		pos = m.Step(pos, 0.1)
+		if pos.Sub(center).Norm() > spread*3 {
+			escaped = true
+			break
+		}
+	}
+	if !escaped {
+		t.Error("released mover never left the hotspot")
+	}
+}
+
+func TestPickKindDistribution(t *testing.T) {
+	p := Bzflag()
+	m := NewMover(p, geom.R(0, 0, 10, 10), 5)
+	counts := map[protocol.UpdateKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[m.PickKind()]++
+	}
+	got := float64(counts[protocol.KindMove]) / n
+	if math.Abs(got-p.MoveFraction) > 0.02 {
+		t.Errorf("move fraction = %v, want ~%v", got, p.MoveFraction)
+	}
+	got = float64(counts[protocol.KindChat]) / n
+	if math.Abs(got-p.ChatFraction) > 0.02 {
+		t.Errorf("chat fraction = %v, want ~%v", got, p.ChatFraction)
+	}
+}
+
+func TestActionTargetWithinRange(t *testing.T) {
+	p := Bzflag()
+	world := geom.R(0, 0, 1000, 1000)
+	m := NewMover(p, world, 2)
+	pos := geom.Pt(500, 500)
+	for i := 0; i < 1000; i++ {
+		tgt := m.ActionTarget(pos)
+		if d := tgt.Sub(pos).Norm(); d > p.ActionRange+1e-9 {
+			t.Fatalf("action landed %v away, range %v", d, p.ActionRange)
+		}
+		if !world.Contains(tgt) {
+			t.Fatalf("action target outside world: %v", tgt)
+		}
+	}
+}
+
+func TestScriptValidate(t *testing.T) {
+	good := Script{
+		{At: 0, Kind: EventJoin, Count: 10, Spread: 5},
+		{At: 5, Kind: EventLeave, Count: 10},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good script: %v", err)
+	}
+	bad := Script{{At: 5, Kind: EventJoin, Count: 10}, {At: 1, Kind: EventLeave, Count: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-order script must fail")
+	}
+	bad = Script{{At: 0, Kind: EventJoin, Count: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero count must fail")
+	}
+	bad = Script{{At: 0, Kind: EventKind(9), Count: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad kind must fail")
+	}
+}
+
+func TestScriptDue(t *testing.T) {
+	s := Script{
+		{At: 1, Kind: EventJoin, Count: 1},
+		{At: 5, Kind: EventJoin, Count: 2},
+		{At: 9, Kind: EventLeave, Count: 1},
+	}
+	due := s.Due(1, 5)
+	if len(due) != 1 || due[0].Count != 1 {
+		t.Errorf("Due(1,5) = %+v", due)
+	}
+	due = s.Due(5, 100)
+	if len(due) != 2 {
+		t.Errorf("Due(5,100) = %+v", due)
+	}
+	if got := s.Due(2, 3); len(got) != 0 {
+		t.Errorf("Due(2,3) = %+v", got)
+	}
+}
+
+func TestScriptSorted(t *testing.T) {
+	s := Script{
+		{At: 5, Kind: EventJoin, Count: 1},
+		{At: 1, Kind: EventJoin, Count: 2},
+	}
+	sorted := s.Sorted()
+	if sorted[0].At != 1 || sorted[1].At != 5 {
+		t.Errorf("Sorted = %+v", sorted)
+	}
+	// Original untouched.
+	if s[0].At != 5 {
+		t.Error("Sorted mutated the receiver")
+	}
+}
+
+func TestFigure2ScriptShape(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	s := Figure2Script(world)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// 600 join at t=10, 600 leave in 200-chunks, then again elsewhere.
+	if s[0].At != 10 || s[0].Count != 600 || s[0].Kind != EventJoin {
+		t.Errorf("first event = %+v", s[0])
+	}
+	joins, leaves := 0, 0
+	for _, e := range s {
+		switch e.Kind {
+		case EventJoin:
+			joins += e.Count
+		case EventLeave:
+			leaves += e.Count
+		}
+	}
+	if joins != 1200 || leaves != 1200 {
+		t.Errorf("joins=%d leaves=%d, want 1200 each", joins, leaves)
+	}
+	// Hotspots at different positions; both inside the world.
+	if s[0].Center == s[4].Center {
+		t.Error("second hotspot must be at a different position")
+	}
+	if !world.Contains(s[0].Center) || !world.Contains(s[4].Center) {
+		t.Error("hotspot centers must be inside the world")
+	}
+	// First hotspot must be in the right half so the first split-to-left
+	// (handing the LEFT half away) leaves the load on server 1.
+	if s[0].Center.X <= world.Center().X {
+		t.Error("first hotspot must be in the right half of the world")
+	}
+}

@@ -1,0 +1,117 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"matrix/internal/geom"
+)
+
+// EventKind classifies a workload script event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventJoin adds clients near a point.
+	EventJoin EventKind = iota + 1
+	// EventLeave removes clients previously added under the same tag.
+	EventLeave
+)
+
+// Event is one scripted population change.
+type Event struct {
+	// At is the virtual time in seconds.
+	At float64
+	// Kind says whether clients join or leave.
+	Kind EventKind
+	// Count is how many clients.
+	Count int
+	// Center and Spread place joining clients (joiners scatter uniformly
+	// within Spread of Center and stay attracted to it).
+	Center geom.Point
+	Spread float64
+	// Tag groups joiners so a later leave event removes the same crowd.
+	Tag string
+}
+
+// Script is a time-ordered population schedule.
+type Script []Event
+
+// Validate checks ordering and field sanity.
+func (s Script) Validate() error {
+	for i, e := range s {
+		if e.Count <= 0 {
+			return fmt.Errorf("game: event %d has count %d", i, e.Count)
+		}
+		if e.Kind != EventJoin && e.Kind != EventLeave {
+			return fmt.Errorf("game: event %d has invalid kind", i)
+		}
+		if e.Kind == EventJoin && e.Spread < 0 {
+			return fmt.Errorf("game: event %d has negative spread", i)
+		}
+		if i > 0 && e.At < s[i-1].At {
+			return errors.New("game: script events must be time-ordered")
+		}
+	}
+	return nil
+}
+
+// Sorted returns a copy of the script ordered by time (stable).
+func (s Script) Sorted() Script {
+	out := make(Script, len(s))
+	copy(out, s)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Due returns the events with from <= At < to, assuming s is sorted.
+func (s Script) Due(from, to float64) []Event {
+	var out []Event
+	for _, e := range s {
+		if e.At >= to {
+			break
+		}
+		if e.At >= from {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Figure2Script reproduces the paper's Figure 2 experiment on the given
+// world: "a hotspot of 600 clients ... was introduced at around the 10
+// second mark for about 75 seconds, after which the entire hotspot
+// gradually disappeared (indicated by 200 clients disappearing at fixed
+// intervals). The hotspot was reintroduced at a different position in the
+// world at 170 seconds, for about 50 seconds, and then gradually removed."
+//
+// The first hotspot is placed in the right half of the world so that after
+// the first split-to-left (which hands the left half away) the load stays
+// with server 1, forcing the recursive second split the paper describes.
+func Figure2Script(world geom.Rect) Script {
+	// The hotspot centers sit on dyadic cut lines (3/4, 1/4) so the
+	// recursive split-to-left halvings bisect the crowds the way the
+	// paper's run did, instead of shaving slivers off their edges.
+	h1 := geom.Pt(
+		world.MinX+0.75*world.Width(),
+		world.MinY+0.25*world.Height(),
+	)
+	h2 := geom.Pt(
+		world.MinX+0.25*world.Width(),
+		world.MinY+0.75*world.Height(),
+	)
+	spread := 0.06 * world.Width()
+	return Script{
+		// Hotspot 1: 600 clients at t=10, drained 200 at a time from t=85.
+		{At: 10, Kind: EventJoin, Count: 600, Center: h1, Spread: spread, Tag: "hotspot1"},
+		{At: 85, Kind: EventLeave, Count: 200, Tag: "hotspot1"},
+		{At: 110, Kind: EventLeave, Count: 200, Tag: "hotspot1"},
+		{At: 135, Kind: EventLeave, Count: 200, Tag: "hotspot1"},
+		// Hotspot 2 at a different position: t=170 for ~50s, then removed.
+		{At: 170, Kind: EventJoin, Count: 600, Center: h2, Spread: spread, Tag: "hotspot2"},
+		{At: 220, Kind: EventLeave, Count: 200, Tag: "hotspot2"},
+		{At: 240, Kind: EventLeave, Count: 200, Tag: "hotspot2"},
+		{At: 260, Kind: EventLeave, Count: 200, Tag: "hotspot2"},
+	}
+}

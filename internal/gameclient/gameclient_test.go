@@ -1,0 +1,175 @@
+package gameclient
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"matrix/internal/clock"
+	"matrix/internal/geom"
+	"matrix/internal/protocol"
+)
+
+func newTestClient(t *testing.T) (*Client, *clock.Virtual) {
+	t.Helper()
+	clk := clock.NewVirtual(time.Unix(100, 0))
+	c, err := New(Config{ID: 7, Pos: geom.Pt(10, 10), Clock: clk})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, clk
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero id must fail")
+	}
+}
+
+func TestHelloAndWelcome(t *testing.T) {
+	c, _ := newTestClient(t)
+	h := c.Hello()
+	if h.Client != 7 || h.Pos != geom.Pt(10, 10) {
+		t.Errorf("hello = %+v", h)
+	}
+	if c.Connected() {
+		t.Error("must not be connected before welcome")
+	}
+	ev, err := c.Handle(&protocol.ClientWelcome{Server: 3, Bounds: geom.R(0, 0, 100, 100)})
+	if err != nil || ev != EventConnected {
+		t.Fatalf("welcome: ev=%v err=%v", ev, err)
+	}
+	if !c.Connected() || c.Server() != 3 {
+		t.Error("welcome not applied")
+	}
+}
+
+func TestMoveSequenceAndPosition(t *testing.T) {
+	c, _ := newTestClient(t)
+	u1 := c.MakeMove(geom.Pt(20, 20))
+	u2 := c.MakeMove(geom.Pt(30, 30))
+	if u1.Seq != 1 || u2.Seq != 2 {
+		t.Errorf("seqs = %d,%d", u1.Seq, u2.Seq)
+	}
+	if u1.Origin != geom.Pt(10, 10) || u1.Dest != geom.Pt(20, 20) {
+		t.Errorf("u1 = %+v", u1)
+	}
+	if u2.Origin != geom.Pt(20, 20) {
+		t.Errorf("u2 origin = %v (must chain from prior move)", u2.Origin)
+	}
+	if c.Pos() != geom.Pt(30, 30) {
+		t.Errorf("Pos = %v", c.Pos())
+	}
+	if u1.Kind != protocol.KindMove {
+		t.Errorf("kind = %v", u1.Kind)
+	}
+}
+
+func TestActionKeepsPosition(t *testing.T) {
+	c, _ := newTestClient(t)
+	u := c.MakeAction(protocol.KindAction, geom.Pt(50, 50))
+	if u.Origin != geom.Pt(10, 10) || u.Dest != geom.Pt(50, 50) {
+		t.Errorf("action = %+v", u)
+	}
+	if c.Pos() != geom.Pt(10, 10) {
+		t.Errorf("action must not move the client: %v", c.Pos())
+	}
+}
+
+func TestEchoLatencyMeasured(t *testing.T) {
+	c, clk := newTestClient(t)
+	u := c.MakeAction(protocol.KindAction, geom.Pt(11, 10))
+	clk.Advance(150 * time.Millisecond)
+	ev, err := c.Handle(u)
+	if err != nil || ev != EventUpdate {
+		t.Fatalf("echo: ev=%v err=%v", ev, err)
+	}
+	lats := c.Latencies()
+	if len(lats) != 1 || lats[0] != 150*time.Millisecond {
+		t.Fatalf("latencies = %v", lats)
+	}
+	st := c.Stats()
+	if st.EchoCount != 1 || st.Received != 1 || st.Sent != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestForeignUpdateNotAnEcho(t *testing.T) {
+	c, _ := newTestClient(t)
+	other := &protocol.GameUpdate{Client: 99, Kind: protocol.KindAction}
+	ev, err := c.Handle(other)
+	if err != nil || ev != EventUpdate {
+		t.Fatalf("ev=%v err=%v", ev, err)
+	}
+	if len(c.Latencies()) != 0 {
+		t.Error("foreign update recorded a latency")
+	}
+	if c.Stats().EchoCount != 0 {
+		t.Error("foreign update counted as echo")
+	}
+}
+
+func TestRedirectSwitchesServer(t *testing.T) {
+	c, _ := newTestClient(t)
+	if _, err := c.Handle(&protocol.ClientWelcome{Server: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.Handle(&protocol.Redirect{Client: 7, NewOwner: 4, NewAddr: "d:4"})
+	if err != nil || ev != EventSwitchServer {
+		t.Fatalf("redirect: ev=%v err=%v", ev, err)
+	}
+	if c.Connected() {
+		t.Error("redirect must disconnect until the next welcome")
+	}
+	if c.Server() != 4 || c.ServerAddr() != "d:4" {
+		t.Errorf("server = %v addr = %q", c.Server(), c.ServerAddr())
+	}
+	if c.Stats().Switches != 1 {
+		t.Errorf("Switches = %d", c.Stats().Switches)
+	}
+	// Misdelivered redirect errors.
+	if _, err := c.Handle(&protocol.Redirect{Client: 8}); err == nil {
+		t.Error("misdelivered redirect must error")
+	}
+}
+
+func TestHandleNilAndUnexpected(t *testing.T) {
+	c, _ := newTestClient(t)
+	if _, err := c.Handle(nil); !errors.Is(err, ErrNilMessage) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := c.Handle(&protocol.Ack{}); err == nil {
+		t.Error("unexpected type must error")
+	}
+}
+
+func TestLatenciesCopy(t *testing.T) {
+	c, clk := newTestClient(t)
+	u := c.MakeAction(protocol.KindAction, geom.Pt(11, 10))
+	clk.Advance(time.Millisecond)
+	if _, err := c.Handle(u); err != nil {
+		t.Fatal(err)
+	}
+	lats := c.Latencies()
+	lats[0] = 0
+	if c.Latencies()[0] == 0 {
+		t.Error("Latencies must return a copy")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	names := map[Event]string{
+		EventNone:         "none",
+		EventConnected:    "connected",
+		EventSwitchServer: "switch-server",
+		EventUpdate:       "update",
+	}
+	for ev, want := range names {
+		if ev.String() != want {
+			t.Errorf("%d String = %q, want %q", ev, ev.String(), want)
+		}
+	}
+	if Event(0).String() != "event(0)" {
+		t.Error("invalid event String")
+	}
+}

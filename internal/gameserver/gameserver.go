@@ -1,0 +1,498 @@
+// Package gameserver implements the game-server substrate that Matrix
+// assumes: the software that "stores the state of the game world and
+// coordinates the activity of the players" (paper §3.2.2).
+//
+// The substrate is game-agnostic. It
+//
+//   - tracks connected clients by globally unique ID (the paper's callsign
+//     requirement) and non-player map objects;
+//   - spatially tags every client packet and hands it to the co-located
+//     Matrix server;
+//   - delivers events (local and peer-forwarded) to every client whose zone
+//     of visibility contains the event, via a spatial hash grid;
+//   - runs an explicit receive queue with a bounded per-tick service rate —
+//     the queue length is exactly the metric of the paper's Figure 2(b);
+//   - reacts to range changes by redirecting displaced clients and
+//     transferring their state through Matrix.
+//
+// Like the Matrix server, it is a synchronous state machine returning
+// envelopes; hosts (TCP pumps or the simulator) deliver them.
+package gameserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+	"matrix/internal/spatial"
+)
+
+// Game server errors.
+var (
+	ErrQueueOverflow = errors.New("gameserver: receive queue overflow")
+	ErrNilMessage    = errors.New("gameserver: nil message")
+)
+
+// Dest says where a game-server envelope must be delivered.
+type Dest uint8
+
+// Envelope destinations.
+const (
+	// DestMatrix delivers to the co-located Matrix server.
+	DestMatrix Dest = iota + 1
+	// DestClient delivers to the client named in Envelope.Client.
+	DestClient
+)
+
+// Envelope is one outbound message from the game server.
+type Envelope struct {
+	Dest   Dest
+	Client id.ClientID // set when Dest == DestClient
+	Msg    protocol.Message
+}
+
+// Config tunes a game server.
+type Config struct {
+	// Server is the co-located Matrix server's identity.
+	Server id.ServerID
+	// Bounds is the initial map range (empty for spares).
+	Bounds geom.Rect
+	// Radius is the game's visibility radius, used for interest
+	// management when delivering events to clients.
+	Radius float64
+	// MaxQueue bounds the receive queue; packets beyond it are dropped
+	// (and counted), modeling a server crashing under sustained overload
+	// the way the paper's static baseline does. Zero means unbounded.
+	MaxQueue int
+	// TransferChunk is the max objects per StateTransfer message.
+	// Zero defaults to 64.
+	TransferChunk int
+	// ResolveOwner, when set, lets the game server hand off clients whose
+	// movement carries them across a partition boundary: it returns the
+	// server (and address) owning a point outside our bounds. The
+	// co-located Matrix server provides this ("Matrix provides the
+	// identity of the appropriate game server"). When nil, wandering
+	// clients stay connected until the next range change.
+	ResolveOwner func(geom.Point) (id.ServerID, string, bool)
+}
+
+// Stats is a snapshot of game-server counters.
+type Stats struct {
+	Processed      uint64 // packets consumed from the queue
+	Dropped        uint64 // packets lost to queue overflow
+	Delivered      uint64 // event deliveries to clients
+	Redirects      uint64 // clients redirected to other servers
+	StateMoved     uint64 // objects sent in state transfers
+	StateReceived  uint64 // objects adopted from state transfers
+	JoinsAccepted  uint64
+	ClientsCurrent int
+	QueueLen       int
+}
+
+// clientState is the per-client record.
+type clientState struct {
+	id  id.ClientID
+	pos geom.Point
+}
+
+// Server is one game server. Safe for concurrent use.
+type Server struct {
+	mu      sync.Mutex
+	cfg     Config
+	bounds  geom.Rect
+	clients map[id.ClientID]*clientState
+	grid    *spatial.Grid[id.ClientID]
+	objects map[id.ObjectID]protocol.ObjectState
+	inbox   []protocol.Message
+	stats   Stats
+	scratch []id.ClientID // reused query buffer
+}
+
+// New creates a game server.
+func New(cfg Config) (*Server, error) {
+	if !cfg.Server.Valid() {
+		return nil, errors.New("gameserver: invalid server id")
+	}
+	if cfg.Radius < 0 {
+		return nil, fmt.Errorf("gameserver: negative radius %v", cfg.Radius)
+	}
+	if cfg.TransferChunk <= 0 {
+		cfg.TransferChunk = 64
+	}
+	cell := cfg.Radius
+	if cell <= 0 {
+		cell = 1
+	}
+	return &Server{
+		cfg:     cfg,
+		bounds:  cfg.Bounds,
+		clients: make(map[id.ClientID]*clientState),
+		grid:    spatial.NewGrid[id.ClientID](cell),
+		objects: make(map[id.ObjectID]protocol.ObjectState),
+	}, nil
+}
+
+// Bounds returns the current map range.
+func (s *Server) Bounds() geom.Rect {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bounds
+}
+
+// ClientCount returns the number of connected clients — the paper's load
+// metric.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// QueueLen returns the current receive-queue length — the paper's Figure
+// 2(b) metric.
+func (s *Server) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inbox)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ClientsCurrent = len(s.clients)
+	st.QueueLen = len(s.inbox)
+	return st
+}
+
+// ClientPos returns a connected client's position.
+func (s *Server) ClientPos(c id.ClientID) (geom.Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.clients[c]
+	if !ok {
+		return geom.Point{}, false
+	}
+	return cs.pos, true
+}
+
+// ObjectCount returns the number of non-player objects held.
+func (s *Server) ObjectCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// AddObject installs a non-player map object (trees, buildings, NPC state).
+func (s *Server) AddObject(o protocol.ObjectState) {
+	s.mu.Lock()
+	s.objects[o.Object] = o
+	s.mu.Unlock()
+}
+
+// Enqueue places an inbound message on the receive queue. It returns
+// ErrQueueOverflow when the bounded queue is full (the packet is dropped
+// and counted).
+func (s *Server) Enqueue(m protocol.Message) error {
+	if m == nil {
+		return ErrNilMessage
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.MaxQueue > 0 && len(s.inbox) >= s.cfg.MaxQueue {
+		s.stats.Dropped++
+		return ErrQueueOverflow
+	}
+	s.inbox = append(s.inbox, m)
+	return nil
+}
+
+// Process consumes up to budget queued messages (all of them when budget
+// <= 0) and returns the resulting envelopes. The budget models the server's
+// finite service rate: under overload the queue grows, which is what the
+// paper's Figure 2(b) plots.
+func (s *Server) Process(budget int) ([]Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.inbox)
+	if budget > 0 && budget < n {
+		n = budget
+	}
+	var out []Envelope
+	var firstErr error
+	for i := 0; i < n; i++ {
+		m := s.inbox[i]
+		s.inbox[i] = nil
+		envs, err := s.handleLocked(m)
+		out = append(out, envs...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.stats.Processed++
+	}
+	s.inbox = s.inbox[n:]
+	return out, firstErr
+}
+
+// LoadReport builds the periodic load report for the Matrix server.
+func (s *Server) LoadReport() *protocol.LoadReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &protocol.LoadReport{
+		Server:   s.cfg.Server,
+		Clients:  int32(len(s.clients)),
+		QueueLen: int32(len(s.inbox)),
+	}
+}
+
+// handleLocked dispatches one queued message.
+func (s *Server) handleLocked(m protocol.Message) ([]Envelope, error) {
+	switch msg := m.(type) {
+	case *protocol.ClientHello:
+		return s.handleHelloLocked(msg)
+	case *protocol.GameUpdate:
+		return s.handleUpdateLocked(msg)
+	case *protocol.RangeUpdate:
+		return s.handleRangeLocked(msg)
+	case *protocol.StateTransfer:
+		return s.handleStateLocked(msg)
+	default:
+		return nil, fmt.Errorf("gameserver: unexpected message %v", m.MsgType())
+	}
+}
+
+// handleHelloLocked admits a client (or re-admits one migrating in).
+func (s *Server) handleHelloLocked(h *protocol.ClientHello) ([]Envelope, error) {
+	cs, ok := s.clients[h.Client]
+	if !ok {
+		cs = &clientState{id: h.Client}
+		s.clients[h.Client] = cs
+		s.stats.JoinsAccepted++
+	}
+	cs.pos = h.Pos
+	s.grid.Insert(h.Client, h.Pos)
+	return []Envelope{{Dest: DestClient, Client: h.Client, Msg: &protocol.ClientWelcome{
+		Server: s.cfg.Server,
+		Bounds: s.bounds,
+	}}}, nil
+}
+
+// handleUpdateLocked processes one game packet. Packets from local clients
+// are applied, delivered to visible local clients, and forwarded to Matrix;
+// packets forwarded in from peers are delivered to visible local clients
+// only.
+func (s *Server) handleUpdateLocked(u *protocol.GameUpdate) ([]Envelope, error) {
+	cs, local := s.clients[u.Client]
+	var out []Envelope
+	if local {
+		// The game server owns the authoritative position: apply movement
+		// and spatially tag the packet from its own records.
+		if u.Kind == protocol.KindMove {
+			cs.pos = u.Dest
+			s.grid.Insert(u.Client, u.Dest)
+		}
+		if u.Kind == protocol.KindDespawn {
+			delete(s.clients, u.Client)
+			s.grid.Remove(u.Client)
+		}
+		// Forward to Matrix for routing to peer servers.
+		out = append(out, Envelope{Dest: DestMatrix, Msg: u})
+		// Boundary crossing: a move that lands outside our range hands
+		// the client off to the partition's owner.
+		if u.Kind == protocol.KindMove && !s.bounds.Contains(cs.pos) && s.cfg.ResolveOwner != nil {
+			if target, addr, ok := s.cfg.ResolveOwner(cs.pos); ok && target != s.cfg.Server {
+				out = append(out, s.migrateClientLocked(cs, target, addr)...)
+			}
+		}
+	}
+	// Local consistency: every client whose visibility circle contains the
+	// event sees it, including the actor (its echo is the response-latency
+	// signal the evaluation measures).
+	s.scratch = s.scratch[:0]
+	s.scratch = s.grid.QueryCircle(u.Origin, s.cfg.Radius, s.scratch)
+	if u.Dest != u.Origin {
+		s.scratch = s.grid.QueryCircle(u.Dest, s.cfg.Radius, s.scratch)
+	}
+	seen := make(map[id.ClientID]bool, len(s.scratch))
+	for _, c := range s.scratch {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, Envelope{Dest: DestClient, Client: c, Msg: u})
+		s.stats.Delivered++
+	}
+	return out, nil
+}
+
+// migrateClientLocked hands one client to target: state first, then the
+// redirect, mirroring the bulk path taken on range changes.
+func (s *Server) migrateClientLocked(cs *clientState, target id.ServerID, addr string) []Envelope {
+	out := []Envelope{
+		{Dest: DestMatrix, Msg: &protocol.StateTransfer{
+			From:    s.cfg.Server,
+			To:      target,
+			Objects: []protocol.ObjectState{{Client: cs.id, Pos: cs.pos}},
+			Final:   true,
+		}},
+		{Dest: DestClient, Client: cs.id, Msg: &protocol.Redirect{
+			Client:   cs.id,
+			NewOwner: target,
+			NewAddr:  addr,
+		}},
+	}
+	s.stats.StateMoved++
+	s.stats.Redirects++
+	delete(s.clients, cs.id)
+	s.grid.Remove(cs.id)
+	return out
+}
+
+// handleRangeLocked applies a new map range: displaced clients are
+// redirected to the handoff targets and their state is transferred through
+// Matrix in chunks.
+func (s *Server) handleRangeLocked(r *protocol.RangeUpdate) ([]Envelope, error) {
+	s.bounds = r.Bounds
+	var out []Envelope
+
+	// Find clients now outside our range.
+	s.scratch = s.scratch[:0]
+	s.scratch = s.grid.QueryOutsideRect(r.Bounds, s.scratch)
+	if len(s.scratch) == 0 {
+		return nil, nil
+	}
+
+	// Group them by handoff target.
+	perTarget := make(map[id.ServerID][]*clientState)
+	addrOf := make(map[id.ServerID]string, len(r.Handoff))
+	for _, c := range s.scratch {
+		cs, ok := s.clients[c]
+		if !ok {
+			continue
+		}
+		target, addr := resolveHandoff(r.Handoff, cs.pos)
+		if !target.Valid() {
+			// No target covers this client (shouldn't happen when the MC
+			// is consistent); keep it rather than strand it.
+			continue
+		}
+		perTarget[target] = append(perTarget[target], cs)
+		addrOf[target] = addr
+	}
+
+	targets := make([]id.ServerID, 0, len(perTarget))
+	for target := range perTarget {
+		targets = append(targets, target)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, target := range targets {
+		migrating := perTarget[target]
+		// State first, then redirects: the receiving game server adopts
+		// the avatars before the clients reconnect.
+		chunk := make([]protocol.ObjectState, 0, s.cfg.TransferChunk)
+		flush := func(final bool) {
+			if len(chunk) == 0 && !final {
+				return
+			}
+			st := &protocol.StateTransfer{
+				From:    s.cfg.Server,
+				To:      target,
+				Objects: chunk,
+				Final:   final,
+			}
+			out = append(out, Envelope{Dest: DestMatrix, Msg: st})
+			chunk = make([]protocol.ObjectState, 0, s.cfg.TransferChunk)
+		}
+		for _, cs := range migrating {
+			chunk = append(chunk, protocol.ObjectState{
+				Client: cs.id,
+				Pos:    cs.pos,
+			})
+			s.stats.StateMoved++
+			if len(chunk) >= s.cfg.TransferChunk {
+				flush(false)
+			}
+		}
+		flush(true)
+		for _, cs := range migrating {
+			out = append(out, Envelope{Dest: DestClient, Client: cs.id, Msg: &protocol.Redirect{
+				Client:   cs.id,
+				NewOwner: target,
+				NewAddr:  addrOf[target],
+			}})
+			s.stats.Redirects++
+			delete(s.clients, cs.id)
+			s.grid.Remove(cs.id)
+		}
+	}
+
+	// Map objects outside the range migrate too.
+	perObjTarget := make(map[id.ServerID][]protocol.ObjectState)
+	for oid, o := range s.objects {
+		if r.Bounds.Contains(o.Pos) {
+			continue
+		}
+		target, _ := resolveHandoff(r.Handoff, o.Pos)
+		if !target.Valid() {
+			continue
+		}
+		perObjTarget[target] = append(perObjTarget[target], o)
+		delete(s.objects, oid)
+	}
+	objTargets := make([]id.ServerID, 0, len(perObjTarget))
+	for target := range perObjTarget {
+		objTargets = append(objTargets, target)
+	}
+	sort.Slice(objTargets, func(i, j int) bool { return objTargets[i] < objTargets[j] })
+	for _, target := range objTargets {
+		objs := perObjTarget[target]
+		sort.Slice(objs, func(i, j int) bool { return objs[i].Object < objs[j].Object })
+		for start := 0; start < len(objs); start += s.cfg.TransferChunk {
+			end := start + s.cfg.TransferChunk
+			if end > len(objs) {
+				end = len(objs)
+			}
+			out = append(out, Envelope{Dest: DestMatrix, Msg: &protocol.StateTransfer{
+				From:    s.cfg.Server,
+				To:      target,
+				Objects: objs[start:end],
+				Final:   end == len(objs),
+			}})
+			s.stats.StateMoved += uint64(end - start)
+		}
+	}
+	return out, nil
+}
+
+// resolveHandoff finds the handoff target whose bounds contain p.
+func resolveHandoff(handoff []protocol.HandoffTarget, p geom.Point) (id.ServerID, string) {
+	for _, h := range handoff {
+		if h.Bounds.Contains(p) {
+			return h.Server, h.Addr
+		}
+	}
+	return id.None, ""
+}
+
+// handleStateLocked adopts migrating state from another game server.
+func (s *Server) handleStateLocked(st *protocol.StateTransfer) ([]Envelope, error) {
+	for _, o := range st.Objects {
+		if o.Client != 0 {
+			cs, ok := s.clients[o.Client]
+			if !ok {
+				cs = &clientState{id: o.Client}
+				s.clients[o.Client] = cs
+			}
+			cs.pos = o.Pos
+			s.grid.Insert(o.Client, o.Pos)
+		} else {
+			s.objects[o.Object] = o
+		}
+		s.stats.StateReceived++
+	}
+	return nil, nil
+}

@@ -1,0 +1,426 @@
+package gameserver
+
+import (
+	"errors"
+	"testing"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+)
+
+func newTestGS(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Server == 0 {
+		cfg.Server = 1
+	}
+	if cfg.Bounds.Empty() {
+		cfg.Bounds = geom.R(0, 0, 100, 100)
+	}
+	if cfg.Radius == 0 {
+		cfg.Radius = 5
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// join admits a client at pos and drains the queue.
+func join(t *testing.T, s *Server, c id.ClientID, pos geom.Point) {
+	t.Helper()
+	if err := s.Enqueue(&protocol.ClientHello{Client: c, Pos: pos}); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := s.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range envs {
+		if w, ok := e.Msg.(*protocol.ClientWelcome); ok && e.Client == c {
+			found = true
+			if w.Server != 1 {
+				t.Errorf("welcome names server %v", w.Server)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no welcome for %v", c)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("invalid server id must fail")
+	}
+	if _, err := New(Config{Server: 1, Radius: -1}); err == nil {
+		t.Error("negative radius must fail")
+	}
+}
+
+func TestJoinAndCount(t *testing.T) {
+	s := newTestGS(t, Config{})
+	join(t, s, 1, geom.Pt(10, 10))
+	join(t, s, 2, geom.Pt(20, 20))
+	if got := s.ClientCount(); got != 2 {
+		t.Errorf("ClientCount = %d", got)
+	}
+	if got := s.Stats().JoinsAccepted; got != 2 {
+		t.Errorf("JoinsAccepted = %d", got)
+	}
+	// Rejoin is not a new join.
+	join(t, s, 1, geom.Pt(11, 11))
+	if got := s.Stats().JoinsAccepted; got != 2 {
+		t.Errorf("rejoin counted as join: %d", got)
+	}
+	if pos, ok := s.ClientPos(1); !ok || pos != geom.Pt(11, 11) {
+		t.Errorf("ClientPos = %v,%v", pos, ok)
+	}
+}
+
+func TestLocalUpdateForwardedToMatrixAndEchoed(t *testing.T) {
+	s := newTestGS(t, Config{})
+	join(t, s, 1, geom.Pt(10, 10))
+	join(t, s, 2, geom.Pt(12, 10)) // within R=5 of client 1
+	join(t, s, 3, geom.Pt(90, 90)) // far away
+
+	u := &protocol.GameUpdate{
+		Client: 1, Kind: protocol.KindAction,
+		Origin: geom.Pt(10, 10), Dest: geom.Pt(10, 10),
+		SentUnix: 111,
+	}
+	if err := s.Enqueue(u); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := s.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toMatrix := 0
+	delivered := map[id.ClientID]bool{}
+	for _, e := range envs {
+		switch e.Dest {
+		case DestMatrix:
+			toMatrix++
+		case DestClient:
+			delivered[e.Client] = true
+		}
+	}
+	if toMatrix != 1 {
+		t.Errorf("forwarded to matrix %d times", toMatrix)
+	}
+	if !delivered[1] {
+		t.Error("actor must receive its echo")
+	}
+	if !delivered[2] {
+		t.Error("visible neighbour must receive the event")
+	}
+	if delivered[3] {
+		t.Error("distant client must not receive the event")
+	}
+}
+
+func TestMoveUpdatesPosition(t *testing.T) {
+	s := newTestGS(t, Config{})
+	join(t, s, 1, geom.Pt(10, 10))
+	u := &protocol.GameUpdate{
+		Client: 1, Kind: protocol.KindMove,
+		Origin: geom.Pt(10, 10), Dest: geom.Pt(30, 40),
+	}
+	if err := s.Enqueue(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(0); err != nil {
+		t.Fatal(err)
+	}
+	if pos, _ := s.ClientPos(1); pos != geom.Pt(30, 40) {
+		t.Errorf("pos = %v", pos)
+	}
+}
+
+func TestDespawnRemovesClient(t *testing.T) {
+	s := newTestGS(t, Config{})
+	join(t, s, 1, geom.Pt(10, 10))
+	u := &protocol.GameUpdate{
+		Client: 1, Kind: protocol.KindDespawn,
+		Origin: geom.Pt(10, 10), Dest: geom.Pt(10, 10),
+	}
+	if err := s.Enqueue(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ClientCount(); got != 0 {
+		t.Errorf("ClientCount = %d after despawn", got)
+	}
+}
+
+func TestPeerUpdateDeliveredNotForwarded(t *testing.T) {
+	s := newTestGS(t, Config{})
+	join(t, s, 1, geom.Pt(3, 50)) // near the west boundary
+	// Update from a client on another server, 4 units away.
+	u := &protocol.GameUpdate{
+		Client: 99, Kind: protocol.KindAction,
+		Origin: geom.Pt(-1, 50), Dest: geom.Pt(-1, 50),
+	}
+	if err := s.Enqueue(u); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := s.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range envs {
+		if e.Dest == DestMatrix {
+			t.Error("peer update must not be re-forwarded to Matrix")
+		}
+	}
+	found := false
+	for _, e := range envs {
+		if e.Dest == DestClient && e.Client == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nearby client must see the cross-border event")
+	}
+	if got := s.Stats().Delivered; got == 0 {
+		t.Error("Delivered not counted")
+	}
+}
+
+func TestQueueBudgetAndOverflow(t *testing.T) {
+	s := newTestGS(t, Config{MaxQueue: 3})
+	for i := 0; i < 3; i++ {
+		if err := s.Enqueue(&protocol.ClientHello{Client: id.ClientID(i + 1), Pos: geom.Pt(1, 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Enqueue(&protocol.ClientHello{Client: 9, Pos: geom.Pt(1, 1)}); !errors.Is(err, ErrQueueOverflow) {
+		t.Fatalf("overflow err = %v", err)
+	}
+	if got := s.Stats().Dropped; got != 1 {
+		t.Errorf("Dropped = %d", got)
+	}
+	if got := s.QueueLen(); got != 3 {
+		t.Errorf("QueueLen = %d", got)
+	}
+	// Budgeted processing drains partially.
+	if _, err := s.Process(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.QueueLen(); got != 1 {
+		t.Errorf("QueueLen after budget = %d", got)
+	}
+	if got := s.Stats().Processed; got != 2 {
+		t.Errorf("Processed = %d", got)
+	}
+}
+
+func TestLoadReport(t *testing.T) {
+	s := newTestGS(t, Config{})
+	join(t, s, 1, geom.Pt(1, 1))
+	if err := s.Enqueue(&protocol.ClientHello{Client: 2, Pos: geom.Pt(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.LoadReport()
+	if rep.Server != 1 || rep.Clients != 1 || rep.QueueLen != 1 {
+		t.Errorf("LoadReport = %+v", rep)
+	}
+}
+
+func TestRangeShrinkRedirectsAndTransfers(t *testing.T) {
+	s := newTestGS(t, Config{TransferChunk: 2})
+	// Three clients on the left half, two on the right.
+	join(t, s, 1, geom.Pt(10, 10))
+	join(t, s, 2, geom.Pt(20, 20))
+	join(t, s, 3, geom.Pt(30, 30))
+	join(t, s, 4, geom.Pt(80, 80))
+	join(t, s, 5, geom.Pt(90, 90))
+	s.AddObject(protocol.ObjectState{Object: 1, Pos: geom.Pt(5, 5)})   // left: migrates
+	s.AddObject(protocol.ObjectState{Object: 2, Pos: geom.Pt(60, 60)}) // right: stays
+
+	// Split: we keep the right half, child 7 takes the left.
+	ru := &protocol.RangeUpdate{
+		Server: 1,
+		Bounds: geom.R(50, 0, 100, 100),
+		Handoff: []protocol.HandoffTarget{
+			{Server: 7, Addr: "child:7", Bounds: geom.R(0, 0, 50, 100)},
+		},
+	}
+	if err := s.Enqueue(ru); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := s.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redirects := map[id.ClientID]*protocol.Redirect{}
+	var transfers []*protocol.StateTransfer
+	for _, e := range envs {
+		switch m := e.Msg.(type) {
+		case *protocol.Redirect:
+			redirects[e.Client] = m
+		case *protocol.StateTransfer:
+			if e.Dest != DestMatrix {
+				t.Error("state transfer must go via Matrix")
+			}
+			transfers = append(transfers, m)
+		}
+	}
+	for _, c := range []id.ClientID{1, 2, 3} {
+		r, ok := redirects[c]
+		if !ok {
+			t.Fatalf("client %v not redirected", c)
+		}
+		if r.NewOwner != 7 || r.NewAddr != "child:7" {
+			t.Errorf("redirect = %+v", r)
+		}
+	}
+	if len(redirects) != 3 {
+		t.Errorf("redirected %d clients, want 3", len(redirects))
+	}
+	if got := s.ClientCount(); got != 2 {
+		t.Errorf("remaining clients = %d", got)
+	}
+	// 3 client avatars in chunks of 2 => 2 transfers; plus 1 object
+	// transfer; the last chunk per target is Final.
+	clientObjs, mapObjs := 0, 0
+	finals := 0
+	for _, tr := range transfers {
+		if tr.To != 7 {
+			t.Errorf("transfer to %v", tr.To)
+		}
+		if tr.Final {
+			finals++
+		}
+		for _, o := range tr.Objects {
+			if o.Client != 0 {
+				clientObjs++
+			} else {
+				mapObjs++
+			}
+		}
+	}
+	if clientObjs != 3 {
+		t.Errorf("client objects moved = %d", clientObjs)
+	}
+	if mapObjs != 1 {
+		t.Errorf("map objects moved = %d", mapObjs)
+	}
+	if finals == 0 {
+		t.Error("no Final transfer chunk")
+	}
+	if got := s.ObjectCount(); got != 1 {
+		t.Errorf("objects remaining = %d", got)
+	}
+	if got := s.Stats().Redirects; got != 3 {
+		t.Errorf("Redirects = %d", got)
+	}
+}
+
+func TestRangeGrowKeepsClients(t *testing.T) {
+	s := newTestGS(t, Config{Bounds: geom.R(50, 0, 100, 100)})
+	join(t, s, 1, geom.Pt(60, 50))
+	ru := &protocol.RangeUpdate{Server: 1, Bounds: geom.R(0, 0, 100, 100)}
+	if err := s.Enqueue(ru); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := s.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 0 {
+		t.Errorf("grow produced envelopes: %+v", envs)
+	}
+	if got := s.ClientCount(); got != 1 {
+		t.Errorf("ClientCount = %d", got)
+	}
+	if !s.Bounds().Eq(geom.R(0, 0, 100, 100)) {
+		t.Errorf("bounds = %v", s.Bounds())
+	}
+}
+
+func TestStateTransferAdoption(t *testing.T) {
+	s := newTestGS(t, Config{})
+	st := &protocol.StateTransfer{
+		From: 2, To: 1, Final: true,
+		Objects: []protocol.ObjectState{
+			{Client: 42, Pos: geom.Pt(10, 10)},
+			{Object: 7, Pos: geom.Pt(20, 20)},
+		},
+	}
+	if err := s.Enqueue(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ClientCount(); got != 1 {
+		t.Errorf("adopted clients = %d", got)
+	}
+	if got := s.ObjectCount(); got != 1 {
+		t.Errorf("adopted objects = %d", got)
+	}
+	if pos, ok := s.ClientPos(42); !ok || pos != geom.Pt(10, 10) {
+		t.Errorf("adopted pos = %v,%v", pos, ok)
+	}
+	if got := s.Stats().StateReceived; got != 2 {
+		t.Errorf("StateReceived = %d", got)
+	}
+	// The adopted client is visible to interest management immediately.
+	u := &protocol.GameUpdate{Client: 99, Origin: geom.Pt(11, 10), Dest: geom.Pt(11, 10), Kind: protocol.KindAction}
+	if err := s.Enqueue(u); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := s.Process(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range envs {
+		if e.Dest == DestClient && e.Client == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("adopted client must receive nearby events")
+	}
+}
+
+func TestEnqueueNil(t *testing.T) {
+	s := newTestGS(t, Config{})
+	if err := s.Enqueue(nil); !errors.Is(err, ErrNilMessage) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnexpectedMessageType(t *testing.T) {
+	s := newTestGS(t, Config{})
+	if err := s.Enqueue(&protocol.Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(0); err == nil {
+		t.Error("unexpected message must surface an error")
+	}
+}
+
+func TestRangeShrinkNoTargetKeepsClient(t *testing.T) {
+	// A displaced client with no covering handoff target must not be
+	// dropped silently.
+	s := newTestGS(t, Config{})
+	join(t, s, 1, geom.Pt(10, 10))
+	ru := &protocol.RangeUpdate{Server: 1, Bounds: geom.R(50, 0, 100, 100)}
+	if err := s.Enqueue(ru); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ClientCount(); got != 1 {
+		t.Errorf("client stranded without target was dropped: count=%d", got)
+	}
+}

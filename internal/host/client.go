@@ -1,0 +1,159 @@
+package host
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"matrix/internal/gameclient"
+	"matrix/internal/protocol"
+	"matrix/internal/transport"
+)
+
+// ClientConfig configures a hosted game client.
+type ClientConfig struct {
+	// Network supplies transports.
+	Network transport.Network
+	// ServerAddr is the initial game server to join.
+	ServerAddr string
+	// Client is the client state machine's configuration.
+	Client gameclient.Config
+	// WelcomeTimeout bounds the join handshake (default 5s).
+	WelcomeTimeout time.Duration
+	// Logger receives diagnostics (nil = silent).
+	Logger *log.Logger
+}
+
+// ClientHost drives one game client over the network, transparently
+// reconnecting on redirects (the player never notices Matrix).
+type ClientHost struct {
+	cfg ClientConfig
+	cl  *gameclient.Client
+
+	mu     sync.Mutex
+	conn   transport.Conn
+	closed bool
+
+	welcomed chan struct{} // closed on first welcome
+	once     sync.Once
+	wg       sync.WaitGroup
+}
+
+// DialClient connects, joins, and starts the receive pump. It returns once
+// the first welcome arrives (the client is in the game).
+func DialClient(cfg ClientConfig) (*ClientHost, error) {
+	if cfg.WelcomeTimeout <= 0 {
+		cfg.WelcomeTimeout = 5 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(logDiscard{}, "", 0)
+	}
+	cl, err := gameclient.New(cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	h := &ClientHost{cfg: cfg, cl: cl, welcomed: make(chan struct{})}
+	if err := h.connect(cfg.ServerAddr); err != nil {
+		return nil, err
+	}
+	select {
+	case <-h.welcomed:
+		return h, nil
+	case <-time.After(cfg.WelcomeTimeout):
+		_ = h.Close()
+		return nil, ErrNotWelcomed
+	}
+}
+
+// connect dials addr, sends the hello and starts the pump for that
+// connection.
+func (h *ClientHost) connect(addr string) error {
+	conn, err := h.cfg.Network.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("host: client dial %s: %w", addr, err)
+	}
+	if err := conn.Send(h.cl.Hello()); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return ErrClosed
+	}
+	old := h.conn
+	h.conn = conn
+	h.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	h.wg.Add(1)
+	go h.recvLoop(conn)
+	return nil
+}
+
+// recvLoop pumps one connection until it dies or is replaced.
+func (h *ClientHost) recvLoop(conn transport.Conn) {
+	defer h.wg.Done()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		ev, err := h.cl.Handle(m)
+		if err != nil {
+			h.cfg.Logger.Printf("client %v: %v", h.cl.ID(), err)
+			continue
+		}
+		switch ev {
+		case gameclient.EventConnected:
+			h.once.Do(func() { close(h.welcomed) })
+		case gameclient.EventSwitchServer:
+			// Transparent server switch: reconnect in the background so
+			// this loop can drain and exit.
+			addr := h.cl.ServerAddr()
+			h.wg.Add(1)
+			go func() {
+				defer h.wg.Done()
+				if err := h.connect(addr); err != nil && err != ErrClosed {
+					h.cfg.Logger.Printf("client %v: reconnect %s: %v", h.cl.ID(), addr, err)
+				}
+			}()
+			return
+		}
+	}
+}
+
+// Send transmits one update to the current game server.
+func (h *ClientHost) Send(u *protocol.GameUpdate) error {
+	h.mu.Lock()
+	conn := h.conn
+	closed := h.closed
+	h.mu.Unlock()
+	if closed || conn == nil {
+		return ErrClosed
+	}
+	return conn.Send(u)
+}
+
+// Client exposes the client state machine (positions, latencies, stats).
+func (h *ClientHost) Client() *gameclient.Client { return h.cl }
+
+// Close disconnects and waits for the pumps.
+func (h *ClientHost) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conn := h.conn
+	h.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	h.wg.Wait()
+	return nil
+}

@@ -1,0 +1,193 @@
+// Package host runs the Matrix state machines over real transports: the
+// production deployment mode. A CoordinatorHost serves the MC; a ServerHost
+// pairs one Matrix server with its co-located game server and pumps
+// messages between the MC, peer servers and game clients; a ClientHost
+// drives a game client through joins, updates and transparent redirects.
+//
+// The cmd/ binaries are thin wrappers around this package, and the same
+// hosts run unchanged over the in-memory transport in integration tests.
+package host
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"matrix/internal/coordinator"
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+	"matrix/internal/transport"
+)
+
+// Host errors.
+var (
+	ErrClosed      = errors.New("host: closed")
+	ErrBadHello    = errors.New("host: connection did not start with a registration")
+	ErrNotWelcomed = errors.New("host: server never sent a welcome")
+)
+
+// CoordinatorHost serves a Matrix Coordinator on a listener. Matrix servers
+// connect, register, and then exchange control messages over the same
+// connection.
+type CoordinatorHost struct {
+	mc     *coordinator.Coordinator
+	ln     transport.Listener
+	logger *log.Logger
+
+	mu     sync.Mutex
+	conns  map[id.ServerID]transport.Conn
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// ServeCoordinator starts an MC on addr (empty = transport default).
+func ServeCoordinator(nw transport.Network, addr string, cfg coordinator.Config, logger *log.Logger) (*CoordinatorHost, error) {
+	mc, err := coordinator.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := nw.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	if logger == nil {
+		logger = log.New(logDiscard{}, "", 0)
+	}
+	h := &CoordinatorHost{
+		mc:     mc,
+		ln:     ln,
+		logger: logger,
+		conns:  make(map[id.ServerID]transport.Conn),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// logDiscard is an io.Writer that drops everything (avoids importing
+// io/ioutil just for tests).
+type logDiscard struct{}
+
+func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Addr returns the address servers should dial.
+func (h *CoordinatorHost) Addr() string { return h.ln.Addr() }
+
+// MC exposes the underlying coordinator (status tooling).
+func (h *CoordinatorHost) MC() *coordinator.Coordinator { return h.mc }
+
+// Close shuts the host down and waits for its goroutines.
+func (h *CoordinatorHost) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]transport.Conn, 0, len(h.conns))
+	for _, c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+// acceptLoop admits server connections.
+func (h *CoordinatorHost) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		h.wg.Add(1)
+		go h.serveConn(conn)
+	}
+}
+
+// serveConn performs the registration handshake then pumps control
+// messages.
+func (h *CoordinatorHost) serveConn(conn transport.Conn) {
+	defer h.wg.Done()
+	first, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	req, ok := first.(*protocol.RegisterRequest)
+	if !ok {
+		h.logger.Printf("coordinator: %s: first message was %v", conn.RemoteAddr(), first.MsgType())
+		_ = conn.Send(&protocol.ErrorMsg{Of: first.MsgType(), Reason: ErrBadHello.Error()})
+		_ = conn.Close()
+		return
+	}
+	reply, envs, err := h.mc.Register(req.Addr, req.Radius)
+	if err != nil {
+		_ = conn.Send(&protocol.ErrorMsg{Of: protocol.TypeRegisterRequest, Reason: err.Error()})
+		_ = conn.Close()
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	h.conns[reply.Server] = conn
+	h.mu.Unlock()
+	if err := conn.Send(reply); err != nil {
+		h.drop(reply.Server, conn)
+		return
+	}
+	h.logger.Printf("coordinator: registered %v at %s", reply.Server, req.Addr)
+	h.deliver(envs)
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			h.drop(reply.Server, conn)
+			return
+		}
+		out, err := h.mc.HandleMessage(reply.Server, m)
+		if err != nil {
+			h.logger.Printf("coordinator: %v: %v", reply.Server, err)
+		}
+		h.deliver(out)
+	}
+}
+
+// deliver sends envelopes to their registered connections.
+func (h *CoordinatorHost) deliver(envs []coordinator.Envelope) {
+	for _, e := range envs {
+		h.mu.Lock()
+		conn, ok := h.conns[e.To]
+		h.mu.Unlock()
+		if !ok {
+			h.logger.Printf("coordinator: no connection for %v (dropping %v)", e.To, e.Msg.MsgType())
+			continue
+		}
+		if err := conn.Send(e.Msg); err != nil {
+			h.drop(e.To, conn)
+		}
+	}
+}
+
+// drop forgets a dead server connection.
+func (h *CoordinatorHost) drop(sid id.ServerID, conn transport.Conn) {
+	_ = conn.Close()
+	h.mu.Lock()
+	if h.conns[sid] == conn {
+		delete(h.conns, sid)
+	}
+	h.mu.Unlock()
+}
+
+// fmt is used by error paths only.
+var _ = fmt.Sprintf

@@ -1,0 +1,425 @@
+package host
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"matrix/internal/core"
+	"matrix/internal/gameserver"
+	"matrix/internal/id"
+	"matrix/internal/load"
+	"matrix/internal/protocol"
+	"matrix/internal/transport"
+)
+
+// ServerConfig configures a combined Matrix server + game server host.
+type ServerConfig struct {
+	// Network supplies transports (TCP in production, MemNetwork in tests).
+	Network transport.Network
+	// Coordinator is the MC's dial address.
+	Coordinator string
+	// ListenAddr is where peers and game clients reach this server
+	// (empty = transport default; the resolved address is registered with
+	// the MC).
+	ListenAddr string
+	// Radius is the game's visibility radius.
+	Radius float64
+	// Load tunes the split/reclaim policy (zero value = paper defaults).
+	Load load.Config
+	// TickInterval is the game-server processing cadence (default 10ms).
+	TickInterval time.Duration
+	// ServiceRate is the packets processed per tick (default 500).
+	ServiceRate int
+	// MaxQueue bounds the receive queue (0 = unbounded).
+	MaxQueue int
+	// ReportInterval is the load-report cadence (default 1s).
+	ReportInterval time.Duration
+	// Logger receives diagnostics (nil = silent).
+	Logger *log.Logger
+}
+
+func (c ServerConfig) sanitized() ServerConfig {
+	if c.TickInterval <= 0 {
+		c.TickInterval = 10 * time.Millisecond
+	}
+	if c.ServiceRate <= 0 {
+		c.ServiceRate = 500
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(logDiscard{}, "", 0)
+	}
+	return c
+}
+
+// ServerHost runs one Matrix server with its co-located game server over
+// real transports.
+type ServerHost struct {
+	cfg    ServerConfig
+	core   *core.Server
+	gs     *gameserver.Server
+	mcConn transport.Conn
+	ln     transport.Listener
+
+	mu      sync.Mutex
+	peers   map[string]transport.Conn // outbound, keyed by dial address
+	inbound map[transport.Conn]bool   // accepted peer connections
+	clients map[id.ClientID]transport.Conn
+	closed  bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// StartServer registers with the MC and brings the pumps up.
+func StartServer(cfg ServerConfig) (*ServerHost, error) {
+	cfg = cfg.sanitized()
+	ln, err := cfg.Network.Listen(cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	mcConn, err := cfg.Network.Dial(cfg.Coordinator)
+	if err != nil {
+		_ = ln.Close()
+		return nil, fmt.Errorf("host: dial coordinator: %w", err)
+	}
+	if err := mcConn.Send(&protocol.RegisterRequest{Addr: ln.Addr(), Radius: cfg.Radius}); err != nil {
+		_ = ln.Close()
+		_ = mcConn.Close()
+		return nil, err
+	}
+	first, err := mcConn.Recv()
+	if err != nil {
+		_ = ln.Close()
+		_ = mcConn.Close()
+		return nil, fmt.Errorf("host: registration reply: %w", err)
+	}
+	reply, ok := first.(*protocol.RegisterReply)
+	if !ok {
+		_ = ln.Close()
+		_ = mcConn.Close()
+		return nil, fmt.Errorf("host: unexpected registration reply %v", first.MsgType())
+	}
+
+	cs, err := core.NewServer(core.Config{Load: cfg.Load}, reply, cfg.Radius)
+	if err != nil {
+		_ = ln.Close()
+		_ = mcConn.Close()
+		return nil, err
+	}
+	gs, err := gameserver.New(gameserver.Config{
+		Server:       reply.Server,
+		Bounds:       reply.Bounds,
+		Radius:       cfg.Radius,
+		MaxQueue:     cfg.MaxQueue,
+		ResolveOwner: cs.ResolveOwner,
+	})
+	if err != nil {
+		_ = ln.Close()
+		_ = mcConn.Close()
+		return nil, err
+	}
+
+	h := &ServerHost{
+		cfg:     cfg,
+		core:    cs,
+		gs:      gs,
+		mcConn:  mcConn,
+		ln:      ln,
+		peers:   make(map[string]transport.Conn),
+		inbound: make(map[transport.Conn]bool),
+		clients: make(map[id.ClientID]transport.Conn),
+		done:    make(chan struct{}),
+	}
+	h.wg.Add(3)
+	go h.mcLoop()
+	go h.acceptLoop()
+	go h.tickLoop()
+	cfg.Logger.Printf("server %v up at %s (bounds %v)", cs.ID(), ln.Addr(), cs.Bounds())
+	return h, nil
+}
+
+// ID returns the Matrix server's identity.
+func (h *ServerHost) ID() id.ServerID { return h.core.ID() }
+
+// Addr returns the listener address.
+func (h *ServerHost) Addr() string { return h.ln.Addr() }
+
+// Core exposes the Matrix server (status tooling).
+func (h *ServerHost) Core() *core.Server { return h.core }
+
+// Game exposes the game server (status tooling).
+func (h *ServerHost) Game() *gameserver.Server { return h.gs }
+
+// Close stops the host and waits for its goroutines.
+func (h *ServerHost) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	close(h.done)
+	conns := make([]transport.Conn, 0, len(h.peers)+len(h.inbound)+len(h.clients)+1)
+	conns = append(conns, h.mcConn)
+	for _, c := range h.peers {
+		conns = append(conns, c)
+	}
+	for c := range h.inbound {
+		conns = append(conns, c)
+	}
+	for _, c := range h.clients {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+// mcLoop pumps coordinator messages into the Matrix server.
+func (h *ServerHost) mcLoop() {
+	defer h.wg.Done()
+	for {
+		m, err := h.mcConn.Recv()
+		if err != nil {
+			return
+		}
+		envs, err := h.core.HandleMessage(id.None, m)
+		if err != nil {
+			h.cfg.Logger.Printf("server %v: mc message %v: %v", h.core.ID(), m.MsgType(), err)
+		}
+		h.routeCore(envs)
+	}
+}
+
+// acceptLoop admits peer and client connections; the first message
+// disambiguates them.
+func (h *ServerHost) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		h.wg.Add(1)
+		go h.serveConn(conn)
+	}
+}
+
+// serveConn classifies one inbound connection.
+func (h *ServerHost) serveConn(conn transport.Conn) {
+	defer h.wg.Done()
+	first, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	switch m := first.(type) {
+	case *protocol.ClientHello:
+		h.serveClient(conn, m)
+	case *protocol.Forward, *protocol.StateTransfer:
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		h.inbound[conn] = true
+		h.mu.Unlock()
+		h.servePeer(conn, first)
+		h.mu.Lock()
+		delete(h.inbound, conn)
+		h.mu.Unlock()
+	default:
+		h.cfg.Logger.Printf("server %v: unexpected first message %v", h.core.ID(), m.MsgType())
+		_ = conn.Close()
+	}
+}
+
+// serveClient pumps one game client's connection.
+func (h *ServerHost) serveClient(conn transport.Conn, hello *protocol.ClientHello) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if old, ok := h.clients[hello.Client]; ok && old != conn {
+		_ = old.Close()
+	}
+	h.clients[hello.Client] = conn
+	h.mu.Unlock()
+
+	if err := h.gs.Enqueue(hello); err != nil {
+		h.cfg.Logger.Printf("server %v: join %v dropped: %v", h.core.ID(), hello.Client, err)
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			h.dropClient(hello.Client, conn)
+			return
+		}
+		if err := h.gs.Enqueue(m); err != nil && err != gameserver.ErrQueueOverflow {
+			h.cfg.Logger.Printf("server %v: client %v: %v", h.core.ID(), hello.Client, err)
+		}
+	}
+}
+
+// servePeer pumps a peer Matrix server's connection.
+func (h *ServerHost) servePeer(conn transport.Conn, first protocol.Message) {
+	handle := func(m protocol.Message) {
+		from := id.None
+		switch pm := m.(type) {
+		case *protocol.Forward:
+			from = pm.From
+		case *protocol.StateTransfer:
+			from = pm.From
+		}
+		envs, err := h.core.HandleMessage(from, m)
+		if err != nil {
+			h.cfg.Logger.Printf("server %v: peer message %v: %v", h.core.ID(), m.MsgType(), err)
+		}
+		h.routeCore(envs)
+	}
+	handle(first)
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		handle(m)
+	}
+}
+
+// tickLoop drives game-server processing and periodic load reports.
+func (h *ServerHost) tickLoop() {
+	defer h.wg.Done()
+	tick := time.NewTicker(h.cfg.TickInterval)
+	report := time.NewTicker(h.cfg.ReportInterval)
+	defer tick.Stop()
+	defer report.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-tick.C:
+			envs, err := h.gs.Process(h.cfg.ServiceRate)
+			if err != nil {
+				h.cfg.Logger.Printf("server %v: process: %v", h.core.ID(), err)
+			}
+			h.routeGame(envs)
+		case <-report.C:
+			rep := h.gs.LoadReport()
+			envs, err := h.core.HandleLocalLoad(int(rep.Clients), int(rep.QueueLen))
+			if err != nil {
+				h.cfg.Logger.Printf("server %v: load report: %v", h.core.ID(), err)
+				continue
+			}
+			h.routeCore(envs)
+		}
+	}
+}
+
+// routeCore delivers a Matrix server's envelopes.
+func (h *ServerHost) routeCore(envs []core.Envelope) {
+	for _, e := range envs {
+		switch e.Dest {
+		case core.DestCoordinator:
+			if err := h.mcConn.Send(e.Msg); err != nil {
+				h.cfg.Logger.Printf("server %v: mc send: %v", h.core.ID(), err)
+			}
+		case core.DestGameServer:
+			if err := h.gs.Enqueue(e.Msg); err != nil && err != gameserver.ErrQueueOverflow {
+				h.cfg.Logger.Printf("server %v: enqueue: %v", h.core.ID(), err)
+			}
+		case core.DestPeer:
+			h.sendPeer(e.Addr, e.Msg)
+		}
+	}
+}
+
+// routeGame delivers a game server's envelopes.
+func (h *ServerHost) routeGame(envs []gameserver.Envelope) {
+	for _, e := range envs {
+		switch e.Dest {
+		case gameserver.DestMatrix:
+			out, err := h.core.HandleMessage(id.None, e.Msg)
+			if err != nil {
+				h.cfg.Logger.Printf("server %v: game->matrix: %v", h.core.ID(), err)
+				continue
+			}
+			h.routeCore(out)
+		case gameserver.DestClient:
+			h.mu.Lock()
+			conn, ok := h.clients[e.Client]
+			h.mu.Unlock()
+			if !ok {
+				continue // client disconnected; deliveries are best-effort
+			}
+			if err := conn.Send(e.Msg); err != nil {
+				h.dropClient(e.Client, conn)
+			}
+		}
+	}
+}
+
+// sendPeer sends to a peer Matrix server, dialing and caching the
+// connection on first use.
+func (h *ServerHost) sendPeer(addr string, m protocol.Message) {
+	if addr == "" {
+		h.cfg.Logger.Printf("server %v: no address for peer (dropping %v)", h.core.ID(), m.MsgType())
+		return
+	}
+	h.mu.Lock()
+	conn, ok := h.peers[addr]
+	h.mu.Unlock()
+	if !ok {
+		var err error
+		conn, err = h.cfg.Network.Dial(addr)
+		if err != nil {
+			h.cfg.Logger.Printf("server %v: dial peer %s: %v", h.core.ID(), addr, err)
+			return
+		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if existing, raced := h.peers[addr]; raced {
+			h.mu.Unlock()
+			_ = conn.Close()
+			conn = existing
+		} else {
+			h.peers[addr] = conn
+			h.mu.Unlock()
+		}
+	}
+	if err := conn.Send(m); err != nil {
+		h.mu.Lock()
+		if h.peers[addr] == conn {
+			delete(h.peers, addr)
+		}
+		h.mu.Unlock()
+		_ = conn.Close()
+	}
+}
+
+// dropClient forgets a client connection.
+func (h *ServerHost) dropClient(c id.ClientID, conn transport.Conn) {
+	_ = conn.Close()
+	h.mu.Lock()
+	if h.clients[c] == conn {
+		delete(h.clients, c)
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,269 @@
+// Package load implements Matrix's load-management policy: when a server is
+// overloaded enough to split, and when a parent may reclaim an underloaded
+// child. The thresholds follow the paper's experiment ("a server is
+// overloaded when it has 300+ clients", reclaimed children are "underloaded
+// (< 150 clients)"), and the package makes concrete the "simple heuristics
+// (not described) to prevent oscillations and ensure stability in the
+// splitting / reclamation process".
+package load
+
+import (
+	"sync"
+	"time"
+
+	"matrix/internal/clock"
+	"matrix/internal/id"
+)
+
+// Config tunes the split/reclaim policy.
+type Config struct {
+	// OverloadClients is the client count at which a server is overloaded
+	// and tries to split (paper: 300).
+	OverloadClients int
+	// UnderloadClients is the client count below which a server counts as
+	// underloaded and becomes a reclamation candidate (paper: 150).
+	UnderloadClients int
+	// OverloadQueue, when positive, also marks the server overloaded when
+	// its receive-queue length reaches this value — the paper's "or via
+	// system performance measurements" trigger. It catches overloads that
+	// client counts miss (e.g. heavy inter-server forwarding near a
+	// partition corner). Zero disables the queue trigger.
+	OverloadQueue int
+	// SplitCooldown is the minimum interval between two splits by the same
+	// server, preventing split storms while redirected clients are still in
+	// flight.
+	SplitCooldown time.Duration
+	// ReclaimDwell is how long the combined parent+child load must stay
+	// under the reclaim headroom before the parent actually reclaims,
+	// preventing split/reclaim oscillation at the threshold boundary.
+	ReclaimDwell time.Duration
+	// ReclaimHeadroom is the fraction of OverloadClients that the combined
+	// parent+child load must stay below for a reclaim to be safe. A merge
+	// that immediately re-overloads the parent would oscillate.
+	ReclaimHeadroom float64
+}
+
+// DefaultConfig returns the paper-aligned policy: overload at 300 clients,
+// underload below 150, 2s split cooldown, 3s reclaim dwell, and a merged
+// load ceiling of 80% of the overload threshold.
+func DefaultConfig() Config {
+	return Config{
+		OverloadClients:  300,
+		UnderloadClients: 150,
+		SplitCooldown:    2 * time.Second,
+		ReclaimDwell:     3 * time.Second,
+		ReclaimHeadroom:  0.8,
+	}
+}
+
+// sanitized returns cfg with zero fields replaced by defaults.
+func (c Config) sanitized() Config {
+	d := DefaultConfig()
+	if c.OverloadClients <= 0 {
+		c.OverloadClients = d.OverloadClients
+	}
+	if c.UnderloadClients <= 0 {
+		c.UnderloadClients = d.UnderloadClients
+	}
+	if c.UnderloadClients > c.OverloadClients {
+		c.UnderloadClients = c.OverloadClients / 2
+	}
+	if c.SplitCooldown <= 0 {
+		c.SplitCooldown = d.SplitCooldown
+	}
+	if c.ReclaimDwell <= 0 {
+		c.ReclaimDwell = d.ReclaimDwell
+	}
+	if c.ReclaimHeadroom <= 0 || c.ReclaimHeadroom > 1 {
+		c.ReclaimHeadroom = d.ReclaimHeadroom
+	}
+	return c
+}
+
+// Tracker holds one Matrix server's view of its own and its children's load
+// and answers the two policy questions: ShouldSplit and ReclaimCandidate.
+// It is safe for concurrent use.
+type Tracker struct {
+	mu         sync.Mutex
+	cfg        Config
+	clk        clock.Clock
+	clients    int
+	queueLen   int
+	lastSplit  time.Time
+	haveSplit  bool
+	childLoad  map[id.ServerID]int
+	childQueue map[id.ServerID]int
+	belowSince map[id.ServerID]time.Time
+}
+
+// NewTracker creates a Tracker with the given policy; a nil clk uses the
+// wall clock.
+func NewTracker(cfg Config, clk clock.Clock) *Tracker {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	return &Tracker{
+		cfg:        cfg.sanitized(),
+		clk:        clk,
+		childLoad:  make(map[id.ServerID]int),
+		childQueue: make(map[id.ServerID]int),
+		belowSince: make(map[id.ServerID]time.Time),
+	}
+}
+
+// Config returns the sanitized policy in effect.
+func (t *Tracker) Config() Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg
+}
+
+// SetLoad records this server's current client count and receive-queue
+// length (from the game server's periodic load report). Because the reclaim
+// condition depends on the *combined* parent+child load, the dwell timers of
+// all children are re-evaluated here too.
+func (t *Tracker) SetLoad(clients, queueLen int) {
+	t.mu.Lock()
+	t.clients = clients
+	t.queueLen = queueLen
+	for child := range t.childLoad {
+		t.refreshDwellLocked(child)
+	}
+	t.mu.Unlock()
+}
+
+// refreshDwellLocked starts or resets child's dwell timer according to the
+// current combined-load condition.
+func (t *Tracker) refreshDwellLocked(child id.ServerID) {
+	if t.combinedUnderLocked(child) {
+		if _, ok := t.belowSince[child]; !ok {
+			t.belowSince[child] = t.clk.Now()
+		}
+	} else {
+		delete(t.belowSince, child)
+	}
+}
+
+// Clients returns the last reported client count.
+func (t *Tracker) Clients() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clients
+}
+
+// QueueLen returns the last reported queue length.
+func (t *Tracker) QueueLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queueLen
+}
+
+// SetChildLoad records a child's reported client count and queue length
+// (the coordinator relays children's load reports to parents so reclaim
+// decisions stay local).
+func (t *Tracker) SetChildLoad(child id.ServerID, clients, queueLen int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.childLoad[child] = clients
+	t.childQueue[child] = queueLen
+	// Maintain the dwell timer: reset it whenever the combined load pops
+	// back over the reclaim ceiling.
+	t.refreshDwellLocked(child)
+}
+
+// ForgetChild drops all state about child (after a reclaim or child death).
+func (t *Tracker) ForgetChild(child id.ServerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.childLoad, child)
+	delete(t.childQueue, child)
+	delete(t.belowSince, child)
+}
+
+// Overloaded reports whether this server is at or over the split threshold.
+func (t *Tracker) Overloaded() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clients >= t.cfg.OverloadClients
+}
+
+// Underloaded reports whether this server is below the underload threshold
+// (making it a candidate for being reclaimed by its parent).
+func (t *Tracker) Underloaded() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clients < t.cfg.UnderloadClients
+}
+
+// ShouldSplit reports whether the server should request a split now:
+// overloaded (by client count, or by queue depth when the queue trigger is
+// enabled) and past the split cooldown.
+func (t *Tracker) ShouldSplit() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	overloaded := t.clients >= t.cfg.OverloadClients ||
+		(t.cfg.OverloadQueue > 0 && t.queueLen >= t.cfg.OverloadQueue)
+	if !overloaded {
+		return false
+	}
+	if t.haveSplit && t.clk.Since(t.lastSplit) < t.cfg.SplitCooldown {
+		return false
+	}
+	return true
+}
+
+// NoteSplit records that a split happened, starting the cooldown.
+func (t *Tracker) NoteSplit() {
+	t.mu.Lock()
+	t.lastSplit = t.clk.Now()
+	t.haveSplit = true
+	t.mu.Unlock()
+}
+
+// combinedUnderLocked reports whether parent+child load is under the
+// reclaim ceiling and the child is individually underloaded. When the
+// queue-based overload trigger is enabled, both queues must also be well
+// under it: a merge that reassembles an overloaded queue would immediately
+// re-split (oscillation).
+func (t *Tracker) combinedUnderLocked(child id.ServerID) bool {
+	cl, ok := t.childLoad[child]
+	if !ok {
+		return false
+	}
+	if cl >= t.cfg.UnderloadClients {
+		return false
+	}
+	if t.cfg.OverloadQueue > 0 {
+		quiet := t.cfg.OverloadQueue / 4
+		if t.queueLen > quiet || t.childQueue[child] > quiet {
+			return false
+		}
+	}
+	ceiling := int(float64(t.cfg.OverloadClients) * t.cfg.ReclaimHeadroom)
+	return t.clients+cl < ceiling
+}
+
+// ReclaimCandidate reports whether child can be reclaimed now: it has been
+// underloaded, with combined load under the headroom ceiling, for at least
+// the dwell period.
+func (t *Tracker) ReclaimCandidate(child id.ServerID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.combinedUnderLocked(child) {
+		return false
+	}
+	since, ok := t.belowSince[child]
+	if !ok {
+		return false
+	}
+	return t.clk.Since(since) >= t.cfg.ReclaimDwell
+}
+
+// ChildLoad returns the last reported load of child and whether it is
+// known.
+func (t *Tracker) ChildLoad(child id.ServerID) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cl, ok := t.childLoad[child]
+	return cl, ok
+}

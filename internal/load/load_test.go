@@ -1,0 +1,218 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"matrix/internal/clock"
+)
+
+func newTestTracker(cfg Config) (*Tracker, *clock.Virtual) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	return NewTracker(cfg, clk), clk
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.OverloadClients != 300 {
+		t.Errorf("OverloadClients = %d, want 300 (paper Fig.2 caption)", cfg.OverloadClients)
+	}
+	if cfg.UnderloadClients != 150 {
+		t.Errorf("UnderloadClients = %d, want 150 (paper Fig.2 caption)", cfg.UnderloadClients)
+	}
+}
+
+func TestSanitizeZeroConfig(t *testing.T) {
+	tr := NewTracker(Config{}, nil)
+	cfg := tr.Config()
+	if cfg.OverloadClients != 300 || cfg.UnderloadClients != 150 {
+		t.Errorf("zero config not defaulted: %+v", cfg)
+	}
+	if cfg.SplitCooldown <= 0 || cfg.ReclaimHeadroom <= 0 {
+		t.Errorf("timings not defaulted: %+v", cfg)
+	}
+}
+
+func TestSanitizeInvertedThresholds(t *testing.T) {
+	tr := NewTracker(Config{OverloadClients: 100, UnderloadClients: 500}, nil)
+	cfg := tr.Config()
+	if cfg.UnderloadClients > cfg.OverloadClients {
+		t.Errorf("inverted thresholds survived: %+v", cfg)
+	}
+}
+
+func TestOverloadedUnderloaded(t *testing.T) {
+	tr, _ := newTestTracker(DefaultConfig())
+	tests := []struct {
+		clients             int
+		overload, underload bool
+	}{
+		{0, false, true},
+		{149, false, true},
+		{150, false, false},
+		{299, false, false},
+		{300, true, false},
+		{600, true, false},
+	}
+	for _, tt := range tests {
+		tr.SetLoad(tt.clients, 0)
+		if got := tr.Overloaded(); got != tt.overload {
+			t.Errorf("clients=%d Overloaded=%v want %v", tt.clients, got, tt.overload)
+		}
+		if got := tr.Underloaded(); got != tt.underload {
+			t.Errorf("clients=%d Underloaded=%v want %v", tt.clients, got, tt.underload)
+		}
+	}
+}
+
+func TestShouldSplitCooldown(t *testing.T) {
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	tr.SetLoad(400, 0)
+	if !tr.ShouldSplit() {
+		t.Fatal("overloaded fresh tracker must split")
+	}
+	tr.NoteSplit()
+	if tr.ShouldSplit() {
+		t.Fatal("must not split again inside cooldown")
+	}
+	clk.Advance(cfg.SplitCooldown)
+	if !tr.ShouldSplit() {
+		t.Fatal("must split again after cooldown")
+	}
+	// Not overloaded => never split, even past cooldown.
+	tr.SetLoad(100, 0)
+	if tr.ShouldSplit() {
+		t.Fatal("non-overloaded server must not split")
+	}
+}
+
+func TestReclaimRequiresDwell(t *testing.T) {
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	tr.SetLoad(50, 0)
+	tr.SetChildLoad(2, 40, 0)
+	if tr.ReclaimCandidate(2) {
+		t.Fatal("reclaim before dwell must be denied")
+	}
+	clk.Advance(cfg.ReclaimDwell)
+	// Dwell is measured from the SetChildLoad that first went low; the
+	// condition is re-evaluated on the next report.
+	tr.SetChildLoad(2, 40, 0)
+	if !tr.ReclaimCandidate(2) {
+		t.Fatal("reclaim after dwell must be allowed")
+	}
+}
+
+func TestReclaimDwellResetsOnSpike(t *testing.T) {
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	tr.SetLoad(50, 0)
+	tr.SetChildLoad(2, 40, 0)
+	clk.Advance(cfg.ReclaimDwell / 2)
+	tr.SetChildLoad(2, 200, 0) // child spikes above underload threshold
+	clk.Advance(cfg.ReclaimDwell)
+	tr.SetChildLoad(2, 40, 0) // low again, but dwell restarted
+	if tr.ReclaimCandidate(2) {
+		t.Fatal("dwell must restart after a spike")
+	}
+	clk.Advance(cfg.ReclaimDwell)
+	if !tr.ReclaimCandidate(2) {
+		t.Fatal("reclaim after fresh dwell must be allowed")
+	}
+}
+
+func TestReclaimHeadroomCeiling(t *testing.T) {
+	cfg := DefaultConfig() // ceiling = 0.8*300 = 240
+	tr, clk := newTestTracker(cfg)
+	// Child individually underloaded but merge would overload the parent.
+	tr.SetLoad(220, 0)
+	tr.SetChildLoad(2, 100, 0)
+	clk.Advance(cfg.ReclaimDwell * 2)
+	tr.SetChildLoad(2, 100, 0)
+	if tr.ReclaimCandidate(2) {
+		t.Fatal("merge exceeding headroom ceiling must be denied")
+	}
+	// Parent sheds load; now merge is safe after dwell.
+	tr.SetLoad(100, 0)
+	tr.SetChildLoad(2, 100, 0)
+	clk.Advance(cfg.ReclaimDwell)
+	tr.SetChildLoad(2, 100, 0)
+	if !tr.ReclaimCandidate(2) {
+		t.Fatal("safe merge must be allowed")
+	}
+}
+
+func TestReclaimUnknownChild(t *testing.T) {
+	tr, _ := newTestTracker(DefaultConfig())
+	if tr.ReclaimCandidate(9) {
+		t.Fatal("unknown child must not be reclaimable")
+	}
+}
+
+func TestForgetChild(t *testing.T) {
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	tr.SetLoad(10, 0)
+	tr.SetChildLoad(2, 10, 0)
+	clk.Advance(cfg.ReclaimDwell)
+	tr.SetChildLoad(2, 10, 0)
+	if !tr.ReclaimCandidate(2) {
+		t.Fatal("setup: child should be reclaimable")
+	}
+	tr.ForgetChild(2)
+	if tr.ReclaimCandidate(2) {
+		t.Fatal("forgotten child must not be reclaimable")
+	}
+	if _, ok := tr.ChildLoad(2); ok {
+		t.Fatal("forgotten child load must be gone")
+	}
+}
+
+func TestChildLoadReadback(t *testing.T) {
+	tr, _ := newTestTracker(DefaultConfig())
+	tr.SetChildLoad(3, 123, 0)
+	got, ok := tr.ChildLoad(3)
+	if !ok || got != 123 {
+		t.Fatalf("ChildLoad = %d,%v", got, ok)
+	}
+}
+
+func TestQueueLenTracking(t *testing.T) {
+	tr, _ := newTestTracker(DefaultConfig())
+	tr.SetLoad(10, 55)
+	if tr.QueueLen() != 55 {
+		t.Errorf("QueueLen = %d", tr.QueueLen())
+	}
+	if tr.Clients() != 10 {
+		t.Errorf("Clients = %d", tr.Clients())
+	}
+}
+
+// TestNoOscillation simulates the boundary case the hysteresis exists for:
+// load hovering exactly at the underload threshold must not produce
+// alternating split/reclaim decisions.
+func TestNoOscillation(t *testing.T) {
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	flips := 0
+	last := false
+	for i := 0; i < 100; i++ {
+		// Child load oscillates right around the threshold every tick.
+		childLoad := cfg.UnderloadClients - 1
+		if i%2 == 0 {
+			childLoad = cfg.UnderloadClients + 1
+		}
+		tr.SetLoad(50, 0)
+		tr.SetChildLoad(2, childLoad, 0)
+		clk.Advance(time.Second)
+		cur := tr.ReclaimCandidate(2)
+		if cur != last {
+			flips++
+		}
+		last = cur
+	}
+	if flips > 0 {
+		t.Errorf("reclaim decision flapped %d times; dwell must suppress oscillation", flips)
+	}
+}

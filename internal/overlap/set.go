@@ -1,0 +1,147 @@
+// Package overlap implements the paper's localized-consistency machinery:
+// consistency sets (Equation 1), overlap regions, and the per-server lookup
+// tables the Matrix Coordinator distributes so that Matrix servers can
+// resolve "which peers must see this update" with an O(1) table lookup on
+// the packet fast path.
+package overlap
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"matrix/internal/id"
+)
+
+// Set is a sorted, duplicate-free collection of server IDs — the value of a
+// consistency set C(σ). The zero value is the empty set.
+type Set []id.ServerID
+
+// NewSet builds a normalized Set from arbitrary IDs.
+func NewSet(ids ...id.ServerID) Set {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make(Set, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Compact duplicates in place.
+	w := 1
+	for r := 1; r < len(out); r++ {
+		if out[r] != out[r-1] {
+			out[w] = out[r]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Contains reports whether s includes v.
+func (s Set) Contains(v id.ServerID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// Equal reports whether two sets hold the same IDs.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the union of s and o as a new Set.
+func (s Set) Union(o Set) Set {
+	out := make(Set, 0, len(s)+len(o))
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] < o[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > o[j]:
+			out = append(out, o[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, o[j:]...)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Without returns s with v removed, sharing no storage with s.
+func (s Set) Without(v id.ServerID) Set {
+	out := make(Set, 0, len(s))
+	for _, e := range s {
+		if e != v {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// IsSubsetOf reports whether every element of s is in o.
+func (s Set) IsSubsetOf(o Set) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			i++
+			j++
+		case s[i] > o[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(s)
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Key returns a canonical string usable as a map key for grouping points by
+// identical consistency sets (how overlap regions are defined).
+func (s Set) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, e := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(e), 10))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (s Set) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	return "{" + s.Key() + "}"
+}

@@ -1,0 +1,170 @@
+package overlap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"matrix/internal/id"
+)
+
+func TestNewSetNormalizes(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []id.ServerID
+		want Set
+	}{
+		{"empty", nil, nil},
+		{"single", []id.ServerID{3}, Set{3}},
+		{"sorted", []id.ServerID{3, 1, 2}, Set{1, 2, 3}},
+		{"dedup", []id.ServerID{2, 2, 1, 1}, Set{1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NewSet(tt.in...)
+			if !got.Equal(tt.want) {
+				t.Fatalf("NewSet(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(1, 3, 5)
+	for _, v := range []id.ServerID{1, 3, 5} {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%v) = false", v)
+		}
+	}
+	for _, v := range []id.ServerID{0, 2, 4, 6} {
+		if s.Contains(v) {
+			t.Errorf("Contains(%v) = true", v)
+		}
+	}
+	var empty Set
+	if empty.Contains(1) {
+		t.Error("empty set contains nothing")
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	tests := []struct {
+		a, b, want Set
+	}{
+		{NewSet(1, 2), NewSet(2, 3), NewSet(1, 2, 3)},
+		{nil, NewSet(1), NewSet(1)},
+		{NewSet(1), nil, NewSet(1)},
+		{nil, nil, nil},
+		{NewSet(5, 7), NewSet(1, 9), NewSet(1, 5, 7, 9)},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Union(tt.b); !got.Equal(tt.want) {
+			t.Errorf("%v.Union(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSetWithout(t *testing.T) {
+	s := NewSet(1, 2, 3)
+	if got := s.Without(2); !got.Equal(NewSet(1, 3)) {
+		t.Errorf("Without(2) = %v", got)
+	}
+	if got := s.Without(9); !got.Equal(s) {
+		t.Errorf("Without(absent) = %v", got)
+	}
+	if got := NewSet(1).Without(1); got != nil {
+		t.Errorf("Without(last) = %v, want nil", got)
+	}
+	// Original unchanged.
+	if !s.Equal(NewSet(1, 2, 3)) {
+		t.Error("Without mutated the receiver")
+	}
+}
+
+func TestSetSubset(t *testing.T) {
+	tests := []struct {
+		a, b Set
+		want bool
+	}{
+		{nil, NewSet(1), true},
+		{NewSet(1), nil, false},
+		{NewSet(1, 3), NewSet(1, 2, 3), true},
+		{NewSet(1, 4), NewSet(1, 2, 3), false},
+		{NewSet(1, 2, 3), NewSet(1, 2, 3), true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.IsSubsetOf(tt.b); got != tt.want {
+			t.Errorf("%v.IsSubsetOf(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSetKeyCanonical(t *testing.T) {
+	if NewSet(3, 1).Key() != NewSet(1, 3).Key() {
+		t.Error("Key must be order-insensitive")
+	}
+	if NewSet(1, 3).Key() == NewSet(1, 2).Key() {
+		t.Error("different sets must have different keys")
+	}
+	if NewSet().Key() != "" {
+		t.Error("empty set key must be empty")
+	}
+	if NewSet(12).Key() == NewSet(1, 2).Key() {
+		t.Error("key must be unambiguous between {12} and {1,2}")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := NewSet(2, 1).String(); got != "{1,2}" {
+		t.Errorf("String = %q", got)
+	}
+	var empty Set
+	if empty.String() != "{}" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	s := NewSet(1, 2)
+	c := s.Clone()
+	c[0] = 9
+	if s[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+	if Set(nil).Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func genSet(rnd *rand.Rand) Set {
+	n := rnd.Intn(6)
+	ids := make([]id.ServerID, n)
+	for i := range ids {
+		ids[i] = id.ServerID(rnd.Intn(10) + 1)
+	}
+	return NewSet(ids...)
+}
+
+// Generate implements quick.Generator for Set.
+func (Set) Generate(rnd *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(genSet(rnd))
+}
+
+func TestSetUnionProperties(t *testing.T) {
+	comm := func(a, b Set) bool { return a.Union(b).Equal(b.Union(a)) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("union not commutative: %v", err)
+	}
+	subset := func(a, b Set) bool {
+		u := a.Union(b)
+		return a.IsSubsetOf(u) && b.IsSubsetOf(u)
+	}
+	if err := quick.Check(subset, nil); err != nil {
+		t.Errorf("operands not subsets of union: %v", err)
+	}
+	idem := func(a Set) bool { return a.Union(a).Equal(a) }
+	if err := quick.Check(idem, nil); err != nil {
+		t.Errorf("union not idempotent: %v", err)
+	}
+}

@@ -1,0 +1,625 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+)
+
+// MaxFrameSize bounds a single message on the wire. State transfers chunk
+// themselves below this; anything larger indicates corruption.
+const MaxFrameSize = 4 << 20 // 4 MiB
+
+// Codec errors.
+var (
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds MaxFrameSize")
+	ErrBadType       = errors.New("protocol: unknown message type")
+	ErrTruncated     = errors.New("protocol: truncated message body")
+)
+
+// buffer is an append-only encoder.
+type buffer struct {
+	b []byte
+}
+
+func (w *buffer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *buffer) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *buffer) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *buffer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *buffer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *buffer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *buffer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *buffer) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *buffer) str(v string) { w.bytes([]byte(v)) }
+func (w *buffer) point(p geom.Point) {
+	w.f64(p.X)
+	w.f64(p.Y)
+}
+func (w *buffer) rect(r geom.Rect) {
+	w.f64(r.MinX)
+	w.f64(r.MinY)
+	w.f64(r.MaxX)
+	w.f64(r.MaxY)
+}
+func (w *buffer) serverID(s id.ServerID) { w.u32(uint32(s)) }
+func (w *buffer) serverIDs(s []id.ServerID) {
+	w.u32(uint32(len(s)))
+	for _, v := range s {
+		w.serverID(v)
+	}
+}
+
+// reader is a bounds-checked decoder over one frame.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32    { return int32(r.u32()) }
+func (r *reader) i64() int64    { return int64(r.u64()) }
+func (r *reader) f64() float64  { return math.Float64frombits(r.u64()) }
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) point() geom.Point {
+	return geom.Point{X: r.f64(), Y: r.f64()}
+}
+
+func (r *reader) rect() geom.Rect {
+	return geom.Rect{MinX: r.f64(), MinY: r.f64(), MaxX: r.f64(), MaxY: r.f64()}
+}
+
+func (r *reader) serverID() id.ServerID { return id.ServerID(r.u32()) }
+
+func (r *reader) serverIDs() []id.ServerID {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := make([]id.ServerID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.serverID())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// --- per-message bodies ---
+
+func (m *GameUpdate) encodeBody(b *buffer) {
+	b.u64(uint64(m.Client))
+	b.u64(uint64(m.Seq))
+	b.u8(uint8(m.Kind))
+	b.point(m.Origin)
+	b.point(m.Dest)
+	b.i64(m.SentUnix)
+	b.bytes(m.Payload)
+}
+
+func (m *GameUpdate) decodeBody(r *reader) error {
+	m.Client = id.ClientID(r.u64())
+	m.Seq = id.PacketSeq(r.u64())
+	m.Kind = UpdateKind(r.u8())
+	m.Origin = r.point()
+	m.Dest = r.point()
+	m.SentUnix = r.i64()
+	m.Payload = r.bytes()
+	return r.err
+}
+
+func (m *Forward) encodeBody(b *buffer) {
+	b.serverID(m.From)
+	m.Update.encodeBody(b)
+}
+
+func (m *Forward) decodeBody(r *reader) error {
+	m.From = r.serverID()
+	return m.Update.decodeBody(r)
+}
+
+func (m *RegisterRequest) encodeBody(b *buffer) {
+	b.str(m.Addr)
+	b.f64(m.Radius)
+}
+
+func (m *RegisterRequest) decodeBody(r *reader) error {
+	m.Addr = r.str()
+	m.Radius = r.f64()
+	return r.err
+}
+
+func (m *RegisterReply) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.rect(m.Bounds)
+	b.rect(m.World)
+}
+
+func (m *RegisterReply) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Bounds = r.rect()
+	m.World = r.rect()
+	return r.err
+}
+
+func (m *LoadReport) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.i32(m.Clients)
+	b.i32(m.QueueLen)
+}
+
+func (m *LoadReport) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Clients = r.i32()
+	m.QueueLen = r.i32()
+	return r.err
+}
+
+func (m *OverlapTable) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.u64(m.Version)
+	b.rect(m.Bounds)
+	b.f64(m.Radius)
+	b.u32(uint32(len(m.Regions)))
+	for _, reg := range m.Regions {
+		b.rect(reg.Bounds)
+		b.serverIDs(reg.Peers)
+	}
+	b.u32(uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		b.serverID(p.Server)
+		b.str(p.Addr)
+		b.rect(p.Bounds)
+	}
+}
+
+func (m *OverlapTable) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Version = r.u64()
+	m.Bounds = r.rect()
+	m.Radius = r.f64()
+	nRegions := int(r.u32())
+	if r.err != nil || nRegions < 0 || nRegions > len(r.b) {
+		r.fail()
+		return r.err
+	}
+	m.Regions = make([]TableRegion, 0, nRegions)
+	for i := 0; i < nRegions; i++ {
+		reg := TableRegion{Bounds: r.rect(), Peers: r.serverIDs()}
+		if r.err != nil {
+			return r.err
+		}
+		m.Regions = append(m.Regions, reg)
+	}
+	nPeers := int(r.u32())
+	if r.err != nil || nPeers < 0 || nPeers > len(r.b) {
+		r.fail()
+		return r.err
+	}
+	m.Peers = make([]PeerAddr, 0, nPeers)
+	for i := 0; i < nPeers; i++ {
+		p := PeerAddr{Server: r.serverID(), Addr: r.str(), Bounds: r.rect()}
+		if r.err != nil {
+			return r.err
+		}
+		m.Peers = append(m.Peers, p)
+	}
+	return r.err
+}
+
+func (m *SplitRequest) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.i32(m.Clients)
+}
+
+func (m *SplitRequest) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Clients = r.i32()
+	return r.err
+}
+
+func (m *SplitReply) encodeBody(b *buffer) {
+	b.boolean(m.Granted)
+	b.serverID(m.Child)
+	b.str(m.ChildAddr)
+	b.rect(m.Keep)
+	b.rect(m.Give)
+	b.str(m.Reason)
+}
+
+func (m *SplitReply) decodeBody(r *reader) error {
+	m.Granted = r.boolean()
+	m.Child = r.serverID()
+	m.ChildAddr = r.str()
+	m.Keep = r.rect()
+	m.Give = r.rect()
+	m.Reason = r.str()
+	return r.err
+}
+
+func (m *ReclaimRequest) encodeBody(b *buffer) {
+	b.serverID(m.Parent)
+	b.serverID(m.Child)
+}
+
+func (m *ReclaimRequest) decodeBody(r *reader) error {
+	m.Parent = r.serverID()
+	m.Child = r.serverID()
+	return r.err
+}
+
+func (m *ReclaimReply) encodeBody(b *buffer) {
+	b.boolean(m.Granted)
+	b.rect(m.Merged)
+	b.str(m.Reason)
+}
+
+func (m *ReclaimReply) decodeBody(r *reader) error {
+	m.Granted = r.boolean()
+	m.Merged = r.rect()
+	m.Reason = r.str()
+	return r.err
+}
+
+func (m *Redirect) encodeBody(b *buffer) {
+	b.u64(uint64(m.Client))
+	b.serverID(m.NewOwner)
+	b.str(m.NewAddr)
+}
+
+func (m *Redirect) decodeBody(r *reader) error {
+	m.Client = id.ClientID(r.u64())
+	m.NewOwner = r.serverID()
+	m.NewAddr = r.str()
+	return r.err
+}
+
+func (m *StateTransfer) encodeBody(b *buffer) {
+	b.serverID(m.From)
+	b.serverID(m.To)
+	b.boolean(m.Final)
+	b.u32(uint32(len(m.Objects)))
+	for _, o := range m.Objects {
+		b.u64(uint64(o.Object))
+		b.u64(uint64(o.Client))
+		b.point(o.Pos)
+		b.bytes(o.Payload)
+	}
+}
+
+func (m *StateTransfer) decodeBody(r *reader) error {
+	m.From = r.serverID()
+	m.To = r.serverID()
+	m.Final = r.boolean()
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.b) {
+		r.fail()
+		return r.err
+	}
+	m.Objects = make([]ObjectState, 0, n)
+	for i := 0; i < n; i++ {
+		o := ObjectState{
+			Object: id.ObjectID(r.u64()),
+			Client: id.ClientID(r.u64()),
+			Pos:    r.point(),
+		}
+		o.Payload = r.bytes()
+		if r.err != nil {
+			return r.err
+		}
+		m.Objects = append(m.Objects, o)
+	}
+	return r.err
+}
+
+func (m *NonProximalQuery) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.point(m.Point)
+	b.f64(m.Radius)
+}
+
+func (m *NonProximalQuery) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Point = r.point()
+	m.Radius = r.f64()
+	return r.err
+}
+
+func (m *NonProximalReply) encodeBody(b *buffer) {
+	b.serverIDs(m.Servers)
+	b.u32(uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		b.serverID(p.Server)
+		b.str(p.Addr)
+		b.rect(p.Bounds)
+	}
+}
+
+func (m *NonProximalReply) decodeBody(r *reader) error {
+	m.Servers = r.serverIDs()
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.b) {
+		r.fail()
+		return r.err
+	}
+	m.Peers = make([]PeerAddr, 0, n)
+	for i := 0; i < n; i++ {
+		p := PeerAddr{Server: r.serverID(), Addr: r.str(), Bounds: r.rect()}
+		if r.err != nil {
+			return r.err
+		}
+		m.Peers = append(m.Peers, p)
+	}
+	return r.err
+}
+
+func (m *ClientHello) encodeBody(b *buffer) {
+	b.u64(uint64(m.Client))
+	b.point(m.Pos)
+}
+
+func (m *ClientHello) decodeBody(r *reader) error {
+	m.Client = id.ClientID(r.u64())
+	m.Pos = r.point()
+	return r.err
+}
+
+func (m *ClientWelcome) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.rect(m.Bounds)
+}
+
+func (m *ClientWelcome) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Bounds = r.rect()
+	return r.err
+}
+
+func (m *RangeUpdate) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.rect(m.Bounds)
+	b.u32(uint32(len(m.Handoff)))
+	for _, h := range m.Handoff {
+		b.serverID(h.Server)
+		b.str(h.Addr)
+		b.rect(h.Bounds)
+	}
+}
+
+func (m *RangeUpdate) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Bounds = r.rect()
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.b) {
+		r.fail()
+		return r.err
+	}
+	m.Handoff = make([]HandoffTarget, 0, n)
+	for i := 0; i < n; i++ {
+		h := HandoffTarget{Server: r.serverID(), Addr: r.str(), Bounds: r.rect()}
+		if r.err != nil {
+			return r.err
+		}
+		m.Handoff = append(m.Handoff, h)
+	}
+	if len(m.Handoff) == 0 {
+		m.Handoff = nil
+	}
+	return r.err
+}
+
+func (m *Ack) encodeBody(b *buffer) { b.u8(uint8(m.Of)) }
+
+func (m *Ack) decodeBody(r *reader) error {
+	m.Of = MsgType(r.u8())
+	return r.err
+}
+
+func (m *ErrorMsg) encodeBody(b *buffer) {
+	b.u8(uint8(m.Of))
+	b.str(m.Reason)
+}
+
+func (m *ErrorMsg) decodeBody(r *reader) error {
+	m.Of = MsgType(r.u8())
+	m.Reason = r.str()
+	return r.err
+}
+
+// newMessage allocates the empty message for a wire type.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeGameUpdate:
+		return &GameUpdate{}, nil
+	case TypeForward:
+		return &Forward{}, nil
+	case TypeRegisterRequest:
+		return &RegisterRequest{}, nil
+	case TypeRegisterReply:
+		return &RegisterReply{}, nil
+	case TypeLoadReport:
+		return &LoadReport{}, nil
+	case TypeOverlapTable:
+		return &OverlapTable{}, nil
+	case TypeSplitRequest:
+		return &SplitRequest{}, nil
+	case TypeSplitReply:
+		return &SplitReply{}, nil
+	case TypeReclaimRequest:
+		return &ReclaimRequest{}, nil
+	case TypeReclaimReply:
+		return &ReclaimReply{}, nil
+	case TypeRedirect:
+		return &Redirect{}, nil
+	case TypeStateTransfer:
+		return &StateTransfer{}, nil
+	case TypeNonProximalQuery:
+		return &NonProximalQuery{}, nil
+	case TypeNonProximalReply:
+		return &NonProximalReply{}, nil
+	case TypeClientHello:
+		return &ClientHello{}, nil
+	case TypeClientWelcome:
+		return &ClientWelcome{}, nil
+	case TypeRangeUpdate:
+		return &RangeUpdate{}, nil
+	case TypeAck:
+		return &Ack{}, nil
+	case TypeError:
+		return &ErrorMsg{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
+	}
+}
+
+// Marshal encodes m into a self-describing frame:
+// [u32 body length][u8 type][body].
+func Marshal(m Message) ([]byte, error) {
+	var body buffer
+	m.encodeBody(&body)
+	if len(body.b) > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body.b))
+	}
+	out := make([]byte, 0, 5+len(body.b))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body.b)))
+	out = append(out, uint8(m.MsgType()))
+	out = append(out, body.b...)
+	return out, nil
+}
+
+// Unmarshal decodes one frame previously produced by Marshal.
+func Unmarshal(frame []byte) (Message, error) {
+	if len(frame) < 5 {
+		return nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(frame)
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if len(frame) != int(n)+5 {
+		return nil, fmt.Errorf("%w: frame says %d body bytes, have %d", ErrTruncated, n, len(frame)-5)
+	}
+	m, err := newMessage(MsgType(frame[4]))
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{b: frame[5:]}
+	if err := m.decodeBody(r); err != nil {
+		return nil, fmt.Errorf("decode %v: %w", m.MsgType(), err)
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after %v", len(r.b)-r.off, m.MsgType())
+	}
+	return m, nil
+}
+
+// Size returns the number of bytes m occupies on the wire (envelope
+// included) without allocating the frame twice. Bandwidth accounting in the
+// evaluation harness uses it.
+func Size(m Message) (int, error) {
+	var body buffer
+	m.encodeBody(&body)
+	if len(body.b) > MaxFrameSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body.b))
+	}
+	return 5 + len(body.b), nil
+}
+
+// Write encodes m and writes the frame to w.
+func Write(w io.Writer, m Message) error {
+	frame, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// Read reads exactly one frame from r and decodes it.
+func Read(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, 5+n)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[5:]); err != nil {
+		return nil, fmt.Errorf("protocol: body: %w", err)
+	}
+	return Unmarshal(frame)
+}

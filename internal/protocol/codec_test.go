@@ -1,0 +1,323 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/overlap"
+)
+
+// roundTrip marshals and unmarshals m, failing the test on any error.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	frame, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal(%v): %v", m.MsgType(), err)
+	}
+	got, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatalf("Unmarshal(%v): %v", m.MsgType(), err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []Message{
+		&GameUpdate{
+			Client:   42,
+			Seq:      7,
+			Kind:     KindMove,
+			Origin:   geom.Pt(1.5, -2.25),
+			Dest:     geom.Pt(3, 4),
+			SentUnix: 123456789,
+			Payload:  []byte("fire!"),
+		},
+		&GameUpdate{}, // zero payload
+		&Forward{From: 3, Update: GameUpdate{Client: 1, Kind: KindAction, Payload: []byte{0, 1, 2}}},
+		&RegisterRequest{Addr: "10.0.0.1:4000", Radius: 25.5},
+		&RegisterReply{Server: 5, Bounds: geom.R(0, 0, 50, 100), World: geom.R(0, 0, 100, 100)},
+		&LoadReport{Server: 2, Clients: 312, QueueLen: 98},
+		&OverlapTable{
+			Server:  1,
+			Version: 9,
+			Bounds:  geom.R(50, 0, 100, 100),
+			Radius:  5,
+			Regions: []TableRegion{
+				{Bounds: geom.R(50, 0, 55, 100), Peers: []id.ServerID{2}},
+				{Bounds: geom.R(50, 0, 55, 5), Peers: []id.ServerID{2, 3}},
+			},
+			Peers: []PeerAddr{{Server: 2, Addr: "a:1"}, {Server: 3, Addr: "b:2"}},
+		},
+		&OverlapTable{Server: 4, Version: 1, Bounds: geom.R(0, 0, 1, 1)}, // empty table
+		&SplitRequest{Server: 1, Clients: 450},
+		&SplitReply{Granted: true, Child: 9, ChildAddr: "c:3", Keep: geom.R(0, 0, 1, 1), Give: geom.R(1, 0, 2, 1)},
+		&SplitReply{Granted: false, Reason: "pool exhausted"},
+		&ReclaimRequest{Parent: 1, Child: 2},
+		&ReclaimReply{Granted: true, Merged: geom.R(0, 0, 2, 2)},
+		&ReclaimReply{Granted: false, Reason: "child too loaded"},
+		&Redirect{Client: 77, NewOwner: 4, NewAddr: "d:4"},
+		&StateTransfer{
+			From: 1, To: 2, Final: true,
+			Objects: []ObjectState{
+				{Object: 1, Client: 9, Pos: geom.Pt(4, 5), Payload: []byte("hp=50")},
+				{Object: 2, Pos: geom.Pt(6, 7)},
+			},
+		},
+		&StateTransfer{From: 1, To: 2}, // empty transfer
+		&NonProximalQuery{Server: 3, Point: geom.Pt(10, 20), Radius: 100},
+		&NonProximalReply{Servers: []id.ServerID{1, 2, 3}, Peers: []PeerAddr{{Server: 1, Addr: "x:1"}}},
+		&NonProximalReply{},
+		&ClientHello{Client: 12, Pos: geom.Pt(1, 2)},
+		&ClientWelcome{Server: 2, Bounds: geom.R(0, 0, 10, 10)},
+		&RangeUpdate{Server: 6, Bounds: geom.R(5, 5, 10, 10)},
+		&RangeUpdate{
+			Server: 6, Bounds: geom.R(5, 5, 10, 10),
+			Handoff: []HandoffTarget{{Server: 7, Addr: "h:7", Bounds: geom.R(0, 0, 5, 10)}},
+		},
+		&Ack{Of: TypeSplitRequest},
+		&ErrorMsg{Of: TypeReclaimRequest, Reason: "no such child"},
+	}
+	for _, m := range msgs {
+		m := m
+		t.Run(m.MsgType().String(), func(t *testing.T) {
+			got := roundTrip(t, m)
+			if got.MsgType() != m.MsgType() {
+				t.Fatalf("type changed: %v -> %v", m.MsgType(), got.MsgType())
+			}
+			if !reflect.DeepEqual(normalize(m), normalize(got)) {
+				t.Fatalf("round trip mismatch:\n sent %#v\n got  %#v", m, got)
+			}
+		})
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form so DeepEqual
+// tolerates the decoder's empty-slice representation choices.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *GameUpdate:
+		c := *v
+		if len(c.Payload) == 0 {
+			c.Payload = nil
+		}
+		return &c
+	case *Forward:
+		c := *v
+		if len(c.Update.Payload) == 0 {
+			c.Update.Payload = nil
+		}
+		return &c
+	case *OverlapTable:
+		c := *v
+		if len(c.Regions) == 0 {
+			c.Regions = nil
+		}
+		if len(c.Peers) == 0 {
+			c.Peers = nil
+		}
+		return &c
+	case *StateTransfer:
+		c := *v
+		if len(c.Objects) == 0 {
+			c.Objects = nil
+		}
+		for i := range c.Objects {
+			if len(c.Objects[i].Payload) == 0 {
+				c.Objects[i].Payload = nil
+			}
+		}
+		return &c
+	case *NonProximalReply:
+		c := *v
+		if len(c.Servers) == 0 {
+			c.Servers = nil
+		}
+		if len(c.Peers) == 0 {
+			c.Peers = nil
+		}
+		return &c
+	default:
+		return m
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Message{
+		&LoadReport{Server: 1, Clients: 10, QueueLen: 2},
+		&Ack{Of: TypeLoadReport},
+		&GameUpdate{Client: 5, Kind: KindChat, Payload: []byte("hello world")},
+	}
+	for _, m := range want {
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	for i, w := range want {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if got.MsgType() != w.MsgType() {
+			t.Fatalf("Read %d: type %v, want %v", i, got.MsgType(), w.MsgType())
+		}
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("Read past end must fail")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil frame: %v", err)
+	}
+	if _, err := Unmarshal([]byte{0, 0, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short frame: %v", err)
+	}
+	// Unknown type byte.
+	frame := []byte{0, 0, 0, 0, 250}
+	if _, err := Unmarshal(frame); !errors.Is(err, ErrBadType) {
+		t.Errorf("bad type: %v", err)
+	}
+	// Declared body longer than actual.
+	frame = []byte{0, 0, 0, 9, uint8(TypeAck), 1}
+	if _, err := Unmarshal(frame); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated body: %v", err)
+	}
+	// Trailing garbage after a valid body.
+	good, err := Marshal(&Ack{Of: TypeLoadReport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append(good[:len(good):len(good)], 0xFF)
+	bad[3]++ // fix length to include the garbage byte
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+func TestCorruptedBodiesNeverPanic(t *testing.T) {
+	// Every message type decoded from random bytes must return an error or
+	// a message, never panic or over-read.
+	rnd := rand.New(rand.NewSource(7))
+	for typ := TypeGameUpdate; typ < typeMax; typ++ {
+		for trial := 0; trial < 200; trial++ {
+			n := rnd.Intn(64)
+			body := make([]byte, n)
+			rnd.Read(body)
+			frame := make([]byte, 0, 5+n)
+			frame = append(frame, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+			frame = append(frame, uint8(typ))
+			frame = append(frame, body...)
+			_, _ = Unmarshal(frame) // must not panic
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	big := &GameUpdate{Payload: make([]byte, MaxFrameSize+1)}
+	if _, err := Marshal(big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized marshal: %v", err)
+	}
+	// A frame header claiming a huge body must be rejected by Read before
+	// allocating.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, uint8(TypeAck)})
+	if _, err := Read(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("huge header: %v", err)
+	}
+}
+
+func TestGameUpdateQuickRoundTrip(t *testing.T) {
+	f := func(client uint64, seq uint64, kind uint8, ox, oy, dx, dy float64, sent int64, payload []byte) bool {
+		m := &GameUpdate{
+			Client:   id.ClientID(client),
+			Seq:      id.PacketSeq(seq),
+			Kind:     UpdateKind(kind),
+			Origin:   geom.Pt(ox, oy),
+			Dest:     geom.Pt(dx, dy),
+			SentUnix: sent,
+			Payload:  payload,
+		}
+		frame, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(frame)
+		if err != nil {
+			return false
+		}
+		g, ok := got.(*GameUpdate)
+		if !ok {
+			return false
+		}
+		if g.Client != m.Client || g.Seq != m.Seq || g.Kind != m.Kind || g.SentUnix != m.SentUnix {
+			return false
+		}
+		if len(g.Payload) != len(m.Payload) {
+			return false
+		}
+		return bytes.Equal(g.Payload, m.Payload)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionsWireConversion(t *testing.T) {
+	regions := []overlap.Region{
+		{Bounds: geom.R(0, 0, 5, 100), Peers: overlap.NewSet(2, 3)},
+		{Bounds: geom.R(0, 0, 5, 5), Peers: overlap.NewSet(4)},
+	}
+	wire := RegionsToWire(regions)
+	back := RegionsFromWire(wire)
+	if len(back) != len(regions) {
+		t.Fatalf("got %d regions", len(back))
+	}
+	for i := range back {
+		if !back[i].Bounds.Eq(regions[i].Bounds) {
+			t.Errorf("region %d bounds %v != %v", i, back[i].Bounds, regions[i].Bounds)
+		}
+		if !back[i].Peers.Equal(regions[i].Peers) {
+			t.Errorf("region %d peers %v != %v", i, back[i].Peers, regions[i].Peers)
+		}
+	}
+	// Wire form must not alias the original peer slices.
+	wire[0].Peers[0] = 99
+	if regions[0].Peers[0] == 99 {
+		t.Error("RegionsToWire must copy peer slices")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for typ := TypeGameUpdate; typ < typeMax; typ++ {
+		if s := typ.String(); s == "" || s[0] == 'm' && s[1] == 's' && s[2] == 'g' {
+			t.Errorf("type %d has no name: %q", uint8(typ), s)
+		}
+	}
+	if MsgType(0).String() != "msgtype(0)" {
+		t.Errorf("zero type: %q", MsgType(0).String())
+	}
+}
+
+func TestUpdateKindStrings(t *testing.T) {
+	kinds := []UpdateKind{KindMove, KindAction, KindChat, KindSpawn, KindDespawn}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if UpdateKind(99).String() != "kind(99)" {
+		t.Error("unknown kind String")
+	}
+}

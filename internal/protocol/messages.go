@@ -1,0 +1,378 @@
+// Package protocol defines the Matrix wire protocol: the spatially-tagged
+// game packets that game servers hand to their Matrix servers, and the
+// control-plane messages exchanged with peer Matrix servers and with the
+// Matrix Coordinator (registration, load reports, overlap tables, splits,
+// reclamations, client redirects and state transfer).
+//
+// Messages are encoded with a compact length-prefixed binary framing
+// (encoding/binary, big endian) suitable both for TCP transports and for the
+// in-process transport used by the simulation harness.
+package protocol
+
+import (
+	"fmt"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/overlap"
+)
+
+// MsgType discriminates message payloads on the wire.
+type MsgType uint8
+
+// Message type values. They start at 1 so a zero byte is detectably invalid.
+const (
+	TypeGameUpdate MsgType = iota + 1
+	TypeForward
+	TypeRegisterRequest
+	TypeRegisterReply
+	TypeLoadReport
+	TypeOverlapTable
+	TypeSplitRequest
+	TypeSplitReply
+	TypeReclaimRequest
+	TypeReclaimReply
+	TypeRedirect
+	TypeStateTransfer
+	TypeNonProximalQuery
+	TypeNonProximalReply
+	TypeClientHello
+	TypeClientWelcome
+	TypeRangeUpdate
+	TypeAck
+	TypeError
+
+	typeMax // sentinel for validation
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := [...]string{
+		TypeGameUpdate:       "game-update",
+		TypeForward:          "forward",
+		TypeRegisterRequest:  "register-request",
+		TypeRegisterReply:    "register-reply",
+		TypeLoadReport:       "load-report",
+		TypeOverlapTable:     "overlap-table",
+		TypeSplitRequest:     "split-request",
+		TypeSplitReply:       "split-reply",
+		TypeReclaimRequest:   "reclaim-request",
+		TypeReclaimReply:     "reclaim-reply",
+		TypeRedirect:         "redirect",
+		TypeStateTransfer:    "state-transfer",
+		TypeNonProximalQuery: "non-proximal-query",
+		TypeNonProximalReply: "non-proximal-reply",
+		TypeClientHello:      "client-hello",
+		TypeClientWelcome:    "client-welcome",
+		TypeRangeUpdate:      "range-update",
+		TypeAck:              "ack",
+		TypeError:            "error",
+	}
+	if int(t) < len(names) && names[t] != "" {
+		return names[t]
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// MsgType returns the wire discriminator for the message.
+	MsgType() MsgType
+	// encodeBody appends the message body (without the envelope).
+	encodeBody(b *buffer)
+	// decodeBody parses the message body.
+	decodeBody(r *reader) error
+}
+
+// UpdateKind classifies a game update's role in the game, so workload models
+// can mix traffic classes without the middleware understanding game logic.
+type UpdateKind uint8
+
+// Update kinds used by the bundled game workloads.
+const (
+	KindMove UpdateKind = iota + 1
+	KindAction
+	KindChat
+	KindSpawn
+	KindDespawn
+)
+
+// String implements fmt.Stringer.
+func (k UpdateKind) String() string {
+	switch k {
+	case KindMove:
+		return "move"
+	case KindAction:
+		return "action"
+	case KindChat:
+		return "chat"
+	case KindSpawn:
+		return "spawn"
+	case KindDespawn:
+		return "despawn"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// GameUpdate is the paper's spatially-tagged game packet: the game server
+// forwards every client packet to its Matrix server "appropriately tagged
+// with the spatial coordinates (in the game world) of the packet's origin
+// and destination".
+type GameUpdate struct {
+	Client   id.ClientID  // the acting client's global ID (callsign)
+	Seq      id.PacketSeq // per-client sequence number
+	Kind     UpdateKind   // traffic class
+	Origin   geom.Point   // where the event originates
+	Dest     geom.Point   // where the event lands (== Origin for most)
+	SentUnix int64        // send timestamp, ns since epoch (latency metric)
+	Payload  []byte       // opaque game bytes (Matrix never reads them)
+}
+
+// MsgType implements Message.
+func (*GameUpdate) MsgType() MsgType { return TypeGameUpdate }
+
+// Forward wraps a GameUpdate traveling between Matrix servers, recording the
+// origin server so receivers can verify ranges and account traffic.
+type Forward struct {
+	From   id.ServerID
+	Update GameUpdate
+}
+
+// MsgType implements Message.
+func (*Forward) MsgType() MsgType { return TypeForward }
+
+// RegisterRequest is sent by a new Matrix server to the MC: "when a game
+// server starts, it sends Matrix the visibility radius of clients in the
+// game".
+type RegisterRequest struct {
+	Addr   string  // transport address peers should dial
+	Radius float64 // the game's radius of visibility
+}
+
+// MsgType implements Message.
+func (*RegisterRequest) MsgType() MsgType { return TypeRegisterRequest }
+
+// RegisterReply assigns the server its ID and initial map range.
+type RegisterReply struct {
+	Server id.ServerID
+	Bounds geom.Rect
+	World  geom.Rect
+}
+
+// MsgType implements Message.
+func (*RegisterReply) MsgType() MsgType { return TypeRegisterReply }
+
+// LoadReport is the game server's periodic load notification.
+type LoadReport struct {
+	Server   id.ServerID
+	Clients  int32 // connected clients
+	QueueLen int32 // receive-queue length (the paper's Figure 2b metric)
+}
+
+// MsgType implements Message.
+func (*LoadReport) MsgType() MsgType { return TypeLoadReport }
+
+// TableRegion is one overlap region on the wire.
+type TableRegion struct {
+	Bounds geom.Rect
+	Peers  []id.ServerID
+}
+
+// PeerAddr pairs a server with its dialable transport address and current
+// partition bounds. The bounds let a Matrix server resolve "who owns this
+// point" for adjacent partitions locally — used when a client's movement
+// carries it across a partition boundary and the game server must hand it
+// off ("each server is only responsible for clients located within its
+// assigned partition").
+type PeerAddr struct {
+	Server id.ServerID
+	Addr   string
+	Bounds geom.Rect
+}
+
+// OverlapTable carries a server's freshly computed overlap regions plus the
+// addresses of every peer it may need to forward to.
+type OverlapTable struct {
+	Server  id.ServerID
+	Version uint64
+	Bounds  geom.Rect
+	Radius  float64
+	Regions []TableRegion
+	Peers   []PeerAddr
+}
+
+// MsgType implements Message.
+func (*OverlapTable) MsgType() MsgType { return TypeOverlapTable }
+
+// SplitRequest asks the MC for a fresh server to shed load onto. The
+// decision to split is purely local to the requesting Matrix server.
+type SplitRequest struct {
+	Server  id.ServerID
+	Clients int32 // current load, for the MC's records
+}
+
+// MsgType implements Message.
+func (*SplitRequest) MsgType() MsgType { return TypeSplitRequest }
+
+// SplitReply grants (or denies) a split. On success the requester keeps
+// Keep and the new child server owns Give.
+type SplitReply struct {
+	Granted   bool
+	Child     id.ServerID
+	ChildAddr string
+	Keep      geom.Rect
+	Give      geom.Rect
+	Reason    string // populated when denied
+}
+
+// MsgType implements Message.
+func (*SplitReply) MsgType() MsgType { return TypeSplitReply }
+
+// ReclaimRequest asks the MC to fold child's partition back into parent.
+type ReclaimRequest struct {
+	Parent id.ServerID
+	Child  id.ServerID
+}
+
+// MsgType implements Message.
+func (*ReclaimRequest) MsgType() MsgType { return TypeReclaimRequest }
+
+// ReclaimReply reports the outcome of a reclamation.
+type ReclaimReply struct {
+	Granted bool
+	Merged  geom.Rect
+	Reason  string
+}
+
+// MsgType implements Message.
+func (*ReclaimReply) MsgType() MsgType { return TypeReclaimReply }
+
+// Redirect tells a game client to reconnect to a different game server. The
+// client never learns why (Matrix is transparent to players).
+type Redirect struct {
+	Client   id.ClientID
+	NewOwner id.ServerID
+	NewAddr  string
+}
+
+// MsgType implements Message.
+func (*Redirect) MsgType() MsgType { return TypeRedirect }
+
+// ObjectState is one migrating game object (client avatar or map object).
+type ObjectState struct {
+	Object  id.ObjectID
+	Client  id.ClientID // zero for non-player objects
+	Pos     geom.Point
+	Payload []byte
+}
+
+// StateTransfer moves game state between game servers during splits and
+// reclamations ("the overloaded game server will forward all game specific
+// state ... to the new game server via Matrix").
+type StateTransfer struct {
+	From    id.ServerID
+	To      id.ServerID
+	Objects []ObjectState
+	Final   bool // true on the last chunk of a transfer
+}
+
+// MsgType implements Message.
+func (*StateTransfer) MsgType() MsgType { return TypeStateTransfer }
+
+// NonProximalQuery asks the MC for the consistency set of an arbitrary
+// point, used for the paper's "rare non-proximal interactions".
+type NonProximalQuery struct {
+	Server id.ServerID // asking server
+	Point  geom.Point
+	Radius float64
+}
+
+// MsgType implements Message.
+func (*NonProximalQuery) MsgType() MsgType { return TypeNonProximalQuery }
+
+// NonProximalReply carries the consistency set for a NonProximalQuery.
+type NonProximalReply struct {
+	Servers []id.ServerID
+	Peers   []PeerAddr
+}
+
+// MsgType implements Message.
+func (*NonProximalReply) MsgType() MsgType { return TypeNonProximalReply }
+
+// ClientHello is a game client joining a game server.
+type ClientHello struct {
+	Client id.ClientID
+	Pos    geom.Point
+}
+
+// MsgType implements Message.
+func (*ClientHello) MsgType() MsgType { return TypeClientHello }
+
+// ClientWelcome acknowledges a join and tells the client its server.
+type ClientWelcome struct {
+	Server id.ServerID
+	Bounds geom.Rect
+}
+
+// MsgType implements Message.
+func (*ClientWelcome) MsgType() MsgType { return TypeClientWelcome }
+
+// HandoffTarget names the server that takes over a region the receiver is
+// giving up, so the game server can redirect the right clients to the right
+// place ("Matrix provides the identity of the appropriate game server").
+type HandoffTarget struct {
+	Server id.ServerID
+	Addr   string
+	Bounds geom.Rect
+}
+
+// RangeUpdate tells a game server its new map range after a split or
+// reclamation. Handoff lists where displaced clients must be redirected:
+// after a split it names the new child and its piece; after a reclamation
+// (empty Bounds) it names the parent that absorbed the partition.
+type RangeUpdate struct {
+	Server  id.ServerID
+	Bounds  geom.Rect
+	Handoff []HandoffTarget
+}
+
+// MsgType implements Message.
+func (*RangeUpdate) MsgType() MsgType { return TypeRangeUpdate }
+
+// Ack is a generic positive acknowledgement keyed by the request type.
+type Ack struct {
+	Of MsgType
+}
+
+// MsgType implements Message.
+func (*Ack) MsgType() MsgType { return TypeAck }
+
+// ErrorMsg is a generic failure reply.
+type ErrorMsg struct {
+	Of     MsgType
+	Reason string
+}
+
+// MsgType implements Message.
+func (*ErrorMsg) MsgType() MsgType { return TypeError }
+
+// RegionsToWire converts overlap regions to their wire form.
+func RegionsToWire(regions []overlap.Region) []TableRegion {
+	out := make([]TableRegion, len(regions))
+	for i, r := range regions {
+		peers := make([]id.ServerID, len(r.Peers))
+		copy(peers, r.Peers)
+		out[i] = TableRegion{Bounds: r.Bounds, Peers: peers}
+	}
+	return out
+}
+
+// RegionsFromWire converts wire regions back to overlap regions.
+func RegionsFromWire(regions []TableRegion) []overlap.Region {
+	out := make([]overlap.Region, len(regions))
+	for i, r := range regions {
+		out[i] = overlap.Region{Bounds: r.Bounds, Peers: overlap.NewSet(r.Peers...)}
+	}
+	return out
+}

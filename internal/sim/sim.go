@@ -1,0 +1,691 @@
+// Package sim is the evaluation harness: a deterministic, time-stepped
+// simulator that drives a full Matrix deployment — coordinator, Matrix
+// servers, game servers and hundreds of game clients — through scripted
+// workloads on a virtual clock.
+//
+// The simulator substitutes for the paper's physical testbed. The
+// middleware components are the production state machines from
+// internal/core, internal/coordinator and internal/gameserver, driven
+// synchronously; only the transport (direct delivery), the clock (virtual)
+// and the client population (synthetic movers from internal/game) differ
+// from a live deployment. Queue lengths, client counts, forwarded bytes and
+// response latencies therefore measure the real protocol behaviour.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"matrix/internal/clock"
+	"matrix/internal/coordinator"
+	"matrix/internal/core"
+	"matrix/internal/game"
+	"matrix/internal/gameclient"
+	"matrix/internal/gameserver"
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/load"
+	"matrix/internal/metrics"
+	"matrix/internal/protocol"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Profile is the game workload (bzflag, daimonin, quake2).
+	Profile game.Profile
+	// World is the full map rectangle.
+	World geom.Rect
+	// Seed makes the run reproducible.
+	Seed int64
+	// TickSeconds is the simulation step (default 0.1s).
+	TickSeconds float64
+	// DurationSeconds is the simulated run length.
+	DurationSeconds float64
+	// MaxServers is the total server fleet (first one starts active, the
+	// rest wait in the MC's pool). In static mode all of them are active
+	// from the start with fixed partitions.
+	MaxServers int
+	// ServiceRatePerTick is how many queued packets a game server can
+	// process per tick (its service capacity).
+	ServiceRatePerTick int
+	// MaxQueue bounds each game server's receive queue (0 = unbounded).
+	MaxQueue int
+	// LoadReportEverySeconds is the load-report period (default 1s).
+	LoadReportEverySeconds float64
+	// BasePopulation is the number of clients roaming the world from t=0.
+	BasePopulation int
+	// Script schedules hotspot joins and leaves.
+	Script game.Script
+	// Static, when non-empty, runs the static-partitioning baseline with
+	// these fixed partitions instead of adaptive Matrix.
+	Static []geom.Rect
+	// LoadPolicy tunes split/reclaim thresholds (zero = paper defaults).
+	LoadPolicy load.Config
+	// SampleEverySeconds is the series sampling period (default 1s).
+	SampleEverySeconds float64
+	// LatencyIgnoreBeforeSeconds, when positive, excludes response-latency
+	// samples measured before this time from Result.Latency. Experiments
+	// use it to measure steady-state player experience rather than the
+	// join-burst transient (the paper's user study rated ongoing play).
+	LatencyIgnoreBeforeSeconds float64
+}
+
+// sanitized fills defaults.
+func (c Config) sanitized() (Config, error) {
+	if err := c.Profile.Validate(); err != nil {
+		return c, err
+	}
+	if c.World.Empty() {
+		return c, errors.New("sim: empty world")
+	}
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 0.1
+	}
+	if c.DurationSeconds <= 0 {
+		return c, errors.New("sim: duration must be positive")
+	}
+	if c.MaxServers <= 0 {
+		c.MaxServers = 1
+	}
+	if c.ServiceRatePerTick <= 0 {
+		c.ServiceRatePerTick = 200
+	}
+	if c.LoadReportEverySeconds <= 0 {
+		c.LoadReportEverySeconds = 1
+	}
+	if c.SampleEverySeconds <= 0 {
+		c.SampleEverySeconds = 1
+	}
+	if err := c.Script.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// TopologyEvent records one split or reclamation.
+type TopologyEvent struct {
+	Time   float64
+	Kind   string // "split" or "reclaim"
+	Server id.ServerID
+}
+
+// Result carries everything the experiments report.
+type Result struct {
+	// Metrics holds the time series: "clients/server-N", "queue/server-N"
+	// (the two panels of the paper's Figure 2) and "servers/active".
+	Metrics *metrics.Registry
+	// Latency is the distribution of client action→echo response times in
+	// milliseconds.
+	Latency *metrics.Histogram
+	// SwitchLatency is the distribution of redirect→rejoin times in
+	// milliseconds (the paper's switching-latency microbenchmark).
+	SwitchLatency *metrics.Histogram
+	// Events lists splits/reclaims in time order.
+	Events []TopologyEvent
+	// PeakServers is the maximum simultaneously active server count.
+	PeakServers int
+	// FinalServers is the active count at the end.
+	FinalServers int
+	// ForwardedBytes is the total inter-Matrix traffic.
+	ForwardedBytes uint64
+	// ForwardedPackets is the total inter-Matrix packet count.
+	ForwardedPackets uint64
+	// DroppedPackets counts queue-overflow losses (static mode's failure
+	// signature).
+	DroppedPackets uint64
+	// DeliveredUpdates counts client-visible event deliveries.
+	DeliveredUpdates uint64
+	// Redirects counts client server-switches.
+	Redirects uint64
+	// OverlapAreaLast is the summed overlap area at the end of the run.
+	OverlapAreaLast float64
+	// ClientSeconds integrates connected clients over time (load measure).
+	ClientSeconds float64
+}
+
+// node is one server slot: a Matrix server and its co-located game server.
+type node struct {
+	core *core.Server
+	gs   *gameserver.Server
+}
+
+// simClient is one synthetic player.
+type simClient struct {
+	cl        *gameclient.Client
+	mover     *game.Mover
+	tag       string
+	assigned  id.ServerID // game server currently responsible
+	acc       float64     // fractional updates owed
+	alive     bool
+	helloAt   float64 // last hello send time (for retry)
+	redirAt   float64 // redirect time, for switch-latency measurement
+	redirOpen bool
+}
+
+// Sim is one in-flight simulation.
+type Sim struct {
+	cfg     Config
+	clk     *clock.Virtual
+	mc      *coordinator.Coordinator
+	nodes   map[id.ServerID]*node
+	order   []id.ServerID // deterministic iteration order
+	clients map[id.ClientID]*simClient
+	gen     id.Generator
+	reg     *metrics.Registry
+	lat     *metrics.Histogram
+	swLat   *metrics.Histogram
+	events  []TopologyEvent
+	res     Result
+	now     float64
+	rngSeed int64
+
+	activePrev map[id.ServerID]bool
+	// latSkip[c] = how many of client c's leading latency samples fall
+	// before the measurement window and must be dropped.
+	latSkip     map[id.ClientID]int
+	latWindowed bool
+}
+
+// New builds a simulation.
+func New(cfg Config) (*Sim, error) {
+	cfg, err := cfg.sanitized()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:        cfg,
+		clk:        clock.NewVirtual(time.Unix(0, 0)),
+		nodes:      make(map[id.ServerID]*node),
+		clients:    make(map[id.ClientID]*simClient),
+		reg:        metrics.NewRegistry(),
+		lat:        &metrics.Histogram{},
+		swLat:      &metrics.Histogram{},
+		activePrev: make(map[id.ServerID]bool),
+		latSkip:    make(map[id.ClientID]int),
+		rngSeed:    cfg.Seed,
+	}
+	mcCfg := coordinator.Config{World: cfg.World, Static: cfg.Static}
+	s.mc, err = coordinator.New(mcCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register the fleet. In adaptive mode the first server becomes the
+	// root and the rest are spares; in static mode every server gets its
+	// fixed tile.
+	fleet := cfg.MaxServers
+	if len(cfg.Static) > 0 {
+		fleet = len(cfg.Static)
+	}
+	for i := 0; i < fleet; i++ {
+		if err := s.registerServer(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// registerServer creates one server slot and registers it with the MC.
+func (s *Sim) registerServer() error {
+	addr := fmt.Sprintf("sim:%d", len(s.order)+1)
+	reply, envs, err := s.mc.Register(addr, s.cfg.Profile.Radius)
+	if err != nil {
+		return err
+	}
+	cs, err := core.NewServer(core.Config{
+		Load:  s.cfg.LoadPolicy,
+		Clock: s.clk,
+	}, reply, s.cfg.Profile.Radius)
+	if err != nil {
+		return err
+	}
+	gs, err := gameserver.New(gameserver.Config{
+		Server:   reply.Server,
+		Bounds:   reply.Bounds,
+		Radius:   s.cfg.Profile.Radius,
+		MaxQueue: s.cfg.MaxQueue,
+		// Boundary handoffs resolve against the co-located Matrix server.
+		ResolveOwner: cs.ResolveOwner,
+	})
+	if err != nil {
+		return err
+	}
+	s.nodes[reply.Server] = &node{core: cs, gs: gs}
+	s.order = append(s.order, reply.Server)
+	for _, e := range envs {
+		s.deliverToCore(e.To, id.None, e.Msg)
+	}
+	return nil
+}
+
+// deliverToCore hands a message to a Matrix server and routes the fallout.
+func (s *Sim) deliverToCore(to id.ServerID, from id.ServerID, m protocol.Message) {
+	n, ok := s.nodes[to]
+	if !ok {
+		return
+	}
+	envs, err := n.core.HandleMessage(from, m)
+	if err != nil {
+		// Inactive servers legitimately reject packets that were in
+		// flight across a topology change; everything else is counted
+		// but must not stop the run.
+		s.reg.Counter("errors/core").Inc()
+		return
+	}
+	s.routeCoreEnvelopes(to, envs)
+}
+
+// routeCoreEnvelopes dispatches a Matrix server's outbox.
+func (s *Sim) routeCoreEnvelopes(from id.ServerID, envs []core.Envelope) {
+	for _, e := range envs {
+		switch e.Dest {
+		case core.DestCoordinator:
+			mcEnvs, err := s.mc.HandleMessage(from, e.Msg)
+			if err != nil {
+				s.reg.Counter("errors/mc").Inc()
+				continue
+			}
+			s.noteTopology(e.Msg, mcEnvs)
+			for _, me := range mcEnvs {
+				s.deliverToCore(me.To, id.None, me.Msg)
+			}
+		case core.DestGameServer:
+			// Overflow drops are counted by the game server itself.
+			_ = s.nodes[from].gs.Enqueue(e.Msg)
+		case core.DestPeer:
+			s.deliverToCore(e.Peer, from, e.Msg)
+		}
+	}
+}
+
+// noteTopology records granted splits/reclaims from MC replies.
+func (s *Sim) noteTopology(req protocol.Message, envs []coordinator.Envelope) {
+	switch req.(type) {
+	case *protocol.SplitRequest:
+		for _, e := range envs {
+			if rep, ok := e.Msg.(*protocol.SplitReply); ok && rep.Granted {
+				s.events = append(s.events, TopologyEvent{Time: s.now, Kind: "split", Server: rep.Child})
+			}
+		}
+	case *protocol.ReclaimRequest:
+		rr := req.(*protocol.ReclaimRequest)
+		for _, e := range envs {
+			if rep, ok := e.Msg.(*protocol.ReclaimReply); ok {
+				if !rep.Granted {
+					if debugTopology {
+						fmt.Printf("sim: t=%.1f reclaim denied parent=%v child=%v reason=%q\n", s.now, rr.Parent, rr.Child, rep.Reason)
+					}
+					continue
+				}
+				if debugTopology {
+					fmt.Printf("sim: t=%.1f reclaim parent=%v child=%v\n", s.now, rr.Parent, rr.Child)
+				}
+				s.events = append(s.events, TopologyEvent{Time: s.now, Kind: "reclaim", Server: rr.Child})
+			}
+		}
+	}
+}
+
+// deliverToClient hands a message to a client and reacts to its events.
+func (s *Sim) deliverToClient(cid id.ClientID, m protocol.Message) {
+	sc, ok := s.clients[cid]
+	if !ok || !sc.alive {
+		return
+	}
+	ev, err := sc.cl.Handle(m)
+	if err != nil {
+		s.reg.Counter("errors/client").Inc()
+		return
+	}
+	switch ev {
+	case gameclient.EventSwitchServer:
+		// Reconnect: hello the new server straight away.
+		sc.assigned = sc.cl.Server()
+		sc.redirAt = s.now
+		sc.redirOpen = true
+		s.res.Redirects++
+		s.sendHello(sc)
+	case gameclient.EventConnected:
+		if sc.redirOpen {
+			s.swLat.Observe((s.now - sc.redirAt) * 1000)
+			sc.redirOpen = false
+		}
+	}
+}
+
+// sendHello (re)joins the client's assigned game server.
+func (s *Sim) sendHello(sc *simClient) {
+	n, ok := s.nodes[sc.assigned]
+	if !ok {
+		return
+	}
+	sc.helloAt = s.now
+	_ = n.gs.Enqueue(sc.cl.Hello()) // overflow counted by the game server
+}
+
+// ownerOf finds the active server owning a point (the "lobby" lookup a
+// production deployment would do via DNS or a login service).
+func (s *Sim) ownerOf(p geom.Point) id.ServerID {
+	for _, part := range s.mc.Partitions() {
+		if part.Bounds.Contains(p) {
+			return part.Owner
+		}
+	}
+	// Half-open boundary case: clamp slightly inward and retry.
+	eps := 1e-9
+	q := geom.Pt(
+		minf(p.X, s.cfg.World.MaxX-eps),
+		minf(p.Y, s.cfg.World.MaxY-eps),
+	)
+	for _, part := range s.mc.Partitions() {
+		if part.Bounds.Contains(q) {
+			return part.Owner
+		}
+	}
+	return id.None
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// addClient spawns a client at pos, optionally attracted to a hotspot.
+func (s *Sim) addClient(pos geom.Point, tag string, attract *geom.Point, spread float64) {
+	cid := s.gen.NextClient()
+	cl, err := gameclient.New(gameclient.Config{ID: cid, Pos: pos, Clock: s.clk})
+	if err != nil {
+		return
+	}
+	mover := game.NewMover(s.cfg.Profile, s.cfg.World, s.rngSeed+int64(cid)*7919)
+	if attract != nil {
+		mover.Attract(*attract, spread)
+	}
+	sc := &simClient{
+		cl:       cl,
+		mover:    mover,
+		tag:      tag,
+		assigned: s.ownerOf(pos),
+		alive:    true,
+	}
+	s.clients[cid] = sc
+	s.sendHello(sc)
+}
+
+// removeClients despawns count clients with the given tag.
+func (s *Sim) removeClients(tag string, count int) {
+	// Deterministic order: ascending client ID.
+	ids := make([]id.ClientID, 0, len(s.clients))
+	for cid, sc := range s.clients {
+		if sc.alive && sc.tag == tag {
+			ids = append(ids, cid)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, cid := range ids {
+		if count == 0 {
+			return
+		}
+		sc := s.clients[cid]
+		sc.alive = false
+		if n, ok := s.nodes[sc.assigned]; ok {
+			leave := sc.cl.MakeAction(protocol.KindDespawn, sc.cl.Pos())
+			_ = n.gs.Enqueue(leave) // overflow counted by the game server
+		}
+		count--
+	}
+}
+
+// mulberryRand is a tiny deterministic PRNG for per-sim decisions that must
+// not disturb the movers' streams.
+type mulberryRand struct{ state uint64 }
+
+func (m *mulberryRand) next() float64 {
+	m.state += 0x9E3779B97F4A7C15
+	z := m.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Run executes the simulation and returns the results.
+func (s *Sim) Run() (*Result, error) {
+	dt := s.cfg.TickSeconds
+	ticks := int(s.cfg.DurationSeconds/dt + 0.5)
+	script := s.cfg.Script.Sorted()
+	rng := &mulberryRand{state: uint64(s.cfg.Seed)*2654435761 + 1}
+
+	// Base population scattered uniformly.
+	for i := 0; i < s.cfg.BasePopulation; i++ {
+		pos := geom.Pt(
+			s.cfg.World.MinX+rng.next()*s.cfg.World.Width(),
+			s.cfg.World.MinY+rng.next()*s.cfg.World.Height(),
+		)
+		s.addClient(pos, "base", nil, 0)
+	}
+
+	reportEvery := int(s.cfg.LoadReportEverySeconds/dt + 0.5)
+	if reportEvery < 1 {
+		reportEvery = 1
+	}
+	sampleEvery := int(s.cfg.SampleEverySeconds/dt + 0.5)
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+
+	for tick := 0; tick <= ticks; tick++ {
+		s.now = float64(tick) * dt
+
+		// 1. Script events.
+		for _, e := range script.Due(s.now, s.now+dt) {
+			switch e.Kind {
+			case game.EventJoin:
+				for i := 0; i < e.Count; i++ {
+					ang := rng.next() * 2 * math.Pi
+					r := math.Sqrt(rng.next()) * e.Spread // area-uniform
+					pos := s.cfg.World.Clamp(geom.Pt(
+						e.Center.X+r*math.Cos(ang),
+						e.Center.Y+r*math.Sin(ang),
+					))
+					c := e.Center
+					s.addClient(pos, e.Tag, &c, e.Spread)
+				}
+			case game.EventLeave:
+				s.removeClients(e.Tag, e.Count)
+			}
+		}
+
+		// 2. Client traffic.
+		s.generateTraffic(dt)
+
+		// 3. Game servers process their queues.
+		for _, sid := range s.order {
+			n := s.nodes[sid]
+			envs, err := n.gs.Process(s.cfg.ServiceRatePerTick)
+			if err != nil {
+				s.reg.Counter("errors/gs").Inc()
+			}
+			for _, e := range envs {
+				switch e.Dest {
+				case gameserver.DestMatrix:
+					s.deliverToCore(sid, id.None, e.Msg)
+				case gameserver.DestClient:
+					s.deliverToClient(e.Client, e.Msg)
+				}
+			}
+		}
+
+		// 4. Load reports.
+		if tick%reportEvery == 0 {
+			for _, sid := range s.order {
+				n := s.nodes[sid]
+				if !n.core.Active() {
+					continue
+				}
+				rep := n.gs.LoadReport()
+				envs, err := n.core.HandleLocalLoad(int(rep.Clients), int(rep.QueueLen))
+				if err != nil {
+					s.reg.Counter("errors/core").Inc()
+					continue
+				}
+				s.routeCoreEnvelopes(sid, envs)
+			}
+		}
+
+		// 5. Hello retries for clients stuck unconnected (dropped joins).
+		for _, sc := range s.clientsInOrder() {
+			if sc.alive && !sc.cl.Connected() && s.now-sc.helloAt >= 1.0 {
+				s.sendHello(sc)
+			}
+		}
+
+		// 6. Latency measurement window.
+		if !s.latWindowed && s.cfg.LatencyIgnoreBeforeSeconds > 0 && s.now >= s.cfg.LatencyIgnoreBeforeSeconds {
+			s.latWindowed = true
+			for cid, sc := range s.clients {
+				s.latSkip[cid] = len(sc.cl.Latencies())
+			}
+		}
+
+		// 7. Sampling.
+		if tick%sampleEvery == 0 {
+			s.sample()
+		}
+
+		s.clk.Advance(time.Duration(dt * float64(time.Second)))
+	}
+
+	return s.finish(), nil
+}
+
+// generateTraffic makes every connected client emit its due updates.
+func (s *Sim) generateTraffic(dt float64) {
+	for _, sc := range s.clientsInOrder() {
+		if !sc.alive || !sc.cl.Connected() {
+			continue
+		}
+		n, ok := s.nodes[sc.assigned]
+		if !ok {
+			continue
+		}
+		sc.acc += s.cfg.Profile.UpdatesPerSec * dt
+		for sc.acc >= 1 {
+			sc.acc--
+			kind := sc.mover.PickKind()
+			var u *protocol.GameUpdate
+			switch kind {
+			case protocol.KindMove:
+				next := sc.mover.Step(sc.cl.Pos(), 1.0/s.cfg.Profile.UpdatesPerSec)
+				u = sc.cl.MakeMove(next)
+			case protocol.KindAction:
+				u = sc.cl.MakeAction(protocol.KindAction, sc.mover.ActionTarget(sc.cl.Pos()))
+			default:
+				u = sc.cl.MakeAction(protocol.KindChat, sc.cl.Pos())
+			}
+			u.Payload = make([]byte, s.cfg.Profile.PayloadBytes)
+			_ = n.gs.Enqueue(u) // overflow counted by the game server
+		}
+	}
+}
+
+// clientsInOrder returns alive clients sorted by ID for determinism.
+func (s *Sim) clientsInOrder() []*simClient {
+	ids := make([]id.ClientID, 0, len(s.clients))
+	for cid := range s.clients {
+		ids = append(ids, cid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*simClient, len(ids))
+	for i, cid := range ids {
+		out[i] = s.clients[cid]
+	}
+	return out
+}
+
+// sample appends the per-server series points (Figure 2's panels).
+func (s *Sim) sample() {
+	active := 0
+	for _, sid := range s.order {
+		n := s.nodes[sid]
+		if n.core.Active() {
+			active++
+			s.reg.Series(fmt.Sprintf("clients/%v", sid)).Append(s.now, float64(n.gs.ClientCount()))
+			s.reg.Series(fmt.Sprintf("queue/%v", sid)).Append(s.now, float64(n.gs.QueueLen()))
+			s.res.ClientSeconds += float64(n.gs.ClientCount()) * s.cfg.SampleEverySeconds
+		} else if s.activePrev[sid] {
+			// One zero sample on deactivation closes the line.
+			s.reg.Series(fmt.Sprintf("clients/%v", sid)).Append(s.now, 0)
+			s.reg.Series(fmt.Sprintf("queue/%v", sid)).Append(s.now, 0)
+		}
+		s.activePrev[sid] = n.core.Active()
+	}
+	s.reg.Series("servers/active").Append(s.now, float64(active))
+	var drops uint64
+	for _, sid := range s.order {
+		drops += s.nodes[sid].gs.Stats().Dropped
+	}
+	s.reg.Series("drops/total").Append(s.now, float64(drops))
+	if active > s.res.PeakServers {
+		s.res.PeakServers = active
+	}
+}
+
+// finish aggregates the result.
+func (s *Sim) finish() *Result {
+	res := s.res
+	res.Metrics = s.reg
+	res.Latency = s.lat
+	res.SwitchLatency = s.swLat
+	res.Events = s.events
+	for _, sid := range s.order {
+		n := s.nodes[sid]
+		st := n.core.Stats()
+		res.ForwardedBytes += st.PeerBytesOut
+		res.ForwardedPackets += st.PeerPacketsOut
+		res.OverlapAreaLast += n.core.OverlapArea()
+		gst := n.gs.Stats()
+		res.DeliveredUpdates += gst.Delivered
+		res.DroppedPackets += gst.Dropped
+		if n.core.Active() {
+			res.FinalServers++
+		}
+	}
+	// Collect client latencies (ms), honouring the measurement window.
+	for cid, sc := range s.clients {
+		lats := sc.cl.Latencies()
+		if skip := s.latSkip[cid]; skip > 0 {
+			if skip >= len(lats) {
+				continue
+			}
+			lats = lats[skip:]
+		}
+		for _, d := range lats {
+			res.Latency.Observe(float64(d) / float64(time.Millisecond))
+		}
+	}
+	return &res
+}
+
+// MC exposes the coordinator for assertions in tests and experiments.
+func (s *Sim) MC() *coordinator.Coordinator { return s.mc }
+
+// Node returns a server's components for inspection.
+func (s *Sim) Node(sid id.ServerID) (*core.Server, *gameserver.Server, bool) {
+	n, ok := s.nodes[sid]
+	if !ok {
+		return nil, nil, false
+	}
+	return n.core, n.gs, true
+}
+
+// debugTopology enables split/reclaim tracing in experiments (tests only).
+var debugTopology = false
+
+// DebugTopology toggles split/reclaim tracing to stdout.
+func DebugTopology(on bool) { debugTopology = on }

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"matrix/internal/game"
+	"matrix/internal/geom"
+)
+
+// TestChaosSoak drives randomized join/leave schedules through the full
+// cluster and checks the global invariants after every run:
+//
+//   - the MC's partitioning always tiles the world exactly;
+//   - no client is lost or duplicated across any number of splits,
+//     reclamations and boundary handoffs;
+//   - the topology consolidates once load disappears.
+//
+// This is the repository's end-to-end safety net: any regression in the
+// split/reclaim protocol, the overlap tables, the client migration paths or
+// the handoff resolution shows up here as a conservation failure.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak runs several randomized simulations")
+	}
+	for _, seed := range []int64{101, 202, 303} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(seed))
+			world := geom.R(0, 0, 1000, 1000)
+
+			// Random script: 3-5 hotspot waves at random spots, each fully
+			// drained before the run ends.
+			var script game.Script
+			tTime := 5.0
+			alive := 0
+			waves := 3 + rnd.Intn(3)
+			for w := 0; w < waves; w++ {
+				count := 60 + rnd.Intn(80)
+				center := geom.Pt(100+rnd.Float64()*800, 100+rnd.Float64()*800)
+				script = append(script, game.Event{
+					At: tTime, Kind: game.EventJoin, Count: count,
+					Center: center, Spread: 60 + rnd.Float64()*100,
+					Tag: fmt.Sprintf("wave%d", w),
+				})
+				alive += count
+				tTime += 8 + rnd.Float64()*10
+				script = append(script, game.Event{
+					At: tTime, Kind: game.EventLeave, Count: count,
+					Tag: fmt.Sprintf("wave%d", w),
+				})
+				alive -= count
+				tTime += 5 + rnd.Float64()*8
+			}
+			// Keep the residual population under the reclaim-headroom
+			// ceiling (0.8 x overload = 48 for smallPolicy), or the final
+			// merge is — correctly — refused and the cluster settles at 2.
+			base := 20 + rnd.Intn(15)
+
+			s, err := New(Config{
+				Profile:         game.Bzflag(),
+				World:           world,
+				Seed:            seed,
+				DurationSeconds: tTime + 75, // leave time to consolidate
+				MaxServers:      8,
+				BasePopulation:  base,
+				Script:          script,
+				LoadPolicy:      smallPolicy(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Invariant: partition tiling.
+			if err := s.MC().Validate(); err != nil {
+				t.Fatalf("partition invariants: %v", err)
+			}
+			// Invariant: client conservation (only the base population
+			// remains).
+			total := 0
+			for _, part := range s.MC().Partitions() {
+				_, gs, ok := s.Node(part.Owner)
+				if !ok {
+					t.Fatalf("active server %v missing", part.Owner)
+				}
+				total += gs.ClientCount()
+			}
+			if total != base {
+				t.Errorf("clients after full drain = %d, want %d", total, base)
+			}
+			// Invariant: consolidation — base load fits one server.
+			if res.FinalServers != 1 {
+				t.Errorf("cluster did not consolidate: final=%d events=%d",
+					res.FinalServers, len(res.Events))
+			}
+			// Sanity: waves actually exercised the machinery.
+			if res.PeakServers < 2 {
+				t.Errorf("soak never split: peak=%d", res.PeakServers)
+			}
+			if res.DroppedPackets != 0 {
+				t.Errorf("unbounded queues must not drop: %d", res.DroppedPackets)
+			}
+		})
+	}
+}
+
+// TestLatencyWindowExcludesTransient checks the measurement-window knob:
+// samples before the window must not appear in the result.
+func TestLatencyWindowExcludesTransient(t *testing.T) {
+	run := func(window float64) int {
+		s, err := New(Config{
+			Profile:                    game.Bzflag(),
+			World:                      geom.R(0, 0, 500, 500),
+			Seed:                       9,
+			DurationSeconds:            20,
+			MaxServers:                 1,
+			BasePopulation:             10,
+			LatencyIgnoreBeforeSeconds: window,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Count()
+	}
+	all := run(0)
+	half := run(10)
+	if all == 0 {
+		t.Fatal("no latency samples at all")
+	}
+	if half >= all {
+		t.Errorf("window did not exclude samples: %d vs %d", half, all)
+	}
+	if half == 0 {
+		t.Error("window excluded everything")
+	}
+}

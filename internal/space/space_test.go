@@ -1,0 +1,298 @@
+package space
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+)
+
+func mustMap(t *testing.T, world geom.Rect, root id.ServerID) *Map {
+	t.Helper()
+	m, err := NewMap(world, root)
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	return m
+}
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(geom.Rect{}, 1); err == nil {
+		t.Error("empty world must be rejected")
+	}
+	if _, err := NewMap(geom.R(0, 0, 10, 10), id.None); err == nil {
+		t.Error("invalid root must be rejected")
+	}
+	m := mustMap(t, geom.R(0, 0, 10, 10), 1)
+	if m.Len() != 1 || m.Root() != 1 {
+		t.Errorf("fresh map: Len=%d Root=%v", m.Len(), m.Root())
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("fresh map invalid: %v", err)
+	}
+}
+
+func TestSplitToLeftHandsOffLeftPiece(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 50), 1)
+	keep, give, err := m.Split(1, 2, SplitToLeft{})
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	// World is wider than tall: cut on X; left half goes to the child.
+	if !give.Eq(geom.R(0, 0, 50, 50)) {
+		t.Errorf("give = %v, want left half", give)
+	}
+	if !keep.Eq(geom.R(50, 0, 100, 50)) {
+		t.Errorf("keep = %v, want right half", keep)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("after split: %v", err)
+	}
+	if p, _ := m.Parent(2); p != 1 {
+		t.Errorf("parent of 2 = %v, want 1", p)
+	}
+	kids := m.Children(1)
+	if len(kids) != 1 || kids[0] != 2 {
+		t.Errorf("children of 1 = %v", kids)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	if _, _, err := m.Split(9, 2, nil); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("unknown server: %v", err)
+	}
+	if _, _, err := m.Split(1, 1, nil); !errors.Is(err, ErrDuplicateOwner) {
+		t.Errorf("duplicate owner: %v", err)
+	}
+	if _, _, err := m.Split(1, id.None, nil); err == nil {
+		t.Error("invalid child must be rejected")
+	}
+}
+
+func TestSplitTooSmall(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, MinSplitExtent*1.5, MinSplitExtent*1.5), 1)
+	if _, _, err := m.Split(1, 2, nil); !errors.Is(err, ErrTooSmall) {
+		t.Errorf("want ErrTooSmall, got %v", err)
+	}
+}
+
+func TestOwnerLookup(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	if _, _, err := m.Split(1, 2, SplitToLeft{}); err != nil {
+		t.Fatal(err)
+	}
+	// Server 2 has [0,50), server 1 has [50,100).
+	tests := []struct {
+		p    geom.Point
+		want id.ServerID
+	}{
+		{geom.Pt(10, 10), 2},
+		{geom.Pt(75, 10), 1},
+		{geom.Pt(50, 50), 1},    // boundary belongs to the right (half-open)
+		{geom.Pt(49.999, 0), 2}, // just left of the cut
+		{geom.Pt(-5, -5), 2},    // outside: clamped to (0,0)
+		{geom.Pt(100, 100), 1},  // outside max corner: clamped inward
+	}
+	for _, tt := range tests {
+		if got := m.Owner(tt.p); got != tt.want {
+			t.Errorf("Owner(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestReclaimRestoresParent(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	world := m.World()
+	if _, _, err := m.Split(1, 2, SplitToLeft{}); err != nil {
+		t.Fatal(err)
+	}
+	parent, merged, err := m.Reclaim(2)
+	if err != nil {
+		t.Fatalf("Reclaim: %v", err)
+	}
+	if parent != 1 {
+		t.Errorf("parent = %v, want 1", parent)
+	}
+	if !merged.Eq(world) {
+		t.Errorf("merged = %v, want whole world", merged)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("after reclaim: %v", err)
+	}
+}
+
+func TestReclaimErrors(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	if _, _, err := m.Reclaim(1); !errors.Is(err, ErrRootReclaim) {
+		t.Errorf("root reclaim: %v", err)
+	}
+	if _, _, err := m.Reclaim(42); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("unknown server: %v", err)
+	}
+	// Build a chain 1 -> 2 -> 3 where 2 has a child; reclaiming 2 must fail.
+	if _, _, err := m.Split(1, 2, SplitToLeft{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Split(2, 3, SplitToLeft{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Reclaim(2); !errors.Is(err, ErrNotLeaf) {
+		t.Errorf("non-leaf reclaim: %v", err)
+	}
+	// Reclaiming the leaf then the middle works.
+	if _, _, err := m.Reclaim(3); err != nil {
+		t.Fatalf("reclaim leaf: %v", err)
+	}
+	if _, _, err := m.Reclaim(2); err != nil {
+		t.Fatalf("reclaim middle: %v", err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestReclaimableChildren(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	if _, _, err := m.Split(1, 2, SplitToLeft{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Split(1, 3, SplitToLeft{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Split(2, 4, SplitToLeft{}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ReclaimableChildren(1)
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("ReclaimableChildren(1) = %v, want [3] (2 has a child)", got)
+	}
+	got = m.ReclaimableChildren(2)
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("ReclaimableChildren(2) = %v, want [4]", got)
+	}
+}
+
+func TestVersionAdvances(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	v0 := m.Version()
+	if _, _, err := m.Split(1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	v1 := m.Version()
+	if v1 <= v0 {
+		t.Errorf("version did not advance on split: %d -> %d", v0, v1)
+	}
+	if _, _, err := m.Reclaim(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() <= v1 {
+		t.Error("version did not advance on reclaim")
+	}
+}
+
+func TestSplitToRightPolicy(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 50), 1)
+	keep, give, err := m.Split(1, 2, SplitToRight{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !give.Eq(geom.R(50, 0, 100, 50)) || !keep.Eq(geom.R(0, 0, 50, 50)) {
+		t.Errorf("split-to-right: keep=%v give=%v", keep, give)
+	}
+}
+
+type badPolicy struct{}
+
+func (badPolicy) Split(b geom.Rect) (geom.Rect, geom.Rect) { return b, b }
+func (badPolicy) Name() string                             { return "bad" }
+
+func TestSplitPolicyInvariantEnforced(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	if _, _, err := m.Split(1, 2, badPolicy{}); err == nil {
+		t.Error("overlapping policy output must be rejected")
+	}
+	if m.Len() != 1 {
+		t.Error("failed split must not mutate the map")
+	}
+}
+
+// TestRandomSplitReclaimFuzz drives a random sequence of splits and
+// reclamations and checks the tiling + tree invariants after every step.
+// This is the core safety property of the whole middleware: no point of the
+// world is ever owned by zero or two servers.
+func TestRandomSplitReclaimFuzz(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	m := mustMap(t, geom.R(0, 0, 1024, 1024), 1)
+	var gen id.Generator
+	gen.NextServer() // consume 1, used by root
+	live := []id.ServerID{1}
+	for step := 0; step < 400; step++ {
+		if rnd.Intn(2) == 0 || len(live) == 1 {
+			victim := live[rnd.Intn(len(live))]
+			child := gen.NextServer()
+			if _, _, err := m.Split(victim, child, SplitToLeft{}); err != nil {
+				if errors.Is(err, ErrTooSmall) {
+					continue
+				}
+				t.Fatalf("step %d: split %v: %v", step, victim, err)
+			}
+			live = append(live, child)
+		} else {
+			victim := live[rnd.Intn(len(live))]
+			if !m.CanReclaim(victim) {
+				continue
+			}
+			if _, _, err := m.Reclaim(victim); err != nil {
+				t.Fatalf("step %d: reclaim %v: %v", step, victim, err)
+			}
+			for i, s := range live {
+				if s == victim {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("step %d: invariant broken: %v", step, err)
+		}
+		// Every sampled point must resolve to a live owner whose bounds
+		// contain it.
+		for i := 0; i < 8; i++ {
+			p := geom.Pt(rnd.Float64()*1024, rnd.Float64()*1024)
+			owner := m.Owner(p)
+			b, err := m.Bounds(owner)
+			if err != nil {
+				t.Fatalf("step %d: owner %v unknown: %v", step, owner, err)
+			}
+			if !b.Contains(p) {
+				t.Fatalf("step %d: owner %v bounds %v does not contain %v", step, owner, b, p)
+			}
+		}
+	}
+}
+
+func TestPartitionsSnapshotIsolated(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	parts := m.Partitions()
+	parts[0].Bounds = geom.R(0, 0, 1, 1) // mutate the copy
+	b, _ := m.Bounds(1)
+	if !b.Eq(geom.R(0, 0, 100, 100)) {
+		t.Error("Partitions must return a copy")
+	}
+}
+
+func TestBoundsUnknown(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	if _, err := m.Bounds(77); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("want ErrUnknownServer, got %v", err)
+	}
+	if _, err := m.Parent(77); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("want ErrUnknownServer, got %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+// Package staticpart builds the static-partitioning baseline the paper
+// compares Matrix against: a fixed grid of partitions assigned to a fixed
+// set of servers, with no splits and no reclamations. Commercial MMOGs of
+// the paper's era (Everquest, Final Fantasy XI) "carefully partition the
+// game world between different servers"; this package reproduces that
+// strategy so the evaluation can show where it fails.
+package staticpart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"matrix/internal/geom"
+)
+
+// Grid divides world into n tiles arranged in the most square grid whose
+// cell count is exactly n. Tiles are returned row-major (bottom-left
+// first). It errs when n has no feasible layout (n <= 0).
+func Grid(world geom.Rect, n int) ([]geom.Rect, error) {
+	if world.Empty() {
+		return nil, errors.New("staticpart: empty world")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("staticpart: invalid partition count %d", n)
+	}
+	// Choose rows as the largest divisor of n that is <= sqrt(n), so the
+	// grid is as square as the divisor structure allows (primes degrade to
+	// 1 x n columns).
+	rows := 1
+	for d := 1; d <= int(math.Sqrt(float64(n))); d++ {
+		if n%d == 0 {
+			rows = d
+		}
+	}
+	cols := n / rows
+	out := make([]geom.Rect, 0, n)
+	w := world.Width() / float64(cols)
+	h := world.Height() / float64(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			minX := world.MinX + float64(c)*w
+			minY := world.MinY + float64(r)*h
+			maxX := minX + w
+			maxY := minY + h
+			// Snap the outer edges exactly to the world's to avoid float
+			// drift breaking the tiling invariant.
+			if c == cols-1 {
+				maxX = world.MaxX
+			}
+			if r == rows-1 {
+				maxY = world.MaxY
+			}
+			out = append(out, geom.R(minX, minY, maxX, maxY))
+		}
+	}
+	return out, nil
+}

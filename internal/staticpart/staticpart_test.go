@@ -1,0 +1,102 @@
+package staticpart
+
+import (
+	"testing"
+
+	"matrix/internal/geom"
+)
+
+func TestGridTilesWorld(t *testing.T) {
+	world := geom.R(0, 0, 100, 60)
+	for _, n := range []int{1, 2, 3, 4, 6, 7, 9, 12, 16} {
+		tiles, err := Grid(world, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(tiles) != n {
+			t.Fatalf("n=%d: got %d tiles", n, len(tiles))
+		}
+		var area float64
+		for i, a := range tiles {
+			if a.Empty() {
+				t.Fatalf("n=%d: tile %d empty", n, i)
+			}
+			area += a.Area()
+			for j := i + 1; j < len(tiles); j++ {
+				if a.Intersects(tiles[j]) {
+					t.Fatalf("n=%d: tiles %d and %d overlap", n, i, j)
+				}
+			}
+			if !world.ContainsRect(a) {
+				t.Fatalf("n=%d: tile %d escapes world", n, i)
+			}
+		}
+		if diff := area - world.Area(); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("n=%d: tiles cover %v, world %v", n, area, world.Area())
+		}
+	}
+}
+
+func TestGridSquareness(t *testing.T) {
+	tiles, err := Grid(geom.R(0, 0, 100, 100), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 partitions on a square world must be a 2x2 grid.
+	for _, tile := range tiles {
+		if tile.Width() != 50 || tile.Height() != 50 {
+			t.Fatalf("tile %v not 50x50", tile)
+		}
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Grid(geom.Rect{}, 4); err == nil {
+		t.Error("empty world must fail")
+	}
+	if _, err := Grid(geom.R(0, 0, 1, 1), 0); err == nil {
+		t.Error("zero count must fail")
+	}
+	if _, err := Grid(geom.R(0, 0, 1, 1), -1); err == nil {
+		t.Error("negative count must fail")
+	}
+}
+
+func TestGridPrimeCount(t *testing.T) {
+	tiles, err := Grid(geom.R(0, 0, 100, 100), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 5 {
+		t.Fatalf("got %d tiles", len(tiles))
+	}
+	// Prime counts degrade to a 1 x n strip layout; still a valid tiling.
+	for _, tile := range tiles {
+		if tile.Width() != 20 {
+			t.Fatalf("strip width = %v", tile.Width())
+		}
+	}
+}
+
+func TestEveryPointOwnedOnce(t *testing.T) {
+	world := geom.R(0, 0, 90, 90)
+	tiles, err := Grid(world, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(30, 30), geom.Pt(45, 45), geom.Pt(30, 0),
+		geom.Pt(0, 30), geom.Pt(89.99, 89.99), geom.Pt(60, 60),
+	}
+	for _, p := range pts {
+		owners := 0
+		for _, tile := range tiles {
+			if tile.Contains(p) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Errorf("point %v owned by %d tiles", p, owners)
+		}
+	}
+}

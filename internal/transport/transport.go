@@ -1,0 +1,371 @@
+// Package transport carries protocol messages between Matrix components.
+//
+// Two interchangeable implementations are provided behind the Network
+// interface: TCP (production mode, used by the cmd/ binaries) and an
+// in-memory network (used by integration tests and anywhere real sockets
+// are unnecessary). Both frame messages with the protocol codec, so byte
+// counts are identical across the two — which is what lets the simulation
+// harness report the paper's bandwidth microbenchmarks faithfully.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"matrix/internal/protocol"
+)
+
+// Transport errors.
+var (
+	ErrClosed      = errors.New("transport: connection closed")
+	ErrNoSuchAddr  = errors.New("transport: no listener at address")
+	ErrAddrInUse   = errors.New("transport: address already in use")
+	ErrListnClosed = errors.New("transport: listener closed")
+)
+
+// Conn is a bidirectional, ordered, reliable message pipe.
+type Conn interface {
+	// Send encodes and transmits one message.
+	Send(m protocol.Message) error
+	// Recv blocks until a message arrives or the connection closes.
+	Recv() (protocol.Message, error)
+	// Close shuts the connection down; pending Recv calls return ErrClosed.
+	Close() error
+	// RemoteAddr names the peer for diagnostics.
+	RemoteAddr() string
+	// BytesSent returns the total payload bytes sent on this connection.
+	BytesSent() uint64
+	// BytesReceived returns the total payload bytes received.
+	BytesReceived() uint64
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Addr returns the address peers should dial.
+	Addr() string
+	// Close stops accepting; pending Accepts return ErrListnClosed.
+	Close() error
+}
+
+// Network creates listeners and dials peers. Implementations must be safe
+// for concurrent use.
+type Network interface {
+	// Listen starts accepting at addr ("" lets the implementation choose).
+	Listen(addr string) (Listener, error)
+	// Dial connects to a listener.
+	Dial(addr string) (Conn, error)
+}
+
+// --- TCP implementation ---
+
+// TCPNetwork is the production transport over real sockets.
+type TCPNetwork struct{}
+
+// Listen implements Network. An empty addr binds an ephemeral localhost
+// port.
+func (TCPNetwork) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Network.
+func (TCPNetwork) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrListnClosed, err)
+	}
+	return newTCPConn(c), nil
+}
+
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+
+type tcpConn struct {
+	c        net.Conn
+	writeMu  sync.Mutex // protocol.Write must not interleave frames
+	readMu   sync.Mutex
+	countsMu sync.Mutex
+	sent     uint64
+	received uint64
+}
+
+func newTCPConn(c net.Conn) *tcpConn { return &tcpConn{c: c} }
+
+func (t *tcpConn) Send(m protocol.Message) error {
+	frame, err := protocol.Marshal(m)
+	if err != nil {
+		return err
+	}
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	if _, err := t.c.Write(frame); err != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	t.countsMu.Lock()
+	t.sent += uint64(len(frame))
+	t.countsMu.Unlock()
+	return nil
+}
+
+func (t *tcpConn) Recv() (protocol.Message, error) {
+	t.readMu.Lock()
+	defer t.readMu.Unlock()
+	m, err := protocol.Read(t.c)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	n, err := protocol.Size(m)
+	if err == nil {
+		t.countsMu.Lock()
+		t.received += uint64(n)
+		t.countsMu.Unlock()
+	}
+	return m, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+func (t *tcpConn) RemoteAddr() string { return t.c.RemoteAddr().String() }
+
+func (t *tcpConn) BytesSent() uint64 {
+	t.countsMu.Lock()
+	defer t.countsMu.Unlock()
+	return t.sent
+}
+
+func (t *tcpConn) BytesReceived() uint64 {
+	t.countsMu.Lock()
+	defer t.countsMu.Unlock()
+	return t.received
+}
+
+// --- in-memory implementation ---
+
+// MemNetwork is an in-process Network keyed by string addresses. It is the
+// transport used by integration tests: identical framing and byte counts to
+// TCP with no sockets.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	nextAuto  int
+}
+
+// NewMemNetwork returns an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+// Listen implements Network.
+func (n *MemNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		n.nextAuto++
+		addr = fmt.Sprintf("mem:%d", n.nextAuto)
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &memListener{
+		net:     n,
+		addr:    addr,
+		backlog: make(chan *memConn, 1),
+		closed:  make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *MemNetwork) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchAddr, addr)
+	}
+	client, server := newMemPair(addr, "dialer")
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchAddr, addr)
+	}
+}
+
+func (n *MemNetwork) remove(addr string) {
+	n.mu.Lock()
+	delete(n.listeners, addr)
+	n.mu.Unlock()
+}
+
+type memListener struct {
+	net     *MemNetwork
+	addr    string
+	backlog chan *memConn
+	closed  chan struct{}
+	once    sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrListnClosed
+	}
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.remove(l.addr)
+	})
+	return nil
+}
+
+// memQueue is an unbounded FIFO of frames with close semantics.
+type memQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames [][]byte
+	closed bool
+}
+
+func newMemQueue() *memQueue {
+	q := &memQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *memQueue) push(frame []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.frames = append(q.frames, frame)
+	q.cond.Signal()
+	return nil
+}
+
+func (q *memQueue) pop() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.frames) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.frames) == 0 {
+		return nil, ErrClosed
+	}
+	f := q.frames[0]
+	q.frames = q.frames[1:]
+	return f, nil
+}
+
+func (q *memQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// memConn is one side of an in-memory connection pair.
+type memConn struct {
+	out      *memQueue
+	in       *memQueue
+	remote   string
+	peer     *memConn
+	countsMu sync.Mutex
+	sent     uint64
+	received uint64
+}
+
+func newMemPair(listenerAddr, dialerName string) (client, server *memConn) {
+	a2b := newMemQueue()
+	b2a := newMemQueue()
+	client = &memConn{out: a2b, in: b2a, remote: listenerAddr}
+	server = &memConn{out: b2a, in: a2b, remote: dialerName}
+	client.peer = server
+	server.peer = client
+	return client, server
+}
+
+func (c *memConn) Send(m protocol.Message) error {
+	frame, err := protocol.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := c.out.push(frame); err != nil {
+		return err
+	}
+	c.countsMu.Lock()
+	c.sent += uint64(len(frame))
+	c.countsMu.Unlock()
+	return nil
+}
+
+func (c *memConn) Recv() (protocol.Message, error) {
+	frame, err := c.in.pop()
+	if err != nil {
+		return nil, err
+	}
+	c.countsMu.Lock()
+	c.received += uint64(len(frame))
+	c.countsMu.Unlock()
+	return protocol.Unmarshal(frame)
+}
+
+func (c *memConn) Close() error {
+	c.out.close()
+	c.in.close()
+	return nil
+}
+
+func (c *memConn) RemoteAddr() string { return c.remote }
+
+func (c *memConn) BytesSent() uint64 {
+	c.countsMu.Lock()
+	defer c.countsMu.Unlock()
+	return c.sent
+}
+
+func (c *memConn) BytesReceived() uint64 {
+	c.countsMu.Lock()
+	defer c.countsMu.Unlock()
+	return c.received
+}
+
+var (
+	_ Network  = TCPNetwork{}
+	_ Network  = (*MemNetwork)(nil)
+	_ Conn     = (*tcpConn)(nil)
+	_ Conn     = (*memConn)(nil)
+	_ Listener = (*tcpListener)(nil)
+	_ Listener = (*memListener)(nil)
+)

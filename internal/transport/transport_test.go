@@ -1,0 +1,366 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+)
+
+// networks returns one instance of every Network implementation under a
+// descriptive name, so every test runs against both.
+func networks() map[string]Network {
+	return map[string]Network{
+		"mem": NewMemNetwork(),
+		"tcp": TCPNetwork{},
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	for name, nw := range networks() {
+		nw := nw
+		t.Run(name, func(t *testing.T) {
+			l, err := nw.Listen("")
+			if err != nil {
+				t.Fatalf("Listen: %v", err)
+			}
+			defer l.Close()
+
+			type result struct {
+				m   protocol.Message
+				err error
+			}
+			got := make(chan result, 1)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					got <- result{err: err}
+					return
+				}
+				defer c.Close()
+				m, err := c.Recv()
+				got <- result{m: m, err: err}
+			}()
+
+			c, err := nw.Dial(l.Addr())
+			if err != nil {
+				t.Fatalf("Dial: %v", err)
+			}
+			defer c.Close()
+			want := &protocol.LoadReport{Server: 3, Clients: 42, QueueLen: 7}
+			if err := c.Send(want); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			r := <-got
+			if r.err != nil {
+				t.Fatalf("server side: %v", r.err)
+			}
+			lr, ok := r.m.(*protocol.LoadReport)
+			if !ok {
+				t.Fatalf("got %T", r.m)
+			}
+			if lr.Server != 3 || lr.Clients != 42 || lr.QueueLen != 7 {
+				t.Fatalf("payload mismatch: %+v", lr)
+			}
+		})
+	}
+}
+
+func TestBidirectionalAndOrdering(t *testing.T) {
+	for name, nw := range networks() {
+		nw := nw
+		t.Run(name, func(t *testing.T) {
+			l, err := nw.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+
+			const n = 50
+			errs := make(chan error, 1)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				// Echo every message back.
+				for i := 0; i < n; i++ {
+					m, err := c.Recv()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := c.Send(m); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+
+			c, err := nw.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			for i := 0; i < n; i++ {
+				if err := c.Send(&protocol.GameUpdate{Seq: id.PacketSeq(1000 + i)}); err != nil {
+					t.Fatalf("Send %d: %v", i, err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				m, err := c.Recv()
+				if err != nil {
+					t.Fatalf("Recv %d: %v", i, err)
+				}
+				gu, ok := m.(*protocol.GameUpdate)
+				if !ok {
+					t.Fatalf("Recv %d: %T", i, m)
+				}
+				if gu.Seq != id.PacketSeq(1000+i) {
+					t.Fatalf("out of order: got %d at index %d", gu.Seq, i)
+				}
+			}
+			if err := <-errs; err != nil {
+				t.Fatalf("server: %v", err)
+			}
+		})
+	}
+}
+
+func TestRecvAfterCloseFails(t *testing.T) {
+	for name, nw := range networks() {
+		nw := nw
+		t.Run(name, func(t *testing.T) {
+			l, err := nw.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			accepted := make(chan Conn, 1)
+			go func() {
+				c, err := l.Accept()
+				if err == nil {
+					accepted <- c
+				}
+			}()
+			c, err := nw.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := <-accepted
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := s.Recv()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("Recv after peer close must fail")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Recv did not observe close")
+			}
+			s.Close()
+		})
+	}
+}
+
+func TestDialUnknownAddr(t *testing.T) {
+	mem := NewMemNetwork()
+	if _, err := mem.Dial("mem:999"); !errors.Is(err, ErrNoSuchAddr) {
+		t.Errorf("mem dial unknown: %v", err)
+	}
+	if _, err := (TCPNetwork{}).Dial("127.0.0.1:1"); err == nil {
+		t.Error("tcp dial closed port should fail")
+	}
+}
+
+func TestMemListenDuplicateAddr(t *testing.T) {
+	mem := NewMemNetwork()
+	l, err := mem.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := mem.Listen("svc"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("duplicate listen: %v", err)
+	}
+}
+
+func TestMemListenerCloseReleasesAddr(t *testing.T) {
+	mem := NewMemNetwork()
+	l, err := mem.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Dial("svc"); !errors.Is(err, ErrNoSuchAddr) {
+		t.Errorf("dial after close: %v", err)
+	}
+	// Address is reusable.
+	l2, err := mem.Listen("svc")
+	if err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	l2.Close()
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	for name, nw := range networks() {
+		nw := nw
+		t.Run(name, func(t *testing.T) {
+			l, err := nw.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := l.Accept()
+				done <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			l.Close()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("Accept must fail after Close")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Accept did not unblock")
+			}
+		})
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	mem := NewMemNetwork()
+	l, err := mem.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := mem.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := <-accepted
+	defer s.Close()
+
+	msg := &protocol.RangeUpdate{Server: 1, Bounds: geom.R(0, 0, 5, 5)}
+	wantSize, err := protocol.Size(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BytesSent(); got != uint64(wantSize) {
+		t.Errorf("BytesSent = %d, want %d", got, wantSize)
+	}
+	if got := s.BytesReceived(); got != uint64(wantSize) {
+		t.Errorf("BytesReceived = %d, want %d", got, wantSize)
+	}
+}
+
+func TestMemConcurrentSenders(t *testing.T) {
+	mem := NewMemNetwork()
+	l, err := mem.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := mem.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := <-accepted
+	defer s.Close()
+
+	const senders, per = 4, 100
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if err := c.Send(&protocol.Ack{Of: protocol.TypeLoadReport}); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	recvDone := make(chan int, 1)
+	go func() {
+		n := 0
+		for n < senders*per {
+			if _, err := s.Recv(); err != nil {
+				break
+			}
+			n++
+		}
+		recvDone <- n
+	}()
+	wg.Wait()
+	select {
+	case n := <-recvDone:
+		if n != senders*per {
+			t.Errorf("received %d, want %d", n, senders*per)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver stalled")
+	}
+}
+
+func TestProtocolSizeMatchesMarshal(t *testing.T) {
+	msgs := []protocol.Message{
+		&protocol.Ack{Of: protocol.TypeLoadReport},
+		&protocol.GameUpdate{Payload: []byte("abcdef")},
+		&protocol.RegisterRequest{Addr: "host:1", Radius: 3},
+	}
+	for _, m := range msgs {
+		frame, err := protocol.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := protocol.Size(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(frame) {
+			t.Errorf("%v: Size=%d, frame=%d", m.MsgType(), n, len(frame))
+		}
+	}
+}

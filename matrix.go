@@ -1,0 +1,217 @@
+// Package matrix is an adaptive middleware for distributed multiplayer
+// games, reproducing Balan, Ebling, Castro and Misra, "Matrix: Adaptive
+// Middleware for Distributed Multiplayer Games" (Middleware 2005).
+//
+// Matrix lets a massively multiplayer game scale across servers without the
+// game understanding distribution. The game world's spatial map is
+// partitioned dynamically: each game server owns one rectangle, forwards
+// every client packet — tagged with its world coordinates — to a co-located
+// Matrix server, and Matrix routes the packet to the servers whose
+// partitions fall within the packet's radius of visibility (its consistency
+// set), resolved by an O(1) overlap-table lookup. When a server is
+// overloaded, its Matrix server splits the partition and sheds half the map
+// to a spare server from the pool; when load recedes, parents reclaim their
+// children. A central Matrix Coordinator computes the overlap tables but
+// stays off the latency-critical packet path.
+//
+// Three entry points cover the deployment modes:
+//
+//   - ServeCoordinator / StartServer / Dial run a production cluster over
+//     TCP (or any Network), used by the cmd/ binaries;
+//   - RunSimulation drives the identical middleware deterministically at
+//     experiment scale (hundreds of clients on one machine);
+//   - the re-exported building blocks (Profile, Script, LoadPolicy) shape
+//     workloads and policies for either mode.
+package matrix
+
+import (
+	"log"
+	"time"
+
+	"matrix/internal/coordinator"
+	"matrix/internal/game"
+	"matrix/internal/gameclient"
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/load"
+	"matrix/internal/protocol"
+	"matrix/internal/sim"
+	"matrix/internal/staticpart"
+	"matrix/internal/transport"
+)
+
+// Re-exported spatial and identity types. Games tag packets with Points;
+// partitions and worlds are Rects.
+type (
+	// Point is a location in the game world.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (min-closed, max-open).
+	Rect = geom.Rect
+	// ServerID identifies a Matrix server / game server pair.
+	ServerID = id.ServerID
+	// ClientID is a player's globally unique callsign.
+	ClientID = id.ClientID
+	// UpdateKind classifies a game update (move, action, chat, ...).
+	UpdateKind = protocol.UpdateKind
+	// GameUpdate is one spatially tagged game packet.
+	GameUpdate = protocol.GameUpdate
+	// LoadPolicy tunes the split/reclaim thresholds; the zero value is the
+	// paper's 300/150-client policy.
+	LoadPolicy = load.Config
+	// Network abstracts the transport (TCP or in-memory).
+	Network = transport.Network
+	// Profile is a game workload's traffic shape.
+	Profile = game.Profile
+	// Script schedules population changes (hotspots) for simulations.
+	Script = game.Script
+	// ScriptEvent is one scripted join/leave.
+	ScriptEvent = game.Event
+	// SimulationConfig parameterizes a deterministic simulation run.
+	SimulationConfig = sim.Config
+	// SimulationResult carries a simulation's series and aggregates.
+	SimulationResult = sim.Result
+)
+
+// Update kinds.
+const (
+	KindMove    = protocol.KindMove
+	KindAction  = protocol.KindAction
+	KindChat    = protocol.KindChat
+	KindSpawn   = protocol.KindSpawn
+	KindDespawn = protocol.KindDespawn
+)
+
+// Script event kinds.
+const (
+	EventJoin  = game.EventJoin
+	EventLeave = game.EventLeave
+)
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R builds a Rect.
+func R(minX, minY, maxX, maxY float64) Rect { return geom.R(minX, minY, maxX, maxY) }
+
+// TCP returns the production transport.
+func TCP() Network { return transport.TCPNetwork{} }
+
+// NewMemNetwork returns an isolated in-process transport, byte-compatible
+// with TCP; ideal for tests and single-process demos.
+func NewMemNetwork() Network { return transport.NewMemNetwork() }
+
+// BzflagProfile returns the BzFlag-like workload (tank shooter).
+func BzflagProfile() Profile { return game.Bzflag() }
+
+// DaimoninProfile returns the Daimonin-like workload (RPG).
+func DaimoninProfile() Profile { return game.Daimonin() }
+
+// Quake2Profile returns the Quake 2-like workload (fast shooter).
+func Quake2Profile() Profile { return game.Quake2() }
+
+// Figure2Script reproduces the paper's Figure 2 hotspot schedule on world.
+func Figure2Script(world Rect) Script { return game.Figure2Script(world) }
+
+// DefaultLoadPolicy returns the paper's thresholds: overload at 300
+// clients, underload below 150.
+func DefaultLoadPolicy() LoadPolicy { return load.DefaultConfig() }
+
+// StaticGrid divides world into n fixed tiles for the static-partitioning
+// baseline (see WithStaticPartitions).
+func StaticGrid(world Rect, n int) ([]Rect, error) { return staticpart.Grid(world, n) }
+
+// options collects the functional options shared by the constructors.
+type options struct {
+	network     Network
+	addr        string
+	world       Rect
+	radius      float64
+	loadPolicy  LoadPolicy
+	static      []Rect
+	extraRadii  []float64
+	logger      *log.Logger
+	tick        time.Duration
+	serviceRate int
+	maxQueue    int
+	report      time.Duration
+}
+
+func defaultOptions() options {
+	return options{
+		network: transport.TCPNetwork{},
+		world:   geom.R(0, 0, 1000, 1000),
+		radius:  40,
+	}
+}
+
+// Option configures ServeCoordinator, StartServer or Dial.
+type Option func(*options)
+
+// WithNetwork selects the transport (default TCP).
+func WithNetwork(nw Network) Option { return func(o *options) { o.network = nw } }
+
+// WithAddr sets the listen address (coordinator/server) — empty picks an
+// ephemeral address.
+func WithAddr(addr string) Option { return func(o *options) { o.addr = addr } }
+
+// WithWorld sets the full game-world rectangle (coordinator only).
+func WithWorld(w Rect) Option { return func(o *options) { o.world = w } }
+
+// WithRadius sets the game's visibility radius (servers).
+func WithRadius(r float64) Option { return func(o *options) { o.radius = r } }
+
+// WithLoadPolicy tunes split/reclaim thresholds (servers).
+func WithLoadPolicy(p LoadPolicy) Option { return func(o *options) { o.loadPolicy = p } }
+
+// WithStaticPartitions runs the coordinator as the static-partitioning
+// baseline: the i-th registering server is pinned to tiles[i] forever.
+func WithStaticPartitions(tiles []Rect) Option {
+	return func(o *options) { o.static = append([]Rect(nil), tiles...) }
+}
+
+// WithExtraRadii registers additional visibility radii (the paper's
+// per-class exceptions); the coordinator maintains one overlap-table set
+// per radius.
+func WithExtraRadii(radii ...float64) Option {
+	return func(o *options) { o.extraRadii = append([]float64(nil), radii...) }
+}
+
+// WithLogger directs diagnostics (default: silent).
+func WithLogger(l *log.Logger) Option { return func(o *options) { o.logger = l } }
+
+// WithTickInterval sets the game-server processing cadence (servers).
+func WithTickInterval(d time.Duration) Option { return func(o *options) { o.tick = d } }
+
+// WithServiceRate sets packets processed per tick (servers).
+func WithServiceRate(n int) Option { return func(o *options) { o.serviceRate = n } }
+
+// WithMaxQueue bounds the game server's receive queue (servers).
+func WithMaxQueue(n int) Option { return func(o *options) { o.maxQueue = n } }
+
+// WithReportInterval sets the load-report cadence (servers).
+func WithReportInterval(d time.Duration) Option { return func(o *options) { o.report = d } }
+
+// RunSimulation executes one deterministic simulation and returns its
+// result (series, latencies, topology events). It is how the bundled
+// experiments regenerate the paper's figures.
+func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// NewSimulation builds a simulation without running it, for callers that
+// want to inspect cluster state afterwards.
+func NewSimulation(cfg SimulationConfig) (*sim.Sim, error) { return sim.New(cfg) }
+
+// internal glue shared by the constructors in cluster.go.
+func (o options) coordinatorConfig() coordinator.Config {
+	return coordinator.Config{World: o.world, ExtraRadii: o.extraRadii, Static: o.static}
+}
+
+// clientConfig assembles a gameclient.Config.
+func clientConfig(idv ClientID, pos Point) gameclient.Config {
+	return gameclient.Config{ID: idv, Pos: pos}
+}

@@ -1,0 +1,123 @@
+package matrix_test
+
+import (
+	"testing"
+	"time"
+
+	"matrix"
+)
+
+func TestPublicClusterLifecycle(t *testing.T) {
+	nw := matrix.NewMemNetwork()
+	mc, err := matrix.ServeCoordinator(
+		matrix.WithNetwork(nw),
+		matrix.WithWorld(matrix.R(0, 0, 500, 500)),
+	)
+	if err != nil {
+		t.Fatalf("ServeCoordinator: %v", err)
+	}
+	defer mc.Close()
+
+	srv, err := matrix.StartServer(mc.Addr(),
+		matrix.WithNetwork(nw),
+		matrix.WithRadius(30),
+		matrix.WithTickInterval(2*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer srv.Close()
+	if !srv.Active() {
+		t.Fatal("first server must own the world")
+	}
+	if got := srv.Bounds(); !got.Eq(matrix.R(0, 0, 500, 500)) {
+		t.Fatalf("bounds = %v", got)
+	}
+	if got := mc.ActiveServers(); len(got) != 1 || got[0] != srv.ID() {
+		t.Fatalf("ActiveServers = %v", got)
+	}
+
+	cl, err := matrix.Dial(srv.Addr(), 1, matrix.Pt(100, 100), matrix.WithNetwork(nw))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if cl.Server() != srv.ID() {
+		t.Errorf("client server = %v", cl.Server())
+	}
+	if err := cl.Act(matrix.KindAction, matrix.Pt(101, 100)); err != nil {
+		t.Fatalf("Act: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && cl.Stats().Echoes == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cl.Stats().Echoes == 0 {
+		t.Fatal("no echo received through the public API")
+	}
+	if err := cl.Move(matrix.Pt(120, 120)); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if len(cl.Latencies()) == 0 {
+		t.Error("no latencies recorded")
+	}
+	if got := srv.ClientCount(); got != 1 {
+		t.Errorf("ClientCount = %d", got)
+	}
+}
+
+func TestPublicSimulation(t *testing.T) {
+	world := matrix.R(0, 0, 1000, 1000)
+	policy := matrix.DefaultLoadPolicy()
+	policy.OverloadClients = 50
+	policy.UnderloadClients = 25
+	res, err := matrix.RunSimulation(matrix.SimulationConfig{
+		Profile:         matrix.BzflagProfile(),
+		World:           world,
+		Seed:            1,
+		DurationSeconds: 40,
+		MaxServers:      4,
+		BasePopulation:  20,
+		LoadPolicy:      policy,
+		Script: matrix.Script{
+			{At: 5, Kind: matrix.EventJoin, Count: 100, Center: matrix.Pt(750, 250), Spread: 80, Tag: "hot"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunSimulation: %v", err)
+	}
+	if res.PeakServers < 2 {
+		t.Errorf("hotspot did not trigger splits: peak=%d", res.PeakServers)
+	}
+	if res.Latency.Count() == 0 {
+		t.Error("no latency samples")
+	}
+}
+
+func TestStaticGridPublic(t *testing.T) {
+	tiles, err := matrix.StaticGrid(matrix.R(0, 0, 100, 100), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 4 {
+		t.Fatalf("tiles = %d", len(tiles))
+	}
+	if _, err := matrix.StaticGrid(matrix.Rect{}, 4); err == nil {
+		t.Error("empty world must fail")
+	}
+}
+
+func TestProfilesPublic(t *testing.T) {
+	for _, p := range []matrix.Profile{matrix.BzflagProfile(), matrix.DaimoninProfile(), matrix.Quake2Profile()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	s := matrix.Figure2Script(matrix.R(0, 0, 1000, 1000))
+	if err := s.Validate(); err != nil {
+		t.Errorf("Figure2Script: %v", err)
+	}
+	if matrix.DefaultLoadPolicy().OverloadClients != 300 {
+		t.Error("default policy must match the paper")
+	}
+}
