@@ -12,6 +12,7 @@
 package matrix_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -37,7 +38,7 @@ var fig2Result *sim.Result
 func fig2(b *testing.B) *sim.Result {
 	b.Helper()
 	if fig2Result == nil {
-		res, err := experiments.RunFigure2(1)
+		res, err := experiments.RunFigure2(context.Background(), experiments.Runner{}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkFigure2bQueueLengths(b *testing.B) {
 // servers and recovers.
 func BenchmarkStaticVsMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunStaticVsMatrix(1)
+		r, err := experiments.RunStaticVsMatrix(context.Background(), experiments.Runner{}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func BenchmarkStaticVsMatrix(b *testing.B) {
 // microbenchmark (E3a).
 func BenchmarkSwitchingLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunSwitchingMicro(1)
+		r, err := experiments.RunSwitchingMicro(context.Background(), experiments.Runner{}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkSwitchingLatency(b *testing.B) {
 // (E3b): overlap-table recompute cost vs fleet size.
 func BenchmarkCoordinatorOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunCoordinatorMicro()
+		r, err := experiments.RunCoordinatorMicro(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func BenchmarkCoordinatorOverhead(b *testing.B) {
 // (E3c): inter-Matrix bytes track overlap-region size linearly.
 func BenchmarkOverlapTraffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunTrafficMicro(1)
+		r, err := experiments.RunTrafficMicro(context.Background(), experiments.Runner{}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkOverlapTraffic(b *testing.B) {
 // response latency with and without splits.
 func BenchmarkUserTransparency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunUserStudy(1)
+		r, err := experiments.RunUserStudy(context.Background(), experiments.Runner{}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,6 +179,27 @@ func BenchmarkAsymptoticModel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(last, "players-at-10k-servers")
+}
+
+// --- scenario sweep (shared scenario table) ---
+
+// BenchmarkScenarioSweep runs every named workload scenario concurrently
+// on the sweep engine and reports each scenario's headline numbers; it is
+// also the wall-clock measure of the engine itself (one full sweep per
+// iteration).
+func BenchmarkScenarioSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunScenarios(context.Background(), experiments.Runner{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range experiments.ScenarioNames() {
+			b.ReportMetric(r.Numbers[name+"/peak_servers"], name+"-peak-servers")
+		}
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
 }
 
 // --- Ablations (design choices called out in DESIGN.md) ---

@@ -1,17 +1,22 @@
 // Command matrix-bench regenerates every table and figure in the paper's
-// evaluation (§4). Each experiment prints the same rows/series the paper
-// reports; EXPERIMENTS.md records the expected shapes.
+// evaluation (§4) and runs the named workload scenarios. Each experiment
+// prints the same rows/series the paper reports; EXPERIMENTS.md records
+// the expected shapes. Multi-run experiments and scenario sweeps execute
+// concurrently on the sweep engine (bounded by -workers).
 //
 // Usage:
 //
 //	matrix-bench -exp all
 //	matrix-bench -exp fig2a,fig2b -seed 7
+//	matrix-bench -exp scenarios -scenario flashcrowd,migration -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"matrix/internal/experiments"
@@ -25,15 +30,22 @@ func main() {
 	}
 }
 
-var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic"}
+var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic", "scenarios"}
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("matrix-bench", flag.ContinueOnError)
 	expFlag := fs.String("exp", "all", "experiments to run: all or a comma list of "+strings.Join(order, ","))
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	scenarioFlag := fs.String("scenario", "all", "scenarios for -exp scenarios: all or a comma list of "+strings.Join(experiments.ScenarioNames(), ","))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Ctrl-C cancels in-flight sweeps mid-run instead of between runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := experiments.Runner{Workers: *workers}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
@@ -60,11 +72,20 @@ func run(args []string) error {
 		}
 	}
 
+	var scenarios []string
+	if *scenarioFlag != "all" {
+		for _, s := range strings.Split(*scenarioFlag, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				scenarios = append(scenarios, s)
+			}
+		}
+	}
+
 	// Figure 2's two panels come from one simulation run.
 	var fig2 *sim.Result
 	if want["fig2a"] || want["fig2b"] {
 		fmt.Fprintln(os.Stderr, "running Figure 2 hotspot scenario (300 simulated seconds)...")
-		res, err := experiments.RunFigure2(*seed)
+		res, err := experiments.RunFigure2(ctx, runner, *seed)
 		if err != nil {
 			return err
 		}
@@ -74,43 +95,52 @@ func run(args []string) error {
 		if !want[e] {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		switch e {
 		case "fig2a":
 			fmt.Print(experiments.Figure2a(fig2).String())
 		case "fig2b":
 			fmt.Print(experiments.Figure2b(fig2).String())
 		case "staticvs":
-			r, err := experiments.RunStaticVsMatrix(*seed)
+			r, err := experiments.RunStaticVsMatrix(ctx, runner, *seed)
 			if err != nil {
 				return err
 			}
 			fmt.Print(r.String())
 		case "microswitch":
-			r, err := experiments.RunSwitchingMicro(*seed)
+			r, err := experiments.RunSwitchingMicro(ctx, runner, *seed)
 			if err != nil {
 				return err
 			}
 			fmt.Print(r.String())
 		case "micromc":
-			r, err := experiments.RunCoordinatorMicro()
+			r, err := experiments.RunCoordinatorMicro(ctx)
 			if err != nil {
 				return err
 			}
 			fmt.Print(r.String())
 		case "microtraffic":
-			r, err := experiments.RunTrafficMicro(*seed)
+			r, err := experiments.RunTrafficMicro(ctx, runner, *seed)
 			if err != nil {
 				return err
 			}
 			fmt.Print(r.String())
 		case "userstudy":
-			r, err := experiments.RunUserStudy(*seed)
+			r, err := experiments.RunUserStudy(ctx, runner, *seed)
 			if err != nil {
 				return err
 			}
 			fmt.Print(r.String())
 		case "asymptotic":
 			fmt.Print(experiments.RunAsymptotic().String())
+		case "scenarios":
+			r, err := experiments.RunScenarios(ctx, runner, *seed, scenarios...)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,3 @@
+module matrix
+
+go 1.24

@@ -120,7 +120,11 @@ type Server struct {
 	active       bool
 	radius       float64 // game default visibility radius
 	tables       map[float64]*overlap.Table
-	peers        map[id.ServerID]peerInfo
+	peers map[id.ServerID]peerInfo
+	// peerOrder mirrors peers' keys, sorted: ResolveOwner runs per
+	// boundary-crossing move and must scan peers in a deterministic order
+	// without re-sorting on every call.
+	peerOrder    []id.ServerID
 	peersVersion uint64
 	parent       id.ServerID
 	child        map[id.ServerID]bool
@@ -429,12 +433,24 @@ func (s *Server) handleOverlapTable(msg *protocol.OverlapTable) error {
 	// version pushes (per-radius tables of one topology) merge.
 	if msg.Version > s.peersVersion {
 		s.peers = make(map[id.ServerID]peerInfo, len(msg.Peers))
+		s.peerOrder = s.peerOrder[:0]
 		s.peersVersion = msg.Version
 	}
 	for _, p := range msg.Peers {
-		s.peers[p.Server] = peerInfo{addr: p.Addr, bounds: p.Bounds}
+		s.setPeerLocked(p.Server, peerInfo{addr: p.Addr, bounds: p.Bounds})
 	}
 	return nil
+}
+
+// setPeerLocked records/updates a peer, keeping peerOrder sorted.
+func (s *Server) setPeerLocked(sid id.ServerID, info peerInfo) {
+	if _, ok := s.peers[sid]; !ok {
+		i := sort.Search(len(s.peerOrder), func(i int) bool { return s.peerOrder[i] >= sid })
+		s.peerOrder = append(s.peerOrder, 0)
+		copy(s.peerOrder[i+1:], s.peerOrder[i:])
+		s.peerOrder[i] = sid
+	}
+	s.peers[sid] = info
 }
 
 // handleSplitReply finishes a split: adopt the kept bounds, remember the
@@ -454,7 +470,7 @@ func (s *Server) handleSplitReply(r *protocol.SplitReply) ([]Envelope, error) {
 		s.childOrder = append(s.childOrder, r.Child)
 	}
 	s.child[r.Child] = true
-	s.peers[r.Child] = peerInfo{addr: r.ChildAddr, bounds: r.Give}
+	s.setPeerLocked(r.Child, peerInfo{addr: r.ChildAddr, bounds: r.Give})
 	return []Envelope{{Dest: DestGameServer, Msg: &protocol.RangeUpdate{
 		Server: s.id,
 		Bounds: r.Keep,
@@ -514,7 +530,7 @@ func (s *Server) handleRangeUpdate(r *protocol.RangeUpdate) ([]Envelope, error) 
 	s.active = !r.Bounds.Empty()
 	// Handoff targets are peers we are about to ship state to.
 	for _, h := range r.Handoff {
-		s.peers[h.Server] = peerInfo{addr: h.Addr, bounds: h.Bounds}
+		s.setPeerLocked(h.Server, peerInfo{addr: h.Addr, bounds: h.Bounds})
 	}
 	if !s.active && wasActive {
 		// Deactivated: clear topology state; we are a spare again.
@@ -565,7 +581,7 @@ func (s *Server) handleNonProximalReply(r *protocol.NonProximalReply) ([]Envelop
 	u := s.pendingNonProx[0]
 	s.pendingNonProx = s.pendingNonProx[1:]
 	for _, p := range r.Peers {
-		s.peers[p.Server] = peerInfo{addr: p.Addr, bounds: p.Bounds}
+		s.setPeerLocked(p.Server, peerInfo{addr: p.Addr, bounds: p.Bounds})
 	}
 	return s.forwardLocked(u, overlap.NewSet(r.Servers...))
 }
@@ -598,8 +614,11 @@ func (s *Server) ResolveOwner(p geom.Point) (id.ServerID, string, bool) {
 	if s.bounds.Contains(p) {
 		return s.id, "", false // still ours: no handoff
 	}
-	for sid, info := range s.peers {
-		if info.bounds.Contains(p) {
+	// Sorted iteration: across a topology change two peers' recorded bounds
+	// can transiently both contain p, and map order must not pick the
+	// winner (determinism for a fixed seed).
+	for _, sid := range s.peerOrder {
+		if info := s.peers[sid]; info.bounds.Contains(p) {
 			return sid, info.addr, true
 		}
 	}

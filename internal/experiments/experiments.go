@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -78,13 +79,14 @@ func Figure2Config(seed int64) sim.Config {
 }
 
 // RunFigure2 executes the Figure 2 scenario once and returns the run for
-// both panels.
-func RunFigure2(seed int64) (*sim.Result, error) {
-	s, err := sim.New(Figure2Config(seed))
+// both panels. The single run goes through the sweep engine so it is
+// cancellable mid-run.
+func RunFigure2(ctx context.Context, r Runner, seed int64) (*sim.Result, error) {
+	results, err := r.RunConfigs(ctx, []sim.Config{Figure2Config(seed)})
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return results[0], nil
 }
 
 // Figure2a renders the clients-per-server time series (paper Fig. 2a).
@@ -212,51 +214,54 @@ func StaticVsMatrixConfig(profile game.Profile, staticN, maxServers int, seed in
 }
 
 // RunStaticVsMatrix executes E2 for every bundled game and reports drops,
-// latency and server usage side by side.
-func RunStaticVsMatrix(seed int64) (*Report, error) {
-	r := &Report{ID: "E2", Title: "static partitioning vs Matrix under a 600-client hotspot", Numbers: map[string]float64{}}
-	r.addf("%-10s %-8s %9s %9s %12s %12s", "game", "mode", "servers", "peakQ", "dropped", "p95 lat(ms)")
+// latency and server usage side by side. The six runs (three games, two
+// modes) are independent, so they execute concurrently on the sweep
+// engine.
+func RunStaticVsMatrix(ctx context.Context, r Runner, seed int64) (*Report, error) {
+	var jobs []Job
 	for _, profile := range []game.Profile{game.Bzflag(), game.Daimonin(), game.Quake2()} {
 		staticCfg, matrixCfg, err := StaticVsMatrixConfig(profile, 4, 10, seed)
 		if err != nil {
 			return nil, err
 		}
-		for _, mode := range []struct {
-			name string
-			cfg  sim.Config
-		}{{"static", staticCfg}, {"matrix", matrixCfg}} {
-			s, err := sim.New(mode.cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			var peakQ float64
-			for _, se := range res.Metrics.SeriesByPrefix("queue/") {
-				if m := se.Max(); m > peakQ {
-					peakQ = m
-				}
-			}
-			r.addf("%-10s %-8s %9d %9.0f %12d %12.0f",
-				profile.Name, mode.name, res.PeakServers, peakQ,
-				res.DroppedPackets, res.Latency.Quantile(0.95))
-			r.Numbers[profile.Name+"/"+mode.name+"/dropped"] = float64(res.DroppedPackets)
-			r.Numbers[profile.Name+"/"+mode.name+"/p95"] = res.Latency.Quantile(0.95)
-			r.Numbers[profile.Name+"/"+mode.name+"/peak_servers"] = float64(res.PeakServers)
-		}
+		// Job names double as the report labels: "<game>/<mode>".
+		jobs = append(jobs,
+			Job{Name: profile.Name + "/static", Config: staticCfg},
+			Job{Name: profile.Name + "/matrix", Config: matrixCfg},
+		)
 	}
-	return r, nil
+	outs, err := r.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "E2", Title: "static partitioning vs Matrix under a 600-client hotspot", Numbers: map[string]float64{}}
+	rep.addf("%-10s %-8s %9s %9s %12s %12s", "game", "mode", "servers", "peakQ", "dropped", "p95 lat(ms)")
+	for _, o := range outs {
+		res := o.Result
+		var peakQ float64
+		for _, se := range res.Metrics.SeriesByPrefix("queue/") {
+			if m := se.Max(); m > peakQ {
+				peakQ = m
+			}
+		}
+		gameName, mode, _ := strings.Cut(o.Name, "/")
+		rep.addf("%-10s %-8s %9d %9.0f %12d %12.0f",
+			gameName, mode, res.PeakServers, peakQ,
+			res.DroppedPackets, res.Latency.Quantile(0.95))
+		rep.Numbers[o.Name+"/dropped"] = float64(res.DroppedPackets)
+		rep.Numbers[o.Name+"/p95"] = res.Latency.Quantile(0.95)
+		rep.Numbers[o.Name+"/peak_servers"] = float64(res.PeakServers)
+	}
+	return rep, nil
 }
 
 // RunSwitchingMicro executes E3a: a small run that forces one split and
 // measures the redirect→rejoin latency distribution.
-func RunSwitchingMicro(seed int64) (*Report, error) {
+func RunSwitchingMicro(ctx context.Context, runner Runner, seed int64) (*Report, error) {
 	script := game.Script{
 		{At: 5, Kind: game.EventJoin, Count: 400, Center: geom.Pt(750, 250), Spread: 120, Tag: "hot"},
 	}
-	s, err := sim.New(sim.Config{
+	results, err := runner.RunConfigs(ctx, []sim.Config{{
 		Profile:            game.Bzflag(),
 		World:              World,
 		Seed:               seed,
@@ -265,14 +270,11 @@ func RunSwitchingMicro(seed int64) (*Report, error) {
 		ServiceRatePerTick: 250,
 		BasePopulation:     50,
 		Script:             script,
-	})
+	}})
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run()
-	if err != nil {
-		return nil, err
-	}
+	res := results[0]
 	r := &Report{ID: "E3a", Title: "microbenchmark — client switching latency", Numbers: map[string]float64{}}
 	r.addf("switches: %d", res.SwitchLatency.Count())
 	r.addf("latency ms: %s", res.SwitchLatency.Summary())
@@ -286,13 +288,13 @@ func RunSwitchingMicro(seed int64) (*Report, error) {
 // inter-Matrix traffic tracks the overlap-region population linearly ("the
 // amount of traffic sent between Matrix servers corresponded directly to
 // the size of the overlap regions").
-func RunTrafficMicro(seed int64) (*Report, error) {
-	r := &Report{ID: "E3c", Title: "microbenchmark — inter-Matrix traffic vs overlap size", Numbers: map[string]float64{}}
-	r.addf("%-10s %14s %16s %16s", "radius", "overlap area", "fwd packets", "bytes/overlap")
+func RunTrafficMicro(ctx context.Context, runner Runner, seed int64) (*Report, error) {
 	script := game.Script{
 		{At: 1, Kind: game.EventJoin, Count: 200, Center: geom.Pt(500, 500), Spread: 450, Tag: "crowd"},
 	}
-	for _, radius := range []float64{10, 20, 40, 80} {
+	radii := []float64{10, 20, 40, 80}
+	var jobs []Job
+	for _, radius := range radii {
 		profile := game.Bzflag()
 		profile.Radius = radius
 		// Movement-only mix: action updates carry a far-away destination
@@ -304,31 +306,36 @@ func RunTrafficMicro(seed int64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := sim.New(sim.Config{
-			Profile:            profile,
-			World:              World,
-			Seed:               seed,
-			DurationSeconds:    60,
-			ServiceRatePerTick: 2000,
-			BasePopulation:     0,
-			Script:             script,
-			Static:             tiles,
-			MaxServers:         2,
+		jobs = append(jobs, Job{
+			Name: fmt.Sprintf("r%.0f", radius),
+			Config: sim.Config{
+				Profile:            profile,
+				World:              World,
+				Seed:               seed,
+				DurationSeconds:    60,
+				ServiceRatePerTick: 2000,
+				BasePopulation:     0,
+				Script:             script,
+				Static:             tiles,
+				MaxServers:         2,
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
+	}
+	outs, err := runner.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "E3c", Title: "microbenchmark — inter-Matrix traffic vs overlap size", Numbers: map[string]float64{}}
+	r.addf("%-10s %14s %16s %16s", "radius", "overlap area", "fwd packets", "bytes/overlap")
+	for i, o := range outs {
+		res := o.Result
 		perOverlap := 0.0
 		if res.OverlapAreaLast > 0 {
 			perOverlap = float64(res.ForwardedBytes) / res.OverlapAreaLast
 		}
-		r.addf("%-10.0f %14.0f %16d %16.1f", radius, res.OverlapAreaLast, res.ForwardedPackets, perOverlap)
-		r.Numbers[fmt.Sprintf("fwd_packets_r%.0f", radius)] = float64(res.ForwardedPackets)
-		r.Numbers[fmt.Sprintf("overlap_area_r%.0f", radius)] = res.OverlapAreaLast
+		r.addf("%-10.0f %14.0f %16d %16.1f", radii[i], res.OverlapAreaLast, res.ForwardedPackets, perOverlap)
+		r.Numbers[fmt.Sprintf("fwd_packets_r%.0f", radii[i])] = float64(res.ForwardedPackets)
+		r.Numbers[fmt.Sprintf("overlap_area_r%.0f", radii[i])] = res.OverlapAreaLast
 	}
 	return r, nil
 }
@@ -337,10 +344,13 @@ func RunTrafficMicro(seed int64) (*Report, error) {
 // recomputation as the fleet grows — the paper found "the overhead of using
 // a central coordinator was negligible", which holds because this cost is
 // paid only on splits/reclaims, never on the packet path.
-func RunCoordinatorMicro() (*Report, error) {
+func RunCoordinatorMicro(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "E3b", Title: "microbenchmark — coordinator overlap-table recompute cost", Numbers: map[string]float64{}}
 	r.addf("%-10s %14s %14s", "servers", "recompute", "per-table")
 	for _, n := range []int{2, 4, 8, 16, 32, 64, 128} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		parts, err := randomPartitions(n, int64(n))
 		if err != nil {
 			return nil, err
@@ -391,9 +401,9 @@ func nowMonotonic() float64 {
 // paper's finding — "game players did not perceive any significant
 // Matrix-induced performance degradation" — translates to the p95 latency
 // staying in the same regime despite server switches.
-func RunUserStudy(seed int64) (*Report, error) {
-	run := func(script game.Script, servers int) (*sim.Result, error) {
-		s, err := sim.New(sim.Config{
+func RunUserStudy(ctx context.Context, runner Runner, seed int64) (*Report, error) {
+	cfg := func(script game.Script, servers int) sim.Config {
+		return sim.Config{
 			Profile:            game.Bzflag(),
 			World:              World,
 			Seed:               seed,
@@ -406,24 +416,17 @@ func RunUserStudy(seed int64) (*Report, error) {
 			// play, not the instant 400 players materialize in one tick.
 			LatencyIgnoreBeforeSeconds: 45,
 			LoadPolicy:                 load.Config{OverloadQueue: 1500},
-		})
-		if err != nil {
-			return nil, err
 		}
-		return s.Run()
-	}
-	quiet, err := run(nil, 1)
-	if err != nil {
-		return nil, err
 	}
 	script := game.Script{
 		{At: 20, Kind: game.EventJoin, Count: 400, Center: geom.Pt(800, 300), Spread: 120, Tag: "hot"},
 		{At: 90, Kind: game.EventLeave, Count: 400, Tag: "hot"},
 	}
-	busy, err := run(script, 8)
+	results, err := runner.RunConfigs(ctx, []sim.Config{cfg(nil, 1), cfg(script, 8)})
 	if err != nil {
 		return nil, err
 	}
+	quiet, busy := results[0], results[1]
 	r := &Report{ID: "E4", Title: "user-study proxy — latency transparency across splits", Numbers: map[string]float64{}}
 	r.addf("%-18s %10s %10s %10s %10s", "condition", "p50(ms)", "p95(ms)", "p99(ms)", "switches")
 	r.addf("%-18s %10.1f %10.1f %10.1f %10d", "quiet (no splits)",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,6 +27,10 @@ func runScaledFigure2(t *testing.T) *sim.Result {
 }
 
 func TestFigure2Reports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled Figure 2 still simulates 60 seconds")
+	}
+	t.Parallel()
 	res := runScaledFigure2(t)
 	a := Figure2a(res)
 	if a.ID != "E1a" || len(a.Lines) == 0 {
@@ -55,7 +60,8 @@ func TestFigure2Reports(t *testing.T) {
 }
 
 func TestSwitchingMicro(t *testing.T) {
-	r, err := RunSwitchingMicro(3)
+	t.Parallel()
+	r, err := RunSwitchingMicro(context.Background(), Runner{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +76,8 @@ func TestSwitchingMicro(t *testing.T) {
 }
 
 func TestTrafficMicroLinearInOverlap(t *testing.T) {
-	r, err := RunTrafficMicro(5)
+	t.Parallel()
+	r, err := RunTrafficMicro(context.Background(), Runner{}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +120,8 @@ func TestUserStudyTransparency(t *testing.T) {
 	if testing.Short() {
 		t.Skip("user study runs two 120s simulations")
 	}
-	r, err := RunUserStudy(11)
+	t.Parallel()
+	r, err := RunUserStudy(context.Background(), Runner{}, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +140,8 @@ func TestStaticVsMatrixReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("E2 runs six 120s simulations")
 	}
-	r, err := RunStaticVsMatrix(13)
+	t.Parallel()
+	r, err := RunStaticVsMatrix(context.Background(), Runner{}, 13)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,181 @@
+// The sweep engine: every experiment in this package is a set of
+// independent, deterministic sim.Config runs, so the suite parallelizes
+// perfectly. Runner fans configurations out over a bounded worker pool,
+// streams results back in submission order, and cancels mid-run via
+// context (each worker drives the Sim step primitives and polls the
+// context between ticks rather than only between runs).
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"matrix/internal/sim"
+)
+
+// Job names one simulation configuration inside a sweep.
+type Job struct {
+	// Name labels the run in results and errors.
+	Name string
+	// Config is the simulation to run.
+	Config sim.Config
+}
+
+// RunOutput is one job's outcome. Exactly one of Result/Err is set.
+type RunOutput struct {
+	// Name echoes the job name.
+	Name string
+	// Result is the completed run's result.
+	Result *sim.Result
+	// Err is the failure (sim error, or the context's error for runs
+	// cancelled or never started).
+	Err error
+}
+
+// Runner executes sweeps of independent simulations on a worker pool.
+// The zero value is ready to use.
+type Runner struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// CancelEveryTicks is how many simulation steps a worker advances
+	// between context polls; <= 0 means 50 (5 simulated seconds at the
+	// default 0.1s tick).
+	CancelEveryTicks int
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r Runner) cancelEvery() int {
+	if r.CancelEveryTicks > 0 {
+		return r.CancelEveryTicks
+	}
+	return 50
+}
+
+// runOne drives a single simulation with step primitives, polling ctx so a
+// sweep cancels mid-run instead of only between runs.
+func (r Runner) runOne(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	every := r.cancelEvery()
+	for n := 0; !s.Done(); n++ {
+		if n%every == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}
+
+// Stream runs the jobs on the pool and emits one RunOutput per job, in
+// submission order (an order-preserving aggregator holds back runs that
+// finish ahead of an earlier, slower one). The channel closes after the
+// last job; on cancellation every remaining job is still emitted, with
+// Err set to ctx.Err().
+func (r Runner) Stream(ctx context.Context, jobs []Job) <-chan RunOutput {
+	out := make(chan RunOutput, len(jobs))
+	type indexed struct {
+		idx int
+		res RunOutput
+	}
+	done := make(chan indexed, len(jobs))
+	work := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				job := jobs[idx]
+				o := RunOutput{Name: job.Name}
+				if err := ctx.Err(); err != nil {
+					o.Err = err
+				} else if res, err := r.runOne(ctx, job.Config); err != nil {
+					o.Err = fmt.Errorf("run %q: %w", job.Name, err)
+				} else {
+					o.Result = res
+				}
+				done <- indexed{idx, o}
+			}
+		}()
+	}
+	go func() {
+		// Feed indices; ctx cancellation is observed inside the workers, so
+		// draining the queue stays cheap (each job returns immediately).
+		for i := range jobs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(done)
+	}()
+	go func() {
+		defer close(out)
+		pending := make(map[int]RunOutput, len(jobs))
+		next := 0
+		for d := range done {
+			pending[d.idx] = d.res
+			for {
+				o, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				out <- o
+			}
+		}
+	}()
+	return out
+}
+
+// Run executes the jobs and collects the outputs in submission order. The
+// returned error is the first job error (including cancellation); the
+// slice always has one entry per job so callers can inspect partial
+// sweeps.
+func (r Runner) Run(ctx context.Context, jobs []Job) ([]RunOutput, error) {
+	outs := make([]RunOutput, 0, len(jobs))
+	var firstErr error
+	for o := range r.Stream(ctx, jobs) {
+		if o.Err != nil && firstErr == nil {
+			firstErr = o.Err
+		}
+		outs = append(outs, o)
+	}
+	return outs, firstErr
+}
+
+// RunConfigs is the common case: run the configurations concurrently and
+// return their results in order, failing on the first error.
+func (r Runner) RunConfigs(ctx context.Context, cfgs []sim.Config) ([]*sim.Result, error) {
+	jobs := make([]Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = Job{Name: fmt.Sprintf("cfg-%d", i), Config: cfg}
+	}
+	outs, err := r.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*sim.Result, len(outs))
+	for i, o := range outs {
+		results[i] = o.Result
+	}
+	return results, nil
+}

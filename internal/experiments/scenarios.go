@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"matrix/internal/game"
+	"matrix/internal/load"
+	"matrix/internal/sim"
+)
+
+// Scenario is one named workload in the shared scenario table. The same
+// table backs cmd/matrix-bench (-exp scenarios, -scenario), the
+// experiments tests and the repository benchmarks, so a scenario added
+// here is immediately runnable everywhere.
+type Scenario struct {
+	// Name is the stable identifier used on the command line.
+	Name string
+	// Title is the one-line description printed in reports.
+	Title string
+	// Config builds the scenario's simulation for a seed.
+	Config func(seed int64) sim.Config
+}
+
+// scenarioTable lists every named workload, paper figures first.
+var scenarioTable = []Scenario{
+	{
+		Name:   "figure2",
+		Title:  "paper Figure 2 — 600-client hotspot, appears twice, drains gradually",
+		Config: Figure2Config,
+	},
+	{
+		Name:   "flashcrowd",
+		Title:  "flash-crowd churn — 4 sudden 400-client crowds, each gone within ~15s",
+		Config: FlashCrowdConfig,
+	},
+	{
+		Name:   "migration",
+		Title:  "migration storm — 3 hotspots of 200 clients hopping across the map",
+		Config: MigrationConfig,
+	},
+	{
+		Name:   "reclaimstress",
+		Title:  "reclaim stress — 5 surge/drain cycles thrashing split+reclaim at one point",
+		Config: ReclaimStressConfig,
+	},
+}
+
+// Scenarios returns the scenario table in stable order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarioTable))
+	copy(out, scenarioTable)
+	return out
+}
+
+// ScenarioNames returns the table's names in stable order.
+func ScenarioNames() []string {
+	names := make([]string, len(scenarioTable))
+	for i, sc := range scenarioTable {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// ScenarioByName looks a scenario up by its stable name.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range scenarioTable {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// scenarioBase is the common shape of the stress scenarios: the Figure 2
+// world and fleet with capacity for ~600 clients per server.
+func scenarioBase(seed int64) sim.Config {
+	return sim.Config{
+		Profile:            game.Bzflag(),
+		World:              World,
+		Seed:               seed,
+		MaxServers:         8,
+		ServiceRatePerTick: 300,
+		BasePopulation:     100,
+		LoadPolicy:         load.Config{OverloadQueue: 3000},
+		SampleEverySeconds: 5,
+	}
+}
+
+// FlashCrowdConfig builds the flash-crowd churn scenario: crowds large
+// enough to force a split arrive faster than they drain, at random spots.
+func FlashCrowdConfig(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 110
+	cfg.Script = game.FlashCrowdScript(World, 4, 400, 22, 10, seed)
+	return cfg
+}
+
+// MigrationConfig builds the multi-hotspot migration storm: three crowds
+// that keep relocating, so load never settles where the last split put it.
+func MigrationConfig(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 110
+	cfg.Script = game.MigrationScript(World, 3, 3, 200, 25, seed)
+	return cfg
+}
+
+// ReclaimStressConfig builds the split/reclaim thrash scenario: one point
+// surging over and draining under the thresholds, cycle after cycle.
+func ReclaimStressConfig(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 115
+	cfg.Script = game.ReclaimStressScript(World, 5, 400, 10, 10)
+	return cfg
+}
+
+// RunScenarios executes the named scenarios (all of them when names is
+// empty) concurrently on the sweep engine and reports each one's headline
+// numbers. Numbers are keyed "<scenario>/<metric>".
+func RunScenarios(ctx context.Context, r Runner, seed int64, names ...string) (*Report, error) {
+	if len(names) == 0 {
+		names = ScenarioNames()
+	}
+	jobs := make([]Job, 0, len(names))
+	for _, name := range names {
+		sc, ok := ScenarioByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown scenario %q (known: %v)", name, ScenarioNames())
+		}
+		jobs = append(jobs, Job{Name: sc.Name, Config: sc.Config(seed)})
+	}
+	outs, err := r.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "SWEEP", Title: "scenario sweep", Numbers: map[string]float64{}}
+	rep.addf("%-14s %8s %8s %8s %8s %10s %12s %12s", "scenario", "peak", "final", "splits", "reclaims", "redirects", "dropped", "p95 lat(ms)")
+	for _, o := range outs {
+		res := o.Result
+		splits, reclaims := countEvents(res)
+		rep.addf("%-14s %8d %8d %8d %8d %10d %12d %12.1f",
+			o.Name, res.PeakServers, res.FinalServers, splits, reclaims,
+			res.Redirects, res.DroppedPackets, res.Latency.Quantile(0.95))
+		rep.Numbers[o.Name+"/peak_servers"] = float64(res.PeakServers)
+		rep.Numbers[o.Name+"/final_servers"] = float64(res.FinalServers)
+		rep.Numbers[o.Name+"/splits"] = float64(splits)
+		rep.Numbers[o.Name+"/reclaims"] = float64(reclaims)
+		rep.Numbers[o.Name+"/redirects"] = float64(res.Redirects)
+		rep.Numbers[o.Name+"/dropped"] = float64(res.DroppedPackets)
+		rep.Numbers[o.Name+"/p95_ms"] = res.Latency.Quantile(0.95)
+	}
+	return rep, nil
+}

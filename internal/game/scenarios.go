@@ -1,0 +1,95 @@
+package game
+
+import (
+	"fmt"
+	"math/rand"
+
+	"matrix/internal/geom"
+)
+
+// This file holds the script generators behind the named workload
+// scenarios (internal/experiments' scenario table): stress shapes beyond
+// the paper's single Figure 2 schedule, all deterministic in their seed.
+
+// FlashCrowdScript models flash-crowd churn: `waves` sudden crowds of
+// `count` clients each materialize at random points, linger only `dwell`
+// seconds, and vanish again, with `period` seconds between wave starts.
+// Waves overlap whenever dwell+drain exceeds period, so the cluster is
+// forced to split for crowds that are already dissolving — the
+// pathological case for any slow-reacting partitioner.
+func FlashCrowdScript(world geom.Rect, waves, count int, period, dwell float64, seed int64) Script {
+	rnd := rand.New(rand.NewSource(seed))
+	spread := 0.06 * world.Width()
+	var s Script
+	t := 5.0
+	for w := 0; w < waves; w++ {
+		center := randPoint(rnd, world, spread)
+		tag := fmt.Sprintf("flash%d", w)
+		s = append(s, Event{At: t, Kind: EventJoin, Count: count, Center: center, Spread: spread, Tag: tag})
+		// Drain in two gulps: half at dwell, the rest shortly after, so the
+		// leave edge is steep but not a single-tick cliff.
+		s = append(s, Event{At: t + dwell, Kind: EventLeave, Count: count / 2, Tag: tag})
+		s = append(s, Event{At: t + dwell + 3, Kind: EventLeave, Count: count - count/2, Tag: tag})
+		t += period
+	}
+	return s.Sorted()
+}
+
+// MigrationScript models a multi-hotspot migration storm: `crowds`
+// simultaneous hotspots of `count` clients each hop to a fresh random
+// location every `dwellPerHop` seconds, `hops` times. Each hop is a full
+// leave+rejoin at the new point, so ownership of every crowd keeps
+// crossing partition boundaries while other crowds hold their load — the
+// worst case for split placement and reclaim hysteresis at once.
+func MigrationScript(world geom.Rect, crowds, hops, count int, dwellPerHop float64, seed int64) Script {
+	rnd := rand.New(rand.NewSource(seed))
+	spread := 0.05 * world.Width()
+	var s Script
+	for c := 0; c < crowds; c++ {
+		// Stagger crowd starts so hops interleave instead of synchronizing.
+		t := 5.0 + float64(c)*dwellPerHop/float64(crowds)
+		for h := 0; h < hops; h++ {
+			center := randPoint(rnd, world, spread)
+			tag := fmt.Sprintf("crowd%d-hop%d", c, h)
+			s = append(s, Event{At: t, Kind: EventJoin, Count: count, Center: center, Spread: spread, Tag: tag})
+			s = append(s, Event{At: t + dwellPerHop, Kind: EventLeave, Count: count, Tag: tag})
+			t += dwellPerHop
+		}
+	}
+	return s.Sorted()
+}
+
+// ReclaimStressScript models split/reclaim thrash: one fixed point is
+// hammered with `cycles` rounds of `count` clients joining and then fully
+// leaving `dwell` seconds later, with only `gap` quiet seconds between
+// rounds. Every round pushes the owner over the overload threshold and
+// then drops it under the reclaim threshold, so the topology wants to
+// oscillate; the dwell/cooldown hysteresis is what keeps the event count
+// bounded.
+func ReclaimStressScript(world geom.Rect, cycles, count int, dwell, gap float64) Script {
+	center := geom.Pt(
+		world.MinX+0.75*world.Width(),
+		world.MinY+0.25*world.Height(),
+	)
+	spread := 0.06 * world.Width()
+	var s Script
+	t := 5.0
+	for c := 0; c < cycles; c++ {
+		tag := fmt.Sprintf("surge%d", c)
+		s = append(s, Event{At: t, Kind: EventJoin, Count: count, Center: center, Spread: spread, Tag: tag})
+		s = append(s, Event{At: t + dwell, Kind: EventLeave, Count: count, Tag: tag})
+		t += dwell + gap
+	}
+	return s
+}
+
+// randPoint picks a point uniformly inside world, inset by margin so a
+// crowd scattered around it stays mostly on the map.
+func randPoint(rnd *rand.Rand, world geom.Rect, margin float64) geom.Point {
+	w := world.Width() - 2*margin
+	h := world.Height() - 2*margin
+	return geom.Pt(
+		world.MinX+margin+rnd.Float64()*w,
+		world.MinY+margin+rnd.Float64()*h,
+	)
+}

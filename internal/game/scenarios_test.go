@@ -1,0 +1,103 @@
+package game
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"matrix/internal/geom"
+)
+
+// checkBalanced verifies a generated script validates and fully drains:
+// per tag, leaves remove exactly what joins added.
+func checkBalanced(t *testing.T, s Script) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("generated script invalid: %v", err)
+	}
+	net := map[string]int{}
+	for _, e := range s {
+		switch e.Kind {
+		case EventJoin:
+			net[e.Tag] += e.Count
+		case EventLeave:
+			net[e.Tag] -= e.Count
+		}
+	}
+	for tag, n := range net {
+		if n != 0 {
+			t.Errorf("tag %q does not drain: net %d clients", tag, n)
+		}
+	}
+}
+
+func TestFlashCrowdScript(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	s := FlashCrowdScript(world, 5, 500, 25, 12, 42)
+	checkBalanced(t, s)
+	if want := 5 * 3; len(s) != want {
+		t.Errorf("len = %d, want %d (join + two drains per wave)", len(s), want)
+	}
+	if !reflect.DeepEqual(s, FlashCrowdScript(world, 5, 500, 25, 12, 42)) {
+		t.Error("same seed must generate the same script")
+	}
+	if reflect.DeepEqual(s, FlashCrowdScript(world, 5, 500, 25, 12, 43)) {
+		t.Error("different seeds must place waves differently")
+	}
+	for _, e := range s {
+		if e.Kind == EventJoin && !world.Contains(e.Center) {
+			t.Errorf("wave center %v outside world", e.Center)
+		}
+	}
+}
+
+func TestMigrationScript(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	s := MigrationScript(world, 3, 4, 250, 30, 7)
+	checkBalanced(t, s)
+	if want := 3 * 4 * 2; len(s) != want {
+		t.Errorf("len = %d, want %d (join+leave per hop per crowd)", len(s), want)
+	}
+	if !reflect.DeepEqual(s, MigrationScript(world, 3, 4, 250, 30, 7)) {
+		t.Error("same seed must generate the same script")
+	}
+	// Hops chain: each crowd's hop h leave coincides with its hop h+1 join.
+	joins := map[string]float64{}
+	for _, e := range s {
+		if e.Kind == EventJoin {
+			joins[e.Tag] = e.At
+		}
+	}
+	for _, e := range s {
+		if e.Kind != EventLeave {
+			continue
+		}
+		var c, h int
+		if _, err := fmt.Sscanf(e.Tag, "crowd%d-hop%d", &c, &h); err != nil {
+			t.Fatalf("unexpected tag %q", e.Tag)
+		}
+		next, ok := joins[fmt.Sprintf("crowd%d-hop%d", c, h+1)]
+		if !ok {
+			continue // final hop
+		}
+		if next != e.At {
+			t.Errorf("crowd %d hop %d: leave at %v but next join at %v", c, h, e.At, next)
+		}
+	}
+}
+
+func TestReclaimStressScript(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	s := ReclaimStressScript(world, 6, 500, 12, 12)
+	checkBalanced(t, s)
+	if want := 6 * 2; len(s) != want {
+		t.Errorf("len = %d, want %d", len(s), want)
+	}
+	// All surges hammer the same point — that is the point.
+	center := s[0].Center
+	for _, e := range s {
+		if e.Kind == EventJoin && e.Center != center {
+			t.Errorf("surge moved: %v vs %v", e.Center, center)
+		}
+	}
+}

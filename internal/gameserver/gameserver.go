@@ -317,12 +317,15 @@ func (s *Server) handleUpdateLocked(u *protocol.GameUpdate) ([]Envelope, error) 
 	if u.Dest != u.Origin {
 		s.scratch = s.grid.QueryCircle(u.Dest, s.cfg.Radius, s.scratch)
 	}
-	seen := make(map[id.ClientID]bool, len(s.scratch))
-	for _, c := range s.scratch {
-		if seen[c] {
+	// Grid queries walk hash maps, so their order is random; sort so the
+	// whole pipeline stays deterministic for a fixed seed. Sorting also
+	// makes duplicates (from the two-circle query) adjacent, so dedup is a
+	// previous-element compare instead of a per-update map.
+	sort.Slice(s.scratch, func(i, j int) bool { return s.scratch[i] < s.scratch[j] })
+	for i, c := range s.scratch {
+		if i > 0 && c == s.scratch[i-1] {
 			continue
 		}
-		seen[c] = true
 		out = append(out, Envelope{Dest: DestClient, Client: c, Msg: u})
 		s.stats.Delivered++
 	}
@@ -365,6 +368,9 @@ func (s *Server) handleRangeLocked(r *protocol.RangeUpdate) ([]Envelope, error) 
 	if len(s.scratch) == 0 {
 		return nil, nil
 	}
+	// Deterministic migration order regardless of grid-map iteration order
+	// (per-target grouping, chunking and redirects all inherit it).
+	sort.Slice(s.scratch, func(i, j int) bool { return s.scratch[i] < s.scratch[j] })
 
 	// Group them by handoff target.
 	perTarget := make(map[id.ServerID][]*clientState)

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"matrix/internal/metrics"
+)
+
+// Fingerprint renders a canonical, byte-comparable digest of the result:
+// every aggregate, every topology event and every series point. Two runs
+// of the same Config produce identical fingerprints regardless of whether
+// they executed serially or on a worker pool — the determinism contract
+// the sweep engine relies on.
+func (r *Result) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "peak=%d final=%d fwdB=%d fwdP=%d dropped=%d delivered=%d redirects=%d overlap=%.6f clientsec=%.6f\n",
+		r.PeakServers, r.FinalServers, r.ForwardedBytes, r.ForwardedPackets,
+		r.DroppedPackets, r.DeliveredUpdates, r.Redirects, r.OverlapAreaLast, r.ClientSeconds)
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "event t=%.3f %s server=%v\n", e.Time, e.Kind, e.Server)
+	}
+	fmt.Fprintf(&b, "latency %s\n", histFingerprint(r.Latency))
+	fmt.Fprintf(&b, "switch-latency %s\n", histFingerprint(r.SwitchLatency))
+	for _, name := range r.Metrics.SeriesNames() {
+		times, values := r.Metrics.Series(name).Points()
+		fmt.Fprintf(&b, "series %s", name)
+		for i := range times {
+			fmt.Fprintf(&b, " %g:%g", times[i], values[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// histFingerprint summarizes a histogram order-independently: quantiles
+// are computed on the sorted samples, and forcing the sort first also
+// makes the mean a sum over a canonical order (float addition is not
+// commutative-associative at the last ulp, and finish() collects client
+// latencies in map order).
+func histFingerprint(h *metrics.Histogram) string {
+	h.Quantile(0) // force the sort
+	return h.Summary()
+}

@@ -187,6 +187,17 @@ type Sim struct {
 	// before the measurement window and must be dropped.
 	latSkip     map[id.ClientID]int
 	latWindowed bool
+
+	// Stepping state (owned by Start/Step; see Run for the canonical loop).
+	started     bool
+	finished    *Result
+	dt          float64
+	tick        int
+	ticks       int
+	script      game.Script
+	rng         *mulberryRand
+	reportEvery int
+	sampleEvery int
 }
 
 // New builds a simulation.
@@ -454,114 +465,165 @@ func (m *mulberryRand) next() float64 {
 	return float64(z>>11) / float64(1<<53)
 }
 
-// Run executes the simulation and returns the results.
+// Run executes the simulation to completion and returns the results. It is
+// a thin loop over the step primitives; callers that need finer control
+// (worker pools checking a context, cluster co-simulation on a shared
+// clock) drive Start/Step/Done/Finish directly.
 func (s *Sim) Run() (*Result, error) {
-	dt := s.cfg.TickSeconds
-	ticks := int(s.cfg.DurationSeconds/dt + 0.5)
-	script := s.cfg.Script.Sorted()
-	rng := &mulberryRand{state: uint64(s.cfg.Seed)*2654435761 + 1}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}
+
+// Start prepares the run: it spawns the base population and derives the
+// tick, report and sample cadences. It must be called exactly once, before
+// the first Step.
+func (s *Sim) Start() error {
+	if s.started {
+		return errors.New("sim: Start called twice")
+	}
+	s.started = true
+	s.dt = s.cfg.TickSeconds
+	s.ticks = int(s.cfg.DurationSeconds/s.dt + 0.5)
+	s.script = s.cfg.Script.Sorted()
+	s.rng = &mulberryRand{state: uint64(s.cfg.Seed)*2654435761 + 1}
 
 	// Base population scattered uniformly.
 	for i := 0; i < s.cfg.BasePopulation; i++ {
 		pos := geom.Pt(
-			s.cfg.World.MinX+rng.next()*s.cfg.World.Width(),
-			s.cfg.World.MinY+rng.next()*s.cfg.World.Height(),
+			s.cfg.World.MinX+s.rng.next()*s.cfg.World.Width(),
+			s.cfg.World.MinY+s.rng.next()*s.cfg.World.Height(),
 		)
 		s.addClient(pos, "base", nil, 0)
 	}
 
-	reportEvery := int(s.cfg.LoadReportEverySeconds/dt + 0.5)
-	if reportEvery < 1 {
-		reportEvery = 1
+	s.reportEvery = int(s.cfg.LoadReportEverySeconds/s.dt + 0.5)
+	if s.reportEvery < 1 {
+		s.reportEvery = 1
 	}
-	sampleEvery := int(s.cfg.SampleEverySeconds/dt + 0.5)
-	if sampleEvery < 1 {
-		sampleEvery = 1
+	s.sampleEvery = int(s.cfg.SampleEverySeconds/s.dt + 0.5)
+	if s.sampleEvery < 1 {
+		s.sampleEvery = 1
+	}
+	return nil
+}
+
+// Done reports whether every tick has been stepped. A run of D seconds at
+// tick dt spans round(D/dt)+1 steps (both endpoints are simulated).
+func (s *Sim) Done() bool { return s.started && s.tick > s.ticks }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Step advances the simulation by one tick: script events, client traffic,
+// queue processing, load reports, hello retries, sampling.
+func (s *Sim) Step() error {
+	if !s.started {
+		return errors.New("sim: Step before Start")
+	}
+	if s.Done() {
+		return errors.New("sim: Step after Done")
+	}
+	tick := s.tick
+	dt := s.dt
+	s.now = float64(tick) * dt
+
+	// 1. Script events.
+	for _, e := range s.script.Due(s.now, s.now+dt) {
+		switch e.Kind {
+		case game.EventJoin:
+			for i := 0; i < e.Count; i++ {
+				ang := s.rng.next() * 2 * math.Pi
+				r := math.Sqrt(s.rng.next()) * e.Spread // area-uniform
+				pos := s.cfg.World.Clamp(geom.Pt(
+					e.Center.X+r*math.Cos(ang),
+					e.Center.Y+r*math.Sin(ang),
+				))
+				c := e.Center
+				s.addClient(pos, e.Tag, &c, e.Spread)
+			}
+		case game.EventLeave:
+			s.removeClients(e.Tag, e.Count)
+		}
 	}
 
-	for tick := 0; tick <= ticks; tick++ {
-		s.now = float64(tick) * dt
+	// 2. Client traffic.
+	s.generateTraffic(dt)
 
-		// 1. Script events.
-		for _, e := range script.Due(s.now, s.now+dt) {
-			switch e.Kind {
-			case game.EventJoin:
-				for i := 0; i < e.Count; i++ {
-					ang := rng.next() * 2 * math.Pi
-					r := math.Sqrt(rng.next()) * e.Spread // area-uniform
-					pos := s.cfg.World.Clamp(geom.Pt(
-						e.Center.X+r*math.Cos(ang),
-						e.Center.Y+r*math.Sin(ang),
-					))
-					c := e.Center
-					s.addClient(pos, e.Tag, &c, e.Spread)
-				}
-			case game.EventLeave:
-				s.removeClients(e.Tag, e.Count)
+	// 3. Game servers process their queues.
+	for _, sid := range s.order {
+		n := s.nodes[sid]
+		envs, err := n.gs.Process(s.cfg.ServiceRatePerTick)
+		if err != nil {
+			s.reg.Counter("errors/gs").Inc()
+		}
+		for _, e := range envs {
+			switch e.Dest {
+			case gameserver.DestMatrix:
+				s.deliverToCore(sid, id.None, e.Msg)
+			case gameserver.DestClient:
+				s.deliverToClient(e.Client, e.Msg)
 			}
 		}
+	}
 
-		// 2. Client traffic.
-		s.generateTraffic(dt)
-
-		// 3. Game servers process their queues.
+	// 4. Load reports.
+	if tick%s.reportEvery == 0 {
 		for _, sid := range s.order {
 			n := s.nodes[sid]
-			envs, err := n.gs.Process(s.cfg.ServiceRatePerTick)
+			if !n.core.Active() {
+				continue
+			}
+			rep := n.gs.LoadReport()
+			envs, err := n.core.HandleLocalLoad(int(rep.Clients), int(rep.QueueLen))
 			if err != nil {
-				s.reg.Counter("errors/gs").Inc()
+				s.reg.Counter("errors/core").Inc()
+				continue
 			}
-			for _, e := range envs {
-				switch e.Dest {
-				case gameserver.DestMatrix:
-					s.deliverToCore(sid, id.None, e.Msg)
-				case gameserver.DestClient:
-					s.deliverToClient(e.Client, e.Msg)
-				}
-			}
+			s.routeCoreEnvelopes(sid, envs)
 		}
-
-		// 4. Load reports.
-		if tick%reportEvery == 0 {
-			for _, sid := range s.order {
-				n := s.nodes[sid]
-				if !n.core.Active() {
-					continue
-				}
-				rep := n.gs.LoadReport()
-				envs, err := n.core.HandleLocalLoad(int(rep.Clients), int(rep.QueueLen))
-				if err != nil {
-					s.reg.Counter("errors/core").Inc()
-					continue
-				}
-				s.routeCoreEnvelopes(sid, envs)
-			}
-		}
-
-		// 5. Hello retries for clients stuck unconnected (dropped joins).
-		for _, sc := range s.clientsInOrder() {
-			if sc.alive && !sc.cl.Connected() && s.now-sc.helloAt >= 1.0 {
-				s.sendHello(sc)
-			}
-		}
-
-		// 6. Latency measurement window.
-		if !s.latWindowed && s.cfg.LatencyIgnoreBeforeSeconds > 0 && s.now >= s.cfg.LatencyIgnoreBeforeSeconds {
-			s.latWindowed = true
-			for cid, sc := range s.clients {
-				s.latSkip[cid] = len(sc.cl.Latencies())
-			}
-		}
-
-		// 7. Sampling.
-		if tick%sampleEvery == 0 {
-			s.sample()
-		}
-
-		s.clk.Advance(time.Duration(dt * float64(time.Second)))
 	}
 
-	return s.finish(), nil
+	// 5. Hello retries for clients stuck unconnected (dropped joins).
+	for _, sc := range s.clientsInOrder() {
+		if sc.alive && !sc.cl.Connected() && s.now-sc.helloAt >= 1.0 {
+			s.sendHello(sc)
+		}
+	}
+
+	// 6. Latency measurement window.
+	if !s.latWindowed && s.cfg.LatencyIgnoreBeforeSeconds > 0 && s.now >= s.cfg.LatencyIgnoreBeforeSeconds {
+		s.latWindowed = true
+		for cid, sc := range s.clients {
+			s.latSkip[cid] = len(sc.cl.Latencies())
+		}
+	}
+
+	// 7. Sampling.
+	if tick%s.sampleEvery == 0 {
+		s.sample()
+	}
+
+	s.clk.Advance(time.Duration(dt * float64(time.Second)))
+	s.tick++
+	return nil
+}
+
+// Finish aggregates and returns the result. Call it after Done (a pooled
+// runner may also call it after an early cancellation to inspect the
+// partial run). The aggregation runs once; repeat calls return the same
+// Result, so a partial-run inspection cannot double-count.
+func (s *Sim) Finish() *Result {
+	if s.finished == nil {
+		s.finished = s.finish()
+	}
+	return s.finished
 }
 
 // generateTraffic makes every connected client emit its due updates.

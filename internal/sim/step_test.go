@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"matrix/internal/game"
+	"matrix/internal/geom"
+)
+
+// stepTestConfig is a small hotspot run that still splits, so the step
+// primitives are exercised across a topology change.
+func stepTestConfig(seed int64) Config {
+	return Config{
+		Profile:         game.Bzflag(),
+		World:           geom.R(0, 0, 1000, 1000),
+		Seed:            seed,
+		DurationSeconds: 30,
+		MaxServers:      4,
+		BasePopulation:  30,
+		Script: game.Script{
+			{At: 5, Kind: game.EventJoin, Count: 150, Center: geom.Pt(750, 250), Spread: 80, Tag: "hot"},
+			{At: 20, Kind: game.EventLeave, Count: 150, Tag: "hot"},
+		},
+		LoadPolicy: smallPolicy(),
+	}
+}
+
+// TestStepPrimitivesMatchRun drives one sim with Run and an identical one
+// with the exported Start/Step/Done/Finish loop: the results must be
+// byte-identical (Run is a thin wrapper, not a second code path).
+func TestStepPrimitivesMatchRun(t *testing.T) {
+	ran, err := mustNew(t, stepTestConfig(17)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustNew(t, stepTestConfig(17))
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	stepped := s.Finish()
+
+	// 30s at the default 0.1s tick = 301 steps (both endpoints simulated).
+	if steps != 301 {
+		t.Errorf("steps = %d, want 301", steps)
+	}
+	if got, want := stepped.Fingerprint(), ran.Fingerprint(); got != want {
+		t.Errorf("stepped result differs from Run result:\n--- stepped\n%s\n--- run\n%s", got, want)
+	}
+	// Finish is memoized: repeat calls must not re-aggregate (double
+	// counting) — they return the same Result.
+	if s.Finish() != stepped {
+		t.Error("second Finish returned a different Result")
+	}
+}
+
+// TestStepOrdering checks the primitive misuse errors.
+func TestStepOrdering(t *testing.T) {
+	s := mustNew(t, stepTestConfig(1))
+	if err := s.Step(); err == nil {
+		t.Error("Step before Start must fail")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Error("second Start must fail")
+	}
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Step(); err == nil {
+		t.Error("Step after Done must fail")
+	}
+}
+
+// TestNowAdvances checks the virtual-time accessor pooled runners use for
+// progress and partial-run inspection.
+func TestNowAdvances(t *testing.T) {
+	cfg := stepTestConfig(1)
+	cfg.DurationSeconds = 2
+	s := mustNew(t, cfg)
+	if s.Done() {
+		t.Fatal("Done before Start")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var last float64 = -1
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Now() < last {
+			t.Fatalf("Now went backwards: %v after %v", s.Now(), last)
+		}
+		last = s.Now()
+	}
+	if last != 2.0 {
+		t.Errorf("final Now = %v, want 2.0", last)
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Sim {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
