@@ -1,7 +1,8 @@
 // Repository benchmarks: one testing.B benchmark per table and figure in
-// the paper's evaluation (E1–E5, see DESIGN.md / EXPERIMENTS.md), plus
-// ablations for the design choices DESIGN.md calls out and microbenchmarks
-// of the latency-critical primitives.
+// the paper's evaluation (E1–E5, see internal/experiments), plus
+// ablations for the design choices and microbenchmarks of the
+// latency-critical primitives. docs/PERF.md records the allocation
+// baseline the codec and envelope-path benchmarks are held to.
 //
 // Regenerate everything with:
 //
@@ -202,7 +203,7 @@ func BenchmarkScenarioSweep(b *testing.B) {
 	}
 }
 
-// --- Ablations (design choices called out in DESIGN.md) ---
+// --- Ablations (design choices the paper leaves open) ---
 
 // ablationConfig is a small hotspot scenario shared by the ablations.
 func ablationConfig(seed int64) sim.Config {
@@ -346,7 +347,9 @@ func BenchmarkTableLookup(b *testing.B) {
 }
 
 // BenchmarkCodecGameUpdate measures wire-codec throughput for the dominant
-// packet type.
+// packet type. The append-encode variant is the hot path the transports
+// use: encoding into a reused buffer is allocation-free in steady state
+// (docs/PERF.md records the baseline).
 func BenchmarkCodecGameUpdate(b *testing.B) {
 	u := &protocol.GameUpdate{
 		Client: 42, Seq: 7, Kind: protocol.KindMove,
@@ -361,6 +364,16 @@ func BenchmarkCodecGameUpdate(b *testing.B) {
 			}
 		}
 	})
+	b.Run("append-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 256)
+		var err error
+		for i := 0; i < b.N; i++ {
+			if buf, err = protocol.AppendEncode(buf[:0], u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	frame, err := protocol.Marshal(u)
 	if err != nil {
 		b.Fatal(err)
@@ -371,6 +384,43 @@ func BenchmarkCodecGameUpdate(b *testing.B) {
 			if _, err := protocol.Unmarshal(frame); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkCodecBatch measures the per-tick batch path: N forwards packed
+// into one frame with a reused buffer, versus N individual marshals — the
+// amortization the transports exploit via SendBatch.
+func BenchmarkCodecBatch(b *testing.B) {
+	const n = 32
+	msgs := make([]protocol.Message, n)
+	for i := range msgs {
+		msgs[i] = &protocol.Forward{From: 1, Update: protocol.GameUpdate{
+			Client: matrix.ClientID(i + 1), Seq: 7, Kind: protocol.KindMove,
+			Origin: geom.Pt(123.5, 456.25), Dest: geom.Pt(124, 457),
+			SentUnix: 1234567890, Payload: make([]byte, 48),
+		}}
+	}
+	b.Run("per-message", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, m := range msgs {
+				if _, err := protocol.Marshal(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 8192)
+		var ends []int
+		for i := 0; i < b.N; i++ {
+			out, e, err := protocol.AppendBatches(buf[:0], ends, msgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf, ends = out, e
 		}
 	})
 }
@@ -404,6 +454,8 @@ func BenchmarkOverlapTableBuild(b *testing.B) {
 
 // BenchmarkEndToEndSimTick measures whole-cluster simulation throughput
 // (packets processed per wall second), characterizing the harness itself.
+// Allocations are reported because the per-tick envelope path is pinned to
+// a budget (docs/PERF.md): regressions show up here first.
 func BenchmarkEndToEndSimTick(b *testing.B) {
 	cfg := matrix.SimulationConfig{
 		Profile:         matrix.BzflagProfile(),
@@ -413,6 +465,7 @@ func BenchmarkEndToEndSimTick(b *testing.B) {
 		MaxServers:      2,
 		BasePopulation:  100,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := matrix.RunSimulation(cfg); err != nil {

@@ -1,8 +1,9 @@
 // Command matrix-bench regenerates every table and figure in the paper's
 // evaluation (§4) and runs the named workload scenarios. Each experiment
-// prints the same rows/series the paper reports; EXPERIMENTS.md records
-// the expected shapes. Multi-run experiments and scenario sweeps execute
-// concurrently on the sweep engine (bounded by -workers).
+// prints the same rows/series the paper reports (the index in
+// internal/experiments maps ids to figures). Multi-run experiments and
+// scenario sweeps execute concurrently on the sweep engine (bounded by
+// -workers).
 //
 // Usage:
 //

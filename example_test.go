@@ -1,0 +1,133 @@
+package matrix_test
+
+import (
+	"fmt"
+
+	"matrix"
+)
+
+// ExampleRunSimulation runs a small deterministic simulation: a hotspot
+// of 80 clients overloads the single initial server, Matrix splits, and
+// the run reports the resulting topology. Same seed, same output, every
+// time.
+func ExampleRunSimulation() {
+	world := matrix.R(0, 0, 1000, 1000)
+	policy := matrix.DefaultLoadPolicy()
+	policy.OverloadClients = 40
+	policy.UnderloadClients = 20
+
+	res, err := matrix.RunSimulation(matrix.SimulationConfig{
+		Profile:         matrix.BzflagProfile(),
+		World:           world,
+		Seed:            7,
+		DurationSeconds: 30,
+		MaxServers:      4,
+		BasePopulation:  10,
+		LoadPolicy:      policy,
+		Script: matrix.Script{
+			{At: 5, Kind: matrix.EventJoin, Count: 80, Center: matrix.Pt(750, 250), Spread: 80, Tag: "hot"},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("peak servers:", res.PeakServers)
+	fmt.Println("dropped:", res.DroppedPackets)
+	fmt.Println("topology events:", len(res.Events))
+	// Output:
+	// peak servers: 4
+	// dropped: 0
+	// topology events: 3
+}
+
+// ExampleServeCoordinator brings up a coordinator on the in-memory
+// transport (swap in matrix.TCP() — the default — for a live cluster)
+// and registers one server against it.
+func ExampleServeCoordinator() {
+	nw := matrix.NewMemNetwork()
+	mc, err := matrix.ServeCoordinator(
+		matrix.WithNetwork(nw),
+		matrix.WithWorld(matrix.R(0, 0, 1000, 1000)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer mc.Close()
+
+	srv, err := matrix.StartServer(mc.Addr(), matrix.WithNetwork(nw))
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	fmt.Println("active servers:", len(mc.ActiveServers()))
+	fmt.Println("splits so far:", mc.Splits())
+	// Output:
+	// active servers: 1
+	// splits so far: 0
+}
+
+// ExampleStartServer starts a server fleet: the first registered server
+// owns the whole world, later ones wait in the spare pool until a split
+// assigns them a partition.
+func ExampleStartServer() {
+	nw := matrix.NewMemNetwork()
+	mc, err := matrix.ServeCoordinator(
+		matrix.WithNetwork(nw),
+		matrix.WithWorld(matrix.R(0, 0, 1000, 1000)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer mc.Close()
+
+	root, err := matrix.StartServer(mc.Addr(), matrix.WithNetwork(nw), matrix.WithRadius(40))
+	if err != nil {
+		panic(err)
+	}
+	defer root.Close()
+	spare, err := matrix.StartServer(mc.Addr(), matrix.WithNetwork(nw), matrix.WithRadius(40))
+	if err != nil {
+		panic(err)
+	}
+	defer spare.Close()
+
+	fmt.Println("root owns a partition:", root.Active())
+	fmt.Println("spare owns a partition:", spare.Active())
+	// Output:
+	// root owns a partition: true
+	// spare owns a partition: false
+}
+
+// ExampleDial joins a game client to a running server and sends a move.
+// Dial returns once the server's welcome arrives; afterwards the client
+// transparently follows Matrix redirects.
+func ExampleDial() {
+	nw := matrix.NewMemNetwork()
+	mc, err := matrix.ServeCoordinator(
+		matrix.WithNetwork(nw),
+		matrix.WithWorld(matrix.R(0, 0, 1000, 1000)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer mc.Close()
+	srv, err := matrix.StartServer(mc.Addr(), matrix.WithNetwork(nw))
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	cl, err := matrix.Dial(srv.Addr(), 1, matrix.Pt(100, 100), matrix.WithNetwork(nw))
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Move(matrix.Pt(105, 100)); err != nil {
+		panic(err)
+	}
+	fmt.Println("connected to:", cl.Server())
+	// Output:
+	// connected to: server-1
+}

@@ -112,15 +112,15 @@ type Stats struct {
 
 // Server is one Matrix server. Safe for concurrent use.
 type Server struct {
-	mu           sync.Mutex
-	cfg          Config
-	id           id.ServerID
-	world        geom.Rect
-	bounds       geom.Rect
-	active       bool
-	radius       float64 // game default visibility radius
-	tables       map[float64]*overlap.Table
-	peers map[id.ServerID]peerInfo
+	mu     sync.Mutex
+	cfg    Config
+	id     id.ServerID
+	world  geom.Rect
+	bounds geom.Rect
+	active bool
+	radius float64 // game default visibility radius
+	tables map[float64]*overlap.Table
+	peers  map[id.ServerID]peerInfo
 	// peerOrder mirrors peers' keys, sorted: ResolveOwner runs per
 	// boundary-crossing move and must scan peers in a deterministic order
 	// without re-sorting on every call.
@@ -260,21 +260,33 @@ func (s *Server) HandleMessage(from id.ServerID, m protocol.Message) ([]Envelope
 }
 
 // HandleGameUpdate routes one spatially-tagged packet from the local game
-// server to every peer in its consistency set. This is the latency-critical
-// fast path: a table lookup and one Forward per peer, no MC involvement
-// unless the destination is non-proximal.
+// server to every peer in its consistency set, returning the envelopes in
+// a fresh slice. Hot loops should use AppendGameUpdate with a reused
+// buffer.
 func (s *Server) HandleGameUpdate(u *protocol.GameUpdate) ([]Envelope, error) {
+	return s.AppendGameUpdate(nil, u)
+}
+
+// AppendGameUpdate routes one spatially-tagged packet from the local game
+// server to every peer in its consistency set, appending the envelopes to
+// dst. This is the latency-critical fast path: a table lookup and one
+// Forward per peer, no MC involvement unless the destination is
+// non-proximal. A caller that fully consumes the returned slice before the
+// next call can pass the same buffer back (`buf = AppendGameUpdate(buf[:0],
+// u)`) and forward at one allocation per packet (the shared Forward) in
+// steady state.
+func (s *Server) AppendGameUpdate(dst []Envelope, u *protocol.GameUpdate) ([]Envelope, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.active {
-		return nil, ErrInactive
+		return dst, ErrInactive
 	}
 	s.stats.GamePacketsIn++
 
 	radius := s.radiusForLocked(u.Kind)
 	tab, ok := s.tables[radius]
 	if !ok {
-		return nil, fmt.Errorf("%w: radius %v", ErrNoTable, radius)
+		return dst, fmt.Errorf("%w: radius %v", ErrNoTable, radius)
 	}
 
 	// Non-proximal destination: the table only covers our own partition,
@@ -282,18 +294,18 @@ func (s *Server) HandleGameUpdate(u *protocol.GameUpdate) ([]Envelope, error) {
 	if u.Dest != u.Origin && !s.bounds.Contains(u.Dest) && !tabCovers(tab, u.Dest, radius) {
 		s.pendingNonProx = append(s.pendingNonProx, u)
 		s.stats.NonProximalSent++
-		return []Envelope{{Dest: DestCoordinator, Msg: &protocol.NonProximalQuery{
+		return append(dst, Envelope{Dest: DestCoordinator, Msg: &protocol.NonProximalQuery{
 			Server: s.id,
 			Point:  u.Dest,
 			Radius: radius,
-		}}}, nil
+		}}), nil
 	}
 
 	peers := tab.Lookup(u.Origin)
 	if u.Dest != u.Origin {
 		peers = peers.Union(tab.Lookup(u.Dest))
 	}
-	return s.forwardLocked(u, peers)
+	return s.forwardLocked(dst, u, peers)
 }
 
 // tabCovers reports whether p is close enough to our partition that the
@@ -302,23 +314,25 @@ func tabCovers(tab *overlap.Table, p geom.Point, radius float64) bool {
 	return tab.Bounds().Expand(radius).ContainsClosed(p)
 }
 
-// forwardLocked emits Forward envelopes for every peer in set.
-func (s *Server) forwardLocked(u *protocol.GameUpdate, peers overlap.Set) ([]Envelope, error) {
+// forwardLocked appends Forward envelopes for every peer in set to dst.
+// One Forward message is shared by every envelope (receivers never mutate
+// it), so the fan-out costs a single allocation however wide the
+// consistency set is.
+func (s *Server) forwardLocked(dst []Envelope, u *protocol.GameUpdate, peers overlap.Set) ([]Envelope, error) {
 	if len(peers) == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	fwd := &protocol.Forward{From: s.id, Update: *u}
 	size, err := protocol.Size(fwd)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	out := make([]Envelope, 0, len(peers))
 	for _, p := range peers {
-		out = append(out, Envelope{Dest: DestPeer, Peer: p, Addr: s.peers[p].addr, Msg: fwd})
+		dst = append(dst, Envelope{Dest: DestPeer, Peer: p, Addr: s.peers[p].addr, Msg: fwd})
 		s.stats.PeerPacketsOut++
 		s.stats.PeerBytesOut += uint64(size)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // handlePeerForward verifies a peer-forwarded packet's range and, when
@@ -583,7 +597,7 @@ func (s *Server) handleNonProximalReply(r *protocol.NonProximalReply) ([]Envelop
 	for _, p := range r.Peers {
 		s.setPeerLocked(p.Server, peerInfo{addr: p.Addr, bounds: p.Bounds})
 	}
-	return s.forwardLocked(u, overlap.NewSet(r.Servers...))
+	return s.forwardLocked(nil, u, overlap.NewSet(r.Servers...))
 }
 
 // radiusForLocked resolves the visibility radius for an update kind.

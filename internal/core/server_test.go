@@ -585,3 +585,61 @@ func TestDestString(t *testing.T) {
 		t.Error("invalid Dest String")
 	}
 }
+
+// TestAppendGameUpdateMatchesHandle: the append API and the allocating
+// wrapper must route identically.
+func TestAppendGameUpdateMatchesHandle(t *testing.T) {
+	a := newActiveServer(t, 1, twoParts(), nil)
+	b := newActiveServer(t, 1, twoParts(), nil)
+	updates := []*protocol.GameUpdate{
+		{Client: 1, Kind: protocol.KindMove, Origin: geom.Pt(75, 50), Dest: geom.Pt(75, 50)}, // interior
+		{Client: 2, Kind: protocol.KindMove, Origin: geom.Pt(51, 50), Dest: geom.Pt(51, 50)}, // boundary
+		{Client: 3, Kind: protocol.KindAction, Origin: geom.Pt(52, 10), Dest: geom.Pt(53, 11)},
+	}
+	buf := make([]Envelope, 0, 4)
+	for _, u := range updates {
+		got, errA := a.HandleGameUpdate(u)
+		want, errB := b.AppendGameUpdate(buf[:0], u)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("errors diverge: %v vs %v", errA, errB)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("envelope counts diverge: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Dest != want[i].Dest || got[i].Peer != want[i].Peer || got[i].Addr != want[i].Addr {
+				t.Errorf("envelope %d diverges: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+		buf = want[:0]
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Errorf("stats diverge: %+v vs %+v", sa, sb)
+	}
+}
+
+// TestAppendGameUpdateAllocBudget pins the fast path: an interior update
+// (no forwarding) must not allocate; a boundary update costs exactly the
+// one shared Forward message.
+func TestAppendGameUpdateAllocBudget(t *testing.T) {
+	s := newActiveServer(t, 1, twoParts(), nil)
+	buf := make([]Envelope, 0, 8)
+	interior := &protocol.GameUpdate{Client: 1, Kind: protocol.KindMove, Origin: geom.Pt(75, 50), Dest: geom.Pt(75, 50)}
+	boundary := &protocol.GameUpdate{Client: 2, Kind: protocol.KindMove, Origin: geom.Pt(51, 50), Dest: geom.Pt(51, 50)}
+	run := func(u *protocol.GameUpdate) float64 {
+		return testing.AllocsPerRun(100, func() {
+			out, err := s.AppendGameUpdate(buf[:0], u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = out[:0]
+		})
+	}
+	if got := run(interior); got != 0 {
+		t.Errorf("interior update allocates %.1f/op, budget is 0", got)
+	}
+	if got := run(boundary); got > 1 {
+		t.Errorf("boundary update allocates %.1f/op, budget is 1 (the shared Forward)", got)
+	}
+}

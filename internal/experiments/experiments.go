@@ -3,7 +3,7 @@
 // Both cmd/matrix-bench and the repository-root benchmarks call into this
 // package, so the numbers printed by either are produced by the same code.
 //
-// Index (see DESIGN.md and EXPERIMENTS.md):
+// Index:
 //
 //	E1a  Figure 2(a): clients per server vs. time under a 600-client hotspot
 //	E1b  Figure 2(b): server receive-queue length vs. time, same run

@@ -22,6 +22,7 @@ package gameserver
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -107,9 +108,13 @@ type Server struct {
 	clients map[id.ClientID]*clientState
 	grid    *spatial.Grid[id.ClientID]
 	objects map[id.ObjectID]protocol.ObjectState
-	inbox   []protocol.Message
-	stats   Stats
-	scratch []id.ClientID // reused query buffer
+	// inbox[inboxHead:] is the receive queue. The consumed prefix is
+	// compacted away lazily (see ProcessAppend), so the array is reused
+	// across ticks without per-tick backlog copies.
+	inbox     []protocol.Message
+	inboxHead int
+	stats     Stats
+	scratch   []id.ClientID // reused query buffer
 }
 
 // New creates a game server.
@@ -156,7 +161,7 @@ func (s *Server) ClientCount() int {
 func (s *Server) QueueLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.inbox)
+	return len(s.inbox) - s.inboxHead
 }
 
 // Stats returns a snapshot of the counters.
@@ -165,7 +170,7 @@ func (s *Server) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.ClientsCurrent = len(s.clients)
-	st.QueueLen = len(s.inbox)
+	st.QueueLen = len(s.inbox) - s.inboxHead
 	return st
 }
 
@@ -203,7 +208,7 @@ func (s *Server) Enqueue(m protocol.Message) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cfg.MaxQueue > 0 && len(s.inbox) >= s.cfg.MaxQueue {
+	if s.cfg.MaxQueue > 0 && len(s.inbox)-s.inboxHead >= s.cfg.MaxQueue {
 		s.stats.Dropped++
 		return ErrQueueOverflow
 	}
@@ -212,30 +217,58 @@ func (s *Server) Enqueue(m protocol.Message) error {
 }
 
 // Process consumes up to budget queued messages (all of them when budget
-// <= 0) and returns the resulting envelopes. The budget models the server's
-// finite service rate: under overload the queue grows, which is what the
-// paper's Figure 2(b) plots.
+// <= 0) and returns the resulting envelopes in a fresh slice. Hot loops
+// that tick every few milliseconds should use ProcessAppend with a reused
+// buffer instead.
 func (s *Server) Process(budget int) ([]Envelope, error) {
+	return s.ProcessAppend(nil, budget)
+}
+
+// ProcessAppend consumes up to budget queued messages (all of them when
+// budget <= 0), appending the resulting envelopes to dst, and returns the
+// extended slice. The budget models the server's finite service rate:
+// under overload the queue grows, which is what the paper's Figure 2(b)
+// plots.
+//
+// Passing the same buffer back every tick (`buf = ProcessAppend(buf[:0],
+// n)` after fully consuming it) makes the per-tick envelope path
+// allocation-free in steady state; the appended envelopes are owned by the
+// caller.
+func (s *Server) ProcessAppend(dst []Envelope, budget int) ([]Envelope, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := len(s.inbox)
+	n := len(s.inbox) - s.inboxHead
 	if budget > 0 && budget < n {
 		n = budget
 	}
-	var out []Envelope
 	var firstErr error
 	for i := 0; i < n; i++ {
-		m := s.inbox[i]
-		s.inbox[i] = nil
-		envs, err := s.handleLocked(m)
-		out = append(out, envs...)
+		m := s.inbox[s.inboxHead+i]
+		s.inbox[s.inboxHead+i] = nil
+		var err error
+		dst, err = s.handleLocked(dst, m)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		s.stats.Processed++
 	}
-	s.inbox = s.inbox[n:]
-	return out, firstErr
+	s.inboxHead += n
+	// Lazy compaction keeps the array reusable without making sustained
+	// overload quadratic: a drained queue resets in O(1), and survivors
+	// only slide to the front once the consumed prefix outweighs them
+	// (amortized O(1) per message).
+	if s.inboxHead == len(s.inbox) {
+		s.inbox = s.inbox[:0]
+		s.inboxHead = 0
+	} else if s.inboxHead > len(s.inbox)/2 {
+		rest := copy(s.inbox, s.inbox[s.inboxHead:])
+		for i := rest; i < len(s.inbox); i++ {
+			s.inbox[i] = nil
+		}
+		s.inbox = s.inbox[:rest]
+		s.inboxHead = 0
+	}
+	return dst, firstErr
 }
 
 // LoadReport builds the periodic load report for the Matrix server.
@@ -245,28 +278,28 @@ func (s *Server) LoadReport() *protocol.LoadReport {
 	return &protocol.LoadReport{
 		Server:   s.cfg.Server,
 		Clients:  int32(len(s.clients)),
-		QueueLen: int32(len(s.inbox)),
+		QueueLen: int32(len(s.inbox) - s.inboxHead),
 	}
 }
 
-// handleLocked dispatches one queued message.
-func (s *Server) handleLocked(m protocol.Message) ([]Envelope, error) {
+// handleLocked dispatches one queued message, appending envelopes to dst.
+func (s *Server) handleLocked(dst []Envelope, m protocol.Message) ([]Envelope, error) {
 	switch msg := m.(type) {
 	case *protocol.ClientHello:
-		return s.handleHelloLocked(msg)
+		return s.handleHelloLocked(dst, msg)
 	case *protocol.GameUpdate:
-		return s.handleUpdateLocked(msg)
+		return s.handleUpdateLocked(dst, msg)
 	case *protocol.RangeUpdate:
-		return s.handleRangeLocked(msg)
+		return s.handleRangeLocked(dst, msg)
 	case *protocol.StateTransfer:
-		return s.handleStateLocked(msg)
+		return s.handleStateLocked(dst, msg)
 	default:
-		return nil, fmt.Errorf("gameserver: unexpected message %v", m.MsgType())
+		return dst, fmt.Errorf("gameserver: unexpected message %v", m.MsgType())
 	}
 }
 
 // handleHelloLocked admits a client (or re-admits one migrating in).
-func (s *Server) handleHelloLocked(h *protocol.ClientHello) ([]Envelope, error) {
+func (s *Server) handleHelloLocked(dst []Envelope, h *protocol.ClientHello) ([]Envelope, error) {
 	cs, ok := s.clients[h.Client]
 	if !ok {
 		cs = &clientState{id: h.Client}
@@ -275,19 +308,18 @@ func (s *Server) handleHelloLocked(h *protocol.ClientHello) ([]Envelope, error) 
 	}
 	cs.pos = h.Pos
 	s.grid.Insert(h.Client, h.Pos)
-	return []Envelope{{Dest: DestClient, Client: h.Client, Msg: &protocol.ClientWelcome{
+	return append(dst, Envelope{Dest: DestClient, Client: h.Client, Msg: &protocol.ClientWelcome{
 		Server: s.cfg.Server,
 		Bounds: s.bounds,
-	}}}, nil
+	}}), nil
 }
 
 // handleUpdateLocked processes one game packet. Packets from local clients
 // are applied, delivered to visible local clients, and forwarded to Matrix;
 // packets forwarded in from peers are delivered to visible local clients
 // only.
-func (s *Server) handleUpdateLocked(u *protocol.GameUpdate) ([]Envelope, error) {
+func (s *Server) handleUpdateLocked(dst []Envelope, u *protocol.GameUpdate) ([]Envelope, error) {
 	cs, local := s.clients[u.Client]
-	var out []Envelope
 	if local {
 		// The game server owns the authoritative position: apply movement
 		// and spatially tag the packet from its own records.
@@ -300,12 +332,12 @@ func (s *Server) handleUpdateLocked(u *protocol.GameUpdate) ([]Envelope, error) 
 			s.grid.Remove(u.Client)
 		}
 		// Forward to Matrix for routing to peer servers.
-		out = append(out, Envelope{Dest: DestMatrix, Msg: u})
+		dst = append(dst, Envelope{Dest: DestMatrix, Msg: u})
 		// Boundary crossing: a move that lands outside our range hands
 		// the client off to the partition's owner.
 		if u.Kind == protocol.KindMove && !s.bounds.Contains(cs.pos) && s.cfg.ResolveOwner != nil {
 			if target, addr, ok := s.cfg.ResolveOwner(cs.pos); ok && target != s.cfg.Server {
-				out = append(out, s.migrateClientLocked(cs, target, addr)...)
+				dst = s.migrateClientLocked(dst, cs, target, addr)
 			}
 		}
 	}
@@ -320,53 +352,54 @@ func (s *Server) handleUpdateLocked(u *protocol.GameUpdate) ([]Envelope, error) 
 	// Grid queries walk hash maps, so their order is random; sort so the
 	// whole pipeline stays deterministic for a fixed seed. Sorting also
 	// makes duplicates (from the two-circle query) adjacent, so dedup is a
-	// previous-element compare instead of a per-update map.
-	sort.Slice(s.scratch, func(i, j int) bool { return s.scratch[i] < s.scratch[j] })
+	// previous-element compare instead of a per-update map. slices.Sort,
+	// unlike sort.Slice, does not allocate a closure — this runs once per
+	// processed packet.
+	slices.Sort(s.scratch)
 	for i, c := range s.scratch {
 		if i > 0 && c == s.scratch[i-1] {
 			continue
 		}
-		out = append(out, Envelope{Dest: DestClient, Client: c, Msg: u})
+		dst = append(dst, Envelope{Dest: DestClient, Client: c, Msg: u})
 		s.stats.Delivered++
 	}
-	return out, nil
+	return dst, nil
 }
 
 // migrateClientLocked hands one client to target: state first, then the
 // redirect, mirroring the bulk path taken on range changes.
-func (s *Server) migrateClientLocked(cs *clientState, target id.ServerID, addr string) []Envelope {
-	out := []Envelope{
-		{Dest: DestMatrix, Msg: &protocol.StateTransfer{
+func (s *Server) migrateClientLocked(dst []Envelope, cs *clientState, target id.ServerID, addr string) []Envelope {
+	dst = append(dst,
+		Envelope{Dest: DestMatrix, Msg: &protocol.StateTransfer{
 			From:    s.cfg.Server,
 			To:      target,
 			Objects: []protocol.ObjectState{{Client: cs.id, Pos: cs.pos}},
 			Final:   true,
 		}},
-		{Dest: DestClient, Client: cs.id, Msg: &protocol.Redirect{
+		Envelope{Dest: DestClient, Client: cs.id, Msg: &protocol.Redirect{
 			Client:   cs.id,
 			NewOwner: target,
 			NewAddr:  addr,
 		}},
-	}
+	)
 	s.stats.StateMoved++
 	s.stats.Redirects++
 	delete(s.clients, cs.id)
 	s.grid.Remove(cs.id)
-	return out
+	return dst
 }
 
 // handleRangeLocked applies a new map range: displaced clients are
 // redirected to the handoff targets and their state is transferred through
 // Matrix in chunks.
-func (s *Server) handleRangeLocked(r *protocol.RangeUpdate) ([]Envelope, error) {
+func (s *Server) handleRangeLocked(dst []Envelope, r *protocol.RangeUpdate) ([]Envelope, error) {
 	s.bounds = r.Bounds
-	var out []Envelope
 
 	// Find clients now outside our range.
 	s.scratch = s.scratch[:0]
 	s.scratch = s.grid.QueryOutsideRect(r.Bounds, s.scratch)
 	if len(s.scratch) == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	// Deterministic migration order regardless of grid-map iteration order
 	// (per-target grouping, chunking and redirects all inherit it).
@@ -410,7 +443,7 @@ func (s *Server) handleRangeLocked(r *protocol.RangeUpdate) ([]Envelope, error) 
 				Objects: chunk,
 				Final:   final,
 			}
-			out = append(out, Envelope{Dest: DestMatrix, Msg: st})
+			dst = append(dst, Envelope{Dest: DestMatrix, Msg: st})
 			chunk = make([]protocol.ObjectState, 0, s.cfg.TransferChunk)
 		}
 		for _, cs := range migrating {
@@ -425,7 +458,7 @@ func (s *Server) handleRangeLocked(r *protocol.RangeUpdate) ([]Envelope, error) 
 		}
 		flush(true)
 		for _, cs := range migrating {
-			out = append(out, Envelope{Dest: DestClient, Client: cs.id, Msg: &protocol.Redirect{
+			dst = append(dst, Envelope{Dest: DestClient, Client: cs.id, Msg: &protocol.Redirect{
 				Client:   cs.id,
 				NewOwner: target,
 				NewAddr:  addrOf[target],
@@ -462,7 +495,7 @@ func (s *Server) handleRangeLocked(r *protocol.RangeUpdate) ([]Envelope, error) 
 			if end > len(objs) {
 				end = len(objs)
 			}
-			out = append(out, Envelope{Dest: DestMatrix, Msg: &protocol.StateTransfer{
+			dst = append(dst, Envelope{Dest: DestMatrix, Msg: &protocol.StateTransfer{
 				From:    s.cfg.Server,
 				To:      target,
 				Objects: objs[start:end],
@@ -471,7 +504,7 @@ func (s *Server) handleRangeLocked(r *protocol.RangeUpdate) ([]Envelope, error) 
 			s.stats.StateMoved += uint64(end - start)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // resolveHandoff finds the handoff target whose bounds contain p.
@@ -485,7 +518,7 @@ func resolveHandoff(handoff []protocol.HandoffTarget, p geom.Point) (id.ServerID
 }
 
 // handleStateLocked adopts migrating state from another game server.
-func (s *Server) handleStateLocked(st *protocol.StateTransfer) ([]Envelope, error) {
+func (s *Server) handleStateLocked(dst []Envelope, st *protocol.StateTransfer) ([]Envelope, error) {
 	for _, o := range st.Objects {
 		if o.Client != 0 {
 			cs, ok := s.clients[o.Client]
@@ -500,5 +533,5 @@ func (s *Server) handleStateLocked(st *protocol.StateTransfer) ([]Envelope, erro
 		}
 		s.stats.StateReceived++
 	}
-	return nil, nil
+	return dst, nil
 }

@@ -424,3 +424,85 @@ func TestRangeShrinkNoTargetKeepsClient(t *testing.T) {
 		t.Errorf("client stranded without target was dropped: count=%d", got)
 	}
 }
+
+// TestProcessAppendMatchesProcess drives two identically configured
+// servers through the same traffic, one with the allocating API and one
+// with the append API: the envelopes must be identical.
+func TestProcessAppendMatchesProcess(t *testing.T) {
+	mk := func() *Server { return newTestGS(t, Config{}) }
+	a, b := mk(), mk()
+	feed := func(s *Server) {
+		for i := 1; i <= 10; i++ {
+			if err := s.Enqueue(&protocol.ClientHello{Client: id.ClientID(i), Pos: geom.Pt(float64(i), 10)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 1; i <= 10; i++ {
+			if err := s.Enqueue(&protocol.GameUpdate{
+				Client: id.ClientID(i), Kind: protocol.KindMove,
+				Origin: geom.Pt(float64(i), 10), Dest: geom.Pt(float64(i)+0.5, 10.5),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(a)
+	feed(b)
+	got, errA := a.Process(0)
+	buf := make([]Envelope, 0, 4)
+	want, errB := b.ProcessAppend(buf[:0], 0)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("errors diverge: %v vs %v", errA, errB)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("envelope counts diverge: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Dest != want[i].Dest || got[i].Client != want[i].Client ||
+			got[i].Msg.MsgType() != want[i].Msg.MsgType() {
+			t.Errorf("envelope %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestProcessAppendZeroAllocSteadyState is the per-tick envelope path
+// allocation budget: with connected clients and a reused buffer, handling
+// a same-cell move update must not allocate.
+func TestProcessAppendZeroAllocSteadyState(t *testing.T) {
+	s := newTestGS(t, Config{})
+	for i := 1; i <= 20; i++ {
+		join(t, s, id.ClientID(i), geom.Pt(50+float64(i)*0.1, 50))
+	}
+	u := &protocol.GameUpdate{
+		Client: 1, Kind: protocol.KindMove,
+		Origin: geom.Pt(50.1, 50), Dest: geom.Pt(50.15, 50.05), // same grid cell
+	}
+	buf := make([]Envelope, 0, 64)
+	// Warm the inbox and scratch capacities outside the measured region.
+	for i := 0; i < 3; i++ {
+		if err := s.Enqueue(u); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		buf, err = s.ProcessAppend(buf[:0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Enqueue(u); err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.ProcessAppend(buf[:0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 {
+			t.Fatal("no envelopes")
+		}
+		buf = out[:0]
+	})
+	if allocs != 0 {
+		t.Errorf("per-tick envelope path allocates %.1f/op, budget is 0", allocs)
+	}
+}

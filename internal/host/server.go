@@ -1,6 +1,7 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"matrix/internal/id"
 	"matrix/internal/load"
 	"matrix/internal/protocol"
+	"matrix/internal/scratch"
 	"matrix/internal/transport"
 )
 
@@ -71,6 +73,13 @@ type ServerHost struct {
 	clients map[id.ClientID]transport.Conn
 	closed  bool
 
+	// tickLoop-owned scratch (no locking): the per-tick envelope buffers
+	// and the per-peer message batches flushed as one frame per peer per
+	// tick. Map entries and their slices are reused across ticks.
+	tickEnvs     scratch.Buf[gameserver.Envelope]
+	tickCoreEnvs scratch.Buf[core.Envelope]
+	tickBatch    map[string][]protocol.Message
+
 	wg   sync.WaitGroup
 	done chan struct{}
 }
@@ -125,15 +134,16 @@ func StartServer(cfg ServerConfig) (*ServerHost, error) {
 	}
 
 	h := &ServerHost{
-		cfg:     cfg,
-		core:    cs,
-		gs:      gs,
-		mcConn:  mcConn,
-		ln:      ln,
-		peers:   make(map[string]transport.Conn),
-		inbound: make(map[transport.Conn]bool),
-		clients: make(map[id.ClientID]transport.Conn),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		core:      cs,
+		gs:        gs,
+		mcConn:    mcConn,
+		ln:        ln,
+		peers:     make(map[string]transport.Conn),
+		inbound:   make(map[transport.Conn]bool),
+		clients:   make(map[id.ClientID]transport.Conn),
+		tickBatch: make(map[string][]protocol.Message),
+		done:      make(chan struct{}),
 	}
 	h.wg.Add(3)
 	go h.mcLoop()
@@ -196,7 +206,7 @@ func (h *ServerHost) mcLoop() {
 		if err != nil {
 			h.cfg.Logger.Printf("server %v: mc message %v: %v", h.core.ID(), m.MsgType(), err)
 		}
-		h.routeCore(envs)
+		h.routeCore(envs, nil)
 	}
 }
 
@@ -287,7 +297,7 @@ func (h *ServerHost) servePeer(conn transport.Conn, first protocol.Message) {
 		if err != nil {
 			h.cfg.Logger.Printf("server %v: peer message %v: %v", h.core.ID(), m.MsgType(), err)
 		}
-		h.routeCore(envs)
+		h.routeCore(envs, nil)
 	}
 	handle(first)
 	for {
@@ -312,11 +322,16 @@ func (h *ServerHost) tickLoop() {
 		case <-h.done:
 			return
 		case <-tick.C:
-			envs, err := h.gs.Process(h.cfg.ServiceRate)
+			envs, err := h.gs.ProcessAppend(h.tickEnvs.Take(), h.cfg.ServiceRate)
 			if err != nil {
 				h.cfg.Logger.Printf("server %v: process: %v", h.core.ID(), err)
 			}
-			h.routeGame(envs)
+			// Everything this tick produced for the same peer leaves as one
+			// batch frame — the per-message framing and write amortized
+			// across the tick.
+			h.routeGame(envs, h.tickBatch)
+			h.flushBatches(h.tickBatch)
+			h.tickEnvs.Done(envs)
 		case <-report.C:
 			rep := h.gs.LoadReport()
 			envs, err := h.core.HandleLocalLoad(int(rep.Clients), int(rep.QueueLen))
@@ -324,13 +339,16 @@ func (h *ServerHost) tickLoop() {
 				h.cfg.Logger.Printf("server %v: load report: %v", h.core.ID(), err)
 				continue
 			}
-			h.routeCore(envs)
+			h.routeCore(envs, nil)
 		}
 	}
 }
 
-// routeCore delivers a Matrix server's envelopes.
-func (h *ServerHost) routeCore(envs []core.Envelope) {
+// routeCore delivers a Matrix server's envelopes. When batch is non-nil,
+// peer-bound messages are collected into it (keyed by dial address) for a
+// later flushBatches instead of being sent immediately; coordinator and
+// game-server deliveries are never deferred.
+func (h *ServerHost) routeCore(envs []core.Envelope, batch map[string][]protocol.Message) {
 	for _, e := range envs {
 		switch e.Dest {
 		case core.DestCoordinator:
@@ -342,23 +360,55 @@ func (h *ServerHost) routeCore(envs []core.Envelope) {
 				h.cfg.Logger.Printf("server %v: enqueue: %v", h.core.ID(), err)
 			}
 		case core.DestPeer:
+			if batch != nil {
+				if e.Addr == "" {
+					h.cfg.Logger.Printf("server %v: no address for peer (dropping %v)", h.core.ID(), e.Msg.MsgType())
+					continue
+				}
+				batch[e.Addr] = append(batch[e.Addr], e.Msg)
+				continue
+			}
 			h.sendPeer(e.Addr, e.Msg)
 		}
 	}
 }
 
-// routeGame delivers a game server's envelopes.
-func (h *ServerHost) routeGame(envs []gameserver.Envelope) {
+// routeGame delivers a game server's envelopes, collecting peer-bound
+// fallout into batch (see routeCore).
+func (h *ServerHost) routeGame(envs []gameserver.Envelope, batch map[string][]protocol.Message) {
 	for _, e := range envs {
 		switch e.Dest {
 		case gameserver.DestMatrix:
-			out, err := h.core.HandleMessage(id.None, e.Msg)
+			// Game updates — the dominant message — route through a
+			// tickLoop-owned reused buffer; routeCore consumes it fully
+			// (enqueue/collect, never re-entering this core) before the
+			// next envelope.
+			var out []core.Envelope
+			var err error
+			reused := false
+			if u, isUpdate := e.Msg.(*protocol.GameUpdate); isUpdate {
+				out, err = h.core.AppendGameUpdate(h.tickCoreEnvs.Take(), u)
+				reused = true
+			} else {
+				out, err = h.core.HandleMessage(id.None, e.Msg)
+			}
 			if err != nil {
 				h.cfg.Logger.Printf("server %v: game->matrix: %v", h.core.ID(), err)
-				continue
+			} else {
+				h.routeCore(out, batch)
 			}
-			h.routeCore(out)
+			if reused {
+				h.tickCoreEnvs.Done(out)
+			}
 		case gameserver.DestClient:
+			// Migration ordering: a redirected client's state transfer is
+			// sitting in the peer batch (the game server emits state before
+			// the redirect). Flush before the redirect reaches the client
+			// so the state frame precedes the client's rejoin on the wire.
+			// Redirects are rare, so the early flush barely dents batching.
+			if _, isRedirect := e.Msg.(*protocol.Redirect); isRedirect && batch != nil {
+				h.flushBatches(batch)
+			}
 			h.mu.Lock()
 			conn, ok := h.clients[e.Client]
 			h.mu.Unlock()
@@ -372,13 +422,35 @@ func (h *ServerHost) routeGame(envs []gameserver.Envelope) {
 	}
 }
 
-// sendPeer sends to a peer Matrix server, dialing and caching the
-// connection on first use.
+// flushBatches sends every collected per-peer batch as one frame and
+// resets the batch map for reuse (entries keep their capacity; the peer
+// set is small and stable).
+func (h *ServerHost) flushBatches(batch map[string][]protocol.Message) {
+	for addr, msgs := range batch {
+		if len(msgs) > 0 {
+			h.sendPeerMsgs(addr, msgs...)
+		}
+		for i := range msgs {
+			msgs[i] = nil
+		}
+		batch[addr] = msgs[:0]
+	}
+}
+
+// sendPeer sends one message to a peer Matrix server. (A one-message
+// batch frames identically to a plain send, so this shares the batch
+// path.)
 func (h *ServerHost) sendPeer(addr string, m protocol.Message) {
 	if addr == "" {
 		h.cfg.Logger.Printf("server %v: no address for peer (dropping %v)", h.core.ID(), m.MsgType())
 		return
 	}
+	h.sendPeerMsgs(addr, m)
+}
+
+// sendPeerMsgs sends msgs as one batch to a peer Matrix server, dialing
+// and caching the connection on first use.
+func (h *ServerHost) sendPeerMsgs(addr string, msgs ...protocol.Message) {
 	h.mu.Lock()
 	conn, ok := h.peers[addr]
 	h.mu.Unlock()
@@ -404,7 +476,25 @@ func (h *ServerHost) sendPeer(addr string, m protocol.Message) {
 			h.mu.Unlock()
 		}
 	}
-	if err := conn.Send(m); err != nil {
+	err := conn.SendBatch(msgs)
+	if err != nil && !errors.Is(err, transport.ErrClosed) {
+		// Encode failure (an oversized message): the connection is still
+		// healthy, and batch encoding is all-or-nothing, so salvage the
+		// tick by sending individually — only the offending message is
+		// lost, matching the old per-message path's isolation.
+		h.cfg.Logger.Printf("server %v: batch to peer %s: %v; retrying individually", h.core.ID(), addr, err)
+		for _, m := range msgs {
+			if err = conn.Send(m); err != nil {
+				if errors.Is(err, transport.ErrClosed) {
+					break
+				}
+				h.cfg.Logger.Printf("server %v: dropping %v to peer %s: %v", h.core.ID(), m.MsgType(), addr, err)
+				err = nil
+			}
+		}
+	}
+	if errors.Is(err, transport.ErrClosed) {
+		h.cfg.Logger.Printf("server %v: peer %s connection lost: %v", h.core.ID(), addr, err)
 		h.mu.Lock()
 		if h.peers[addr] == conn {
 			delete(h.peers, addr)

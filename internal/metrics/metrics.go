@@ -10,12 +10,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing counter, safe for concurrent use.
+// Increments are a single atomic add — no lock traffic on hot paths.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Add increments the counter by d (negative deltas are ignored: counters are
@@ -24,47 +25,38 @@ func (c *Counter) Add(d int64) {
 	if d < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.v += d
-	c.mu.Unlock()
+	c.v.Add(d)
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is an instantaneous value, safe for concurrent use.
+// Gauge is an instantaneous value, safe for concurrent use. The float is
+// stored as its IEEE-754 bits in an atomic word; Add is a CAS loop, so
+// concurrent adjustments never lose updates and reads never block.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set stores v.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by d (may be negative).
 func (g *Gauge) Add(d float64) {
-	g.mu.Lock()
-	g.v += d
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates observations and reports count/mean/quantiles. It
 // stores raw samples (the experiment scales here are small enough that the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"matrix/internal/geom"
 	"matrix/internal/id"
@@ -497,6 +498,59 @@ func (m *ErrorMsg) decodeBody(r *reader) error {
 	return r.err
 }
 
+func (m *Batch) encodeBody(b *buffer) {
+	b.u32(uint32(len(m.Msgs)))
+	for _, sub := range m.Msgs {
+		// Each element is a complete nested frame so the decoder can slice
+		// without understanding the element's body.
+		start := len(b.b)
+		b.b = append(b.b, 0, 0, 0, 0, uint8(sub.MsgType()))
+		sub.encodeBody(b)
+		binary.BigEndian.PutUint32(b.b[start:], uint32(len(b.b)-start-frameHeaderSize))
+	}
+}
+
+func (m *Batch) decodeBody(r *reader) error {
+	n := int(r.u32())
+	// Every element costs at least its 5-byte header, so a count claiming
+	// more than the remaining bytes allow is corrupt — rejecting it here
+	// also stops a hostile count from amplifying the preallocation below
+	// beyond the frame's own size.
+	if r.err != nil || n < 0 || n > (len(r.b)-r.off)/frameHeaderSize {
+		r.fail()
+		return r.err
+	}
+	m.Msgs = make([]Message, 0, n)
+	for i := 0; i < n; i++ {
+		ln := int(r.u32())
+		t := MsgType(r.u8())
+		if r.err != nil {
+			return r.err
+		}
+		if ln < 0 || r.off+ln > len(r.b) {
+			r.fail()
+			return r.err
+		}
+		if t == TypeBatch {
+			return errors.New("protocol: nested batch")
+		}
+		sub, err := newMessage(t)
+		if err != nil {
+			return err
+		}
+		sr := &reader{b: r.b[r.off : r.off+ln]}
+		if err := sub.decodeBody(sr); err != nil {
+			return err
+		}
+		if sr.off != len(sr.b) {
+			return fmt.Errorf("protocol: %d trailing bytes in batch element %v", len(sr.b)-sr.off, t)
+		}
+		r.off += ln
+		m.Msgs = append(m.Msgs, sub)
+	}
+	return r.err
+}
+
 // newMessage allocates the empty message for a wire type.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
@@ -538,24 +592,146 @@ func newMessage(t MsgType) (Message, error) {
 		return &Ack{}, nil
 	case TypeError:
 		return &ErrorMsg{}, nil
+	case TypeBatch:
+		return &Batch{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 	}
 }
 
-// Marshal encodes m into a self-describing frame:
-// [u32 body length][u8 type][body].
-func Marshal(m Message) ([]byte, error) {
-	var body buffer
-	m.encodeBody(&body)
-	if len(body.b) > MaxFrameSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body.b))
+// frameHeaderSize is the per-frame envelope: u32 body length + u8 type.
+const frameHeaderSize = 5
+
+// AppendEncode encodes m into a self-describing frame
+// ([u32 body length][u8 type][body]) appended to dst, and returns the
+// extended slice. It is the allocation-lean sibling of Marshal: a caller
+// that keeps reusing the returned slice (`buf = AppendEncode(buf[:0], m)`)
+// encodes at zero allocations per message in steady state. On error dst is
+// returned truncated to its original length.
+func AppendEncode(dst []byte, m Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, uint8(m.MsgType()))
+	dst = appendBody(dst, m)
+	bodyLen := len(dst) - start - frameHeaderSize
+	if bodyLen > MaxFrameSize {
+		return dst[:start], fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, bodyLen)
 	}
-	out := make([]byte, 0, 5+len(body.b))
-	out = binary.BigEndian.AppendUint32(out, uint32(len(body.b)))
-	out = append(out, uint8(m.MsgType()))
-	out = append(out, body.b...)
-	return out, nil
+	binary.BigEndian.PutUint32(dst[start:], uint32(bodyLen))
+	return dst, nil
+}
+
+// bufPool recycles buffer headers. encodeBody takes *buffer through an
+// interface, so a stack-local buffer would escape and cost one allocation
+// per encode; cycling the 3-word header through a pool keeps append-style
+// encoding at zero steady-state allocations. The byte storage itself
+// always belongs to the caller.
+var bufPool = sync.Pool{New: func() any { return new(buffer) }}
+
+// appendBody appends m's encoded body (no envelope) to dst.
+func appendBody(dst []byte, m Message) []byte {
+	w := bufPool.Get().(*buffer)
+	w.b = dst
+	m.encodeBody(w)
+	dst = w.b
+	w.b = nil // never retain the caller's storage
+	bufPool.Put(w)
+	return dst
+}
+
+// Marshal encodes m into a freshly allocated self-describing frame:
+// [u32 body length][u8 type][body]. Hot paths that can reuse a buffer
+// should prefer AppendEncode.
+func Marshal(m Message) ([]byte, error) {
+	return AppendEncode(nil, m)
+}
+
+// AppendBatches encodes ms into as few Batch frames as MaxFrameSize
+// allows, appended to dst. A single message is framed directly (wrapping
+// one message in a Batch buys nothing), so SendBatch of one message costs
+// exactly the same bytes as Send. frameEnds — appended to the ends
+// argument, which callers may reuse like dst — holds the end offset of
+// every produced frame within the returned slice, letting frame-oriented
+// transports (the in-memory queue) split the buffer without re-parsing.
+// An element whose batch wrapping would overflow MaxFrameSize is emitted
+// as a direct frame, so anything Send can deliver, a batch can too. On
+// error dst is returned truncated to its original length.
+func AppendBatches(dst []byte, ends []int, ms []Message) (out []byte, frameEnds []int, err error) {
+	frameEnds = ends[:0]
+	for _, m := range ms {
+		if m == nil {
+			return dst, frameEnds, errors.New("protocol: nil message in batch")
+		}
+		if _, nested := m.(*Batch); nested {
+			return dst, frameEnds, errors.New("protocol: nested batch")
+		}
+	}
+	switch len(ms) {
+	case 0:
+		return dst, frameEnds, nil
+	case 1:
+		out, err = AppendEncode(dst, ms[0])
+		if err != nil {
+			return dst[:len(dst):len(dst)], frameEnds, err
+		}
+		return out, append(frameEnds, len(out)), nil
+	}
+	orig := len(dst)
+	out = dst
+	frameStart := -1 // start of the open Batch frame, -1 when none
+	countOff := 0    // offset of the open frame's element count
+	count := uint32(0)
+	finish := func() {
+		binary.BigEndian.PutUint32(out[frameStart:], uint32(len(out)-frameStart-frameHeaderSize))
+		binary.BigEndian.PutUint32(out[countOff:], count)
+		frameEnds = append(frameEnds, len(out))
+		frameStart = -1
+	}
+	for _, m := range ms {
+		for {
+			if frameStart < 0 {
+				frameStart = len(out)
+				out = append(out, 0, 0, 0, 0, uint8(TypeBatch))
+				countOff = len(out)
+				out = append(out, 0, 0, 0, 0)
+				count = 0
+			}
+			mark := len(out)
+			out = append(out, 0, 0, 0, 0, uint8(m.MsgType()))
+			out = appendBody(out, m)
+			subBody := len(out) - mark - frameHeaderSize
+			binary.BigEndian.PutUint32(out[mark:], uint32(subBody))
+			if len(out)-frameStart-frameHeaderSize <= MaxFrameSize {
+				count++
+				break
+			}
+			// The open frame overflowed. Drop the just-written element and
+			// either close the frame and retry in a fresh one, or — if the
+			// element overflows even an otherwise-empty batch (the wrapper
+			// costs 9 bytes) — emit it as a direct frame: anything Send can
+			// deliver, SendBatch must deliver too. AppendEncode enforces
+			// the genuine MaxFrameSize limit on the element itself.
+			if count == 0 {
+				out = out[:frameStart]
+				frameStart = -1
+				direct, err := AppendEncode(out, m)
+				if err != nil {
+					// The byte buffer is truncated to its original
+					// contents, so offsets of already-finished frames
+					// must not survive either.
+					return dst[:orig:orig], frameEnds[:0], err
+				}
+				out = direct
+				frameEnds = append(frameEnds, len(out))
+				break
+			}
+			out = out[:mark]
+			finish()
+		}
+	}
+	if frameStart >= 0 {
+		finish()
+	}
+	return out, frameEnds, nil
 }
 
 // Unmarshal decodes one frame previously produced by Marshal.
@@ -584,16 +760,25 @@ func Unmarshal(frame []byte) (Message, error) {
 	return m, nil
 }
 
+// sizePool recycles scratch encode buffers so Size is allocation-free in
+// steady state: the fast path calls it once per forwarded packet.
+var sizePool = sync.Pool{New: func() any { return &buffer{b: make([]byte, 0, 512)} }}
+
 // Size returns the number of bytes m occupies on the wire (envelope
 // included) without allocating the frame twice. Bandwidth accounting in the
 // evaluation harness uses it.
 func Size(m Message) (int, error) {
-	var body buffer
-	m.encodeBody(&body)
-	if len(body.b) > MaxFrameSize {
-		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body.b))
+	w := sizePool.Get().(*buffer)
+	w.b = w.b[:0]
+	m.encodeBody(w)
+	n := len(w.b)
+	if cap(w.b) <= 64<<10 { // don't let one huge state transfer pin memory
+		sizePool.Put(w)
 	}
-	return 5 + len(body.b), nil
+	if n > MaxFrameSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	return frameHeaderSize + n, nil
 }
 
 // Write encodes m and writes the frame to w.
@@ -606,9 +791,13 @@ func Write(w io.Writer, m Message) error {
 	return err
 }
 
-// Read reads exactly one frame from r and decodes it.
-func Read(r io.Reader) (Message, error) {
-	var hdr [5]byte
+// ReadFrame reads exactly one length-prefixed frame from r, reusing buf's
+// storage when it is large enough. The returned slice is only valid until
+// the next ReadFrame with the same buf; decoded messages never alias it
+// (the decoder copies every byte/string field), so transports can recycle
+// one buffer per connection.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -616,10 +805,23 @@ func Read(r io.Reader) (Message, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	frame := make([]byte, 5+n)
+	total := int(n) + frameHeaderSize
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	frame := buf[:total]
 	copy(frame, hdr[:])
-	if _, err := io.ReadFull(r, frame[5:]); err != nil {
+	if _, err := io.ReadFull(r, frame[frameHeaderSize:]); err != nil {
 		return nil, fmt.Errorf("protocol: body: %w", err)
+	}
+	return frame, nil
+}
+
+// Read reads exactly one frame from r and decodes it.
+func Read(r io.Reader) (Message, error) {
+	frame, err := ReadFrame(r, nil)
+	if err != nil {
+		return nil, err
 	}
 	return Unmarshal(frame)
 }

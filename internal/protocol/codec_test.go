@@ -321,3 +321,323 @@ func TestUpdateKindStrings(t *testing.T) {
 		t.Error("unknown kind String")
 	}
 }
+
+// --- append-style encoding and batches ---
+
+// sampleMessages returns one instance of every non-batch message type with
+// non-trivial field values.
+func sampleMessages() []Message {
+	return []Message{
+		&GameUpdate{Client: 42, Seq: 7, Kind: KindMove, Origin: geom.Pt(1.5, -2.25),
+			Dest: geom.Pt(3, 4), SentUnix: 123456789, Payload: []byte("fire!")},
+		&Forward{From: 3, Update: GameUpdate{Client: 1, Kind: KindAction, Payload: []byte{0, 1, 2}}},
+		&RegisterRequest{Addr: "10.0.0.1:4000", Radius: 25.5},
+		&RegisterReply{Server: 5, Bounds: geom.R(0, 0, 50, 100), World: geom.R(0, 0, 100, 100)},
+		&LoadReport{Server: 2, Clients: 312, QueueLen: 98},
+		&OverlapTable{Server: 1, Version: 9, Bounds: geom.R(50, 0, 100, 100), Radius: 5,
+			Regions: []TableRegion{{Bounds: geom.R(50, 0, 55, 100), Peers: []id.ServerID{2}}},
+			Peers:   []PeerAddr{{Server: 2, Addr: "a:1"}}},
+		&SplitRequest{Server: 1, Clients: 450},
+		&SplitReply{Granted: true, Child: 9, ChildAddr: "c:3", Keep: geom.R(0, 0, 1, 1), Give: geom.R(1, 0, 2, 1)},
+		&ReclaimRequest{Parent: 1, Child: 2},
+		&ReclaimReply{Granted: true, Merged: geom.R(0, 0, 2, 2)},
+		&Redirect{Client: 77, NewOwner: 4, NewAddr: "d:4"},
+		&StateTransfer{From: 1, To: 2, Final: true,
+			Objects: []ObjectState{{Object: 1, Client: 9, Pos: geom.Pt(4, 5), Payload: []byte("hp=50")}}},
+		&NonProximalQuery{Server: 3, Point: geom.Pt(10, 20), Radius: 100},
+		&NonProximalReply{Servers: []id.ServerID{1, 2, 3}, Peers: []PeerAddr{{Server: 1, Addr: "x:1"}}},
+		&ClientHello{Client: 12, Pos: geom.Pt(1, 2)},
+		&ClientWelcome{Server: 2, Bounds: geom.R(0, 0, 10, 10)},
+		&RangeUpdate{Server: 6, Bounds: geom.R(5, 5, 10, 10),
+			Handoff: []HandoffTarget{{Server: 7, Addr: "h:7", Bounds: geom.R(0, 0, 5, 10)}}},
+		&Ack{Of: TypeSplitRequest},
+		&ErrorMsg{Of: TypeReclaimRequest, Reason: "no such child"},
+	}
+}
+
+// TestAppendEncodeMatchesMarshal pins AppendEncode to the wire format
+// Marshal produces, for every message type, including appending after
+// existing bytes.
+func TestAppendEncodeMatchesMarshal(t *testing.T) {
+	for _, m := range sampleMessages() {
+		want, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", m.MsgType(), err)
+		}
+		got, err := AppendEncode(nil, m)
+		if err != nil {
+			t.Fatalf("AppendEncode(%v): %v", m.MsgType(), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v: AppendEncode differs from Marshal", m.MsgType())
+		}
+		prefixed, err := AppendEncode([]byte("prefix"), m)
+		if err != nil {
+			t.Fatalf("AppendEncode prefixed (%v): %v", m.MsgType(), err)
+		}
+		if !bytes.Equal(prefixed, append([]byte("prefix"), want...)) {
+			t.Errorf("%v: AppendEncode after prefix differs", m.MsgType())
+		}
+	}
+}
+
+// TestAppendEncodeOversizedRestoresDst verifies the error path truncates
+// dst back to its original contents.
+func TestAppendEncodeOversizedRestoresDst(t *testing.T) {
+	big := &GameUpdate{Payload: make([]byte, MaxFrameSize+1)}
+	dst := []byte("keep")
+	out, err := AppendEncode(dst, big)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(out) != "keep" {
+		t.Errorf("dst not restored: %q", out[:min(len(out), 16)])
+	}
+}
+
+// TestAppendEncodeZeroAlloc is the codec allocation budget: steady-state
+// encoding into a reused buffer must not allocate at all.
+func TestAppendEncodeZeroAlloc(t *testing.T) {
+	u := &GameUpdate{Client: 42, Seq: 7, Kind: KindMove, Origin: geom.Pt(123.5, 456.25),
+		Dest: geom.Pt(124, 457), SentUnix: 1234567890, Payload: make([]byte, 48)}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendEncode(buf[:0], u)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendEncode allocates %.1f/op, budget is 0", allocs)
+	}
+}
+
+// TestSizeZeroAlloc pins Size (called once per forwarded packet) to zero
+// steady-state allocations.
+func TestSizeZeroAlloc(t *testing.T) {
+	f := &Forward{From: 3, Update: GameUpdate{Client: 42, Kind: KindMove, Payload: make([]byte, 48)}}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Size(f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Size allocates %.1f/op, budget is 0", allocs)
+	}
+}
+
+// TestBatchRoundTrip packs every message type into one Batch frame and
+// decodes it back.
+func TestBatchRoundTrip(t *testing.T) {
+	in := sampleMessages()
+	got := roundTrip(t, &Batch{Msgs: in})
+	b, ok := got.(*Batch)
+	if !ok {
+		t.Fatalf("decoded %v", got.MsgType())
+	}
+	if len(b.Msgs) != len(in) {
+		t.Fatalf("got %d messages, want %d", len(b.Msgs), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(normalize(in[i]), normalize(b.Msgs[i])) {
+			t.Errorf("element %d (%v) mismatch:\n sent %#v\n got  %#v",
+				i, in[i].MsgType(), in[i], b.Msgs[i])
+		}
+	}
+}
+
+// TestBatchRejectsNesting: batches must not nest, on encode or decode.
+func TestBatchRejectsNesting(t *testing.T) {
+	nested := &Batch{Msgs: []Message{&Batch{Msgs: []Message{&Ack{Of: TypeAck}}}}}
+	frame, err := Marshal(nested) // encodeBody cannot fail; decode must
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(frame); err == nil {
+		t.Error("decoding a nested batch must fail")
+	}
+	if _, _, err := AppendBatches(nil, nil, []Message{&Batch{}}); err == nil {
+		t.Error("AppendBatches must reject a Batch element")
+	}
+}
+
+// TestAppendBatchesSingleMatchesSend: one message is framed directly, so a
+// single-message batch costs exactly the same bytes as Marshal.
+func TestAppendBatchesSingleMatchesSend(t *testing.T) {
+	m := &LoadReport{Server: 2, Clients: 312, QueueLen: 98}
+	want, _ := Marshal(m)
+	out, ends, err := AppendBatches(nil, nil, []Message{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Errorf("single-message batch differs from Marshal")
+	}
+	if len(ends) != 1 || ends[0] != len(out) {
+		t.Errorf("ends = %v, want [%d]", ends, len(out))
+	}
+}
+
+// TestAppendBatchesMatchesBatchMarshal: the incremental encoder must
+// produce exactly the frame Marshal(&Batch{...}) would.
+func TestAppendBatchesMatchesBatchMarshal(t *testing.T) {
+	ms := sampleMessages()
+	want, err := Marshal(&Batch{Msgs: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ends, err := AppendBatches(nil, nil, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Error("AppendBatches differs from Marshal(&Batch{...})")
+	}
+	if len(ends) != 1 || ends[0] != len(out) {
+		t.Errorf("ends = %v, want one frame of %d bytes", ends, len(out))
+	}
+}
+
+// TestAppendBatchesChunksAtMaxFrameSize: a message set too large for one
+// frame is split into several valid Batch frames preserving order.
+func TestAppendBatchesChunksAtMaxFrameSize(t *testing.T) {
+	// Eleven ~1MiB payloads cannot fit one 4MiB frame.
+	var ms []Message
+	for i := 0; i < 11; i++ {
+		p := make([]byte, 1<<20)
+		p[0] = byte(i)
+		ms = append(ms, &GameUpdate{Client: id.ClientID(i + 1), Payload: p})
+	}
+	out, ends, err := AppendBatches(nil, nil, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) < 2 {
+		t.Fatalf("expected multiple frames, got %d", len(ends))
+	}
+	var decoded []Message
+	start := 0
+	for _, end := range ends {
+		m, err := Unmarshal(out[start:end])
+		if err != nil {
+			t.Fatalf("frame ending at %d: %v", end, err)
+		}
+		b, ok := m.(*Batch)
+		if !ok {
+			t.Fatalf("frame ending at %d decoded as %v", end, m.MsgType())
+		}
+		decoded = append(decoded, b.Msgs...)
+		start = end
+	}
+	if start != len(out) {
+		t.Errorf("frames cover %d of %d bytes", start, len(out))
+	}
+	if len(decoded) != len(ms) {
+		t.Fatalf("decoded %d messages, want %d", len(decoded), len(ms))
+	}
+	for i := range ms {
+		want := ms[i].(*GameUpdate)
+		got, ok := decoded[i].(*GameUpdate)
+		if !ok || got.Client != want.Client || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("element %d corrupted by chunking", i)
+		}
+	}
+}
+
+// TestAppendBatchesElementTooLarge: an element that cannot fit any frame
+// alone must error out with dst restored.
+func TestAppendBatchesElementTooLarge(t *testing.T) {
+	ms := []Message{
+		&Ack{Of: TypeAck},
+		&GameUpdate{Payload: make([]byte, MaxFrameSize+1)},
+	}
+	dst := []byte("keep")
+	out, _, err := AppendBatches(dst, nil, ms)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(out) != "keep" {
+		t.Error("dst not restored on error")
+	}
+}
+
+// TestReadFrameReusesBuffer: ReadFrame must reuse a sufficient buffer and
+// the decoded message must not alias it.
+func TestReadFrameReusesBuffer(t *testing.T) {
+	frame, _ := Marshal(&GameUpdate{Client: 1, Payload: []byte("payload")})
+	var src bytes.Buffer
+	src.Write(frame)
+	buf := make([]byte, 0, 1024)
+	got, err := ReadFrame(&src, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("ReadFrame did not reuse the provided buffer")
+	}
+	m, err := Unmarshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := m.(*GameUpdate)
+	for i := range got {
+		got[i] = 0xFF // clobber the frame; the message must be unaffected
+	}
+	if string(u.Payload) != "payload" {
+		t.Error("decoded message aliases the frame buffer")
+	}
+}
+
+// TestAppendBatchesHugeElementFallsBackToDirectFrame: an element whose
+// body fits MaxFrameSize but whose batch wrapping would not must be sent
+// as a direct frame, not rejected — SendBatch must deliver anything Send
+// can.
+func TestAppendBatchesHugeElementFallsBackToDirectFrame(t *testing.T) {
+	// GameUpdate body is 61 bytes + payload; make the body exactly
+	// MaxFrameSize so the 9-byte Batch wrapper pushes it over.
+	huge := &GameUpdate{Client: 2, Payload: make([]byte, MaxFrameSize-61)}
+	ms := []Message{
+		&Ack{Of: TypeAck},
+		huge,
+		&Ack{Of: TypeError},
+	}
+	out, ends, err := AppendBatches(nil, nil, ms)
+	if err != nil {
+		t.Fatalf("AppendBatches: %v", err)
+	}
+	var decoded []Message
+	start := 0
+	for _, end := range ends {
+		m, err := Unmarshal(out[start:end])
+		if err != nil {
+			t.Fatalf("frame ending at %d: %v", end, err)
+		}
+		if b, ok := m.(*Batch); ok {
+			decoded = append(decoded, b.Msgs...)
+		} else {
+			decoded = append(decoded, m)
+		}
+		start = end
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d messages, want 3", len(decoded))
+	}
+	if decoded[0].MsgType() != TypeAck || decoded[2].MsgType() != TypeAck {
+		t.Errorf("order not preserved: %v, %v", decoded[0].MsgType(), decoded[2].MsgType())
+	}
+	g, ok := decoded[1].(*GameUpdate)
+	if !ok || len(g.Payload) != len(huge.Payload) {
+		t.Errorf("huge element corrupted")
+	}
+}
+
+// TestBatchDecodeRejectsInflatedCount: a frame whose element count claims
+// more elements than its bytes could hold must fail fast, before the
+// count can amplify the preallocation.
+func TestBatchDecodeRejectsInflatedCount(t *testing.T) {
+	frame := []byte{0, 0, 0, 4, uint8(TypeBatch), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Unmarshal(frame); !errors.Is(err, ErrTruncated) {
+		t.Errorf("inflated count: %v", err)
+	}
+}

@@ -6,7 +6,10 @@
 //
 // Messages are encoded with a compact length-prefixed binary framing
 // (encoding/binary, big endian) suitable both for TCP transports and for the
-// in-process transport used by the simulation harness.
+// in-process transport used by the simulation harness. Hot paths encode
+// append-style into caller-owned buffers (AppendEncode, AppendBatches) so
+// steady-state encoding is allocation-free, and the Batch frame packs a
+// whole tick's traffic to one peer into a single frame.
 package protocol
 
 import (
@@ -41,6 +44,7 @@ const (
 	TypeRangeUpdate
 	TypeAck
 	TypeError
+	TypeBatch
 
 	typeMax // sentinel for validation
 )
@@ -67,6 +71,7 @@ func (t MsgType) String() string {
 		TypeRangeUpdate:      "range-update",
 		TypeAck:              "ack",
 		TypeError:            "error",
+		TypeBatch:            "batch",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]
@@ -356,6 +361,18 @@ type ErrorMsg struct {
 
 // MsgType implements Message.
 func (*ErrorMsg) MsgType() MsgType { return TypeError }
+
+// Batch packs any number of messages into one frame, so a transport can
+// send everything destined for the same peer in a tick as a single write
+// (the paper's per-message marshalling cost amortized across the tick).
+// Batches never nest. Transports unpack batches transparently on receive:
+// Conn.Recv hands back the contained messages one at a time.
+type Batch struct {
+	Msgs []Message
+}
+
+// MsgType implements Message.
+func (*Batch) MsgType() MsgType { return TypeBatch }
 
 // RegionsToWire converts overlap regions to their wire form.
 func RegionsToWire(regions []overlap.Region) []TableRegion {

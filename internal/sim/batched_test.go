@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// TestBatchedPathFingerprintIdentical is the determinism contract of the
+// allocation-lean refactor: the same seed driven through the legacy
+// allocating APIs (Process / HandleGameUpdate) and through the
+// buffer-reusing append APIs (ProcessAppend / AppendGameUpdate) must
+// produce byte-identical fingerprints. The scenario splits under load, so
+// the comparison covers forwarding, migration and topology changes, not
+// just quiet traffic.
+func TestBatchedPathFingerprintIdentical(t *testing.T) {
+	run := func(compat bool) string {
+		s, err := New(stepTestConfig(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.compatAlloc = compat
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Fingerprint()
+	}
+	legacy := run(true)
+	batched := run(false)
+	if legacy != batched {
+		t.Errorf("fingerprints diverge between the allocating and batched paths:\nlegacy:\n%s\nbatched:\n%s", legacy, batched)
+	}
+	if events := run(false); events != batched {
+		t.Errorf("batched path is not self-deterministic")
+	}
+}

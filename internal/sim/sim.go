@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"matrix/internal/load"
 	"matrix/internal/metrics"
 	"matrix/internal/protocol"
+	"matrix/internal/scratch"
 )
 
 // Config describes one simulation run.
@@ -198,6 +200,22 @@ type Sim struct {
 	rng         *mulberryRand
 	reportEvery int
 	sampleEvery int
+
+	// Per-tick scratch, reused across ticks (reset, not reallocated). Each
+	// buffer is fully consumed before its next reuse: the game-server loop
+	// routes one server's envelopes to completion before processing the
+	// next, and the core fast path never re-enters itself (peer and MC
+	// fallout lands in other servers' handlers, which build their own
+	// slices).
+	gsEnvBuf   scratch.Buf[gameserver.Envelope]
+	coreFwdBuf scratch.Buf[core.Envelope]
+	idScratch  []id.ClientID
+	scScratch  []*simClient
+
+	// compatAlloc forces the legacy allocating APIs (Process /
+	// HandleGameUpdate) instead of the buffer-reusing append APIs. Tests
+	// set it to prove both paths produce byte-identical fingerprints.
+	compatAlloc bool
 }
 
 // New builds a simulation.
@@ -273,6 +291,9 @@ func (s *Sim) registerServer() error {
 }
 
 // deliverToCore hands a message to a Matrix server and routes the fallout.
+// This is the general path: handlers build fresh envelope slices, which
+// re-entrant deliveries (MC fallout, peer chains) require. The per-tick
+// hot path is deliverLocalUpdate.
 func (s *Sim) deliverToCore(to id.ServerID, from id.ServerID, m protocol.Message) {
 	n, ok := s.nodes[to]
 	if !ok {
@@ -283,6 +304,30 @@ func (s *Sim) deliverToCore(to id.ServerID, from id.ServerID, m protocol.Message
 		// Inactive servers legitimately reject packets that were in
 		// flight across a topology change; everything else is counted
 		// but must not stop the run.
+		s.reg.Counter("errors/core").Inc()
+		return
+	}
+	s.routeCoreEnvelopes(to, envs)
+}
+
+// deliverLocalUpdate routes one game update from to's own game server
+// through the reused fast-path buffer. ONLY Step's game-server loop may
+// call it: the reuse is safe because nothing downstream re-enters this
+// function — peer forwards and MC fallout go through deliverToCore, which
+// allocates. Keeping the entry point separate makes that invariant
+// structural instead of an inference about message types.
+func (s *Sim) deliverLocalUpdate(to id.ServerID, u *protocol.GameUpdate) {
+	if s.compatAlloc {
+		s.deliverToCore(to, id.None, u)
+		return
+	}
+	n, ok := s.nodes[to]
+	if !ok {
+		return
+	}
+	envs, err := n.core.AppendGameUpdate(s.coreFwdBuf.Take(), u)
+	defer s.coreFwdBuf.Done(envs)
+	if err != nil {
 		s.reg.Counter("errors/core").Inc()
 		return
 	}
@@ -556,20 +601,35 @@ func (s *Sim) Step() error {
 	// 2. Client traffic.
 	s.generateTraffic(dt)
 
-	// 3. Game servers process their queues.
+	// 3. Game servers process their queues. The envelope buffer is reused
+	// across servers and ticks: each server's envelopes are fully routed
+	// below before the next server processes.
 	for _, sid := range s.order {
 		n := s.nodes[sid]
-		envs, err := n.gs.Process(s.cfg.ServiceRatePerTick)
+		var envs []gameserver.Envelope
+		var err error
+		if s.compatAlloc {
+			envs, err = n.gs.Process(s.cfg.ServiceRatePerTick)
+		} else {
+			envs, err = n.gs.ProcessAppend(s.gsEnvBuf.Take(), s.cfg.ServiceRatePerTick)
+		}
 		if err != nil {
 			s.reg.Counter("errors/gs").Inc()
 		}
 		for _, e := range envs {
 			switch e.Dest {
 			case gameserver.DestMatrix:
-				s.deliverToCore(sid, id.None, e.Msg)
+				if u, isUpdate := e.Msg.(*protocol.GameUpdate); isUpdate {
+					s.deliverLocalUpdate(sid, u)
+				} else {
+					s.deliverToCore(sid, id.None, e.Msg)
+				}
 			case gameserver.DestClient:
 				s.deliverToClient(e.Client, e.Msg)
 			}
+		}
+		if !s.compatAlloc {
+			s.gsEnvBuf.Done(envs)
 		}
 	}
 
@@ -656,17 +716,26 @@ func (s *Sim) generateTraffic(dt float64) {
 	}
 }
 
-// clientsInOrder returns alive clients sorted by ID for determinism.
+// clientsInOrder returns clients sorted by ID for determinism. The
+// returned slice is scratch reused across calls (twice per tick); callers
+// must finish iterating before the next call.
 func (s *Sim) clientsInOrder() []*simClient {
-	ids := make([]id.ClientID, 0, len(s.clients))
+	ids := s.idScratch[:0]
 	for cid := range s.clients {
 		ids = append(ids, cid)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]*simClient, len(ids))
-	for i, cid := range ids {
-		out[i] = s.clients[cid]
+	slices.Sort(ids)
+	s.idScratch = ids
+	out := s.scScratch[:0]
+	for _, cid := range ids {
+		out = append(out, s.clients[cid])
 	}
+	// Clear any stale tail left from a larger previous round, so the
+	// scratch array never redundantly pins client records.
+	if len(out) < len(s.scScratch) {
+		clear(s.scScratch[len(out):])
+	}
+	s.scScratch = out
 	return out
 }
 

@@ -29,7 +29,15 @@ var (
 type Conn interface {
 	// Send encodes and transmits one message.
 	Send(m protocol.Message) error
+	// SendBatch transmits ms in order as a single Batch frame (chunked
+	// only if MaxFrameSize forces it; one message is framed directly, so
+	// SendBatch of one message costs exactly the same bytes as Send).
+	// This is the per-tick amortized path: one frame per peer per tick
+	// instead of one per message.
+	SendBatch(ms []protocol.Message) error
 	// Recv blocks until a message arrives or the connection closes.
+	// Batch frames are unpacked transparently: the contained messages are
+	// returned one at a time, in order.
 	Recv() (protocol.Message, error)
 	// Close shuts the connection down; pending Recv calls return ErrClosed.
 	Close() error
@@ -103,10 +111,43 @@ func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 
 func (t *tcpListener) Close() error { return t.l.Close() }
 
+// pendingMsgs drains received Batch frames one message at a time. Both
+// Conn implementations share it so the unpack semantics (consumed slots
+// cleared, empty batches yield nothing, pending drained before the next
+// frame) cannot diverge between the transports the byte-parity tests
+// hold equal. Callers synchronize access with their receive mutex.
+type pendingMsgs struct{ q []protocol.Message }
+
+// pop returns the next pending message, if any.
+func (p *pendingMsgs) pop() (protocol.Message, bool) {
+	if len(p.q) == 0 {
+		return nil, false
+	}
+	m := p.q[0]
+	p.q[0] = nil
+	p.q = p.q[1:]
+	return m, true
+}
+
+// absorb stashes a Batch's contents and reports whether m was one (the
+// caller then loops back to pop; an empty batch legitimately yields
+// nothing).
+func (p *pendingMsgs) absorb(m protocol.Message) bool {
+	b, ok := m.(*protocol.Batch)
+	if ok {
+		p.q = b.Msgs
+	}
+	return ok
+}
+
 type tcpConn struct {
 	c        net.Conn
-	writeMu  sync.Mutex // protocol.Write must not interleave frames
-	readMu   sync.Mutex
+	writeMu  sync.Mutex // frames must not interleave; also guards encBuf/endsBuf
+	encBuf   []byte     // reused encode buffer
+	endsBuf  []int      // reused frame-boundary buffer
+	readMu   sync.Mutex // guards readBuf and pending
+	readBuf  []byte     // reused frame buffer (decoded messages never alias it)
+	pending  pendingMsgs
 	countsMu sync.Mutex
 	sent     uint64
 	received uint64
@@ -114,18 +155,55 @@ type tcpConn struct {
 
 func newTCPConn(c net.Conn) *tcpConn { return &tcpConn{c: c} }
 
+// maxRetainedBuf caps the encode/read buffers a connection keeps between
+// calls: one burst tick (a mass migration, a huge state transfer) must not
+// pin multi-MB buffers on every peer connection forever.
+const maxRetainedBuf = 64 << 10
+
+// retain keeps buf for reuse unless it grew past maxRetainedBuf.
+func retain(buf []byte) []byte {
+	if cap(buf) > maxRetainedBuf {
+		return nil
+	}
+	return buf[:0]
+}
+
 func (t *tcpConn) Send(m protocol.Message) error {
-	frame, err := protocol.Marshal(m)
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	frame, err := protocol.AppendEncode(t.encBuf[:0], m)
 	if err != nil {
 		return err
 	}
+	t.encBuf = retain(frame)
+	return t.write(frame)
+}
+
+func (t *tcpConn) SendBatch(ms []protocol.Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	if _, err := t.c.Write(frame); err != nil {
+	// All frames are contiguous in the buffer: one Write regardless of how
+	// many Batch frames MaxFrameSize forced. Both scratch buffers are
+	// reused, so the steady-state batch send does not allocate.
+	out, ends, err := protocol.AppendBatches(t.encBuf[:0], t.endsBuf, ms)
+	t.endsBuf = ends[:0]
+	if err != nil {
+		return err
+	}
+	t.encBuf = retain(out)
+	return t.write(out)
+}
+
+// write sends raw pre-framed bytes and accounts them. Callers hold writeMu.
+func (t *tcpConn) write(frames []byte) error {
+	if _, err := t.c.Write(frames); err != nil {
 		return fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	t.countsMu.Lock()
-	t.sent += uint64(len(frame))
+	t.sent += uint64(len(frames))
 	t.countsMu.Unlock()
 	return nil
 }
@@ -133,17 +211,26 @@ func (t *tcpConn) Send(m protocol.Message) error {
 func (t *tcpConn) Recv() (protocol.Message, error) {
 	t.readMu.Lock()
 	defer t.readMu.Unlock()
-	m, err := protocol.Read(t.c)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
-	}
-	n, err := protocol.Size(m)
-	if err == nil {
+	for {
+		if m, ok := t.pending.pop(); ok {
+			return m, nil
+		}
+		frame, err := protocol.ReadFrame(t.c, t.readBuf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+		}
+		t.readBuf = retain(frame)
 		t.countsMu.Lock()
-		t.received += uint64(n)
+		t.received += uint64(len(frame))
 		t.countsMu.Unlock()
+		m, err := protocol.Unmarshal(frame)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+		}
+		if !t.pending.absorb(m) {
+			return m, nil
+		}
 	}
-	return m, nil
 }
 
 func (t *tcpConn) Close() error { return t.c.Close() }
@@ -274,6 +361,20 @@ func (q *memQueue) push(frame []byte) error {
 	return nil
 }
 
+// pushAll enqueues every frame or none (connection closed), mirroring the
+// TCP side's single contiguous Write: a chunked batch is never partially
+// delivered.
+func (q *memQueue) pushAll(frames [][]byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.frames = append(q.frames, frames...)
+	q.cond.Broadcast()
+	return nil
+}
+
 func (q *memQueue) pop() ([]byte, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -301,6 +402,8 @@ type memConn struct {
 	in       *memQueue
 	remote   string
 	peer     *memConn
+	recvMu   sync.Mutex // guards pending (queue pops are ordered under it)
+	pending  pendingMsgs
 	countsMu sync.Mutex
 	sent     uint64
 	received uint64
@@ -330,15 +433,56 @@ func (c *memConn) Send(m protocol.Message) error {
 	return nil
 }
 
-func (c *memConn) Recv() (protocol.Message, error) {
-	frame, err := c.in.pop()
+func (c *memConn) SendBatch(ms []protocol.Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	// The queue retains pushed frames, so they are encoded into a fresh
+	// buffer (no reuse) and split at the frame boundaries AppendBatches
+	// reports — byte accounting stays identical to the TCP implementation:
+	// the total is the same contiguous encoding TCP writes, delivered
+	// all-or-nothing.
+	out, ends, err := protocol.AppendBatches(nil, nil, ms)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	frames := make([][]byte, len(ends))
+	start := 0
+	for i, end := range ends {
+		frames[i] = out[start:end]
+		start = end
+	}
+	if err := c.out.pushAll(frames); err != nil {
+		return err
 	}
 	c.countsMu.Lock()
-	c.received += uint64(len(frame))
+	c.sent += uint64(len(out))
 	c.countsMu.Unlock()
-	return protocol.Unmarshal(frame)
+	return nil
+}
+
+func (c *memConn) Recv() (protocol.Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	for {
+		if m, ok := c.pending.pop(); ok {
+			return m, nil
+		}
+		frame, err := c.in.pop()
+		if err != nil {
+			return nil, err
+		}
+		c.countsMu.Lock()
+		c.received += uint64(len(frame))
+		c.countsMu.Unlock()
+		m, err := protocol.Unmarshal(frame)
+		if err != nil {
+			return nil, err
+		}
+		if !c.pending.absorb(m) {
+			return m, nil
+		}
+	}
 }
 
 func (c *memConn) Close() error {

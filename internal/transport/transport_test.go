@@ -364,3 +364,151 @@ func TestProtocolSizeMatchesMarshal(t *testing.T) {
 		}
 	}
 }
+
+// connPair dials a fresh connection pair on nw.
+func connPair(t *testing.T, nw Network) (client, server Conn) {
+	t.Helper()
+	l, err := nw.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err = nw.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-accepted
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// batchSample is a mixed per-tick batch: forwards plus a state transfer,
+// what one peer receives in one tick.
+func batchSample() []protocol.Message {
+	return []protocol.Message{
+		&protocol.Forward{From: 1, Update: protocol.GameUpdate{
+			Client: 7, Seq: 1, Kind: protocol.KindMove,
+			Origin: geom.Pt(1, 2), Dest: geom.Pt(3, 4), Payload: []byte("aa")}},
+		&protocol.Forward{From: 1, Update: protocol.GameUpdate{
+			Client: 8, Seq: 2, Kind: protocol.KindAction,
+			Origin: geom.Pt(5, 6), Dest: geom.Pt(5, 6), Payload: []byte("bbb")}},
+		&protocol.StateTransfer{From: 1, To: 2, Final: true,
+			Objects: []protocol.ObjectState{{Client: 9, Pos: geom.Pt(7, 8)}}},
+	}
+}
+
+// TestSendBatchRoundTrip sends one batch and expects Recv to unpack the
+// messages transparently, in order, on both transports.
+func TestSendBatchRoundTrip(t *testing.T) {
+	for name, nw := range networks() {
+		nw := nw
+		t.Run(name, func(t *testing.T) {
+			c, s := connPair(t, nw)
+			want := batchSample()
+			if err := c.SendBatch(want); err != nil {
+				t.Fatalf("SendBatch: %v", err)
+			}
+			// A follow-up single send must arrive after the batch contents.
+			if err := c.Send(&protocol.Ack{Of: protocol.TypeForward}); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			for i, w := range want {
+				got, err := s.Recv()
+				if err != nil {
+					t.Fatalf("Recv %d: %v", i, err)
+				}
+				if got.MsgType() != w.MsgType() {
+					t.Fatalf("Recv %d: type %v, want %v", i, got.MsgType(), w.MsgType())
+				}
+				if f, ok := got.(*protocol.Forward); ok {
+					if f.Update.Client != w.(*protocol.Forward).Update.Client {
+						t.Fatalf("Recv %d: client %v", i, f.Update.Client)
+					}
+				}
+			}
+			tail, err := s.Recv()
+			if err != nil {
+				t.Fatalf("tail Recv: %v", err)
+			}
+			if tail.MsgType() != protocol.TypeAck {
+				t.Fatalf("tail = %v, want ack", tail.MsgType())
+			}
+		})
+	}
+}
+
+// TestSendBatchByteParity is the bandwidth-faithfulness contract: for the
+// same batch, TCP and the in-memory transport must report identical
+// BytesSent and BytesReceived (and a single-message batch must cost
+// exactly what Send costs).
+func TestSendBatchByteParity(t *testing.T) {
+	counts := make(map[string][2]uint64)
+	for name, nw := range networks() {
+		nw := nw
+		t.Run(name, func(t *testing.T) {
+			c, s := connPair(t, nw)
+			if err := c.SendBatch(batchSample()); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < len(batchSample()); i++ {
+				if _, err := s.Recv(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			counts[name] = [2]uint64{c.BytesSent(), s.BytesReceived()}
+			if counts[name][0] != counts[name][1] {
+				t.Errorf("%s: sent %d != received %d", name, counts[name][0], counts[name][1])
+			}
+
+			// Single-message parity with Send.
+			c2, s2 := connPair(t, nw)
+			single := &protocol.LoadReport{Server: 3, Clients: 10, QueueLen: 1}
+			wantSize, err := protocol.Size(single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c2.SendBatch([]protocol.Message{single}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s2.Recv(); err != nil {
+				t.Fatal(err)
+			}
+			if got := c2.BytesSent(); got != uint64(wantSize) {
+				t.Errorf("%s: single-message batch sent %d bytes, Send costs %d", name, got, wantSize)
+			}
+		})
+	}
+	if len(counts) == 2 && counts["mem"] != counts["tcp"] {
+		t.Errorf("byte accounting diverged: mem %v, tcp %v", counts["mem"], counts["tcp"])
+	}
+}
+
+// TestSendBatchEmpty is a no-op and must not confuse the stream.
+func TestSendBatchEmpty(t *testing.T) {
+	for name, nw := range networks() {
+		nw := nw
+		t.Run(name, func(t *testing.T) {
+			c, s := connPair(t, nw)
+			if err := c.SendBatch(nil); err != nil {
+				t.Fatal(err)
+			}
+			if got := c.BytesSent(); got != 0 {
+				t.Errorf("empty batch sent %d bytes", got)
+			}
+			if err := c.Send(&protocol.Ack{Of: protocol.TypeAck}); err != nil {
+				t.Fatal(err)
+			}
+			m, err := s.Recv()
+			if err != nil || m.MsgType() != protocol.TypeAck {
+				t.Fatalf("got %v, %v", m, err)
+			}
+		})
+	}
+}
