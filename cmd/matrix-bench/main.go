@@ -7,9 +7,10 @@
 //
 // Usage:
 //
+//	matrix-bench -list
 //	matrix-bench -exp all
 //	matrix-bench -exp fig2a,fig2b -seed 7
-//	matrix-bench -exp scenarios -scenario flashcrowd,migration -workers 4
+//	matrix-bench -exp scenarios -scenario flashcrowd,lossy -workers 4
 package main
 
 import (
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic", "scenarios"}
+var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic", "degraded", "scenarios"}
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("matrix-bench", flag.ContinueOnError)
@@ -39,8 +40,16 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	scenarioFlag := fs.String("scenario", "all", "scenarios for -exp scenarios: all or a comma list of "+strings.Join(experiments.ScenarioNames(), ","))
+	listFlag := fs.Bool("list", false, "print the scenario table (name + description) and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *listFlag {
+		for _, sc := range experiments.Scenarios() {
+			fmt.Printf("%-14s %s\n", sc.Name, sc.Title)
+		}
+		return nil
 	}
 
 	// Ctrl-C cancels in-flight sweeps mid-run instead of between runs.
@@ -136,6 +145,12 @@ func run(args []string) error {
 			fmt.Print(r.String())
 		case "asymptotic":
 			fmt.Print(experiments.RunAsymptotic().String())
+		case "degraded":
+			r, err := experiments.RunDegradedStaticVsMatrix(ctx, runner, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
 		case "scenarios":
 			r, err := experiments.RunScenarios(ctx, runner, *seed, scenarios...)
 			if err != nil {

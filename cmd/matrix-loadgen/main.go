@@ -22,6 +22,7 @@ import (
 	"matrix/internal/game"
 	"matrix/internal/gameclient"
 	"matrix/internal/host"
+	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/transport"
 )
@@ -44,6 +45,8 @@ func run(args []string) error {
 	profileName := fs.String("profile", "bzflag", "workload profile: bzflag, daimonin, quake2")
 	seed := fs.Int64("seed", 1, "random seed")
 	worldFlag := fs.String("world", "1000x1000", "world size WxH (must match the coordinator)")
+	netemSpec := fs.String("netem", "", "emulate a degraded network on every client connection, e.g. delay=40ms,jitter=25ms,loss=2% (empty = off)")
+	netemSeed := fs.Int64("netem-seed", 0, "seed for the netem impairment streams (0 = derive from -seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +61,18 @@ func run(args []string) error {
 	}
 	world := matrix.R(0, 0, w, h)
 
+	link, err := netem.ParseSpec(*netemSpec)
+	if err != nil {
+		return err
+	}
+	if *netemSeed == 0 {
+		*netemSeed = *seed
+	}
+	network := netem.WrapNetwork(transport.TCPNetwork{}, link, *netemSeed)
+	if !link.Zero() {
+		fmt.Printf("netem: impairing client connections with %s\n", link)
+	}
+
 	rnd := rand.New(rand.NewSource(*seed))
 	type agent struct {
 		h     *host.ClientHost
@@ -69,7 +84,7 @@ func run(args []string) error {
 		r := math.Sqrt(rnd.Float64()) * *spread
 		pos := world.Clamp(matrix.Pt(*x+r*math.Cos(ang), *y+r*math.Sin(ang)))
 		ch, err := host.DialClient(host.ClientConfig{
-			Network:    transport.TCPNetwork{},
+			Network:    network,
 			ServerAddr: *server,
 			Client:     gameclient.Config{ID: matrix.ClientID(i + 1), Pos: pos},
 		})

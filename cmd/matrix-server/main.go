@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"matrix"
+	"matrix/internal/netem"
+	"matrix/internal/transport"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func run(args []string) error {
 	serviceRate := fs.Int("service-rate", 500, "packets processed per tick")
 	tick := fs.Duration("tick", 10*time.Millisecond, "game-server processing tick")
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
+	netemSpec := fs.String("netem", "", "emulate a degraded network on every connection, e.g. delay=40ms,jitter=25ms,loss=2% (empty = off)")
+	netemSeed := fs.Int64("netem-seed", 1, "seed for the netem impairment streams")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,7 +51,17 @@ func run(args []string) error {
 	policy.UnderloadClients = *underload
 	policy.OverloadQueue = *overloadQ
 
+	link, err := netem.ParseSpec(*netemSpec)
+	if err != nil {
+		return err
+	}
+	network := netem.WrapNetwork(transport.TCPNetwork{}, link, *netemSeed)
+	if !link.Zero() {
+		log.Printf("netem: impairing all connections with %s (seed %d)", link, *netemSeed)
+	}
+
 	srv, err := matrix.StartServer(*mcAddr,
+		matrix.WithNetwork(network),
 		matrix.WithAddr(*addr),
 		matrix.WithRadius(*radius),
 		matrix.WithLoadPolicy(policy),

@@ -13,6 +13,7 @@
 //	E3c  microbenchmark: inter-Matrix traffic vs. overlap population
 //	E4   user-study proxy: response-latency transparency across splits
 //	E5   asymptotic scaling model
+//	E6   static vs Matrix under degraded networks (beyond the paper)
 package experiments
 
 import (

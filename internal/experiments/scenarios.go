@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"matrix/internal/game"
+	"matrix/internal/id"
 	"matrix/internal/load"
+	"matrix/internal/netem"
 	"matrix/internal/sim"
 )
 
@@ -43,6 +45,26 @@ var scenarioTable = []Scenario{
 		Name:   "reclaimstress",
 		Title:  "reclaim stress — 5 surge/drain cycles thrashing split+reclaim at one point",
 		Config: ReclaimStressConfig,
+	},
+	{
+		Name:   "lossy",
+		Title:  "bursty loss — flash-crowd churn with 2% i.i.d. + Gilbert–Elliott burst loss on every link",
+		Config: LossyConfig,
+	},
+	{
+		Name:   "jittery",
+		Title:  "jitter storm — hotspot under 100ms±300ms reordering jitter mid-run, calm before reclaim",
+		Config: JitteryConfig,
+	},
+	{
+		Name:   "partition",
+		Title:  "backbone partition — split child cut off the inter-server network for 25s, then healed",
+		Config: PartitionConfig,
+	},
+	{
+		Name:   "crashstorm",
+		Title:  "crash storm — rolling crash/recover of split children under two sustained hotspots",
+		Config: CrashStormConfig,
 	},
 }
 
@@ -114,6 +136,62 @@ func ReclaimStressConfig(seed int64) sim.Config {
 	return cfg
 }
 
+// LossyConfig builds the bursty-loss scenario: the flash-crowd churn
+// workload with every link losing 2% of data packets i.i.d. plus
+// Gilbert–Elliott bursts (30% loss while a burst lasts). Session control
+// stays reliable, so the cluster keeps reshaping itself while gameplay
+// deliveries and echoes go missing.
+func LossyConfig(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 110
+	cfg.Script = game.FlashCrowdScript(World, 4, 400, 22, 10, seed)
+	cfg.Netem = netem.Config{Link: netem.LinkConfig{
+		Loss:       0.02,
+		BurstLoss:  0.30,
+		BurstEnter: 0.02,
+		BurstExit:  0.25,
+	}}
+	return cfg
+}
+
+// JitteryConfig builds the jitter-storm scenario: a split-forcing hotspot
+// played over a 40ms±100ms WAN that degrades to 100ms±300ms mid-run —
+// jitter well past the 100ms tick, so deliveries reorder across ticks —
+// and calms back down before the crowd drains.
+func JitteryConfig(seed int64) sim.Config {
+	baseline := netem.LinkConfig{DelayMs: 40, JitterMs: 100}
+	storm := netem.LinkConfig{DelayMs: 100, JitterMs: 300}
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 110
+	cfg.Script = game.JitterStormScript(World, 500, 40, 75, baseline, storm)
+	cfg.Netem = netem.Config{Link: baseline}
+	return cfg
+}
+
+// PartitionConfig builds the backbone-partition scenario: a hotspot forces
+// a split, then the child server is cut off the inter-server network from
+// t=40 to t=65 while its clients keep playing. Peer forwarding across the
+// boundary blackholes; the severed counter measures the consistency-set
+// traffic the partition cost.
+func PartitionConfig(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 100
+	cfg.Script = game.PartitionScript(World, 600, 40, 65)
+	return cfg
+}
+
+// CrashStormConfig builds the crash-storm scenario: two hotspots split the
+// fleet out, then servers 2 and 3 crash for 12s each in a rolling wave
+// (server 2 twice). Crashed servers freeze with their state and every
+// link touching them blackholes; recovery drains the backlog.
+func CrashStormConfig(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 110
+	cfg.Script = game.CrashStormScript(World, 450, 45, 18, 12,
+		[]id.ServerID{2, 3, 2})
+	return cfg
+}
+
 // RunScenarios executes the named scenarios (all of them when names is
 // empty) concurrently on the sweep engine and reports each one's headline
 // numbers. Numbers are keyed "<scenario>/<metric>".
@@ -134,19 +212,24 @@ func RunScenarios(ctx context.Context, r Runner, seed int64, names ...string) (*
 		return nil, err
 	}
 	rep := &Report{ID: "SWEEP", Title: "scenario sweep", Numbers: map[string]float64{}}
-	rep.addf("%-14s %8s %8s %8s %8s %10s %12s %12s", "scenario", "peak", "final", "splits", "reclaims", "redirects", "dropped", "p95 lat(ms)")
+	rep.addf("%-14s %6s %6s %7s %9s %10s %9s %9s %9s %9s %12s", "scenario", "peak", "final", "splits", "reclaims", "redirects", "dropped", "lost", "severed", "delayed", "p95 lat(ms)")
 	for _, o := range outs {
 		res := o.Result
 		splits, reclaims := countEvents(res)
-		rep.addf("%-14s %8d %8d %8d %8d %10d %12d %12.1f",
+		rep.addf("%-14s %6d %6d %7d %9d %10d %9d %9d %9d %9d %12.1f",
 			o.Name, res.PeakServers, res.FinalServers, splits, reclaims,
-			res.Redirects, res.DroppedPackets, res.Latency.Quantile(0.95))
+			res.Redirects, res.DroppedPackets,
+			res.NetemLost, res.NetemSevered, res.NetemDelayed,
+			res.Latency.Quantile(0.95))
 		rep.Numbers[o.Name+"/peak_servers"] = float64(res.PeakServers)
 		rep.Numbers[o.Name+"/final_servers"] = float64(res.FinalServers)
 		rep.Numbers[o.Name+"/splits"] = float64(splits)
 		rep.Numbers[o.Name+"/reclaims"] = float64(reclaims)
 		rep.Numbers[o.Name+"/redirects"] = float64(res.Redirects)
 		rep.Numbers[o.Name+"/dropped"] = float64(res.DroppedPackets)
+		rep.Numbers[o.Name+"/netem_lost"] = float64(res.NetemLost)
+		rep.Numbers[o.Name+"/netem_severed"] = float64(res.NetemSevered)
+		rep.Numbers[o.Name+"/netem_delayed"] = float64(res.NetemDelayed)
 		rep.Numbers[o.Name+"/p95_ms"] = res.Latency.Quantile(0.95)
 	}
 	return rep, nil

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 
 	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/netem"
 )
 
 // This file holds the script generators behind the named workload
@@ -81,6 +83,79 @@ func ReclaimStressScript(world geom.Rect, cycles, count int, dwell, gap float64)
 		t += dwell + gap
 	}
 	return s
+}
+
+// JitterStormScript models a hotspot played over a WAN that degrades
+// mid-match: `count` clients pile onto the dyadic hotspot point at t=5,
+// and at `worsenAt` an impair event swaps the baseline link for `storm`
+// (typically much heavier jitter, forcing reordering) until `calmAt`
+// restores `baseline`. The crowd drains near the end so reclaim runs under
+// the restored network.
+func JitterStormScript(world geom.Rect, count int, worsenAt, calmAt float64, baseline, storm netem.LinkConfig) Script {
+	center := geom.Pt(
+		world.MinX+0.75*world.Width(),
+		world.MinY+0.25*world.Height(),
+	)
+	spread := 0.06 * world.Width()
+	return Script{
+		{At: 5, Kind: EventJoin, Count: count, Center: center, Spread: spread, Tag: "storm"},
+		{At: worsenAt, Kind: EventImpair, Impair: storm},
+		{At: calmAt, Kind: EventImpair, Impair: baseline},
+		{At: calmAt + 15, Kind: EventLeave, Count: count, Tag: "storm"},
+	}
+}
+
+// PartitionScript models a backbone partition: a hotspot big enough to
+// force a split joins at t=5, and once the child server (server-2, the
+// first spare a deterministic run activates) is carrying the load, it is
+// cut off the inter-server network from `cutAt` to `healAt`. Peer
+// forwarding across the partition blackholes while clients keep talking to
+// their own servers — the consistency-set half of the protocol runs
+// degraded, the session half doesn't.
+func PartitionScript(world geom.Rect, count int, cutAt, healAt float64) Script {
+	center := geom.Pt(
+		world.MinX+0.75*world.Width(),
+		world.MinY+0.25*world.Height(),
+	)
+	spread := 0.10 * world.Width()
+	return Script{
+		{At: 5, Kind: EventJoin, Count: count, Center: center, Spread: spread, Tag: "hot"},
+		{At: cutAt, Kind: EventPartition, Servers: []id.ServerID{2}},
+		{At: healAt, Kind: EventHeal, Servers: []id.ServerID{2}},
+		{At: healAt + 15, Kind: EventLeave, Count: count, Tag: "hot"},
+	}
+}
+
+// CrashStormScript models rolling server failures under sustained load:
+// two hotspots of `count` clients each force the fleet to split out
+// several children, then the listed victims crash for `downtime` seconds
+// one after another, `interval` seconds apart, starting at `firstCrash`.
+// Crashed servers freeze (state retained) and all their links blackhole;
+// their clients' traffic drops until recovery.
+func CrashStormScript(world geom.Rect, count int, firstCrash, interval, downtime float64, victims []id.ServerID) Script {
+	spread := 0.08 * world.Width()
+	s := Script{
+		{At: 5, Kind: EventJoin, Count: count, Center: geom.Pt(
+			world.MinX+0.75*world.Width(), world.MinY+0.25*world.Height(),
+		), Spread: spread, Tag: "east"},
+		{At: 8, Kind: EventJoin, Count: count, Center: geom.Pt(
+			world.MinX+0.25*world.Width(), world.MinY+0.75*world.Height(),
+		), Spread: spread, Tag: "west"},
+	}
+	lastRecover := firstCrash + downtime
+	for i, v := range victims {
+		at := firstCrash + float64(i)*interval
+		s = append(s, Event{At: at, Kind: EventCrash, Servers: []id.ServerID{v}})
+		s = append(s, Event{At: at + downtime, Kind: EventRecover, Servers: []id.ServerID{v}})
+		if at+downtime > lastRecover {
+			lastRecover = at + downtime
+		}
+	}
+	// Drain once the storm has passed, so reclaim runs over the healed
+	// fleet.
+	s = append(s, Event{At: lastRecover + 5, Kind: EventLeave, Count: count, Tag: "east"})
+	s = append(s, Event{At: lastRecover + 5, Kind: EventLeave, Count: count, Tag: "west"})
+	return s.Sorted()
 }
 
 // randPoint picks a point uniformly inside world, inset by margin so a

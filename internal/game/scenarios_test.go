@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/netem"
 )
 
 // checkBalanced verifies a generated script validates and fully drains:
@@ -99,5 +101,95 @@ func TestReclaimStressScript(t *testing.T) {
 		if e.Kind == EventJoin && e.Center != center {
 			t.Errorf("surge moved: %v vs %v", e.Center, center)
 		}
+	}
+}
+
+func TestScriptValidateNetemKinds(t *testing.T) {
+	good := Script{
+		{At: 0, Kind: EventJoin, Count: 10, Spread: 5},
+		{At: 5, Kind: EventImpair, Impair: netem.LinkConfig{DelayMs: 40, JitterMs: 20}},
+		{At: 10, Kind: EventPartition, Servers: []id.ServerID{2}},
+		{At: 15, Kind: EventCrash, Servers: []id.ServerID{3}},
+		{At: 20, Kind: EventRecover},
+		{At: 25, Kind: EventHeal},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("netem script: %v", err)
+	}
+	if !good.HasImpairment() {
+		t.Error("HasImpairment = false for an impairing script")
+	}
+	plain := Script{{At: 0, Kind: EventJoin, Count: 10}}
+	if plain.HasImpairment() {
+		t.Error("HasImpairment = true for a population-only script")
+	}
+	bad := Script{{At: 0, Kind: EventPartition}}
+	if err := bad.Validate(); err == nil {
+		t.Error("partition without servers must fail")
+	}
+	bad = Script{{At: 0, Kind: EventCrash}}
+	if err := bad.Validate(); err == nil {
+		t.Error("crash without servers must fail")
+	}
+	bad = Script{{At: 0, Kind: EventImpair, Impair: netem.LinkConfig{Loss: 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid impair config must fail")
+	}
+}
+
+func TestJitterStormScript(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	baseline := netem.LinkConfig{DelayMs: 40, JitterMs: 100}
+	storm := netem.LinkConfig{DelayMs: 100, JitterMs: 300}
+	s := JitterStormScript(world, 500, 40, 75, baseline, storm)
+	checkBalanced(t, s)
+	var impairs []netem.LinkConfig
+	for _, e := range s {
+		if e.Kind == EventImpair {
+			impairs = append(impairs, e.Impair)
+		}
+	}
+	if len(impairs) != 2 || impairs[0] != storm || impairs[1] != baseline {
+		t.Errorf("impair sequence = %+v, want storm then baseline", impairs)
+	}
+}
+
+func TestPartitionScript(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	s := PartitionScript(world, 600, 40, 65)
+	checkBalanced(t, s)
+	cutAt, healAt := -1.0, -1.0
+	for _, e := range s {
+		switch e.Kind {
+		case EventPartition:
+			cutAt = e.At
+		case EventHeal:
+			healAt = e.At
+		}
+	}
+	if cutAt != 40 || healAt != 65 {
+		t.Errorf("cut/heal at %v/%v, want 40/65", cutAt, healAt)
+	}
+}
+
+func TestCrashStormScript(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	victims := []id.ServerID{2, 3, 2}
+	s := CrashStormScript(world, 450, 45, 18, 12, victims)
+	checkBalanced(t, s)
+	var crashes, recovers int
+	for i, e := range s {
+		switch e.Kind {
+		case EventCrash:
+			crashes++
+		case EventRecover:
+			recovers++
+		}
+		if i > 0 && e.At < s[i-1].At {
+			t.Fatal("crash storm script out of order")
+		}
+	}
+	if crashes != len(victims) || recovers != len(victims) {
+		t.Errorf("crashes=%d recovers=%d, want %d each", crashes, recovers, len(victims))
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/netem"
 )
 
 // EventKind classifies a workload script event.
@@ -17,15 +19,30 @@ const (
 	EventJoin EventKind = iota + 1
 	// EventLeave removes clients previously added under the same tag.
 	EventLeave
+	// EventImpair replaces the network-emulation link impairment applied
+	// to every link from this time on (see Event.Impair).
+	EventImpair
+	// EventPartition cuts the listed servers off the server backbone:
+	// peer links to the rest of the fleet blackhole until an EventHeal.
+	EventPartition
+	// EventHeal reconnects the listed servers (empty Servers heals every
+	// partition).
+	EventHeal
+	// EventCrash fail-stops the listed servers: they stop processing and
+	// every link touching them blackholes until an EventRecover.
+	EventCrash
+	// EventRecover resumes the listed crashed servers (empty Servers
+	// recovers all).
+	EventRecover
 )
 
-// Event is one scripted population change.
+// Event is one scripted population or network-condition change.
 type Event struct {
 	// At is the virtual time in seconds.
 	At float64
-	// Kind says whether clients join or leave.
+	// Kind says what happens.
 	Kind EventKind
-	// Count is how many clients.
+	// Count is how many clients (join/leave events).
 	Count int
 	// Center and Spread place joining clients (joiners scatter uniformly
 	// within Spread of Center and stay attracted to it).
@@ -33,7 +50,17 @@ type Event struct {
 	Spread float64
 	// Tag groups joiners so a later leave event removes the same crowd.
 	Tag string
+	// Servers lists the targets of partition/heal/crash/recover events,
+	// in coordinator registration order (server-1 is the adaptive root;
+	// spares become active in split order for a fixed seed).
+	Servers []id.ServerID
+	// Impair is the new fleet-wide link impairment for EventImpair.
+	Impair netem.LinkConfig
 }
+
+// impairment reports whether the event changes network conditions rather
+// than population.
+func (e Event) impairment() bool { return e.Kind >= EventImpair }
 
 // Script is a time-ordered population schedule.
 type Script []Event
@@ -41,20 +68,43 @@ type Script []Event
 // Validate checks ordering and field sanity.
 func (s Script) Validate() error {
 	for i, e := range s {
-		if e.Count <= 0 {
-			return fmt.Errorf("game: event %d has count %d", i, e.Count)
-		}
-		if e.Kind != EventJoin && e.Kind != EventLeave {
+		switch e.Kind {
+		case EventJoin, EventLeave:
+			if e.Count <= 0 {
+				return fmt.Errorf("game: event %d has count %d", i, e.Count)
+			}
+			if e.Kind == EventJoin && e.Spread < 0 {
+				return fmt.Errorf("game: event %d has negative spread", i)
+			}
+		case EventImpair:
+			if err := e.Impair.Validate(); err != nil {
+				return fmt.Errorf("game: event %d: %w", i, err)
+			}
+		case EventPartition, EventCrash:
+			if len(e.Servers) == 0 {
+				return fmt.Errorf("game: event %d names no servers", i)
+			}
+		case EventHeal, EventRecover:
+			// An empty server list legitimately means "all".
+		default:
 			return fmt.Errorf("game: event %d has invalid kind", i)
-		}
-		if e.Kind == EventJoin && e.Spread < 0 {
-			return fmt.Errorf("game: event %d has negative spread", i)
 		}
 		if i > 0 && e.At < s[i-1].At {
 			return errors.New("game: script events must be time-ordered")
 		}
 	}
 	return nil
+}
+
+// HasImpairment reports whether any event changes network conditions —
+// the simulator activates its netem model when so.
+func (s Script) HasImpairment() bool {
+	for _, e := range s {
+		if e.impairment() {
+			return true
+		}
+	}
+	return false
 }
 
 // Sorted returns a copy of the script ordered by time (stable).

@@ -216,3 +216,88 @@ func TestNoOscillation(t *testing.T) {
 		t.Errorf("reclaim decision flapped %d times; dwell must suppress oscillation", flips)
 	}
 }
+
+func TestForgetChildMidDwellClearsTimer(t *testing.T) {
+	// A child forgotten halfway through its dwell (e.g. it crashed and the
+	// topology moved on) must not leave a stale dwell timer behind: if the
+	// same child ID reappears, its dwell starts from scratch.
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	tr.SetLoad(50, 0)
+	tr.SetChildLoad(2, 40, 0)
+	clk.Advance(cfg.ReclaimDwell / 2)
+	tr.ForgetChild(2)
+
+	// The child re-registers (a crash-recovered server re-adopting the
+	// same ID) and reports low load again after more than the remaining
+	// dwell has passed on the clock.
+	clk.Advance(cfg.ReclaimDwell / 2)
+	tr.SetChildLoad(2, 40, 0)
+	if tr.ReclaimCandidate(2) {
+		t.Fatal("re-learned child must dwell from scratch, not inherit the pre-forget timer")
+	}
+	clk.Advance(cfg.ReclaimDwell)
+	tr.SetChildLoad(2, 40, 0)
+	if !tr.ReclaimCandidate(2) {
+		t.Fatal("re-learned child must become reclaimable after a full fresh dwell")
+	}
+}
+
+func TestReSetChildLoadAfterForgetHighLoad(t *testing.T) {
+	// Forget, then the child comes back hot: it must not be reclaimable,
+	// and the old (low) load must not linger anywhere.
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	tr.SetLoad(50, 0)
+	tr.SetChildLoad(2, 40, 0)
+	clk.Advance(cfg.ReclaimDwell * 2)
+	tr.SetChildLoad(2, 40, 0)
+	if !tr.ReclaimCandidate(2) {
+		t.Fatal("setup: child should be reclaimable")
+	}
+	tr.ForgetChild(2)
+	tr.SetChildLoad(2, 280, 0)
+	if got, ok := tr.ChildLoad(2); !ok || got != 280 {
+		t.Fatalf("ChildLoad = %d,%v; want 280,true", got, ok)
+	}
+	clk.Advance(cfg.ReclaimDwell * 3)
+	tr.SetChildLoad(2, 280, 0)
+	if tr.ReclaimCandidate(2) {
+		t.Fatal("hot re-learned child must not be reclaimable however long it dwells")
+	}
+}
+
+func TestForgetChildDoesNotDisturbSiblings(t *testing.T) {
+	// Forgetting one child (crash scenarios forget mid-run) must leave a
+	// sibling's dwell progress intact.
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	tr.SetLoad(50, 0)
+	tr.SetChildLoad(2, 40, 0)
+	tr.SetChildLoad(3, 40, 0)
+	clk.Advance(cfg.ReclaimDwell)
+	tr.ForgetChild(2)
+	tr.SetChildLoad(3, 40, 0)
+	if !tr.ReclaimCandidate(3) {
+		t.Fatal("sibling's completed dwell lost when another child was forgotten")
+	}
+}
+
+func TestSetLoadKeepsForgottenChildForgotten(t *testing.T) {
+	// SetLoad re-evaluates every known child's dwell; it must not
+	// resurrect a forgotten child.
+	cfg := DefaultConfig()
+	tr, clk := newTestTracker(cfg)
+	tr.SetLoad(50, 0)
+	tr.SetChildLoad(2, 40, 0)
+	tr.ForgetChild(2)
+	tr.SetLoad(40, 0)
+	clk.Advance(cfg.ReclaimDwell * 2)
+	tr.SetLoad(40, 0)
+	if tr.ReclaimCandidate(2) {
+		t.Fatal("SetLoad resurrected a forgotten child")
+	}
+	if _, ok := tr.ChildLoad(2); ok {
+		t.Fatal("forgotten child's load reappeared")
+	}
+}

@@ -1,0 +1,260 @@
+package netem
+
+import (
+	"testing"
+
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+)
+
+func TestZeroConfigIsPassThrough(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config must not enable emulation")
+	}
+	if !(LinkConfig{}).Zero() {
+		t.Fatal("zero LinkConfig must report Zero")
+	}
+	m := NewModel(Config{})
+	for i := 0; i < 100; i++ {
+		v := m.Judge(ClientEndpoint(1), ServerEndpoint(1), true)
+		if v.Drop || v.Severed || v.DelaySec != 0 {
+			t.Fatalf("zero-config Judge impaired a packet: %+v", v)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []LinkConfig{
+		{DelayMs: -1},
+		{JitterMs: -1},
+		{Loss: 1.5},
+		{BurstLoss: -0.1},
+		{BurstEnter: 0.1}, // no exit: never leaves the bad state
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", l)
+		}
+	}
+	good := LinkConfig{DelayMs: 40, JitterMs: 25, Loss: 0.02, BurstLoss: 0.3, BurstEnter: 0.01, BurstExit: 0.25}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v) = %v", good, err)
+	}
+}
+
+// judgeSequence runs n packets over one link and returns the drop pattern.
+func judgeSequence(m *Model, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = m.Judge(ClientEndpoint(7), ServerEndpoint(1), true).Drop
+	}
+	return out
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	cfg := Config{Seed: 42, Link: LinkConfig{Loss: 0.1, JitterMs: 50}}
+	a := NewModel(cfg)
+	b := NewModel(cfg)
+	for i := 0; i < 1000; i++ {
+		va := a.Judge(ClientEndpoint(7), ServerEndpoint(1), true)
+		vb := b.Judge(ClientEndpoint(7), ServerEndpoint(1), true)
+		if va != vb {
+			t.Fatalf("packet %d: verdicts diverged: %+v vs %+v", i, va, vb)
+		}
+	}
+	c := NewModel(Config{Seed: 43, Link: cfg.Link})
+	diff := 0
+	sa, sc := judgeSequence(NewModel(cfg), 500), judgeSequence(c, 500)
+	for i := range sa {
+		if sa[i] != sc[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+func TestLinkStreamsIndependent(t *testing.T) {
+	cfg := Config{Seed: 1, Link: LinkConfig{Loss: 0.2}}
+	// Link (7→1) must judge identically whether or not other links have
+	// been exercised in between.
+	a := NewModel(cfg)
+	seqA := judgeSequence(a, 200)
+	b := NewModel(cfg)
+	var interleaved []bool
+	for i := 0; i < 200; i++ {
+		b.Judge(ClientEndpoint(99), ServerEndpoint(2), true) // unrelated link
+		interleaved = append(interleaved, b.Judge(ClientEndpoint(7), ServerEndpoint(1), true).Drop)
+	}
+	for i := range seqA {
+		if seqA[i] != interleaved[i] {
+			t.Fatalf("packet %d: foreign link traffic shifted this link's stream", i)
+		}
+	}
+}
+
+func TestIIDLossRate(t *testing.T) {
+	m := NewModel(Config{Seed: 5, Link: LinkConfig{Loss: 0.1}})
+	const n = 20000
+	drops := 0
+	for _, d := range judgeSequence(m, n) {
+		if d {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("i.i.d. loss rate = %.4f, want ≈0.10", rate)
+	}
+}
+
+func TestBurstLossClusters(t *testing.T) {
+	// Gilbert–Elliott with near-lossless Good state: drops should arrive
+	// in runs, so the conditional drop probability after a drop must be
+	// far higher than the marginal rate.
+	m := NewModel(Config{Seed: 11, Link: LinkConfig{BurstLoss: 0.8, BurstEnter: 0.02, BurstExit: 0.2}})
+	seq := judgeSequence(m, 50000)
+	drops, dropAfterDrop, afterDrop := 0, 0, 0
+	for i, d := range seq {
+		if d {
+			drops++
+		}
+		if i > 0 && seq[i-1] {
+			afterDrop++
+			if d {
+				dropAfterDrop++
+			}
+		}
+	}
+	marginal := float64(drops) / float64(len(seq))
+	conditional := float64(dropAfterDrop) / float64(afterDrop)
+	if drops == 0 {
+		t.Fatal("burst model never dropped")
+	}
+	if conditional < 2*marginal {
+		t.Errorf("drops not bursty: P(drop|drop)=%.3f vs marginal %.3f", conditional, marginal)
+	}
+}
+
+func TestControlPlaneExemptFromLoss(t *testing.T) {
+	m := NewModel(Config{Seed: 3, Link: LinkConfig{Loss: 1}})
+	if v := m.Judge(ClientEndpoint(1), ServerEndpoint(1), false); v.Drop {
+		t.Fatal("control packet dropped by loss model")
+	}
+	if v := m.Judge(ClientEndpoint(1), ServerEndpoint(1), true); !v.Drop {
+		t.Fatal("data packet survived loss=1")
+	}
+}
+
+func TestDataPlaneClassification(t *testing.T) {
+	if !DataPlane(&protocol.GameUpdate{}) || !DataPlane(&protocol.Forward{}) {
+		t.Error("game updates and forwards must ride the data plane")
+	}
+	for _, m := range []protocol.Message{
+		&protocol.ClientHello{}, &protocol.ClientWelcome{}, &protocol.Redirect{},
+		&protocol.StateTransfer{}, &protocol.RangeUpdate{}, &protocol.LoadReport{},
+	} {
+		if DataPlane(m) {
+			t.Errorf("%v classified as data plane", m.MsgType())
+		}
+	}
+}
+
+func TestDelayAndJitter(t *testing.T) {
+	m := NewModel(Config{Seed: 9, Link: LinkConfig{DelayMs: 40, JitterMs: 100}})
+	sawJitter := false
+	for i := 0; i < 200; i++ {
+		v := m.Judge(ClientEndpoint(1), ServerEndpoint(1), true)
+		if v.DelaySec < 0.040 || v.DelaySec >= 0.140 {
+			t.Fatalf("delay %.4fs outside [base, base+jitter)", v.DelaySec)
+		}
+		if v.DelaySec > 0.041 {
+			sawJitter = true
+		}
+	}
+	if !sawJitter {
+		t.Error("jitter never materialized")
+	}
+}
+
+func TestPartitionSeversBackboneOnly(t *testing.T) {
+	m := NewModel(Config{Seed: 1})
+	m.Cut([]id.ServerID{2})
+	if !m.Judge(ServerEndpoint(1), ServerEndpoint(2), true).Severed {
+		t.Error("cut server reachable from backbone")
+	}
+	if !m.Judge(ServerEndpoint(2), ServerEndpoint(1), true).Severed {
+		t.Error("backbone reachable from cut server")
+	}
+	if m.Judge(ClientEndpoint(5), ServerEndpoint(2), true).Severed {
+		t.Error("partition severed a client link")
+	}
+	if m.Judge(ServerEndpoint(1), ServerEndpoint(3), true).Severed {
+		t.Error("partition severed an uninvolved backbone link")
+	}
+	// Two servers on the same side of the cut still talk.
+	m.Cut([]id.ServerID{3})
+	if m.Judge(ServerEndpoint(2), ServerEndpoint(3), true).Severed {
+		t.Error("two cut servers should share the minority side")
+	}
+	m.Heal(nil)
+	if m.Judge(ServerEndpoint(1), ServerEndpoint(2), true).Severed {
+		t.Error("heal(all) left a partition")
+	}
+}
+
+func TestCrashSeversEverything(t *testing.T) {
+	m := NewModel(Config{Seed: 1})
+	m.Crash([]id.ServerID{2})
+	if !m.Crashed(2) || m.Crashed(1) {
+		t.Fatal("crash bookkeeping wrong")
+	}
+	if !m.Judge(ClientEndpoint(5), ServerEndpoint(2), true).Severed {
+		t.Error("client link to crashed server alive")
+	}
+	if !m.Judge(ServerEndpoint(2), ServerEndpoint(1), true).Severed {
+		t.Error("peer link from crashed server alive")
+	}
+	m.Recover([]id.ServerID{2})
+	if m.Crashed(2) || m.Judge(ClientEndpoint(5), ServerEndpoint(2), true).Severed {
+		t.Error("recover did not restore the server")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	l, err := ParseSpec("delay=40ms,jitter=25ms,loss=2%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.DelayMs != 40 || l.JitterMs != 25 || l.Loss != 0.02 {
+		t.Errorf("parsed %+v", l)
+	}
+	l, err = ParseSpec("loss=0.01,burst=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.BurstLoss != 0.3 || l.BurstEnter <= 0 || l.BurstExit <= 0 {
+		t.Errorf("burst defaults not applied: %+v", l)
+	}
+	if l, err := ParseSpec(""); err != nil || !l.Zero() {
+		t.Errorf("empty spec: %+v, %v", l, err)
+	}
+	if l, err := ParseSpec("off"); err != nil || !l.Zero() {
+		t.Errorf("off spec: %+v, %v", l, err)
+	}
+	for _, bad := range []string{"delay", "delay=fast", "nope=1", "loss=200%"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) = nil error", bad)
+		}
+	}
+	// Bare milliseconds and String round-trip.
+	l, err = ParseSpec("delay=15,jitter=5")
+	if err != nil || l.DelayMs != 15 || l.JitterMs != 5 {
+		t.Errorf("bare ms: %+v, %v", l, err)
+	}
+	rt, err := ParseSpec(l.String())
+	if err != nil || rt != l {
+		t.Errorf("String round-trip: %+v -> %q -> %+v (%v)", l, l.String(), rt, err)
+	}
+}

@@ -1,0 +1,90 @@
+package netem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the comma-separated key=value impairment syntax the cmd/
+// binaries accept, e.g.
+//
+//	delay=40ms,jitter=25ms,loss=2%
+//	loss=0.01,burst=0.3,burst-enter=0.02,burst-exit=0.25
+//
+// Delay and jitter take a Go duration ("40ms") or a bare millisecond count;
+// probabilities take a fraction ("0.02") or a percentage ("2%"). An empty
+// spec (or "off") is the zero, pass-through config.
+func ParseSpec(spec string) (LinkConfig, error) {
+	var l LinkConfig
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return l, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return l, fmt.Errorf("netem: bad spec element %q (want key=value)", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "delay":
+			l.DelayMs, err = parseMs(val)
+		case "jitter":
+			l.JitterMs, err = parseMs(val)
+		case "loss":
+			l.Loss, err = parseProb(val)
+		case "burst":
+			l.BurstLoss, err = parseProb(val)
+		case "burst-enter":
+			l.BurstEnter, err = parseProb(val)
+		case "burst-exit":
+			l.BurstExit, err = parseProb(val)
+		default:
+			return l, fmt.Errorf("netem: unknown spec key %q", key)
+		}
+		if err != nil {
+			return l, fmt.Errorf("netem: spec %s=%s: %w", key, val, err)
+		}
+	}
+	// A burst rate without transition probabilities would silently never
+	// fire; give the chain sane defaults so "burst=0.3" alone works.
+	if l.BurstLoss > 0 && l.BurstEnter == 0 {
+		l.BurstEnter = 0.01
+	}
+	if l.BurstEnter > 0 && l.BurstExit == 0 {
+		l.BurstExit = 0.25
+	}
+	return l, l.Validate()
+}
+
+// parseMs accepts "40ms"/"1.5s" (Go duration) or a bare number of
+// milliseconds.
+func parseMs(s string) (float64, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			return 0, fmt.Errorf("negative duration %v", d)
+		}
+		return float64(d) / float64(time.Millisecond), nil
+	}
+	ms, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want a duration or milliseconds, got %q", s)
+	}
+	return ms, nil
+}
+
+// parseProb accepts "0.05" or "5%".
+func parseProb(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("want a probability or percentage, got %q", s)
+	}
+	if pct {
+		v /= 100
+	}
+	return v, nil
+}

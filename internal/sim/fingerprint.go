@@ -17,6 +17,13 @@ func (r *Result) Fingerprint() string {
 	fmt.Fprintf(&b, "peak=%d final=%d fwdB=%d fwdP=%d dropped=%d delivered=%d redirects=%d overlap=%.6f clientsec=%.6f\n",
 		r.PeakServers, r.FinalServers, r.ForwardedBytes, r.ForwardedPackets,
 		r.DroppedPackets, r.DeliveredUpdates, r.Redirects, r.OverlapAreaLast, r.ClientSeconds)
+	// The netem line appears only when emulation ran, so netem-free runs
+	// keep their historical fingerprints while any fixed (seed, netem
+	// config) pair pins its loss and delay behavior byte-for-byte.
+	if r.NetemActive {
+		fmt.Fprintf(&b, "netem lost=%d severed=%d delayed=%d\n",
+			r.NetemLost, r.NetemSevered, r.NetemDelayed)
+	}
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "event t=%.3f %s server=%v\n", e.Time, e.Kind, e.Server)
 	}

@@ -30,6 +30,7 @@ import (
 	"matrix/internal/id"
 	"matrix/internal/load"
 	"matrix/internal/metrics"
+	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/scratch"
 )
@@ -73,6 +74,14 @@ type Config struct {
 	// use it to measure steady-state player experience rather than the
 	// join-burst transient (the paper's user study rated ongoing play).
 	LatencyIgnoreBeforeSeconds float64
+	// Netem models degraded networks: per-link delay + jitter, i.i.d. and
+	// burst loss, with partitions and server crashes driven by Script
+	// events. The zero value is an exact pass-through — envelopes deliver
+	// instantly over the untouched fast path and the run's fingerprint is
+	// byte-identical to a netem-free configuration. Netem.Seed zero
+	// derives the impairment streams from Seed. Timed impairment script
+	// events activate the model even when this config is zero.
+	Netem netem.Config
 }
 
 // sanitized fills defaults.
@@ -102,6 +111,9 @@ func (c Config) sanitized() (Config, error) {
 		c.SampleEverySeconds = 1
 	}
 	if err := c.Script.Validate(); err != nil {
+		return c, err
+	}
+	if err := c.Netem.Validate(); err != nil {
 		return c, err
 	}
 	return c, nil
@@ -146,6 +158,16 @@ type Result struct {
 	OverlapAreaLast float64
 	// ClientSeconds integrates connected clients over time (load measure).
 	ClientSeconds float64
+	// NetemActive records whether network emulation ran; the netem
+	// counters join the fingerprint only when it did, so netem-free runs
+	// keep their historical byte-identical fingerprints.
+	NetemActive bool
+	// NetemLost counts packets dropped by the random-loss models.
+	NetemLost uint64
+	// NetemSevered counts packets blackholed by partitions and crashes.
+	NetemSevered uint64
+	// NetemDelayed counts deliveries deferred by at least one tick.
+	NetemDelayed uint64
 }
 
 // node is one server slot: a Matrix server and its co-located game server.
@@ -200,6 +222,13 @@ type Sim struct {
 	rng         *mulberryRand
 	reportEvery int
 	sampleEvery int
+
+	// Network emulation (nil when the run models a perfect network: every
+	// send below then takes the untouched instant path). nq buckets
+	// in-flight messages by due tick; within a bucket, insertion order is
+	// send order, so delivery stays deterministic.
+	nm *netem.Model
+	nq map[int][]netemEntry
 
 	// Per-tick scratch, reused across ticks (reset, not reallocated). Each
 	// buffer is fully consumed before its next reuse: the game-server loop
@@ -352,6 +381,9 @@ func (s *Sim) routeCoreEnvelopes(from id.ServerID, envs []core.Envelope) {
 			// Overflow drops are counted by the game server itself.
 			_ = s.nodes[from].gs.Enqueue(e.Msg)
 		case core.DestPeer:
+			if s.nm != nil && s.impair(netem.ServerEndpoint(from), netem.ServerEndpoint(e.Peer), netemToCore, e.Msg) {
+				continue
+			}
 			s.deliverToCore(e.Peer, from, e.Msg)
 		}
 	}
@@ -419,7 +451,11 @@ func (s *Sim) sendHello(sc *simClient) {
 		return
 	}
 	sc.helloAt = s.now
-	_ = n.gs.Enqueue(sc.cl.Hello()) // overflow counted by the game server
+	m := sc.cl.Hello()
+	if s.nm != nil && s.impair(netem.ClientEndpoint(sc.cl.ID()), netem.ServerEndpoint(sc.assigned), netemToGS, m) {
+		return
+	}
+	_ = n.gs.Enqueue(m) // overflow counted by the game server
 }
 
 // ownerOf finds the active server owning a point (the "lobby" lookup a
@@ -491,9 +527,98 @@ func (s *Sim) removeClients(tag string, count int) {
 		sc.alive = false
 		if n, ok := s.nodes[sc.assigned]; ok {
 			leave := sc.cl.MakeAction(protocol.KindDespawn, sc.cl.Pos())
-			_ = n.gs.Enqueue(leave) // overflow counted by the game server
+			if s.nm == nil || !s.impair(netem.ClientEndpoint(cid), netem.ServerEndpoint(sc.assigned), netemToGS, leave) {
+				_ = n.gs.Enqueue(leave) // overflow counted by the game server
+			}
 		}
 		count--
+	}
+}
+
+// netemDest says how a delayed message re-enters the simulation.
+type netemDest uint8
+
+const (
+	// netemToGS enqueues on the destination server's game server.
+	netemToGS netemDest = iota + 1
+	// netemToClient delivers to the destination client.
+	netemToClient
+	// netemToCore hands the message to the destination Matrix server
+	// (peer forwards).
+	netemToCore
+)
+
+// netemEntry is one in-flight impaired message.
+type netemEntry struct {
+	from, to netem.Endpoint
+	kind     netemDest
+	msg      protocol.Message
+}
+
+// impair runs one send through the netem model. It returns true when the
+// caller must NOT deliver instantly: the packet was lost, blackholed, or
+// scheduled for a later tick. Callers only invoke it when s.nm != nil.
+func (s *Sim) impair(from, to netem.Endpoint, kind netemDest, m protocol.Message) bool {
+	v := s.nm.Judge(from, to, netem.DataPlane(m))
+	if v.Severed {
+		s.res.NetemSevered++
+		return true
+	}
+	if v.Drop {
+		s.res.NetemLost++
+		return true
+	}
+	// Delays quantize UP to the tick grid (the simulator's delivery
+	// quantum): any positive delay defers at least one tick, so sub-tick
+	// impairment rounds up to the tick length rather than silently
+	// vanishing. The epsilon keeps exact multiples (200ms on a 100ms
+	// tick) from rounding an extra tick.
+	t := int(math.Ceil(v.DelaySec/s.dt - 1e-9))
+	if t < 1 {
+		return false
+	}
+	s.res.NetemDelayed++
+	due := s.tick + t
+	s.nq[due] = append(s.nq[due], netemEntry{from: from, to: to, kind: kind, msg: m})
+	return true
+}
+
+// pumpNetem delivers every in-flight message due this tick. Links severed
+// while a message was in flight drop it on arrival (the packet was in the
+// pipe when the cable was cut).
+func (s *Sim) pumpNetem() {
+	entries, ok := s.nq[s.tick]
+	if !ok {
+		return
+	}
+	delete(s.nq, s.tick)
+	for _, e := range entries {
+		if s.nm.Severed(e.from, e.to) {
+			s.res.NetemSevered++
+			continue
+		}
+		switch e.kind {
+		case netemToGS:
+			if n, ok := s.nodes[e.to.Server]; ok {
+				_ = n.gs.Enqueue(e.msg) // overflow counted by the game server
+			}
+		case netemToClient:
+			s.deliverToClient(e.to.Client, e.msg)
+		case netemToCore:
+			s.deliverToCore(e.to.Server, e.from.Server, e.msg)
+		}
+	}
+}
+
+// noteNetemEvent records a scripted impairment change in the topology
+// event log (and thus the fingerprint).
+func (s *Sim) noteNetemEvent(kind string, servers []id.ServerID) {
+	if len(servers) == 0 {
+		s.events = append(s.events, TopologyEvent{Time: s.now, Kind: kind})
+		return
+	}
+	for _, sid := range servers {
+		s.events = append(s.events, TopologyEvent{Time: s.now, Kind: kind, Server: sid})
 	}
 }
 
@@ -538,6 +663,19 @@ func (s *Sim) Start() error {
 	s.ticks = int(s.cfg.DurationSeconds/s.dt + 0.5)
 	s.script = s.cfg.Script.Sorted()
 	s.rng = &mulberryRand{state: uint64(s.cfg.Seed)*2654435761 + 1}
+
+	// Network emulation activates on a non-zero config or any scripted
+	// impairment event; otherwise every send below keeps the historical
+	// instant path (and its byte-identical fingerprint).
+	if s.cfg.Netem.Enabled() || s.script.HasImpairment() {
+		ncfg := s.cfg.Netem
+		if ncfg.Seed == 0 {
+			ncfg.Seed = s.cfg.Seed
+		}
+		s.nm = netem.NewModel(ncfg)
+		s.nq = make(map[int][]netemEntry)
+		s.res.NetemActive = true
+	}
 
 	// Base population scattered uniformly.
 	for i := 0; i < s.cfg.BasePopulation; i++ {
@@ -595,7 +733,37 @@ func (s *Sim) Step() error {
 			}
 		case game.EventLeave:
 			s.removeClients(e.Tag, e.Count)
+		case game.EventImpair:
+			if s.nm != nil {
+				s.nm.SetLink(e.Impair)
+				s.noteNetemEvent("impair", nil)
+			}
+		case game.EventPartition:
+			if s.nm != nil {
+				s.nm.Cut(e.Servers)
+				s.noteNetemEvent("partition", e.Servers)
+			}
+		case game.EventHeal:
+			if s.nm != nil {
+				s.nm.Heal(e.Servers)
+				s.noteNetemEvent("heal", e.Servers)
+			}
+		case game.EventCrash:
+			if s.nm != nil {
+				s.nm.Crash(e.Servers)
+				s.noteNetemEvent("crash", e.Servers)
+			}
+		case game.EventRecover:
+			if s.nm != nil {
+				s.nm.Recover(e.Servers)
+				s.noteNetemEvent("recover", e.Servers)
+			}
 		}
+	}
+
+	// 1b. In-flight impaired messages due this tick arrive.
+	if s.nm != nil {
+		s.pumpNetem()
 	}
 
 	// 2. Client traffic.
@@ -603,8 +771,13 @@ func (s *Sim) Step() error {
 
 	// 3. Game servers process their queues. The envelope buffer is reused
 	// across servers and ticks: each server's envelopes are fully routed
-	// below before the next server processes.
+	// below before the next server processes. Crashed servers are frozen:
+	// their queues keep whatever arrived before the crash and resume
+	// draining on recovery.
 	for _, sid := range s.order {
+		if s.nm != nil && s.nm.Crashed(sid) {
+			continue
+		}
 		n := s.nodes[sid]
 		var envs []gameserver.Envelope
 		var err error
@@ -625,6 +798,9 @@ func (s *Sim) Step() error {
 					s.deliverToCore(sid, id.None, e.Msg)
 				}
 			case gameserver.DestClient:
+				if s.nm != nil && s.impair(netem.ServerEndpoint(sid), netem.ClientEndpoint(e.Client), netemToClient, e.Msg) {
+					continue
+				}
 				s.deliverToClient(e.Client, e.Msg)
 			}
 		}
@@ -633,9 +809,13 @@ func (s *Sim) Step() error {
 		}
 	}
 
-	// 4. Load reports.
+	// 4. Load reports. Crashed servers report nothing, so parents see a
+	// frozen last-known child load until recovery.
 	if tick%s.reportEvery == 0 {
 		for _, sid := range s.order {
+			if s.nm != nil && s.nm.Crashed(sid) {
+				continue
+			}
 			n := s.nodes[sid]
 			if !n.core.Active() {
 				continue
@@ -711,6 +891,9 @@ func (s *Sim) generateTraffic(dt float64) {
 				u = sc.cl.MakeAction(protocol.KindChat, sc.cl.Pos())
 			}
 			u.Payload = make([]byte, s.cfg.Profile.PayloadBytes)
+			if s.nm != nil && s.impair(netem.ClientEndpoint(sc.cl.ID()), netem.ServerEndpoint(sc.assigned), netemToGS, u) {
+				continue
+			}
 			_ = n.gs.Enqueue(u) // overflow counted by the game server
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	"matrix/internal/geom"
 	"matrix/internal/id"
 	"matrix/internal/load"
+	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/sim"
 	"matrix/internal/staticpart"
@@ -70,6 +71,12 @@ type (
 	SimulationConfig = sim.Config
 	// SimulationResult carries a simulation's series and aggregates.
 	SimulationResult = sim.Result
+	// NetemConfig models a degraded network in simulations (the zero value
+	// is an exact pass-through).
+	NetemConfig = netem.Config
+	// NetemLink is one link's impairment: delay, jitter, i.i.d. and burst
+	// loss.
+	NetemLink = netem.LinkConfig
 )
 
 // Update kinds.
@@ -81,10 +88,16 @@ const (
 	KindDespawn = protocol.KindDespawn
 )
 
-// Script event kinds.
+// Script event kinds. The netem kinds change network conditions mid-run:
+// impairment swaps, backbone partitions and server crash/recover cycles.
 const (
-	EventJoin  = game.EventJoin
-	EventLeave = game.EventLeave
+	EventJoin      = game.EventJoin
+	EventLeave     = game.EventLeave
+	EventImpair    = game.EventImpair
+	EventPartition = game.EventPartition
+	EventHeal      = game.EventHeal
+	EventCrash     = game.EventCrash
+	EventRecover   = game.EventRecover
 )
 
 // Pt builds a Point.
@@ -99,6 +112,17 @@ func TCP() Network { return transport.TCPNetwork{} }
 // NewMemNetwork returns an isolated in-process transport, byte-compatible
 // with TCP; ideal for tests and single-process demos.
 func NewMemNetwork() Network { return transport.NewMemNetwork() }
+
+// ImpairNetwork wraps any Network so every connection it produces runs
+// under emulated impairment (delay, jitter, loss) — the live counterpart
+// of SimulationConfig.Netem. A zero link returns nw unchanged.
+func ImpairNetwork(nw Network, link NetemLink, seed int64) Network {
+	return netem.WrapNetwork(nw, link, seed)
+}
+
+// ParseNetemSpec parses the CLI impairment syntax, e.g.
+// "delay=40ms,jitter=25ms,loss=2%".
+func ParseNetemSpec(spec string) (NetemLink, error) { return netem.ParseSpec(spec) }
 
 // BzflagProfile returns the BzFlag-like workload (tank shooter).
 func BzflagProfile() Profile { return game.Bzflag() }
