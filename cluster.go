@@ -74,6 +74,7 @@ func StartServer(mcAddr string, opts ...Option) (*Server, error) {
 		MaxQueue:       o.maxQueue,
 		ReportInterval: o.report,
 		Logger:         o.logger,
+		Restore:        o.restore,
 	})
 	if err != nil {
 		return nil, err
@@ -98,6 +99,15 @@ func (s *Server) ClientCount() int { return s.h.Game().ClientCount() }
 
 // QueueLen returns the receive-queue length (the paper's load signal).
 func (s *Server) QueueLen() int { return s.h.Game().QueueLen() }
+
+// Snapshot dumps the node's complete state (Matrix server + game server) as
+// a versioned blob. Any peer can also fetch it over the wire by sending a
+// SnapshotRequest frame; matrix-server's -dump flag does exactly that.
+func (s *Server) Snapshot() ([]byte, error) { return s.h.Snapshot() }
+
+// RestoreSnapshot loads a Snapshot blob into the node, overwriting its
+// state — matrix-server's boot-time -restore flag.
+func (s *Server) RestoreSnapshot(blob []byte) error { return s.h.RestoreSnapshot(blob) }
 
 // Close shuts the server down.
 func (s *Server) Close() error { return s.h.Close() }

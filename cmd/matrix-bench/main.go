@@ -15,14 +15,17 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"matrix/internal/experiments"
 	"matrix/internal/sim"
+	"matrix/internal/snapshot"
 )
 
 func main() {
@@ -32,7 +35,7 @@ func main() {
 	}
 }
 
-var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic", "degraded", "scenarios"}
+var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic", "degraded", "recovery", "scenarios"}
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("matrix-bench", flag.ContinueOnError)
@@ -41,6 +44,10 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	scenarioFlag := fs.String("scenario", "all", "scenarios for -exp scenarios: all or a comma list of "+strings.Join(experiments.ScenarioNames(), ","))
 	listFlag := fs.Bool("list", false, "print the scenario table (name + description) and exit")
+	branchFlag := fs.Bool("branch", false, "share scenario-family warmups via snapshots in -exp scenarios (results identical to cold starts)")
+	snapFile := fs.String("snapshot", "", "run one -scenario, snapshot its full state at -snapshot-at into this file, then finish the run")
+	snapAt := fs.Float64("snapshot-at", 0, "virtual time (seconds) of the -snapshot capture (0 = half the scenario duration)")
+	restoreFile := fs.String("restore", "", "restore a -snapshot file and finish its run (fingerprint matches the uninterrupted run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +63,13 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	runner := experiments.Runner{Workers: *workers}
+
+	if *restoreFile != "" {
+		return runRestore(ctx, *restoreFile)
+	}
+	if *snapFile != "" {
+		return runSnapshot(ctx, *snapFile, *snapAt, *scenarioFlag, *seed)
+	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
@@ -151,14 +165,115 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Print(r.String())
-		case "scenarios":
-			r, err := experiments.RunScenarios(ctx, runner, *seed, scenarios...)
+		case "recovery":
+			r, err := experiments.RunRecovery(ctx, runner, *seed)
 			if err != nil {
 				return err
 			}
 			fmt.Print(r.String())
+		case "scenarios":
+			start := time.Now()
+			run := experiments.RunScenarios
+			if *branchFlag {
+				run = experiments.RunScenariosBranched
+			}
+			r, err := run(ctx, runner, *seed, scenarios...)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			mode := "cold"
+			if *branchFlag {
+				mode = "branched"
+			}
+			fmt.Fprintf(os.Stderr, "scenario sweep (%s) took %.2fs\n", mode, time.Since(start).Seconds())
 		}
 		fmt.Println()
 	}
 	return nil
+}
+
+// runSnapshot runs one scenario, captures its complete state at the given
+// virtual time into a file, then finishes the run and prints its
+// fingerprint digest — the value a later -restore run must reproduce.
+func runSnapshot(ctx context.Context, path string, at float64, scenarioFlag string, seed int64) error {
+	name := strings.TrimSpace(scenarioFlag)
+	if name == "" || name == "all" || strings.Contains(name, ",") {
+		return fmt.Errorf("-snapshot needs exactly one -scenario (have %q)", scenarioFlag)
+	}
+	sc, ok := experiments.ScenarioByName(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(experiments.ScenarioNames(), ","))
+	}
+	cfg := sc.Config(seed)
+	if at <= 0 {
+		at = cfg.DurationSeconds / 2
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	if err := stepAll(ctx, s, at); err != nil {
+		return err
+	}
+	snap, err := snapshot.Capture(s)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.WriteFile(path, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snapshot of %q at t=%.1fs written to %s\n", name, s.Now(), path)
+	if err := stepAll(ctx, s, 0); err != nil {
+		return err
+	}
+	printFingerprint(name, s.Finish())
+	return nil
+}
+
+// stepAll drives s until done (or until the next tick would reach `until`,
+// when positive), polling ctx so Ctrl-C cancels mid-run.
+func stepAll(ctx context.Context, s *sim.Sim, until float64) error {
+	for n := 0; !s.Done(); n++ {
+		if until > 0 && s.NextTime() >= until {
+			return nil
+		}
+		if n%50 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRestore loads a snapshot file, finishes the run, and prints the same
+// fingerprint digest the capturing process printed.
+func runRestore(ctx context.Context, path string) error {
+	snap, err := snapshot.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := snapshot.Restore(snap)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "restored snapshot from %s at t=%.1fs\n", path, s.NextTime())
+	if err := stepAll(ctx, s, 0); err != nil {
+		return err
+	}
+	printFingerprint("restored", s.Finish())
+	return nil
+}
+
+func printFingerprint(name string, res *sim.Result) {
+	sum := sha256.Sum256([]byte(res.Fingerprint()))
+	fmt.Printf("%s: peak=%d final=%d redirects=%d dropped=%d fingerprint sha256=%x\n",
+		name, res.PeakServers, res.FinalServers, res.Redirects, res.DroppedPackets, sum)
 }

@@ -19,6 +19,7 @@ import (
 
 	"matrix"
 	"matrix/internal/netem"
+	"matrix/internal/protocol"
 	"matrix/internal/transport"
 )
 
@@ -42,8 +43,17 @@ func run(args []string) error {
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
 	netemSpec := fs.String("netem", "", "emulate a degraded network on every connection, e.g. delay=40ms,jitter=25ms,loss=2% (empty = off)")
 	netemSeed := fs.Int64("netem-seed", 1, "seed for the netem impairment streams")
+	dumpAddr := fs.String("dump", "", "dump mode: fetch a running matrix-server's state from this address (via a protocol snapshot frame) and exit")
+	outFile := fs.String("o", "", "with -dump: write the snapshot blob here (default stdout)")
+	restoreFile := fs.String("restore", "", "restore this node's state from a snapshot blob at startup (file produced by -dump)")
+	snapshotFile := fs.String("snapshot-file", "", "periodically checkpoint this node's state to this file (atomic rename)")
+	snapshotEvery := fs.Duration("snapshot-every", 30*time.Second, "checkpoint period for -snapshot-file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *dumpAddr != "" {
+		return dump(*dumpAddr, *outFile)
 	}
 
 	policy := matrix.DefaultLoadPolicy()
@@ -60,7 +70,7 @@ func run(args []string) error {
 		log.Printf("netem: impairing all connections with %s (seed %d)", link, *netemSeed)
 	}
 
-	srv, err := matrix.StartServer(*mcAddr,
+	opts := []matrix.Option{
 		matrix.WithNetwork(network),
 		matrix.WithAddr(*addr),
 		matrix.WithRadius(*radius),
@@ -68,28 +78,102 @@ func run(args []string) error {
 		matrix.WithServiceRate(*serviceRate),
 		matrix.WithTickInterval(*tick),
 		matrix.WithLogger(log.New(os.Stderr, "server ", log.LstdFlags)),
-	)
+	}
+	if *restoreFile != "" {
+		blob, err := os.ReadFile(*restoreFile)
+		if err != nil {
+			return err
+		}
+		// Applied before the server serves: no join window a restore wipes.
+		opts = append(opts, matrix.WithRestoreSnapshot(blob))
+	}
+	srv, err := matrix.StartServer(*mcAddr, opts...)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	log.Printf("server %v listening at %s (bounds %v)", srv.ID(), srv.Addr(), srv.Bounds())
+	if *restoreFile != "" {
+		log.Printf("restored state from %s: active=%v bounds=%v clients=%d",
+			*restoreFile, srv.Active(), srv.Bounds(), srv.ClientCount())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if *statusEvery <= 0 {
-		<-stop
-		return nil
+	var statusC, snapC <-chan time.Time
+	if *statusEvery > 0 {
+		t := time.NewTicker(*statusEvery)
+		defer t.Stop()
+		statusC = t.C
 	}
-	ticker := time.NewTicker(*statusEvery)
-	defer ticker.Stop()
+	if *snapshotFile != "" && *snapshotEvery > 0 {
+		t := time.NewTicker(*snapshotEvery)
+		defer t.Stop()
+		snapC = t.C
+	}
 	for {
 		select {
 		case <-stop:
 			return nil
-		case <-ticker.C:
+		case <-statusC:
 			log.Printf("status: active=%v bounds=%v clients=%d queue=%d",
 				srv.Active(), srv.Bounds(), srv.ClientCount(), srv.QueueLen())
+		case <-snapC:
+			if err := checkpoint(srv, *snapshotFile); err != nil {
+				log.Printf("checkpoint: %v", err)
+			}
 		}
 	}
+}
+
+// checkpoint writes the node's state with an atomic rename, so a crash
+// mid-write never corrupts the last good checkpoint.
+func checkpoint(srv *matrix.Server, path string) error {
+	blob, err := srv.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// dump connects to a running matrix-server, requests its state via a
+// protocol snapshot frame, and writes the blob.
+func dump(addr, out string) error {
+	conn, err := transport.TCPNetwork{}.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(&protocol.SnapshotRequest{}); err != nil {
+		return err
+	}
+	// The server streams the blob in chunks, the last one marked Final.
+	var blob []byte
+	for {
+		reply, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("receive snapshot: %w", err)
+		}
+		data, ok := reply.(*protocol.SnapshotData)
+		if !ok {
+			return fmt.Errorf("unexpected reply %v", reply.MsgType())
+		}
+		blob = append(blob, data.Blob...)
+		if data.Final {
+			break
+		}
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %d-byte snapshot of %s to %s", len(blob), addr, out)
+	return nil
 }

@@ -412,6 +412,147 @@ func (c *Coordinator) peerAddrsLocked(set overlap.Set) []protocol.PeerAddr {
 	return out
 }
 
+// Resync rebuilds a restarted server's topology view: the overlap tables it
+// currently owes (when it still owns a partition) followed by a RangeUpdate
+// carrying its authoritative bounds and a handoff target for every active
+// partition, so a server restored from a stale checkpoint can immediately
+// redirect clients it no longer owns. A server that lost its partition while
+// down (reclaimed during the outage) receives only the deactivating
+// RangeUpdate.
+func (c *Coordinator) Resync(sid id.ServerID) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.servers[sid]; !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownServer, sid)
+	}
+	if c.m == nil {
+		return nil, nil
+	}
+	var handoff []protocol.HandoffTarget
+	for _, part := range c.m.Partitions() {
+		if part.Owner == sid {
+			continue
+		}
+		addr := ""
+		if st, ok := c.servers[part.Owner]; ok {
+			addr = st.addr
+		}
+		handoff = append(handoff, protocol.HandoffTarget{Server: part.Owner, Addr: addr, Bounds: part.Bounds})
+	}
+	bounds, err := c.m.Bounds(sid)
+	if err != nil {
+		// Not in the map: the server was reclaimed while down; it rejoins
+		// as a deactivated spare and hands every client away.
+		return []Envelope{{To: sid, Msg: &protocol.RangeUpdate{Server: sid, Handoff: handoff}}}, nil
+	}
+	// Only this server's tables are rebuilt (one per radius) — recoveries
+	// must not pay the whole-fleet recomputation a topology change does.
+	parts := c.m.Partitions()
+	version := c.m.Version()
+	var out []Envelope
+	for _, r := range c.radiiLocked() {
+		tab, err := overlap.BuildTable(sid, parts, r, version)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: resync table (r=%v): %w", r, err)
+		}
+		regions := tab.Regions()
+		var peerSet overlap.Set
+		for _, reg := range regions {
+			peerSet = peerSet.Union(reg.Peers)
+		}
+		out = append(out, Envelope{
+			To: sid,
+			Msg: &protocol.OverlapTable{
+				Server:  sid,
+				Version: version,
+				Bounds:  bounds,
+				Radius:  r,
+				Regions: protocol.RegionsToWire(regions),
+				Peers:   c.peerAddrsLocked(peerSet),
+			},
+		})
+	}
+	out = append(out, Envelope{To: sid, Msg: &protocol.RangeUpdate{Server: sid, Bounds: bounds, Handoff: handoff}})
+	return out, nil
+}
+
+// ServerSnap is one registered server inside a State snapshot.
+type ServerSnap struct {
+	ID      id.ServerID
+	Addr    string
+	Radius  float64
+	Active  bool
+	Clients int
+}
+
+// State is the Coordinator's serializable snapshot. Servers are sorted by
+// ID; spares keep their FIFO order.
+type State struct {
+	Gen      id.GeneratorState
+	Radius   float64
+	Splits   int
+	Reclaims int
+	Servers  []ServerSnap
+	Spares   []id.ServerID
+	Static   []space.Partition
+	Map      *space.MapState
+}
+
+// CaptureState snapshots the coordinator.
+func (c *Coordinator) CaptureState() *State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &State{
+		Gen:      c.gen.State(),
+		Radius:   c.radius,
+		Splits:   c.splits,
+		Reclaims: c.reclaim,
+		Spares:   append([]id.ServerID(nil), c.spares...),
+		Static:   append([]space.Partition(nil), c.staticAssigned...),
+	}
+	ids := make([]id.ServerID, 0, len(c.servers))
+	for sid := range c.servers {
+		ids = append(ids, sid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, sid := range ids {
+		s := c.servers[sid]
+		st.Servers = append(st.Servers, ServerSnap{ID: sid, Addr: s.addr, Radius: s.radius, Active: s.active, Clients: s.clients})
+	}
+	if c.m != nil {
+		ms := c.m.State()
+		st.Map = &ms
+	}
+	return st
+}
+
+// RestoreState overwrites the coordinator's mutable state from a snapshot,
+// keeping its config. The snapshot is not retained.
+func (c *Coordinator) RestoreState(st *State) error {
+	var m *space.Map
+	if st.Map != nil {
+		var err error
+		m, err = space.NewMapFromState(*st.Map)
+		if err != nil {
+			return fmt.Errorf("coordinator: restore map: %w", err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen.SetState(st.Gen)
+	c.radius = st.Radius
+	c.splits = st.Splits
+	c.reclaim = st.Reclaims
+	c.spares = append([]id.ServerID(nil), st.Spares...)
+	c.staticAssigned = append([]space.Partition(nil), st.Static...)
+	c.servers = make(map[id.ServerID]*serverState, len(st.Servers))
+	for _, s := range st.Servers {
+		c.servers[s.ID] = &serverState{id: s.ID, addr: s.Addr, radius: s.Radius, active: s.Active, clients: s.Clients}
+	}
+	c.m = m
+	return nil
+}
+
 // --- introspection (used by tooling, experiments and tests) ---
 
 // ActiveServers returns the IDs of servers that currently own partitions,

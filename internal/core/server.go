@@ -600,6 +600,165 @@ func (s *Server) handleNonProximalReply(r *protocol.NonProximalReply) ([]Envelop
 	return s.forwardLocked(nil, u, overlap.NewSet(r.Servers...))
 }
 
+// TableState is one installed overlap table inside a State snapshot,
+// carried as wire regions (the same representation the MC pushes).
+type TableState struct {
+	Radius  float64
+	Version uint64
+	Bounds  geom.Rect
+	Regions []protocol.TableRegion
+}
+
+// PeerState is one known peer inside a State snapshot.
+type PeerState struct {
+	Server id.ServerID
+	Addr   string
+	Bounds geom.Rect
+}
+
+// DeniedState is one backed-off reclaim child inside a State snapshot.
+type DeniedState struct {
+	Child   id.ServerID
+	UntilNs int64 // deadline, ns since the Unix epoch on the policy clock
+}
+
+// State is a Matrix server's serializable snapshot. Every collection is
+// sorted (tables by radius, peers and denials by ID; children keep adoption
+// order, which reclaim depends on), so encoding the same server twice is
+// byte-identical.
+type State struct {
+	ID             id.ServerID
+	World          geom.Rect
+	Bounds         geom.Rect
+	Active         bool
+	Radius         float64
+	PeersVersion   uint64
+	Parent         id.ServerID
+	Children       []id.ServerID // adoption order (newest last)
+	Peers          []PeerState
+	Tables         []TableState
+	Tracker        load.TrackerState
+	PendingSplit   bool
+	PendingReclaim id.ServerID
+	ReclaimDenied  []DeniedState
+	PendingNonProx [][]byte // encoded GameUpdate frames, oldest first
+	Stats          Stats
+}
+
+// CaptureState snapshots the server.
+func (s *Server) CaptureState() (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &State{
+		ID:             s.id,
+		World:          s.world,
+		Bounds:         s.bounds,
+		Active:         s.active,
+		Radius:         s.radius,
+		PeersVersion:   s.peersVersion,
+		Parent:         s.parent,
+		Children:       append([]id.ServerID(nil), s.childOrder...),
+		PendingSplit:   s.pendingSplit,
+		PendingReclaim: s.pendingReclaim,
+		Stats:          s.stats,
+		Tracker:        s.tracker.State(),
+	}
+	for _, sid := range s.peerOrder {
+		info := s.peers[sid]
+		st.Peers = append(st.Peers, PeerState{Server: sid, Addr: info.addr, Bounds: info.bounds})
+	}
+	radii := make([]float64, 0, len(s.tables))
+	for r := range s.tables {
+		radii = append(radii, r)
+	}
+	sort.Float64s(radii)
+	for _, r := range radii {
+		tab := s.tables[r]
+		st.Tables = append(st.Tables, TableState{
+			Radius:  r,
+			Version: tab.Version(),
+			Bounds:  tab.Bounds(),
+			Regions: protocol.RegionsToWire(tab.Regions()),
+		})
+	}
+	denied := make([]id.ServerID, 0, len(s.reclaimDeniedUntil))
+	for c := range s.reclaimDeniedUntil {
+		denied = append(denied, c)
+	}
+	sort.Slice(denied, func(i, j int) bool { return denied[i] < denied[j] })
+	for _, c := range denied {
+		st.ReclaimDenied = append(st.ReclaimDenied, DeniedState{Child: c, UntilNs: s.reclaimDeniedUntil[c].UnixNano()})
+	}
+	for _, u := range s.pendingNonProx {
+		frame, err := protocol.Marshal(u)
+		if err != nil {
+			return nil, fmt.Errorf("core: encode pending non-proximal: %w", err)
+		}
+		st.PendingNonProx = append(st.PendingNonProx, frame)
+	}
+	return st, nil
+}
+
+// RestoreState overwrites the server's mutable state from a snapshot,
+// keeping its config and clock. Overlap tables are rebuilt from their wire
+// regions — the same reconstruction HandleMessage performs on an MC push —
+// so routing behavior is identical to the captured run. The snapshot is not
+// retained; restoring the same state twice is safe.
+func (s *Server) RestoreState(st *State) error {
+	tables := make(map[float64]*overlap.Table, len(st.Tables))
+	for _, ts := range st.Tables {
+		tab, err := overlap.NewTableFromRegions(st.ID, ts.Bounds, ts.Radius, ts.Version, protocol.RegionsFromWire(ts.Regions))
+		if err != nil {
+			return fmt.Errorf("core: rebuild table (r=%v): %w", ts.Radius, err)
+		}
+		tables[ts.Radius] = tab
+	}
+	pending := make([]*protocol.GameUpdate, 0, len(st.PendingNonProx))
+	for _, frame := range st.PendingNonProx {
+		m, err := protocol.Unmarshal(frame)
+		if err != nil {
+			return fmt.Errorf("core: decode pending non-proximal: %w", err)
+		}
+		u, ok := m.(*protocol.GameUpdate)
+		if !ok {
+			return fmt.Errorf("core: pending non-proximal frame holds %v", m.MsgType())
+		}
+		pending = append(pending, u)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.ID != s.id {
+		return fmt.Errorf("core: state for %v restored into %v", st.ID, s.id)
+	}
+	s.world = st.World
+	s.bounds = st.Bounds
+	s.active = st.Active
+	s.radius = st.Radius
+	s.tables = tables
+	s.peers = make(map[id.ServerID]peerInfo, len(st.Peers))
+	s.peerOrder = s.peerOrder[:0]
+	for _, p := range st.Peers {
+		s.setPeerLocked(p.Server, peerInfo{addr: p.Addr, bounds: p.Bounds})
+	}
+	s.peersVersion = st.PeersVersion
+	s.parent = st.Parent
+	s.child = make(map[id.ServerID]bool, len(st.Children))
+	s.childOrder = append([]id.ServerID(nil), st.Children...)
+	for _, c := range st.Children {
+		s.child[c] = true
+	}
+	s.tracker.RestoreState(st.Tracker)
+	s.pendingSplit = st.PendingSplit
+	s.pendingReclaim = st.PendingReclaim
+	s.reclaimDeniedUntil = make(map[id.ServerID]time.Time, len(st.ReclaimDenied))
+	for _, d := range st.ReclaimDenied {
+		s.reclaimDeniedUntil[d.Child] = time.Unix(0, d.UntilNs)
+	}
+	s.pendingNonProx = pending
+	s.stats = st.Stats
+	return nil
+}
+
 // radiusForLocked resolves the visibility radius for an update kind.
 func (s *Server) radiusForLocked(k protocol.UpdateKind) float64 {
 	if r, ok := s.cfg.KindRadius[k]; ok {

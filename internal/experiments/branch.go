@@ -1,0 +1,236 @@
+// Branching sweeps: scenario families share a deterministic warmup prefix,
+// so the sweep runs the warmup once per family, snapshots the complete
+// simulation state, and fans the scenario tails out from the snapshot —
+// cutting wall-clock on warmup-heavy tables while producing results
+// byte-identical to cold starts (each tail's restored run continues the
+// warmup exactly as its own cold run would have, which
+// TestBranchedSweepMatchesCold pins fingerprint-for-fingerprint).
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"matrix/internal/sim"
+)
+
+// RunScenariosBranched executes the named scenarios (all when empty) like
+// RunScenarios, but scenarios sharing a Family run their warmup once: the
+// family's shared prefix is simulated, snapshotted, and every member is
+// restored from the snapshot with its own script tail and duration.
+// Scenarios without a family (or alone in theirs) cold-start as usual.
+func RunScenariosBranched(ctx context.Context, r Runner, seed int64, names ...string) (*Report, error) {
+	outs, err := BranchedOutputs(ctx, r, seed, names...)
+	if err != nil {
+		return nil, err
+	}
+	return scenarioReport(outs), nil
+}
+
+// BranchedOutputs is RunScenariosBranched without the report rendering:
+// one RunOutput per requested scenario, in request order. Tests compare
+// these against Runner.Run's cold outputs.
+func BranchedOutputs(ctx context.Context, r Runner, seed int64, names ...string) ([]RunOutput, error) {
+	scs, err := scenariosByName(names)
+	if err != nil {
+		return nil, err
+	}
+	type member struct {
+		idx int
+		sc  Scenario
+		cfg sim.Config
+	}
+	outs := make([]RunOutput, len(scs))
+	var cold []member
+	families := map[string][]member{}
+	var famOrder []string
+	for i, sc := range scs {
+		m := member{idx: i, sc: sc, cfg: sc.Config(seed)}
+		outs[i].Name = sc.Name
+		if sc.Family == "" || sc.WarmupSeconds <= 0 {
+			cold = append(cold, m)
+			continue
+		}
+		if _, ok := families[sc.Family]; !ok {
+			famOrder = append(famOrder, sc.Family)
+		}
+		families[sc.Family] = append(families[sc.Family], m)
+	}
+	// A family of one gains nothing from a warmup+restore round trip.
+	for _, fam := range famOrder {
+		if len(families[fam]) == 1 {
+			cold = append(cold, families[fam][0])
+			delete(families, fam)
+		}
+	}
+	for fam, members := range families {
+		cfgs := make([]sim.Config, len(members))
+		warms := make([]float64, len(members))
+		for i, m := range members {
+			cfgs[i] = m.cfg
+			warms[i] = m.sc.WarmupSeconds
+		}
+		if err := validateFamily(fam, warms[0], cfgs, warms); err != nil {
+			return nil, err
+		}
+	}
+
+	// One bounded pool runs everything: cold scenarios, family warmups, and
+	// the tails a finished warmup fans out. Warmup tasks return after
+	// submitting their tails (they do not hold a slot waiting), so the pool
+	// cannot deadlock.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.workers())
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	submit := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f()
+		}()
+	}
+
+	for _, m := range cold {
+		m := m
+		submit(func() {
+			if err := ctx.Err(); err != nil {
+				outs[m.idx].Err = err
+				fail(err)
+				return
+			}
+			res, err := r.runOne(ctx, m.cfg)
+			if err != nil {
+				err = fmt.Errorf("run %q: %w", m.sc.Name, err)
+				outs[m.idx].Err = err
+				fail(err)
+				return
+			}
+			outs[m.idx].Result = res
+		})
+	}
+	for _, fam := range famOrder {
+		members, ok := families[fam]
+		if !ok {
+			continue
+		}
+		submit(func() {
+			st, err := r.runWarmup(ctx, members[0].cfg, members[0].sc.WarmupSeconds)
+			if err != nil {
+				err = fmt.Errorf("family %q warmup: %w", fam, err)
+				for _, m := range members {
+					outs[m.idx].Err = err
+				}
+				fail(err)
+				return
+			}
+			for _, m := range members {
+				m := m
+				submit(func() {
+					res, err := r.runTail(ctx, st, m.cfg)
+					if err != nil {
+						err = fmt.Errorf("run %q: %w", m.sc.Name, err)
+						outs[m.idx].Err = err
+						fail(err)
+						return
+					}
+					outs[m.idx].Result = res
+				})
+			}
+		})
+	}
+	wg.Wait()
+	return outs, firstErr
+}
+
+// runWarmup simulates cfg's shared prefix up to (but not including) the
+// first tick at or after warmup seconds, then captures the state. The
+// config's script is truncated to the prefix so the captured state carries
+// no tail events — each restore installs its member's full script.
+func (r Runner) runWarmup(ctx context.Context, cfg sim.Config, warmup float64) (*sim.State, error) {
+	warmCfg := cfg
+	warmCfg.Script = cfg.Script.PrefixBefore(warmup)
+	s, err := sim.New(warmCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	every := r.cancelEvery()
+	for n := 0; !s.Done() && s.NextTime() < warmup; n++ {
+		if n%every == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.CaptureState()
+}
+
+// runTail restores a member simulation from the family snapshot and drives
+// it to completion.
+func (r Runner) runTail(ctx context.Context, st *sim.State, cfg sim.Config) (*sim.Result, error) {
+	s, err := sim.RestoreWith(st, sim.RestoreOptions{
+		Script:          cfg.Script,
+		DurationSeconds: cfg.DurationSeconds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	every := r.cancelEvery()
+	for n := 0; !s.Done(); n++ {
+		if n%every == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}
+
+// validateFamily checks the branching soundness conditions: every member's
+// config is identical apart from script and duration, and every member's
+// script prefix before the warmup point matches exactly.
+func validateFamily(fam string, warmup float64, cfgs []sim.Config, warmups []float64) error {
+	base := normalizeConfig(cfgs[0])
+	prefix := cfgs[0].Script.PrefixBefore(warmup)
+	for i := 1; i < len(cfgs); i++ {
+		if warmups[i] != warmup {
+			return fmt.Errorf("experiments: family %q members disagree on the warmup point (%g vs %g)", fam, warmups[i], warmup)
+		}
+		if !reflect.DeepEqual(normalizeConfig(cfgs[i]), base) {
+			return fmt.Errorf("experiments: family %q member %d differs from the family base beyond script/duration", fam, i)
+		}
+		p := cfgs[i].Script.PrefixBefore(warmup)
+		if !reflect.DeepEqual(p, prefix) {
+			return fmt.Errorf("experiments: family %q member %d has a different script prefix before t=%g", fam, i, warmup)
+		}
+	}
+	return nil
+}
+
+// normalizeConfig blanks the per-member fields so DeepEqual compares only
+// what the warmup actually shares.
+func normalizeConfig(cfg sim.Config) sim.Config {
+	cfg.Script = nil
+	cfg.DurationSeconds = 0
+	return cfg
+}

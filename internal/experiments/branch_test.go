@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"matrix/internal/sim"
+)
+
+// TestBranchedSweepMatchesCold is the branching acceptance gate: for the
+// full scenario table, the branched sweep (shared warmups, snapshot,
+// restored tails) must produce results byte-identical to cold starts.
+func TestBranchedSweepMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scenario table twice")
+	}
+	t.Parallel()
+	ctx := context.Background()
+	r := Runner{}
+	names := ScenarioNames()
+
+	scs, err := scenariosByName(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, len(scs))
+	for i, sc := range scs {
+		jobs[i] = Job{Name: sc.Name, Config: sc.Config(5)}
+	}
+	coldOuts, err := r.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branchedOuts, err := BranchedOutputs(ctx, r, 5, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coldOuts) != len(branchedOuts) {
+		t.Fatalf("cold sweep has %d outputs, branched %d", len(coldOuts), len(branchedOuts))
+	}
+	for i := range coldOuts {
+		if coldOuts[i].Name != branchedOuts[i].Name {
+			t.Fatalf("output %d: name %q vs %q", i, coldOuts[i].Name, branchedOuts[i].Name)
+		}
+		cold, branched := coldOuts[i].Result.Fingerprint(), branchedOuts[i].Result.Fingerprint()
+		if cold != branched {
+			t.Errorf("scenario %q: branched sweep diverged from cold start", coldOuts[i].Name)
+		}
+	}
+}
+
+// TestFamilyValidation pins the branching soundness checks.
+func TestFamilyValidation(t *testing.T) {
+	t.Parallel()
+	base := SurgeDrainConfig(1)
+	other := SurgeJitterConfig(1)
+	if err := validateFamily("surge", SurgeWarmupSeconds,
+		[]sim.Config{base, other},
+		[]float64{SurgeWarmupSeconds, SurgeWarmupSeconds}); err != nil {
+		t.Errorf("surge family should validate: %v", err)
+	}
+	// Diverging base config (beyond script/duration) is rejected.
+	bad := other
+	bad.ServiceRatePerTick++
+	if err := validateFamily("surge", SurgeWarmupSeconds,
+		[]sim.Config{base, bad},
+		[]float64{SurgeWarmupSeconds, SurgeWarmupSeconds}); err == nil {
+		t.Error("family with differing configs must fail validation")
+	}
+	// Diverging warmup prefix is rejected.
+	bad2 := other
+	bad2.Script = append(sim.Config{}.Script, bad2.Script...)
+	bad2.Script[0].Count++
+	if err := validateFamily("surge", SurgeWarmupSeconds,
+		[]sim.Config{base, bad2},
+		[]float64{SurgeWarmupSeconds, SurgeWarmupSeconds}); err == nil {
+		t.Error("family with differing prefixes must fail validation")
+	}
+	// Disagreeing warmup points are rejected.
+	if err := validateFamily("surge", SurgeWarmupSeconds,
+		[]sim.Config{base, other},
+		[]float64{SurgeWarmupSeconds, SurgeWarmupSeconds + 5}); err == nil {
+		t.Error("family with differing warmup points must fail validation")
+	}
+}
+
+// TestRecoveryScenario drives the E7 workload once and checks the recovery
+// machinery actually fired: one restart, a rejoin storm, measured gaps.
+func TestRecoveryScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 110s crash-recovery scenario")
+	}
+	t.Parallel()
+	s, err := sim.New(RecoveryConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 2 {
+		t.Errorf("restarts = %d, want 2 (both victims)", res.Restarts)
+	}
+	if res.RecoveryRejoins == 0 {
+		t.Error("no clients rejoined after the restart")
+	}
+	if res.RecoveryGap.Count() == 0 {
+		t.Error("no recovery gaps measured")
+	}
+	if res.RecoveryGap.Count() > int(res.RecoveryRejoins) {
+		t.Errorf("gap samples %d exceed rejoins %d", res.RecoveryGap.Count(), res.RecoveryRejoins)
+	}
+	if res.PeakServers < 2 {
+		t.Errorf("hotspot never split (peak=%d)", res.PeakServers)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+)
+
+// E7 — recovery gap and redirect storm vs checkpoint interval.
+//
+// The netem fail-stop model used to treat a crash as a pause: the process
+// froze with its state and resumed. Real crashes lose state, and the
+// classic middleware answer is periodic checkpointing — at the price of a
+// rollback: everything since the last checkpoint is gone, departed clients
+// resurrect as ghosts, and the restarted server must resync topology and
+// re-admit every client. This experiment sweeps the checkpoint interval
+// over the recovery scenario (hotspot splits the fleet, the loaded child
+// loses its state at t=55 and recovers at t=70) and measures what the
+// interval buys: the recovery gap each reconnecting client experienced,
+// the size of the rejoin/redirect storm, and the ghost cleanup the
+// rollback forced. "cold" restarts with no checkpoint at all — the server
+// comes back empty and every client state is rebuilt from reconnects.
+func RunRecovery(ctx context.Context, r Runner, seed int64) (*Report, error) {
+	intervals := []float64{0, 5, 10, 20, 40}
+	var jobs []Job
+	for _, iv := range intervals {
+		cfg := RecoveryConfig(seed)
+		cfg.CheckpointEverySeconds = iv
+		name := "cold"
+		if iv > 0 {
+			name = fmt.Sprintf("chk=%gs", iv)
+		}
+		jobs = append(jobs, Job{Name: name, Config: cfg})
+	}
+	outs, err := r.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "E7", Title: "crash recovery — recovery gap and redirect storm vs checkpoint interval", Numbers: map[string]float64{}}
+	rep.addf("%-8s %9s %8s %12s %12s %10s %7s %9s %12s",
+		"chkpt", "restarts", "rejoins", "gap p50(ms)", "gap p95(ms)", "redirects", "ghosts", "dropped", "p95 lat(ms)")
+	for _, o := range outs {
+		res := o.Result
+		rep.addf("%-8s %9d %8d %12.0f %12.0f %10d %7d %9d %12.1f",
+			o.Name, res.Restarts, res.RecoveryRejoins,
+			res.RecoveryGap.Quantile(0.50), res.RecoveryGap.Quantile(0.95),
+			res.Redirects, res.GhostsExpired, res.DroppedPackets,
+			res.Latency.Quantile(0.95))
+		rep.Numbers[o.Name+"/restarts"] = float64(res.Restarts)
+		rep.Numbers[o.Name+"/rejoins"] = float64(res.RecoveryRejoins)
+		rep.Numbers[o.Name+"/gap_p50_ms"] = res.RecoveryGap.Quantile(0.50)
+		rep.Numbers[o.Name+"/gap_p95_ms"] = res.RecoveryGap.Quantile(0.95)
+		rep.Numbers[o.Name+"/redirects"] = float64(res.Redirects)
+		rep.Numbers[o.Name+"/ghosts"] = float64(res.GhostsExpired)
+		rep.Numbers[o.Name+"/p95_ms"] = res.Latency.Quantile(0.95)
+	}
+	return rep, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"matrix/internal/game"
+	"matrix/internal/geom"
 	"matrix/internal/id"
 	"matrix/internal/load"
 	"matrix/internal/netem"
@@ -22,6 +23,15 @@ type Scenario struct {
 	Title string
 	// Config builds the scenario's simulation for a seed.
 	Config func(seed int64) sim.Config
+	// Family groups scenarios that share a deterministic warmup prefix:
+	// identical configs (apart from script tail and duration) whose script
+	// events before WarmupSeconds match exactly. RunScenariosBranched runs
+	// one warmup per family and seed, snapshots it, and fans the tails out
+	// from the snapshot. Empty means the scenario always cold-starts.
+	Family string
+	// WarmupSeconds is the family's branch point; every family member must
+	// declare the same value.
+	WarmupSeconds float64
 }
 
 // scenarioTable lists every named workload, paper figures first.
@@ -65,6 +75,39 @@ var scenarioTable = []Scenario{
 		Name:   "crashstorm",
 		Title:  "crash storm — rolling crash/recover of split children under two sustained hotspots",
 		Config: CrashStormConfig,
+	},
+	{
+		Name:   "recovery",
+		Title:  "crash recovery — server loses state at t=55, restarts from its last 10s checkpoint",
+		Config: RecoveryConfig,
+	},
+	{
+		Name:          "surge-drain",
+		Title:         "surge family — shared 70s split warmup, then the crowd drains (reclaim tail)",
+		Config:        SurgeDrainConfig,
+		Family:        "surge",
+		WarmupSeconds: SurgeWarmupSeconds,
+	},
+	{
+		Name:          "surge-secondwave",
+		Title:         "surge family — shared 70s split warmup, then a second 400-client crowd lands west",
+		Config:        SurgeSecondWaveConfig,
+		Family:        "surge",
+		WarmupSeconds: SurgeWarmupSeconds,
+	},
+	{
+		Name:          "surge-jitter",
+		Title:         "surge family — shared 70s split warmup, then 80ms±250ms jitter until t=100",
+		Config:        SurgeJitterConfig,
+		Family:        "surge",
+		WarmupSeconds: SurgeWarmupSeconds,
+	},
+	{
+		Name:          "surge-crash",
+		Title:         "surge family — shared 70s split warmup, then server-2 loses state and recovers from checkpoint",
+		Config:        SurgeCrashConfig,
+		Family:        "surge",
+		WarmupSeconds: SurgeWarmupSeconds,
 	},
 }
 
@@ -192,34 +235,148 @@ func CrashStormConfig(seed int64) sim.Config {
 	return cfg
 }
 
+// RecoveryConfig builds the crash-recovery scenario: the hotspot splits
+// the fleet out to seven servers, every server checkpoints its full state
+// every 10 seconds, and two of the crowd-carrying children (servers 3 and
+// 6 for these splits) crash at t=55 losing everything. On recovery at t=70
+// they restart from their last checkpoint, resync topology from the MC,
+// and their clients reconnect. A transient join/leave wave before the
+// crash makes checkpoint staleness observable: servers checkpointing
+// rarely roll back past the wave's departure and resurrect it as ghosts.
+// Experiment E7 sweeps the checkpoint interval over this scenario.
+func RecoveryConfig(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 110
+	cfg.CheckpointEverySeconds = 10
+	cfg.Script = game.RecoveryScript(World, 500, 55, 70, []id.ServerID{3, 6})
+	return cfg
+}
+
+// SurgeWarmupSeconds is the surge family's branch point: every surge-*
+// scenario shares the identical first 70 simulated seconds.
+const SurgeWarmupSeconds = 70
+
+// surgeBase is the family's shared config: the warmup crowd forces the
+// fleet to split out and settle before any tail diverges. Checkpointing is
+// on family-wide (the crash tail needs it, and family members must share
+// everything except the script tail).
+func surgeBase(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 130
+	cfg.CheckpointEverySeconds = 15
+	cfg.Script = surgeWarmup()
+	return cfg
+}
+
+// surgeWarmup is the shared script prefix (all events strictly before
+// SurgeWarmupSeconds).
+func surgeWarmup() game.Script {
+	center := geom.Pt(
+		World.MinX+0.75*World.Width(),
+		World.MinY+0.25*World.Height(),
+	)
+	return game.Script{
+		{At: 10, Kind: game.EventJoin, Count: 500, Center: center, Spread: 0.08 * World.Width(), Tag: "surge"},
+	}
+}
+
+// SurgeDrainConfig: after the shared warmup the crowd drains in two gulps,
+// exercising reclaim over the branched state.
+func SurgeDrainConfig(seed int64) sim.Config {
+	cfg := surgeBase(seed)
+	cfg.Script = append(surgeWarmup(),
+		game.Event{At: 75, Kind: game.EventLeave, Count: 250, Tag: "surge"},
+		game.Event{At: 95, Kind: game.EventLeave, Count: 250, Tag: "surge"},
+	)
+	return cfg
+}
+
+// SurgeSecondWaveConfig: a second crowd lands in the opposite corner while
+// the first persists, forcing fresh splits far from the warmed-up ones.
+func SurgeSecondWaveConfig(seed int64) sim.Config {
+	cfg := surgeBase(seed)
+	west := geom.Pt(World.MinX+0.25*World.Width(), World.MinY+0.75*World.Height())
+	cfg.Script = append(surgeWarmup(),
+		game.Event{At: 75, Kind: game.EventJoin, Count: 400, Center: west, Spread: 0.08 * World.Width(), Tag: "wave2"},
+		game.Event{At: 110, Kind: game.EventLeave, Count: 400, Tag: "wave2"},
+		game.Event{At: 115, Kind: game.EventLeave, Count: 250, Tag: "surge"},
+	)
+	return cfg
+}
+
+// SurgeJitterConfig: the network degrades to heavy reordering jitter for
+// ~30s after the warmup, then heals.
+func SurgeJitterConfig(seed int64) sim.Config {
+	cfg := surgeBase(seed)
+	cfg.Script = append(surgeWarmup(),
+		game.Event{At: 72, Kind: game.EventImpair, Impair: netem.LinkConfig{DelayMs: 80, JitterMs: 250, Loss: 0.01}},
+		game.Event{At: 100, Kind: game.EventImpair},
+		game.Event{At: 110, Kind: game.EventLeave, Count: 250, Tag: "surge"},
+	)
+	return cfg
+}
+
+// SurgeCrashConfig: the loaded child loses its state right after the
+// warmup and recovers from the family's 15s checkpoints.
+func SurgeCrashConfig(seed int64) sim.Config {
+	cfg := surgeBase(seed)
+	cfg.Script = append(surgeWarmup(),
+		game.Event{At: 75, Kind: game.EventCrashLose, Servers: []id.ServerID{2}},
+		game.Event{At: 85, Kind: game.EventRecover, Servers: []id.ServerID{2}},
+		game.Event{At: 115, Kind: game.EventLeave, Count: 250, Tag: "surge"},
+	)
+	return cfg
+}
+
 // RunScenarios executes the named scenarios (all of them when names is
 // empty) concurrently on the sweep engine and reports each one's headline
 // numbers. Numbers are keyed "<scenario>/<metric>".
 func RunScenarios(ctx context.Context, r Runner, seed int64, names ...string) (*Report, error) {
-	if len(names) == 0 {
-		names = ScenarioNames()
+	scs, err := scenariosByName(names)
+	if err != nil {
+		return nil, err
 	}
-	jobs := make([]Job, 0, len(names))
-	for _, name := range names {
-		sc, ok := ScenarioByName(name)
-		if !ok {
-			return nil, fmt.Errorf("experiments: unknown scenario %q (known: %v)", name, ScenarioNames())
-		}
+	jobs := make([]Job, 0, len(scs))
+	for _, sc := range scs {
 		jobs = append(jobs, Job{Name: sc.Name, Config: sc.Config(seed)})
 	}
 	outs, err := r.Run(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
+	return scenarioReport(outs), nil
+}
+
+// scenariosByName resolves names (all scenarios when empty) in table order
+// of the request.
+func scenariosByName(names []string) ([]Scenario, error) {
+	if len(names) == 0 {
+		names = ScenarioNames()
+	}
+	scs := make([]Scenario, 0, len(names))
+	for _, name := range names {
+		sc, ok := ScenarioByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown scenario %q (known: %v)", name, ScenarioNames())
+		}
+		scs = append(scs, sc)
+	}
+	return scs, nil
+}
+
+// scenarioReport renders the shared sweep report for RunScenarios and
+// RunScenariosBranched.
+func scenarioReport(outs []RunOutput) *Report {
 	rep := &Report{ID: "SWEEP", Title: "scenario sweep", Numbers: map[string]float64{}}
-	rep.addf("%-14s %6s %6s %7s %9s %10s %9s %9s %9s %9s %12s", "scenario", "peak", "final", "splits", "reclaims", "redirects", "dropped", "lost", "severed", "delayed", "p95 lat(ms)")
+	rep.addf("%-16s %5s %6s %7s %9s %10s %8s %9s %8s %8s %7s %9s %12s", "scenario", "peak", "final", "splits", "reclaims", "redirects", "dropped", "lost", "severed", "delayed", "ghosts", "restarts", "p95 lat(ms)")
 	for _, o := range outs {
 		res := o.Result
 		splits, reclaims := countEvents(res)
-		rep.addf("%-14s %6d %6d %7d %9d %10d %9d %9d %9d %9d %12.1f",
+		rep.addf("%-16s %5d %6d %7d %9d %10d %8d %9d %8d %8d %7d %9d %12.1f",
 			o.Name, res.PeakServers, res.FinalServers, splits, reclaims,
 			res.Redirects, res.DroppedPackets,
 			res.NetemLost, res.NetemSevered, res.NetemDelayed,
+			res.GhostsExpired, res.Restarts,
 			res.Latency.Quantile(0.95))
 		rep.Numbers[o.Name+"/peak_servers"] = float64(res.PeakServers)
 		rep.Numbers[o.Name+"/final_servers"] = float64(res.FinalServers)
@@ -230,7 +387,9 @@ func RunScenarios(ctx context.Context, r Runner, seed int64, names ...string) (*
 		rep.Numbers[o.Name+"/netem_lost"] = float64(res.NetemLost)
 		rep.Numbers[o.Name+"/netem_severed"] = float64(res.NetemSevered)
 		rep.Numbers[o.Name+"/netem_delayed"] = float64(res.NetemDelayed)
+		rep.Numbers[o.Name+"/ghosts"] = float64(res.GhostsExpired)
+		rep.Numbers[o.Name+"/restarts"] = float64(res.Restarts)
 		rep.Numbers[o.Name+"/p95_ms"] = res.Latency.Quantile(0.95)
 	}
-	return rep, nil
+	return rep
 }

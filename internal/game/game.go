@@ -121,6 +121,9 @@ type Mover struct {
 	target  geom.Point
 	attract *geom.Point // non-nil pins the walk near this point
 	spread  float64
+
+	seed  int64  // construction seed, for snapshot/replay
+	draws uint64 // Float64 draws consumed so far, for snapshot/replay
 }
 
 // NewMover creates a mover starting toward a random waypoint.
@@ -129,9 +132,61 @@ func NewMover(profile Profile, world geom.Rect, seed int64) *Mover {
 		rng:     rand.New(rand.NewSource(seed)),
 		profile: profile,
 		world:   world,
+		seed:    seed,
 	}
 	m.target = m.randomPoint()
 	return m
+}
+
+// MoverState is a Mover's serializable snapshot. math/rand sources are not
+// directly serializable, so the state records the construction seed and the
+// number of uniform draws consumed; NewMoverFromState replays that many
+// draws to land the stream on the identical position.
+type MoverState struct {
+	Seed    int64
+	Draws   uint64
+	Target  geom.Point
+	Attract *geom.Point
+	Spread  float64
+}
+
+// State snapshots the mover.
+func (m *Mover) State() MoverState {
+	st := MoverState{Seed: m.seed, Draws: m.draws, Target: m.target, Spread: m.spread}
+	if m.attract != nil {
+		c := *m.attract
+		st.Attract = &c
+	}
+	return st
+}
+
+// NewMoverFromState rebuilds a mover mid-walk: the PRNG is reseeded and
+// fast-forwarded by the recorded draw count, so the continued trajectory is
+// byte-identical to an uninterrupted walk.
+func NewMoverFromState(profile Profile, world geom.Rect, st MoverState) *Mover {
+	m := &Mover{
+		rng:     rand.New(rand.NewSource(st.Seed)),
+		profile: profile,
+		world:   world,
+		seed:    st.Seed,
+		draws:   st.Draws,
+		target:  st.Target,
+		spread:  st.Spread,
+	}
+	for i := uint64(0); i < st.Draws; i++ {
+		m.rng.Float64()
+	}
+	if st.Attract != nil {
+		c := *st.Attract
+		m.attract = &c
+	}
+	return m
+}
+
+// f64 draws one uniform float, counting it for snapshot replay.
+func (m *Mover) f64() float64 {
+	m.draws++
+	return m.rng.Float64()
 }
 
 // Attract pins the walk to waypoints within spread of center (how hotspot
@@ -150,16 +205,16 @@ func (m *Mover) Attract(center geom.Point, spread float64) {
 // randomPoint picks the next waypoint.
 func (m *Mover) randomPoint() geom.Point {
 	if m.attract != nil {
-		ang := m.rng.Float64() * 2 * math.Pi
+		ang := m.f64() * 2 * math.Pi
 		// sqrt makes the waypoints area-uniform over the disc (a plain
 		// uniform radius would pile density up at the center).
-		r := math.Sqrt(m.rng.Float64()) * m.spread
+		r := math.Sqrt(m.f64()) * m.spread
 		p := geom.Pt(m.attract.X+r*math.Cos(ang), m.attract.Y+r*math.Sin(ang))
 		return clampInterior(m.world, p)
 	}
 	return geom.Pt(
-		m.world.MinX+m.rng.Float64()*m.world.Width(),
-		m.world.MinY+m.rng.Float64()*m.world.Height(),
+		m.world.MinX+m.f64()*m.world.Width(),
+		m.world.MinY+m.f64()*m.world.Height(),
 	)
 }
 
@@ -195,7 +250,7 @@ func (m *Mover) Step(pos geom.Point, dt float64) geom.Point {
 
 // PickKind draws an update kind from the profile's traffic mix.
 func (m *Mover) PickKind() protocol.UpdateKind {
-	v := m.rng.Float64()
+	v := m.f64()
 	switch {
 	case v < m.profile.MoveFraction:
 		return protocol.KindMove
@@ -208,7 +263,7 @@ func (m *Mover) PickKind() protocol.UpdateKind {
 
 // ActionTarget picks where an action lands relative to pos.
 func (m *Mover) ActionTarget(pos geom.Point) geom.Point {
-	ang := m.rng.Float64() * 2 * math.Pi
-	r := m.rng.Float64() * m.profile.ActionRange
+	ang := m.f64() * 2 * math.Pi
+	r := m.f64() * m.profile.ActionRange
 	return clampInterior(m.world, geom.Pt(pos.X+r*math.Cos(ang), pos.Y+r*math.Sin(ang)))
 }

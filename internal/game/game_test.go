@@ -254,3 +254,40 @@ func TestFigure2ScriptShape(t *testing.T) {
 		t.Error("first hotspot must be in the right half of the world")
 	}
 }
+
+// TestMoverReplayContinuesIdentically pins the snapshot replay trick:
+// NewMoverFromState reseeds and fast-forwards the PRNG by the recorded
+// draw count, so the continued walk is byte-identical to an uninterrupted
+// one — including attraction changes and every update-kind draw.
+func TestMoverReplayContinuesIdentically(t *testing.T) {
+	world := geom.R(0, 0, 500, 500)
+	m := NewMover(Bzflag(), world, 1234)
+	pos := geom.Pt(250, 250)
+	for i := 0; i < 57; i++ {
+		if i == 20 {
+			m.Attract(geom.Pt(100, 100), 40)
+		}
+		pos = m.Step(pos, 0.2)
+		m.PickKind()
+		if i%7 == 0 {
+			m.ActionTarget(pos)
+		}
+	}
+	st := m.State()
+	replayed := NewMoverFromState(Bzflag(), world, st)
+
+	p1, p2 := pos, pos
+	for i := 0; i < 200; i++ {
+		p1 = m.Step(p1, 0.2)
+		p2 = replayed.Step(p2, 0.2)
+		if p1 != p2 {
+			t.Fatalf("step %d: original %v, replayed %v", i, p1, p2)
+		}
+		if k1, k2 := m.PickKind(), replayed.PickKind(); k1 != k2 {
+			t.Fatalf("step %d: kind %v vs %v", i, k1, k2)
+		}
+		if a1, a2 := m.ActionTarget(p1), replayed.ActionTarget(p2); a1 != a2 {
+			t.Fatalf("step %d: action target %v vs %v", i, a1, a2)
+		}
+	}
+}

@@ -158,6 +158,36 @@ func CrashStormScript(world geom.Rect, count int, firstCrash, interval, downtime
 	return s.Sorted()
 }
 
+// RecoveryScript models a real, state-losing crash of a *loaded* server.
+// The crowd joins in the left half of the world at x=0.375·W — the piece
+// the first split hands to server-2 (split-to-left) and the second split
+// leaves with it — so the first spare ends up carrying the hotspot. A
+// transient wave then joins and fully departs before `crashAt`: servers
+// that checkpoint rarely roll back past the departure and resurrect the
+// wave as ghosts, so checkpoint staleness becomes measurable. At `crashAt`
+// the victims crash losing their in-memory state; at `recoverAt` they
+// restart from their last checkpoint (cold when checkpointing is off),
+// resync topology from the coordinator, and every client they served
+// reconnects — the recovery gap and rejoin storm E7 measures. The crowd
+// half-drains afterwards so reclaim runs over the recovered fleet.
+func RecoveryScript(world geom.Rect, count int, crashAt, recoverAt float64, victims []id.ServerID) Script {
+	center := geom.Pt(
+		world.MinX+0.375*world.Width(),
+		world.MinY+0.25*world.Height(),
+	)
+	spread := 0.08 * world.Width()
+	waveStart := crashAt * 0.5
+	waveEnd := crashAt - 8
+	return Script{
+		{At: 5, Kind: EventJoin, Count: count, Center: center, Spread: spread, Tag: "town"},
+		{At: waveStart, Kind: EventJoin, Count: count / 4, Center: center, Spread: spread, Tag: "wave"},
+		{At: waveEnd, Kind: EventLeave, Count: count / 4, Tag: "wave"},
+		{At: crashAt, Kind: EventCrashLose, Servers: victims},
+		{At: recoverAt, Kind: EventRecover, Servers: victims},
+		{At: recoverAt + 25, Kind: EventLeave, Count: count / 2, Tag: "town"},
+	}
+}
+
 // randPoint picks a point uniformly inside world, inset by margin so a
 // crowd scattered around it stays mostly on the map.
 func randPoint(rnd *rand.Rand, world geom.Rect, margin float64) geom.Point {

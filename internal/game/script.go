@@ -34,6 +34,12 @@ const (
 	// EventRecover resumes the listed crashed servers (empty Servers
 	// recovers all).
 	EventRecover
+	// EventCrashLose fail-stops the listed servers like EventCrash, but the
+	// crash also loses their in-memory state: on the matching EventRecover
+	// each one restarts from its last periodic checkpoint (or cold, when
+	// checkpointing is off), resyncs its topology from the coordinator, and
+	// every client it served must reconnect.
+	EventCrashLose
 )
 
 // Event is one scripted population or network-condition change.
@@ -80,7 +86,7 @@ func (s Script) Validate() error {
 			if err := e.Impair.Validate(); err != nil {
 				return fmt.Errorf("game: event %d: %w", i, err)
 			}
-		case EventPartition, EventCrash:
+		case EventPartition, EventCrash, EventCrashLose:
 			if len(e.Servers) == 0 {
 				return fmt.Errorf("game: event %d names no servers", i)
 			}
@@ -112,6 +118,22 @@ func (s Script) Sorted() Script {
 	out := make(Script, len(s))
 	copy(out, s)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// PrefixBefore returns the time-sorted events strictly before cutoff —
+// the executed prefix of a run snapshotted at cutoff. Both sides of the
+// branching contract use it: warmup runs truncate their script with it,
+// and restore-time validation compares prefixes through it, so the
+// "strictly before" boundary can never drift between the two.
+func (s Script) PrefixBefore(cutoff float64) Script {
+	var out Script
+	for _, e := range s.Sorted() {
+		if e.At >= cutoff {
+			break
+		}
+		out = append(out, e)
+	}
 	return out
 }
 

@@ -150,6 +150,66 @@ func (c *Client) Latencies() []time.Duration {
 	return out
 }
 
+// Disconnect marks the client as not connected (its transport died — e.g.
+// the server restarted and reset every connection). The host is expected to
+// re-send Hello to rejoin; server identity and address are kept.
+func (c *Client) Disconnect() {
+	c.mu.Lock()
+	c.connected = false
+	c.mu.Unlock()
+}
+
+// State is a Client's serializable snapshot.
+type State struct {
+	ID          id.ClientID
+	Pos         geom.Point
+	Seq         id.PacketSeq
+	Connected   bool
+	Server      id.ServerID
+	ServerAddr  string
+	Stats       Stats
+	LatenciesNs []int64
+}
+
+// State snapshots the client.
+func (c *Client) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := State{
+		ID:         c.id,
+		Pos:        c.pos,
+		Seq:        c.seq,
+		Connected:  c.connected,
+		Server:     c.server,
+		ServerAddr: c.serverAddr,
+		Stats:      c.stats,
+	}
+	st.LatenciesNs = make([]int64, len(c.latencies))
+	for i, d := range c.latencies {
+		st.LatenciesNs[i] = int64(d)
+	}
+	return st
+}
+
+// NewFromState rebuilds a client from a snapshot; clk stamps packets from
+// now on (nil = wall clock).
+func NewFromState(st State, clk clock.Clock) (*Client, error) {
+	c, err := New(Config{ID: st.ID, Pos: st.Pos, Clock: clk})
+	if err != nil {
+		return nil, err
+	}
+	c.seq = st.Seq
+	c.connected = st.Connected
+	c.server = st.Server
+	c.serverAddr = st.ServerAddr
+	c.stats = st.Stats
+	c.latencies = make([]time.Duration, len(st.LatenciesNs))
+	for i, ns := range st.LatenciesNs {
+		c.latencies[i] = time.Duration(ns)
+	}
+	return c, nil
+}
+
 // Hello builds the join message for the current position.
 func (c *Client) Hello() *protocol.ClientHello {
 	c.mu.Lock()

@@ -199,6 +199,115 @@ func (s *Server) AddObject(o protocol.ObjectState) {
 	s.mu.Unlock()
 }
 
+// Evict removes a client record without emitting any traffic — the
+// server-side idle reaper. Unlike a despawn update it is not forwarded
+// anywhere, so evicting a stale duplicate can never affect the client's
+// live avatar on another server. Reports whether the client was present.
+func (s *Server) Evict(c id.ClientID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.clients[c]; !ok {
+		return false
+	}
+	delete(s.clients, c)
+	s.grid.Remove(c)
+	return true
+}
+
+// ClientIDs returns the connected clients' IDs, sorted.
+func (s *Server) ClientIDs() []id.ClientID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]id.ClientID, 0, len(s.clients))
+	for c := range s.clients {
+		out = append(out, c)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// ClientSnap is one connected client inside a State snapshot.
+type ClientSnap struct {
+	Client id.ClientID
+	Pos    geom.Point
+}
+
+// State is a game server's serializable snapshot: bounds, the authoritative
+// client and object records, the pending receive queue (encoded wire
+// frames, in arrival order) and the traffic counters. Clients and objects
+// are sorted by ID so encoding the same server twice is byte-identical.
+type State struct {
+	Bounds  geom.Rect
+	Clients []ClientSnap
+	Objects []protocol.ObjectState
+	Inbox   [][]byte
+	Stats   Stats
+}
+
+// CaptureState snapshots the server.
+func (s *Server) CaptureState() (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &State{Bounds: s.bounds, Stats: s.stats}
+	st.Stats.ClientsCurrent = 0 // derived fields stay out of the snapshot
+	st.Stats.QueueLen = 0
+	for c, cs := range s.clients {
+		st.Clients = append(st.Clients, ClientSnap{Client: c, Pos: cs.pos})
+	}
+	sort.Slice(st.Clients, func(i, j int) bool { return st.Clients[i].Client < st.Clients[j].Client })
+	for _, o := range s.objects {
+		o.Payload = append([]byte(nil), o.Payload...)
+		st.Objects = append(st.Objects, o)
+	}
+	sort.Slice(st.Objects, func(i, j int) bool { return st.Objects[i].Object < st.Objects[j].Object })
+	for _, m := range s.inbox[s.inboxHead:] {
+		frame, err := protocol.Marshal(m)
+		if err != nil {
+			return nil, fmt.Errorf("gameserver: encode queued %v: %w", m.MsgType(), err)
+		}
+		st.Inbox = append(st.Inbox, frame)
+	}
+	return st, nil
+}
+
+// RestoreState overwrites the server's mutable state from a snapshot,
+// keeping its config (including the ResolveOwner binding). The snapshot is
+// not retained — restoring the same state twice is safe.
+func (s *Server) RestoreState(st *State) error {
+	inbox := make([]protocol.Message, 0, len(st.Inbox))
+	for _, frame := range st.Inbox {
+		m, err := protocol.Unmarshal(frame)
+		if err != nil {
+			return fmt.Errorf("gameserver: decode queued frame: %w", err)
+		}
+		inbox = append(inbox, m)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bounds = st.Bounds
+	cell := s.cfg.Radius
+	if cell <= 0 {
+		cell = 1
+	}
+	s.clients = make(map[id.ClientID]*clientState, len(st.Clients))
+	s.grid = spatial.NewGrid[id.ClientID](cell)
+	for _, cs := range st.Clients {
+		s.clients[cs.Client] = &clientState{id: cs.Client, pos: cs.Pos}
+		s.grid.Insert(cs.Client, cs.Pos)
+	}
+	s.objects = make(map[id.ObjectID]protocol.ObjectState, len(st.Objects))
+	for _, o := range st.Objects {
+		o.Payload = append([]byte(nil), o.Payload...)
+		s.objects[o.Object] = o
+	}
+	s.inbox = inbox
+	s.inboxHead = 0
+	s.stats = st.Stats
+	s.stats.ClientsCurrent = 0
+	s.stats.QueueLen = 0
+	return nil
+}
+
 // Enqueue places an inbound message on the receive queue. It returns
 // ErrQueueOverflow when the bounded queue is full (the packet is dropped
 // and counted).

@@ -6,10 +6,12 @@ import (
 
 	"matrix/internal/coordinator"
 	"matrix/internal/gameclient"
+	"matrix/internal/gameserver"
 	"matrix/internal/geom"
 	"matrix/internal/id"
 	"matrix/internal/load"
 	"matrix/internal/protocol"
+	"matrix/internal/snapshot"
 	"matrix/internal/transport"
 )
 
@@ -210,3 +212,72 @@ func TestCrossBorderVisibilityOverTCP(t *testing.T) {
 
 // gameclientID keeps client-ID literals tidy in table setups.
 func gameclientID(i int) id.ClientID { return id.ClientID(i) }
+
+// TestSnapshotFrameDumpsNodeState pins the wire surface: any connection
+// can request a server's full state with a SnapshotRequest frame, and the
+// blob restores a game world into a fresh node.
+func TestSnapshotFrameDumpsNodeState(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	_, hosts := startCluster(t, nw, 1, load.Config{})
+
+	// Put some world state on the server: two clients join and move.
+	for i := 1; i <= 2; i++ {
+		c, err := DialClient(ClientConfig{
+			Network:    nw,
+			ServerAddr: hosts[0].Addr(),
+			Client:     gameclient.Config{ID: gameclientID(i), Pos: geom.Pt(float64(100*i), 200)},
+		})
+		if err != nil {
+			t.Fatalf("dial client %d: %v", i, err)
+		}
+		t.Cleanup(func() { c.Close() })
+	}
+	waitFor(t, "clients joined", func() bool { return hosts[0].Game().ClientCount() == 2 })
+
+	conn, err := nw.Dial(hosts[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&protocol.SnapshotRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	for {
+		reply, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("receive snapshot reply: %v", err)
+		}
+		data, ok := reply.(*protocol.SnapshotData)
+		if !ok {
+			t.Fatalf("reply is %v, want snapshot-data", reply.MsgType())
+		}
+		blob = append(blob, data.Blob...)
+		if data.Final {
+			break
+		}
+	}
+	node, err := snapshot.DecodeNode(blob)
+	if err != nil {
+		t.Fatalf("decode blob: %v", err)
+	}
+	if len(node.Game.Clients) != 2 {
+		t.Errorf("blob carries %d clients, want 2", len(node.Game.Clients))
+	}
+	if node.Core.ID != hosts[0].ID() {
+		t.Errorf("blob core ID = %v, want %v", node.Core.ID, hosts[0].ID())
+	}
+
+	// The blob restores a game world into a fresh game server (the live
+	// -restore semantic: world state only, identity/bounds stay local).
+	gs, err := gameserver.New(gameserver.Config{Server: 99, Bounds: geom.R(0, 0, 1000, 1000), Radius: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.RestoreNodeGame(blob, gs); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if gs.ClientCount() != 2 {
+		t.Errorf("restored game server holds %d clients, want 2", gs.ClientCount())
+	}
+}

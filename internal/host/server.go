@@ -13,6 +13,7 @@ import (
 	"matrix/internal/load"
 	"matrix/internal/protocol"
 	"matrix/internal/scratch"
+	"matrix/internal/snapshot"
 	"matrix/internal/transport"
 )
 
@@ -40,6 +41,12 @@ type ServerConfig struct {
 	ReportInterval time.Duration
 	// Logger receives diagnostics (nil = silent).
 	Logger *log.Logger
+	// Restore, when non-nil, is a snapshot blob (see snapshot.MarshalNode)
+	// whose game-world state — client avatars and map objects — this node
+	// adopts before it starts serving, so no client can join into a window
+	// that a later restore would wipe. Topology is not restored: the node
+	// registers freshly and owns whatever the MC assigns.
+	Restore []byte
 }
 
 func (c ServerConfig) sanitized() ServerConfig {
@@ -133,6 +140,16 @@ func StartServer(cfg ServerConfig) (*ServerHost, error) {
 		return nil, err
 	}
 
+	// Boot-time restore runs before any pump starts: no client can have
+	// joined yet, so the adopted world can never wipe a live session.
+	if cfg.Restore != nil {
+		if err := snapshot.RestoreNodeGame(cfg.Restore, gs); err != nil {
+			_ = ln.Close()
+			_ = mcConn.Close()
+			return nil, fmt.Errorf("host: restore snapshot: %w", err)
+		}
+	}
+
 	h := &ServerHost{
 		cfg:       cfg,
 		core:      cs,
@@ -164,6 +181,46 @@ func (h *ServerHost) Core() *core.Server { return h.core }
 
 // Game exposes the game server (status tooling).
 func (h *ServerHost) Game() *gameserver.Server { return h.gs }
+
+// Snapshot dumps this node's complete state (Matrix server + game server)
+// as a versioned blob — the payload of a protocol SnapshotData stream.
+func (h *ServerHost) Snapshot() ([]byte, error) {
+	return snapshot.MarshalNode(h.core, h.gs)
+}
+
+// snapshotChunkSize keeps each SnapshotData frame comfortably under the
+// codec's MaxFrameSize, so a heavily loaded node still dumps cleanly.
+const snapshotChunkSize = 1 << 20
+
+// sendSnapshotChunks streams a snapshot blob as SnapshotData frames, the
+// last one marked Final.
+func sendSnapshotChunks(conn transport.Conn, blob []byte) error {
+	for start := 0; ; start += snapshotChunkSize {
+		end := start + snapshotChunkSize
+		if end > len(blob) {
+			end = len(blob)
+		}
+		final := end == len(blob)
+		if err := conn.Send(&protocol.SnapshotData{Blob: blob[start:end], Final: final}); err != nil {
+			return err
+		}
+		if final {
+			return nil
+		}
+	}
+}
+
+// RestoreSnapshot re-adopts the game-world state (client avatars and map
+// objects) from a Snapshot blob. Topology is NOT restored: this host
+// registered freshly with the MC and owns whatever range that produced —
+// the live crash-recovery semantic (the world state survives the crash).
+// Boot-time restores should use ServerConfig.Restore instead, which
+// applies before the host serves: a live RestoreSnapshot replaces the
+// world wholesale, dropping the avatar of any client that joined since
+// the blob was captured (it stays connected and must rejoin).
+func (h *ServerHost) RestoreSnapshot(blob []byte) error {
+	return snapshot.RestoreNodeGame(blob, h.gs)
+}
 
 // Close stops the host and waits for its goroutines.
 func (h *ServerHost) Close() error {
@@ -235,6 +292,15 @@ func (h *ServerHost) serveConn(conn transport.Conn) {
 	switch m := first.(type) {
 	case *protocol.ClientHello:
 		h.serveClient(conn, m)
+	case *protocol.SnapshotRequest:
+		// Operator dump: stream this node's full state and close.
+		blob, err := snapshot.MarshalNode(h.core, h.gs)
+		if err != nil {
+			h.cfg.Logger.Printf("server %v: snapshot: %v", h.core.ID(), err)
+		} else if err := sendSnapshotChunks(conn, blob); err != nil {
+			h.cfg.Logger.Printf("server %v: snapshot send: %v", h.core.ID(), err)
+		}
+		_ = conn.Close()
 	case *protocol.Forward, *protocol.StateTransfer:
 		h.mu.Lock()
 		if h.closed {

@@ -63,3 +63,28 @@ func (g *Generator) NextClient() ClientID { return ClientID(g.client.Add(1)) }
 
 // NextObject returns a fresh ObjectID.
 func (g *Generator) NextObject() ObjectID { return ObjectID(g.object.Add(1)) }
+
+// GeneratorState is a Generator's serializable snapshot: the last ID handed
+// out in each namespace.
+type GeneratorState struct {
+	Server uint32
+	Client uint64
+	Object uint64
+}
+
+// State snapshots the generator's counters.
+func (g *Generator) State() GeneratorState {
+	return GeneratorState{
+		Server: g.server.Load(),
+		Client: g.client.Load(),
+		Object: g.object.Load(),
+	}
+}
+
+// SetState restores previously snapshotted counters, so a restored component
+// continues the exact ID sequence of the captured run.
+func (g *Generator) SetState(st GeneratorState) {
+	g.server.Store(st.Server)
+	g.client.Store(st.Client)
+	g.object.Store(st.Object)
+}

@@ -8,6 +8,7 @@
 package load
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -257,6 +258,80 @@ func (t *Tracker) ReclaimCandidate(child id.ServerID) bool {
 		return false
 	}
 	return t.clk.Since(since) >= t.cfg.ReclaimDwell
+}
+
+// ChildState is one child's snapshot inside TrackerState.
+type ChildState struct {
+	Child    id.ServerID
+	Clients  int
+	QueueLen int
+	// Below reports whether the dwell timer is running; BelowSinceNs is its
+	// start, nanoseconds since the Unix epoch on the tracker's clock.
+	Below        bool
+	BelowSinceNs int64
+}
+
+// TrackerState is a Tracker's serializable snapshot (policy config and clock
+// excluded — they are construction inputs). Children are sorted by ID.
+type TrackerState struct {
+	Clients     int
+	QueueLen    int
+	HaveSplit   bool
+	LastSplitNs int64
+	Children    []ChildState
+}
+
+// State snapshots the tracker's mutable state.
+func (t *Tracker) State() TrackerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TrackerState{
+		Clients:   t.clients,
+		QueueLen:  t.queueLen,
+		HaveSplit: t.haveSplit,
+	}
+	if t.haveSplit {
+		st.LastSplitNs = t.lastSplit.UnixNano()
+	}
+	kids := make([]id.ServerID, 0, len(t.childLoad))
+	for c := range t.childLoad {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+	for _, c := range kids {
+		cs := ChildState{Child: c, Clients: t.childLoad[c], QueueLen: t.childQueue[c]}
+		if since, ok := t.belowSince[c]; ok {
+			cs.Below = true
+			cs.BelowSinceNs = since.UnixNano()
+		}
+		st.Children = append(st.Children, cs)
+	}
+	return st
+}
+
+// RestoreState overwrites the tracker's mutable state from a snapshot,
+// keeping its policy config and clock. Dwell timers resume exactly where
+// they were.
+func (t *Tracker) RestoreState(st TrackerState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clients = st.Clients
+	t.queueLen = st.QueueLen
+	t.haveSplit = st.HaveSplit
+	t.lastSplit = time.Time{}
+	if st.HaveSplit {
+		t.lastSplit = time.Unix(0, st.LastSplitNs)
+	}
+	t.childLoad = make(map[id.ServerID]int, len(st.Children))
+	t.childQueue = make(map[id.ServerID]int, len(st.Children))
+	t.belowSince = make(map[id.ServerID]time.Time, len(st.Children))
+	for _, cs := range st.Children {
+		t.childLoad[cs.Child] = cs.Clients
+		t.childQueue[cs.Child] = cs.QueueLen
+		if cs.Below {
+			t.belowSince[cs.Child] = time.Unix(0, cs.BelowSinceNs)
+		}
+	}
 }
 
 // ChildLoad returns the last reported load of child and whether it is

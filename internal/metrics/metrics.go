@@ -6,7 +6,9 @@ package metrics
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -160,6 +162,26 @@ func (h *Histogram) Stddev() float64 {
 		ss += d * d
 	}
 	return math.Sqrt(ss / float64(n-1))
+}
+
+// Samples returns a copy of the raw samples in their current in-memory
+// order (insertion order, or sorted if a quantile has been computed). Used
+// by the snapshot subsystem; restoring the copy with NewHistogramFromSamples
+// reproduces the histogram exactly.
+func (h *Histogram) Samples() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]float64, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// NewHistogramFromSamples rebuilds a histogram from a sample snapshot. The
+// slice is copied.
+func NewHistogramFromSamples(samples []float64) *Histogram {
+	h := &Histogram{samples: make([]float64, len(samples))}
+	copy(h.samples, samples)
+	return h
 }
 
 // Reset discards all samples.
@@ -323,6 +345,98 @@ func (r *Registry) SeriesNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// --- snapshot support ---
+//
+// RegistryState is a registry's serializable snapshot. Every collection is a
+// name-sorted slice (never a map), so encoding a state twice produces
+// byte-identical output — the property the snapshot subsystem's golden files
+// pin.
+
+// CounterState is one counter's snapshot.
+type CounterState struct {
+	Name  string
+	Value int64
+}
+
+// GaugeState is one gauge's snapshot.
+type GaugeState struct {
+	Name  string
+	Value float64
+}
+
+// HistogramState is one histogram's snapshot (samples in in-memory order).
+type HistogramState struct {
+	Name    string
+	Samples []float64
+}
+
+// SeriesState is one time series' snapshot.
+type SeriesState struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// RegistryState is the whole registry's snapshot.
+type RegistryState struct {
+	Counters   []CounterState
+	Gauges     []GaugeState
+	Histograms []HistogramState
+	Series     []SeriesState
+}
+
+// State snapshots every instrument in the registry, name-sorted.
+func (r *Registry) State() RegistryState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var st RegistryState
+	for _, n := range sortedKeys(r.counters) {
+		st.Counters = append(st.Counters, CounterState{Name: n, Value: r.counters[n].Value()})
+	}
+	for _, n := range sortedKeys(r.gauges) {
+		st.Gauges = append(st.Gauges, GaugeState{Name: n, Value: r.gauges[n].Value()})
+	}
+	for _, n := range sortedKeys(r.histograms) {
+		st.Histograms = append(st.Histograms, HistogramState{Name: n, Samples: r.histograms[n].Samples()})
+	}
+	for _, n := range sortedKeys(r.series) {
+		times, values := r.series[n].Points()
+		st.Series = append(st.Series, SeriesState{Name: n, Times: times, Values: values})
+	}
+	return st
+}
+
+// NewRegistryFromState rebuilds a registry from a snapshot. All slices are
+// copied; the state stays usable for further restores.
+func NewRegistryFromState(st RegistryState) *Registry {
+	r := NewRegistry()
+	for _, c := range st.Counters {
+		r.counters[c.Name] = &Counter{}
+		r.counters[c.Name].Add(c.Value)
+	}
+	for _, g := range st.Gauges {
+		r.gauges[g.Name] = &Gauge{}
+		r.gauges[g.Name].Set(g.Value)
+	}
+	for _, h := range st.Histograms {
+		r.histograms[h.Name] = NewHistogramFromSamples(h.Samples)
+	}
+	for _, s := range st.Series {
+		ns := NewSeries(s.Name)
+		ns.times = make([]float64, len(s.Times))
+		copy(ns.times, s.Times)
+		ns.values = make([]float64, len(s.Values))
+		copy(ns.values, s.Values)
+		r.series[s.Name] = ns
+	}
+	return r
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	return slices.Sorted(maps.Keys(m))
 }
 
 // SeriesByPrefix returns all series whose name starts with prefix, sorted.

@@ -24,6 +24,9 @@ package netem
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
+	"sort"
 
 	"matrix/internal/id"
 	"matrix/internal/protocol"
@@ -310,6 +313,82 @@ func (st *linkState) judgeLoss(l LinkConfig) bool {
 		p = l.BurstLoss
 	}
 	return p > 0 && st.rng.float() < p
+}
+
+// CrashedServers returns the currently fail-stopped servers, sorted.
+func (m *Model) CrashedServers() []id.ServerID {
+	return sortedIDs(m.crashed)
+}
+
+// CutServers returns the currently partitioned-off servers, sorted.
+func (m *Model) CutServers() []id.ServerID {
+	return sortedIDs(m.cut)
+}
+
+func sortedIDs(set map[id.ServerID]bool) []id.ServerID {
+	return slices.Sorted(maps.Keys(set))
+}
+
+// LinkState is one directed link's snapshot inside ModelState: the opaque
+// endpoint keys, the PRNG position and the Gilbert–Elliott chain state.
+type LinkState struct {
+	From uint64
+	To   uint64
+	RNG  uint64
+	Bad  bool
+}
+
+// ModelState is a Model's serializable snapshot. Links are sorted by
+// (From, To) so encoding the same model twice is byte-identical.
+type ModelState struct {
+	Seed    int64
+	Link    LinkConfig
+	Links   []LinkState
+	Crashed []id.ServerID
+	Cut     []id.ServerID
+}
+
+// State snapshots the model: current link impairment, every link stream's
+// PRNG position and burst state, and the partition/crash sets.
+func (m *Model) State() ModelState {
+	st := ModelState{
+		Seed:    m.seed,
+		Link:    m.link,
+		Crashed: sortedIDs(m.crashed),
+		Cut:     sortedIDs(m.cut),
+	}
+	keys := make([]linkKey, 0, len(m.links))
+	for k := range m.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		ls := m.links[k]
+		st.Links = append(st.Links, LinkState{From: k.from, To: k.to, RNG: ls.rng.state, Bad: ls.bad})
+	}
+	return st
+}
+
+// NewModelFromState rebuilds a model mid-run: every link stream resumes at
+// its exact PRNG position, so the continued decision sequence is
+// byte-identical to an uninterrupted run.
+func NewModelFromState(st ModelState) *Model {
+	m := NewModel(Config{Seed: st.Seed, Link: st.Link})
+	for _, ls := range st.Links {
+		m.links[linkKey{ls.From, ls.To}] = &linkState{rng: rng64{state: ls.RNG}, bad: ls.Bad}
+	}
+	for _, s := range st.Crashed {
+		m.crashed[s] = true
+	}
+	for _, s := range st.Cut {
+		m.cut[s] = true
+	}
+	return m
 }
 
 // DataPlane reports whether a message rides the lossy data plane. Game

@@ -551,6 +551,21 @@ func (m *Batch) decodeBody(r *reader) error {
 	return r.err
 }
 
+func (m *SnapshotRequest) encodeBody(b *buffer) {}
+
+func (m *SnapshotRequest) decodeBody(r *reader) error { return r.err }
+
+func (m *SnapshotData) encodeBody(b *buffer) {
+	b.bytes(m.Blob)
+	b.boolean(m.Final)
+}
+
+func (m *SnapshotData) decodeBody(r *reader) error {
+	m.Blob = r.bytes()
+	m.Final = r.boolean()
+	return r.err
+}
+
 // newMessage allocates the empty message for a wire type.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
@@ -594,6 +609,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &ErrorMsg{}, nil
 	case TypeBatch:
 		return &Batch{}, nil
+	case TypeSnapshotRequest:
+		return &SnapshotRequest{}, nil
+	case TypeSnapshotData:
+		return &SnapshotData{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 	}

@@ -82,6 +82,10 @@ func TestRoundTripAllTypes(t *testing.T) {
 		},
 		&Ack{Of: TypeSplitRequest},
 		&ErrorMsg{Of: TypeReclaimRequest, Reason: "no such child"},
+		&SnapshotRequest{},
+		&SnapshotData{Blob: []byte(`{"Version":1}`)},
+		&SnapshotData{Blob: []byte("chunk"), Final: true},
+		&SnapshotData{Final: true}, // empty final chunk
 	}
 	for _, m := range msgs {
 		m := m
@@ -101,6 +105,12 @@ func TestRoundTripAllTypes(t *testing.T) {
 // tolerates the decoder's empty-slice representation choices.
 func normalize(m Message) Message {
 	switch v := m.(type) {
+	case *SnapshotData:
+		c := *v
+		if len(c.Blob) == 0 {
+			c.Blob = nil
+		}
+		return &c
 	case *GameUpdate:
 		c := *v
 		if len(c.Payload) == 0 {
@@ -352,6 +362,8 @@ func sampleMessages() []Message {
 			Handoff: []HandoffTarget{{Server: 7, Addr: "h:7", Bounds: geom.R(0, 0, 5, 10)}}},
 		&Ack{Of: TypeSplitRequest},
 		&ErrorMsg{Of: TypeReclaimRequest, Reason: "no such child"},
+		&SnapshotRequest{},
+		&SnapshotData{Blob: []byte("state")},
 	}
 }
 

@@ -45,6 +45,8 @@ const (
 	TypeAck
 	TypeError
 	TypeBatch
+	TypeSnapshotRequest
+	TypeSnapshotData
 
 	typeMax // sentinel for validation
 )
@@ -72,6 +74,8 @@ func (t MsgType) String() string {
 		TypeAck:              "ack",
 		TypeError:            "error",
 		TypeBatch:            "batch",
+		TypeSnapshotRequest:  "snapshot-request",
+		TypeSnapshotData:     "snapshot-data",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]
@@ -373,6 +377,27 @@ type Batch struct {
 
 // MsgType implements Message.
 func (*Batch) MsgType() MsgType { return TypeBatch }
+
+// SnapshotRequest asks a live Matrix server to dump its complete state (its
+// own state plus its co-located game server's) as a snapshot blob. Operators
+// use it to checkpoint or inspect a running server without stopping it.
+type SnapshotRequest struct{}
+
+// MsgType implements Message.
+func (*SnapshotRequest) MsgType() MsgType { return TypeSnapshotRequest }
+
+// SnapshotData carries a snapshot blob, chunked so a node whose state
+// exceeds MaxFrameSize still dumps cleanly (like StateTransfer, for the
+// same reason): the sender streams consecutive Blob chunks and sets Final
+// on the last one; the receiver concatenates. The assembled blob's format
+// is owned by internal/snapshot (versioned; see snapshot.MarshalNode).
+type SnapshotData struct {
+	Blob  []byte
+	Final bool
+}
+
+// MsgType implements Message.
+func (*SnapshotData) MsgType() MsgType { return TypeSnapshotData }
 
 // RegionsToWire converts overlap regions to their wire form.
 func RegionsToWire(regions []overlap.Region) []TableRegion {

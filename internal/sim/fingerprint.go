@@ -21,8 +21,10 @@ func (r *Result) Fingerprint() string {
 	// keep their historical fingerprints while any fixed (seed, netem
 	// config) pair pins its loss and delay behavior byte-for-byte.
 	if r.NetemActive {
-		fmt.Fprintf(&b, "netem lost=%d severed=%d delayed=%d\n",
-			r.NetemLost, r.NetemSevered, r.NetemDelayed)
+		fmt.Fprintf(&b, "netem lost=%d severed=%d delayed=%d ghosts=%d\n",
+			r.NetemLost, r.NetemSevered, r.NetemDelayed, r.GhostsExpired)
+		fmt.Fprintf(&b, "recovery restarts=%d rejoins=%d gap=%s\n",
+			r.Restarts, r.RecoveryRejoins, histFingerprint(r.RecoveryGap))
 	}
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "event t=%.3f %s server=%v\n", e.Time, e.Kind, e.Server)
@@ -46,6 +48,9 @@ func (r *Result) Fingerprint() string {
 // commutative-associative at the last ulp, and finish() collects client
 // latencies in map order).
 func histFingerprint(h *metrics.Histogram) string {
+	if h == nil {
+		h = &metrics.Histogram{}
+	}
 	h.Quantile(0) // force the sort
 	return h.Summary()
 }

@@ -82,7 +82,24 @@ type Config struct {
 	// derives the impairment streams from Seed. Timed impairment script
 	// events activate the model even when this config is zero.
 	Netem netem.Config
+	// CheckpointEverySeconds, when positive, snapshots every server's full
+	// state (Matrix server + game server) on that period. Checkpoints feed
+	// state-losing crash recovery: a server fail-stopped by an
+	// EventCrashLose script event restarts from its last checkpoint when
+	// recovered (cold, when no checkpoint exists yet).
+	CheckpointEverySeconds float64
+	// GhostExpirySeconds is the idle timeout after which a server expires a
+	// ghost client — one whose despawn was lost by network emulation, or
+	// one resurrected by a state-losing crash recovery rolling the server
+	// back past its departure. Zero means the 30-second default; negative
+	// disables expiry. Only runs with active network emulation can produce
+	// ghosts, so netem-free fingerprints are unaffected.
+	GhostExpirySeconds float64
 }
+
+// DefaultGhostExpirySeconds is the ghost-client idle timeout applied when
+// Config.GhostExpirySeconds is zero.
+const DefaultGhostExpirySeconds = 30
 
 // sanitized fills defaults.
 func (c Config) sanitized() (Config, error) {
@@ -115,6 +132,12 @@ func (c Config) sanitized() (Config, error) {
 	}
 	if err := c.Netem.Validate(); err != nil {
 		return c, err
+	}
+	if c.CheckpointEverySeconds < 0 {
+		return c, errors.New("sim: negative checkpoint period")
+	}
+	if c.GhostExpirySeconds == 0 {
+		c.GhostExpirySeconds = DefaultGhostExpirySeconds
 	}
 	return c, nil
 }
@@ -168,12 +191,32 @@ type Result struct {
 	NetemSevered uint64
 	// NetemDelayed counts deliveries deferred by at least one tick.
 	NetemDelayed uint64
+	// GhostsExpired counts ghost clients culled by the idle timeout (see
+	// Config.GhostExpirySeconds). Only possible when netem is active.
+	GhostsExpired uint64
+	// Restarts counts state-losing crash recoveries (EventCrashLose →
+	// EventRecover restorations from checkpoint or cold).
+	Restarts uint64
+	// RecoveryRejoins counts clients forced to reconnect because their
+	// server restarted (the redirect/rejoin storm a restart causes).
+	RecoveryRejoins uint64
+	// RecoveryGap is the distribution of recover→reconnected times in
+	// milliseconds for clients of restarted servers (the recovery gap).
+	RecoveryGap *metrics.Histogram
 }
 
 // node is one server slot: a Matrix server and its co-located game server.
 type node struct {
 	core *core.Server
 	gs   *gameserver.Server
+}
+
+// nodeCheckpoint is one server's periodic full-state capture, the restore
+// point for state-losing crash recovery.
+type nodeCheckpoint struct {
+	takenAt float64
+	core    *core.State
+	game    *gameserver.State
 }
 
 // simClient is one synthetic player.
@@ -230,6 +273,21 @@ type Sim struct {
 	nm *netem.Model
 	nq map[int][]netemEntry
 
+	// Crash-recovery state (only populated when netem is active).
+	// ghosts records clients a server still holds but the sim knows are
+	// gone (lost despawn, or a rollback resurrection), keyed to the time
+	// the ghost appeared; loseState marks servers crashed by
+	// EventCrashLose; checkpoints holds each server's latest periodic
+	// state capture; rejoinSince tracks clients reconnecting after a
+	// restart, for the recovery-gap histogram.
+	ghosts      map[id.ClientID]float64
+	loseState   map[id.ServerID]bool
+	checkpoints map[id.ServerID]*nodeCheckpoint
+	rejoinSince map[id.ClientID]float64
+	recGap      *metrics.Histogram
+	chkEvery    int     // checkpoint period in ticks (0 = off)
+	ghostAfter  float64 // ghost idle timeout in seconds (<= 0 = off)
+
 	// Per-tick scratch, reused across ticks (reset, not reallocated). Each
 	// buffer is fully consumed before its next reuse: the game-server loop
 	// routes one server's envelopes to completion before processing the
@@ -254,16 +312,21 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{
-		cfg:        cfg,
-		clk:        clock.NewVirtual(time.Unix(0, 0)),
-		nodes:      make(map[id.ServerID]*node),
-		clients:    make(map[id.ClientID]*simClient),
-		reg:        metrics.NewRegistry(),
-		lat:        &metrics.Histogram{},
-		swLat:      &metrics.Histogram{},
-		activePrev: make(map[id.ServerID]bool),
-		latSkip:    make(map[id.ClientID]int),
-		rngSeed:    cfg.Seed,
+		cfg:         cfg,
+		clk:         clock.NewVirtual(time.Unix(0, 0)),
+		nodes:       make(map[id.ServerID]*node),
+		clients:     make(map[id.ClientID]*simClient),
+		reg:         metrics.NewRegistry(),
+		lat:         &metrics.Histogram{},
+		swLat:       &metrics.Histogram{},
+		recGap:      &metrics.Histogram{},
+		activePrev:  make(map[id.ServerID]bool),
+		latSkip:     make(map[id.ClientID]int),
+		ghosts:      make(map[id.ClientID]float64),
+		loseState:   make(map[id.ServerID]bool),
+		checkpoints: make(map[id.ServerID]*nodeCheckpoint),
+		rejoinSince: make(map[id.ClientID]float64),
+		rngSeed:     cfg.Seed,
 	}
 	mcCfg := coordinator.Config{World: cfg.World, Static: cfg.Static}
 	s.mc, err = coordinator.New(mcCfg)
@@ -441,6 +504,11 @@ func (s *Sim) deliverToClient(cid id.ClientID, m protocol.Message) {
 			s.swLat.Observe((s.now - sc.redirAt) * 1000)
 			sc.redirOpen = false
 		}
+		if since, ok := s.rejoinSince[cid]; ok {
+			// Reconnected after a server restart: the recovery gap.
+			s.recGap.Observe((s.now - since) * 1000)
+			delete(s.rejoinSince, cid)
+		}
 	}
 }
 
@@ -562,10 +630,12 @@ func (s *Sim) impair(from, to netem.Endpoint, kind netemDest, m protocol.Message
 	v := s.nm.Judge(from, to, netem.DataPlane(m))
 	if v.Severed {
 		s.res.NetemSevered++
+		s.noteLostDespawn(m)
 		return true
 	}
 	if v.Drop {
 		s.res.NetemLost++
+		s.noteLostDespawn(m)
 		return true
 	}
 	// Delays quantize UP to the tick grid (the simulator's delivery
@@ -595,6 +665,7 @@ func (s *Sim) pumpNetem() {
 	for _, e := range entries {
 		if s.nm.Severed(e.from, e.to) {
 			s.res.NetemSevered++
+			s.noteLostDespawn(e.msg)
 			continue
 		}
 		switch e.kind {
@@ -606,6 +677,64 @@ func (s *Sim) pumpNetem() {
 			s.deliverToClient(e.to.Client, e.msg)
 		case netemToCore:
 			s.deliverToCore(e.to.Server, e.from.Server, e.msg)
+		}
+	}
+}
+
+// noteLostDespawn registers the ghost a lost despawn leaves behind: the
+// server never learns the client is gone, so the idle-expiry pass (see
+// expireGhosts) must cull it later.
+func (s *Sim) noteLostDespawn(m protocol.Message) {
+	if s.ghostAfter <= 0 {
+		return
+	}
+	if u, ok := m.(*protocol.GameUpdate); ok && u.Kind == protocol.KindDespawn {
+		s.ghosts[u.Client] = s.now
+	}
+}
+
+// expireGhosts culls ghost records past the idle timeout: every server
+// still holding the avatar evicts it locally, exactly what a production
+// server's idle reaper does. The cull is server-local by design — it emits
+// no despawn traffic, so evicting a rollback-resurrected duplicate can
+// never ripple to the client's live avatar on its current server (which is
+// always skipped). Copies on crashed (frozen) servers wait for the
+// recovery; the record clears once no stale copy remains.
+func (s *Sim) expireGhosts() {
+	due := make([]id.ClientID, 0, len(s.ghosts))
+	for cid, t0 := range s.ghosts {
+		if s.now-t0 >= s.ghostAfter {
+			due = append(due, cid)
+		}
+	}
+	slices.Sort(due)
+	for _, cid := range due {
+		sc, scOK := s.clients[cid]
+		live := scOK && sc.alive
+		found, cleared := false, true
+		for _, sid := range s.order {
+			n := s.nodes[sid]
+			if _, ok := n.gs.ClientPos(cid); !ok {
+				continue
+			}
+			if live && sid == sc.assigned {
+				continue // the legitimate avatar, not a ghost copy
+			}
+			found = true
+			if s.nm != nil && s.nm.Crashed(sid) {
+				cleared = false // frozen: evict after recovery (or rollback)
+				continue
+			}
+			n.gs.Evict(cid)
+		}
+		if !found {
+			// Already gone everywhere (state transfer raced the expiry).
+			delete(s.ghosts, cid)
+			continue
+		}
+		if cleared {
+			s.res.GhostsExpired++
+			delete(s.ghosts, cid)
 		}
 	}
 }
@@ -659,9 +788,7 @@ func (s *Sim) Start() error {
 		return errors.New("sim: Start called twice")
 	}
 	s.started = true
-	s.dt = s.cfg.TickSeconds
-	s.ticks = int(s.cfg.DurationSeconds/s.dt + 0.5)
-	s.script = s.cfg.Script.Sorted()
+	s.initCadence()
 	s.rng = &mulberryRand{state: uint64(s.cfg.Seed)*2654435761 + 1}
 
 	// Network emulation activates on a non-zero config or any scripted
@@ -686,6 +813,17 @@ func (s *Sim) Start() error {
 		s.addClient(pos, "base", nil, 0)
 	}
 
+	return nil
+}
+
+// initCadence derives every tick-grid quantity from the sanitized config:
+// tick length, total ticks, the sorted script, and the report, sample,
+// checkpoint and ghost-expiry cadences. Start and the snapshot restore path
+// share it, so a restored run steps on the identical grid.
+func (s *Sim) initCadence() {
+	s.dt = s.cfg.TickSeconds
+	s.ticks = int(s.cfg.DurationSeconds/s.dt + 0.5)
+	s.script = s.cfg.Script.Sorted()
 	s.reportEvery = int(s.cfg.LoadReportEverySeconds/s.dt + 0.5)
 	if s.reportEvery < 1 {
 		s.reportEvery = 1
@@ -694,7 +832,14 @@ func (s *Sim) Start() error {
 	if s.sampleEvery < 1 {
 		s.sampleEvery = 1
 	}
-	return nil
+	s.chkEvery = 0
+	if s.cfg.CheckpointEverySeconds > 0 {
+		s.chkEvery = int(s.cfg.CheckpointEverySeconds/s.dt + 0.5)
+		if s.chkEvery < 1 {
+			s.chkEvery = 1
+		}
+	}
+	s.ghostAfter = s.cfg.GhostExpirySeconds
 }
 
 // Done reports whether every tick has been stepped. A run of D seconds at
@@ -703,6 +848,14 @@ func (s *Sim) Done() bool { return s.started && s.tick > s.ticks }
 
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
+
+// Tick returns the index of the next tick Step will execute.
+func (s *Sim) Tick() int { return s.tick }
+
+// NextTime returns the virtual time of the next tick Step will execute.
+// Branching sweeps step a warmup while NextTime() < T and then snapshot, so
+// every event with At >= T belongs to the branches. Valid after Start.
+func (s *Sim) NextTime() float64 { return float64(s.tick) * s.dt }
 
 // Step advances the simulation by one tick: script events, client traffic,
 // queue processing, load reports, hello retries, sampling.
@@ -753,10 +906,27 @@ func (s *Sim) Step() error {
 				s.nm.Crash(e.Servers)
 				s.noteNetemEvent("crash", e.Servers)
 			}
+		case game.EventCrashLose:
+			if s.nm != nil {
+				s.nm.Crash(e.Servers)
+				for _, sid := range e.Servers {
+					s.loseState[sid] = true
+				}
+				s.noteNetemEvent("crash-lose", e.Servers)
+			}
 		case game.EventRecover:
 			if s.nm != nil {
+				recovered := e.Servers
+				if len(recovered) == 0 {
+					recovered = s.nm.CrashedServers()
+				}
 				s.nm.Recover(e.Servers)
 				s.noteNetemEvent("recover", e.Servers)
+				for _, sid := range recovered {
+					if s.loseState[sid] {
+						s.restartNode(sid)
+					}
+				}
 			}
 		}
 	}
@@ -764,6 +934,11 @@ func (s *Sim) Step() error {
 	// 1b. In-flight impaired messages due this tick arrive.
 	if s.nm != nil {
 		s.pumpNetem()
+	}
+
+	// 1c. Ghost expiry: cull clients whose departure their server never saw.
+	if s.nm != nil && s.ghostAfter > 0 && len(s.ghosts) > 0 {
+		s.expireGhosts()
 	}
 
 	// 2. Client traffic.
@@ -850,9 +1025,103 @@ func (s *Sim) Step() error {
 		s.sample()
 	}
 
+	// 8. Periodic checkpoints (the restore points for state-losing crash
+	// recovery). Crashed servers keep their last pre-crash checkpoint: a
+	// dead process cannot checkpoint itself.
+	if s.chkEvery > 0 && tick%s.chkEvery == 0 {
+		s.takeCheckpoints()
+	}
+
 	s.clk.Advance(time.Duration(dt * float64(time.Second)))
 	s.tick++
 	return nil
+}
+
+// takeCheckpoints captures every live server's full state.
+func (s *Sim) takeCheckpoints() {
+	for _, sid := range s.order {
+		if s.nm != nil && s.nm.Crashed(sid) {
+			continue
+		}
+		n := s.nodes[sid]
+		cs, err := n.core.CaptureState()
+		if err != nil {
+			s.reg.Counter("errors/checkpoint").Inc()
+			continue
+		}
+		gs, err := n.gs.CaptureState()
+		if err != nil {
+			s.reg.Counter("errors/checkpoint").Inc()
+			continue
+		}
+		s.checkpoints[sid] = &nodeCheckpoint{takenAt: s.now, core: cs, game: gs}
+	}
+}
+
+// restartNode models a state-losing crash recovery: the server process died
+// and its replacement starts from the last periodic checkpoint (cold when
+// none exists), resyncs its topology from the MC, and every client it served
+// must reconnect — their connections died with the process.
+func (s *Sim) restartNode(sid id.ServerID) {
+	n, ok := s.nodes[sid]
+	if !ok {
+		return
+	}
+	delete(s.loseState, sid)
+	chkCore, chkGame := s.blankNodeState(sid)
+	if chk := s.checkpoints[sid]; chk != nil {
+		chkCore, chkGame = chk.core, chk.game
+	}
+	if err := n.core.RestoreState(chkCore); err != nil {
+		s.reg.Counter("errors/restart").Inc()
+	}
+	if err := n.gs.RestoreState(chkGame); err != nil {
+		s.reg.Counter("errors/restart").Inc()
+	}
+	s.res.Restarts++
+	s.events = append(s.events, TopologyEvent{Time: s.now, Kind: "restart", Server: sid})
+
+	// The checkpoint rollback resurrects avatars the server had since let
+	// go of — departed clients AND clients who migrated to another server
+	// after the checkpoint (their live avatar is elsewhere; the copy here
+	// is a stale duplicate). Both register as ghosts; the idle expiry
+	// culls every copy except a live client's current one.
+	if s.ghostAfter > 0 {
+		for _, cid := range n.gs.ClientIDs() {
+			if sc, ok := s.clients[cid]; !ok || !sc.alive || sc.assigned != sid {
+				s.ghosts[cid] = s.now
+			}
+		}
+	}
+
+	// Topology resync from the MC: fresh overlap tables (when the server
+	// still owns a partition) and the authoritative range, with handoff
+	// targets for every active partition so stale clients redirect out.
+	envs, err := s.mc.Resync(sid)
+	if err != nil {
+		s.reg.Counter("errors/mc").Inc()
+	}
+	for _, e := range envs {
+		s.deliverToCore(e.To, id.None, e.Msg)
+	}
+
+	// The restart reset every connection: clients of this server rejoin
+	// via the hello-retry path, and the recovery-gap histogram times the
+	// crash-recovery blackout each one experienced.
+	for _, sc := range s.clientsInOrder() {
+		if sc.alive && sc.assigned == sid {
+			sc.cl.Disconnect()
+			s.rejoinSince[sc.cl.ID()] = s.now
+			s.res.RecoveryRejoins++
+		}
+	}
+}
+
+// blankNodeState is the cold-restart image: a registered but inactive
+// server that has lost everything.
+func (s *Sim) blankNodeState(sid id.ServerID) (*core.State, *gameserver.State) {
+	return &core.State{ID: sid, World: s.cfg.World, Radius: s.cfg.Profile.Radius},
+		&gameserver.State{}
 }
 
 // Finish aggregates and returns the result. Call it after Done (a pooled
@@ -956,6 +1225,7 @@ func (s *Sim) finish() *Result {
 	res.Metrics = s.reg
 	res.Latency = s.lat
 	res.SwitchLatency = s.swLat
+	res.RecoveryGap = s.recGap
 	res.Events = s.events
 	for _, sid := range s.order {
 		n := s.nodes[sid]

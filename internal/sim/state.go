@@ -1,0 +1,498 @@
+// Snapshot support: State is a Sim's complete serializable image, and
+// RestoreSim rebuilds a Sim that continues byte-identically to the captured
+// run (fingerprint-verified by internal/snapshot's tests).
+//
+// Every collection in State is a deterministically ordered slice — node
+// order is the registration order, clients and ghosts sort by ID, delayed
+// buckets sort by due tick — so encoding the same State twice produces
+// byte-identical output. Protocol messages held in queues serialize as wire
+// frames (the codec the transports already pin with golden tests).
+//
+// The DTOs live here, next to the fields they mirror; internal/snapshot
+// wraps State in a versioned envelope and owns the file format.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"maps"
+	"slices"
+	"time"
+
+	"matrix/internal/clock"
+	"matrix/internal/coordinator"
+	"matrix/internal/core"
+	"matrix/internal/game"
+	"matrix/internal/gameclient"
+	"matrix/internal/gameserver"
+	"matrix/internal/id"
+	"matrix/internal/metrics"
+	"matrix/internal/netem"
+	"matrix/internal/protocol"
+)
+
+// ClientState is one synthetic player inside a State.
+type ClientState struct {
+	Client    gameclient.State
+	Mover     game.MoverState
+	Tag       string
+	Assigned  id.ServerID
+	Acc       float64
+	Alive     bool
+	HelloAt   float64
+	RedirAt   float64
+	RedirOpen bool
+}
+
+// NodeState is one server slot inside a State.
+type NodeState struct {
+	Server id.ServerID
+	Core   *core.State
+	Game   *gameserver.State
+}
+
+// DelayedEntry is one in-flight netem-delayed message.
+type DelayedEntry struct {
+	FromServer id.ServerID
+	FromClient id.ClientID
+	ToServer   id.ServerID
+	ToClient   id.ClientID
+	Kind       uint8
+	Frame      []byte
+}
+
+// DelayedBucket holds the messages due at one tick, in send order.
+type DelayedBucket struct {
+	DueTick int
+	Entries []DelayedEntry
+}
+
+// GhostState is one pending ghost client (lost despawn awaiting expiry).
+type GhostState struct {
+	Client    id.ClientID
+	DroppedAt float64
+}
+
+// CheckpointState is one server's periodic checkpoint.
+type CheckpointState struct {
+	Server  id.ServerID
+	TakenAt float64
+	Core    *core.State
+	Game    *gameserver.State
+}
+
+// RejoinState is one client reconnecting after a server restart.
+type RejoinState struct {
+	Client id.ClientID
+	Since  float64
+}
+
+// SkipState is one client's latency-window skip count.
+type SkipState struct {
+	Client id.ClientID
+	Skip   int
+}
+
+// CountersState mirrors the scalar accumulators of Result that are live
+// during a run (the rest are derived at Finish).
+type CountersState struct {
+	PeakServers     int
+	Redirects       uint64
+	ClientSeconds   float64
+	NetemActive     bool
+	NetemLost       uint64
+	NetemSevered    uint64
+	NetemDelayed    uint64
+	GhostsExpired   uint64
+	Restarts        uint64
+	RecoveryRejoins uint64
+}
+
+// State is a Sim's complete serializable image between two ticks.
+type State struct {
+	Config      Config
+	Tick        int
+	RNG         uint64
+	Gen         id.GeneratorState
+	Coordinator *coordinator.State
+	Nodes       []NodeState
+	Clients     []ClientState
+
+	Registry      metrics.RegistryState
+	Latency       []float64
+	SwitchLatency []float64
+	RecoveryGap   []float64
+	Events        []TopologyEvent
+	Counters      CountersState
+	ActivePrev    []id.ServerID
+	LatSkip       []SkipState
+	LatWindowed   bool
+
+	Netem       *netem.ModelState
+	Delayed     []DelayedBucket
+	Ghosts      []GhostState
+	LoseState   []id.ServerID
+	Checkpoints []CheckpointState
+	Rejoins     []RejoinState
+}
+
+// CaptureState snapshots the simulation between two ticks. The returned
+// State shares no mutable memory with the Sim: the run may continue (or the
+// State may seed several restored runs) without either affecting the other.
+// Valid after Start; the usual points are mid-run (between Step calls) or
+// after Done.
+func (s *Sim) CaptureState() (*State, error) {
+	if !s.started {
+		return nil, errors.New("sim: capture before Start")
+	}
+	st := &State{
+		Config: s.cfg,
+		Tick:   s.tick,
+		RNG:    s.rng.state,
+		Gen:    s.gen.State(),
+
+		Registry:      s.reg.State(),
+		Latency:       s.lat.Samples(),
+		SwitchLatency: s.swLat.Samples(),
+		RecoveryGap:   s.recGap.Samples(),
+		Events:        append([]TopologyEvent(nil), s.events...),
+		LatWindowed:   s.latWindowed,
+		Counters: CountersState{
+			PeakServers:     s.res.PeakServers,
+			Redirects:       s.res.Redirects,
+			ClientSeconds:   s.res.ClientSeconds,
+			NetemActive:     s.res.NetemActive,
+			NetemLost:       s.res.NetemLost,
+			NetemSevered:    s.res.NetemSevered,
+			NetemDelayed:    s.res.NetemDelayed,
+			GhostsExpired:   s.res.GhostsExpired,
+			Restarts:        s.res.Restarts,
+			RecoveryRejoins: s.res.RecoveryRejoins,
+		},
+	}
+	st.Coordinator = s.mc.CaptureState()
+
+	for _, sid := range s.order {
+		n := s.nodes[sid]
+		cs, err := n.core.CaptureState()
+		if err != nil {
+			return nil, fmt.Errorf("sim: capture %v core: %w", sid, err)
+		}
+		gs, err := n.gs.CaptureState()
+		if err != nil {
+			return nil, fmt.Errorf("sim: capture %v game server: %w", sid, err)
+		}
+		st.Nodes = append(st.Nodes, NodeState{Server: sid, Core: cs, Game: gs})
+	}
+
+	for _, cid := range sortedClientIDs(s.clients) {
+		sc := s.clients[cid]
+		st.Clients = append(st.Clients, ClientState{
+			Client:    sc.cl.State(),
+			Mover:     sc.mover.State(),
+			Tag:       sc.tag,
+			Assigned:  sc.assigned,
+			Acc:       sc.acc,
+			Alive:     sc.alive,
+			HelloAt:   sc.helloAt,
+			RedirAt:   sc.redirAt,
+			RedirOpen: sc.redirOpen,
+		})
+	}
+
+	for _, sid := range s.order {
+		if s.activePrev[sid] {
+			st.ActivePrev = append(st.ActivePrev, sid)
+		}
+	}
+	for _, cid := range sortedClientIDs(s.latSkip) {
+		st.LatSkip = append(st.LatSkip, SkipState{Client: cid, Skip: s.latSkip[cid]})
+	}
+
+	if s.nm != nil {
+		ns := s.nm.State()
+		st.Netem = &ns
+
+		dues := make([]int, 0, len(s.nq))
+		for due := range s.nq {
+			dues = append(dues, due)
+		}
+		slices.Sort(dues)
+		for _, due := range dues {
+			bucket := DelayedBucket{DueTick: due}
+			for _, e := range s.nq[due] {
+				frame, err := protocol.Marshal(e.msg)
+				if err != nil {
+					return nil, fmt.Errorf("sim: capture delayed %v: %w", e.msg.MsgType(), err)
+				}
+				bucket.Entries = append(bucket.Entries, DelayedEntry{
+					FromServer: e.from.Server,
+					FromClient: e.from.Client,
+					ToServer:   e.to.Server,
+					ToClient:   e.to.Client,
+					Kind:       uint8(e.kind),
+					Frame:      frame,
+				})
+			}
+			st.Delayed = append(st.Delayed, bucket)
+		}
+
+	}
+
+	// Crash-recovery bookkeeping is independent of whether emulation is
+	// active yet: a netem-free warmup accrues checkpoints that a branched
+	// tail's crash events will need.
+	for _, cid := range sortedClientIDs(s.ghosts) {
+		st.Ghosts = append(st.Ghosts, GhostState{Client: cid, DroppedAt: s.ghosts[cid]})
+	}
+	for _, sid := range sortedServerIDs(s.loseState) {
+		st.LoseState = append(st.LoseState, sid)
+	}
+	for _, sid := range s.order {
+		if chk := s.checkpoints[sid]; chk != nil {
+			st.Checkpoints = append(st.Checkpoints, CheckpointState{
+				Server: sid, TakenAt: chk.takenAt, Core: chk.core, Game: chk.game,
+			})
+		}
+	}
+	for _, cid := range sortedClientIDs(s.rejoinSince) {
+		st.Rejoins = append(st.Rejoins, RejoinState{Client: cid, Since: s.rejoinSince[cid]})
+	}
+	return st, nil
+}
+
+// RestoreOptions lets a restored run diverge from the captured one at or
+// after the snapshot point — the branching-sweep primitive.
+type RestoreOptions struct {
+	// Script, when non-nil, replaces the captured config's script. Every
+	// event strictly before the snapshot time must match the captured
+	// script exactly (those events already executed); events at or after
+	// it may differ freely.
+	Script game.Script
+	// DurationSeconds, when positive, overrides the captured run length.
+	// It must not cut the run shorter than the snapshot point.
+	DurationSeconds float64
+}
+
+// Restore rebuilds a simulation from a captured state; the state is not
+// retained and may seed any number of restores.
+func Restore(st *State) (*Sim, error) {
+	return RestoreWith(st, RestoreOptions{})
+}
+
+// RestoreWith rebuilds a simulation from a captured state, optionally
+// replacing the script tail and run length (see RestoreOptions). The
+// restored run continues byte-identically to the captured one when the
+// options are empty.
+func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
+	cfg := st.Config
+	snapTime := float64(st.Tick) * cfg.TickSeconds
+	if opts.Script != nil {
+		if err := scriptPrefixesMatch(cfg.Script, opts.Script, snapTime); err != nil {
+			return nil, err
+		}
+		cfg.Script = opts.Script
+	}
+	if opts.DurationSeconds > 0 {
+		cfg.DurationSeconds = opts.DurationSeconds
+	}
+	cfg, err := cfg.sanitized()
+	if err != nil {
+		return nil, err
+	}
+	if int(cfg.DurationSeconds/cfg.TickSeconds+0.5)+1 < st.Tick {
+		return nil, errors.New("sim: restored duration ends before the snapshot point")
+	}
+
+	s := &Sim{
+		cfg:         cfg,
+		clk:         clock.NewVirtual(time.Unix(0, 0)),
+		nodes:       make(map[id.ServerID]*node),
+		clients:     make(map[id.ClientID]*simClient),
+		reg:         metrics.NewRegistryFromState(st.Registry),
+		lat:         metrics.NewHistogramFromSamples(st.Latency),
+		swLat:       metrics.NewHistogramFromSamples(st.SwitchLatency),
+		recGap:      metrics.NewHistogramFromSamples(st.RecoveryGap),
+		activePrev:  make(map[id.ServerID]bool),
+		latSkip:     make(map[id.ClientID]int),
+		ghosts:      make(map[id.ClientID]float64),
+		loseState:   make(map[id.ServerID]bool),
+		checkpoints: make(map[id.ServerID]*nodeCheckpoint),
+		rejoinSince: make(map[id.ClientID]float64),
+		rngSeed:     cfg.Seed,
+		started:     true,
+		tick:        st.Tick,
+		latWindowed: st.LatWindowed,
+	}
+	s.initCadence()
+	s.rng = &mulberryRand{state: st.RNG}
+	s.gen.SetState(st.Gen)
+	s.now = float64(st.Tick) * s.dt
+	// Advance the virtual clock tick by tick's worth in one jump: Time
+	// addition is exact integer nanosecond arithmetic, so k single-tick
+	// advances equal one k-tick advance.
+	s.clk.Advance(time.Duration(st.Tick) * time.Duration(s.dt*float64(time.Second)))
+
+	mcCfg := coordinator.Config{World: cfg.World, Static: cfg.Static}
+	s.mc, err = coordinator.New(mcCfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.Coordinator == nil {
+		return nil, errors.New("sim: state has no coordinator")
+	}
+	if err := s.mc.RestoreState(st.Coordinator); err != nil {
+		return nil, err
+	}
+
+	for _, ns := range st.Nodes {
+		if ns.Core == nil || ns.Game == nil {
+			return nil, fmt.Errorf("sim: node %v state incomplete", ns.Server)
+		}
+		reply := &protocol.RegisterReply{Server: ns.Server, Bounds: ns.Core.Bounds, World: cfg.World}
+		cs, err := core.NewServer(core.Config{Load: cfg.LoadPolicy, Clock: s.clk}, reply, cfg.Profile.Radius)
+		if err != nil {
+			return nil, err
+		}
+		if err := cs.RestoreState(ns.Core); err != nil {
+			return nil, fmt.Errorf("sim: restore %v core: %w", ns.Server, err)
+		}
+		gs, err := gameserver.New(gameserver.Config{
+			Server:       ns.Server,
+			Bounds:       ns.Game.Bounds,
+			Radius:       cfg.Profile.Radius,
+			MaxQueue:     cfg.MaxQueue,
+			ResolveOwner: cs.ResolveOwner,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := gs.RestoreState(ns.Game); err != nil {
+			return nil, fmt.Errorf("sim: restore %v game server: %w", ns.Server, err)
+		}
+		s.nodes[ns.Server] = &node{core: cs, gs: gs}
+		s.order = append(s.order, ns.Server)
+	}
+
+	for _, cst := range st.Clients {
+		cl, err := gameclient.NewFromState(cst.Client, s.clk)
+		if err != nil {
+			return nil, fmt.Errorf("sim: restore client %v: %w", cst.Client.ID, err)
+		}
+		s.clients[cst.Client.ID] = &simClient{
+			cl:        cl,
+			mover:     game.NewMoverFromState(cfg.Profile, cfg.World, cst.Mover),
+			tag:       cst.Tag,
+			assigned:  cst.Assigned,
+			acc:       cst.Acc,
+			alive:     cst.Alive,
+			helloAt:   cst.HelloAt,
+			redirAt:   cst.RedirAt,
+			redirOpen: cst.RedirOpen,
+		}
+	}
+
+	s.events = append([]TopologyEvent(nil), st.Events...)
+	s.res.PeakServers = st.Counters.PeakServers
+	s.res.Redirects = st.Counters.Redirects
+	s.res.ClientSeconds = st.Counters.ClientSeconds
+	s.res.NetemActive = st.Counters.NetemActive
+	s.res.NetemLost = st.Counters.NetemLost
+	s.res.NetemSevered = st.Counters.NetemSevered
+	s.res.NetemDelayed = st.Counters.NetemDelayed
+	s.res.GhostsExpired = st.Counters.GhostsExpired
+	s.res.Restarts = st.Counters.Restarts
+	s.res.RecoveryRejoins = st.Counters.RecoveryRejoins
+	for _, sid := range st.ActivePrev {
+		s.activePrev[sid] = true
+	}
+	for _, sk := range st.LatSkip {
+		s.latSkip[sk.Client] = sk.Skip
+	}
+
+	switch {
+	case st.Netem != nil:
+		s.nm = netem.NewModelFromState(*st.Netem)
+		s.nq = make(map[int][]netemEntry)
+		for _, bucket := range st.Delayed {
+			entries := make([]netemEntry, 0, len(bucket.Entries))
+			for _, e := range bucket.Entries {
+				m, err := protocol.Unmarshal(e.Frame)
+				if err != nil {
+					return nil, fmt.Errorf("sim: restore delayed frame: %w", err)
+				}
+				entries = append(entries, netemEntry{
+					from: netem.Endpoint{Server: e.FromServer, Client: e.FromClient},
+					to:   netem.Endpoint{Server: e.ToServer, Client: e.ToClient},
+					kind: netemDest(e.Kind),
+					msg:  m,
+				})
+			}
+			s.nq[bucket.DueTick] = entries
+		}
+	case cfg.Netem.Enabled() || s.script.HasImpairment():
+		// The captured run never activated emulation, but the (possibly
+		// replaced) script introduces it after the snapshot point — the
+		// branching case of a clean warmup fanning into impaired tails.
+		// This matches a cold run of the full script: its model would have
+		// existed from t=0 but, with a zero link config and no events yet,
+		// would have made no draws and held no link state.
+		ncfg := cfg.Netem
+		if ncfg.Seed == 0 {
+			ncfg.Seed = cfg.Seed
+		}
+		s.nm = netem.NewModel(ncfg)
+		s.nq = make(map[int][]netemEntry)
+		s.res.NetemActive = true
+	}
+	for _, g := range st.Ghosts {
+		s.ghosts[g.Client] = g.DroppedAt
+	}
+	for _, sid := range st.LoseState {
+		s.loseState[sid] = true
+	}
+	for _, chk := range st.Checkpoints {
+		s.checkpoints[chk.Server] = &nodeCheckpoint{takenAt: chk.TakenAt, core: chk.Core, game: chk.Game}
+	}
+	for _, r := range st.Rejoins {
+		s.rejoinSince[r.Client] = r.Since
+	}
+	return s, nil
+}
+
+// scriptPrefixesMatch verifies that every event strictly before cutoff is
+// identical in both scripts (after time-sorting, the order the simulator
+// executes them in).
+func scriptPrefixesMatch(captured, replacement game.Script, cutoff float64) error {
+	a := captured.PrefixBefore(cutoff)
+	b := replacement.PrefixBefore(cutoff)
+	if len(a) != len(b) {
+		return fmt.Errorf("sim: replacement script has %d events before t=%g, captured run had %d", len(b), cutoff, len(a))
+	}
+	for i := range a {
+		if !eventsEqual(a[i], b[i]) {
+			return fmt.Errorf("sim: replacement script diverges before the snapshot point (event %d, t=%g)", i, a[i].At)
+		}
+	}
+	return nil
+}
+
+// eventsEqual compares two script events field by field.
+func eventsEqual(a, b game.Event) bool {
+	if a.At != b.At || a.Kind != b.Kind || a.Count != b.Count ||
+		a.Center != b.Center || a.Spread != b.Spread || a.Tag != b.Tag ||
+		a.Impair != b.Impair {
+		return false
+	}
+	return slices.Equal(a.Servers, b.Servers)
+}
+
+// sortedClientIDs returns a client-keyed map's keys, sorted.
+func sortedClientIDs[V any](m map[id.ClientID]V) []id.ClientID {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// sortedServerIDs returns a server-keyed map's keys, sorted.
+func sortedServerIDs(m map[id.ServerID]bool) []id.ServerID {
+	return slices.Sorted(maps.Keys(m))
+}

@@ -1,0 +1,67 @@
+package snapshot
+
+import (
+	"testing"
+
+	"matrix/internal/experiments"
+	"matrix/internal/sim"
+)
+
+// TestScenarioFingerprintEquivalence is the tentpole acceptance gate on
+// the real scenario table: snapshot a scenario mid-run at tick T, push the
+// snapshot through the full serialize/deserialize path (what -snapshot /
+// -restore files do between processes), restore, finish — the
+// Result.Fingerprint must be byte-identical to the uninterrupted run.
+// Covers plain, netem-impaired and crash-recovery scenarios.
+func TestScenarioFingerprintEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four table scenarios twice each")
+	}
+	for _, name := range []string{"flashcrowd", "reclaimstress", "lossy", "recovery"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, ok := experiments.ScenarioByName(name)
+			if !ok {
+				t.Fatalf("scenario %q missing from the table", name)
+			}
+			cfg := sc.Config(9)
+
+			cold, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cold.Start(); err != nil {
+				t.Fatal(err)
+			}
+			want := finishRun(t, cold)
+
+			warm, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := warm.Start(); err != nil {
+				t.Fatal(err)
+			}
+			runTo(t, warm, 55)
+			snap, err := Capture(warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := Marshal(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := Unmarshal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := Restore(decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := finishRun(t, restored); got != want {
+				t.Errorf("scenario %q: restored run diverged from uninterrupted run", name)
+			}
+		})
+	}
+}

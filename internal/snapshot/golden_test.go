@@ -1,0 +1,132 @@
+package snapshot
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"matrix/internal/game"
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/load"
+	"matrix/internal/netem"
+	"matrix/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot files")
+
+// goldenConfig is a miniature run that still populates every snapshot
+// section: netem link state and delayed messages, ghosts, checkpoints, a
+// state-losing crash, splits and live clients.
+func goldenConfig() sim.Config {
+	return sim.Config{
+		Profile:                game.Daimonin(), // low rate + short radius keep the golden small
+		World:                  geom.R(0, 0, 200, 200),
+		Seed:                   42,
+		DurationSeconds:        40,
+		MaxServers:             2,
+		ServiceRatePerTick:     400,
+		BasePopulation:         10,
+		LoadPolicy:             load.Config{OverloadClients: 40, UnderloadClients: 20},
+		CheckpointEverySeconds: 5,
+		GhostExpirySeconds:     8,
+		Netem:                  netem.Config{Link: netem.LinkConfig{DelayMs: 30, JitterMs: 80, Loss: 0.08}},
+		Script: game.Script{
+			{At: 3, Kind: game.EventJoin, Count: 50, Center: geom.Pt(150, 50), Spread: 20, Tag: "crowd"},
+			{At: 12, Kind: game.EventLeave, Count: 25, Tag: "crowd"},
+			{At: 16, Kind: game.EventCrashLose, Servers: []id.ServerID{2}},
+			{At: 22, Kind: game.EventRecover},
+		},
+	}
+}
+
+const goldenPath = "testdata/v1-tiny.snap.json"
+
+// goldenBytes regenerates the golden snapshot from the deterministic run.
+func goldenBytes(t *testing.T) []byte {
+	t.Helper()
+	s, err := sim.New(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	runTo(t, s, 26) // past the restart: ghosts, checkpoints and rejoins in flight
+	snap, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGoldenV1 is the format gate (CI runs `-run Golden`): the checked-in
+// v1 snapshot must decode with the current code, restore into a runnable
+// simulation, and re-encode byte-identically. Any State change that breaks
+// this must come with a Version bump and a decoder shim — never a silent
+// format drift.
+func TestGoldenV1(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, goldenBytes(t), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+
+	snap, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("decode v1 golden with current code: %v", err)
+	}
+	if snap.Version != 1 {
+		t.Fatalf("golden version = %d, want 1", snap.Version)
+	}
+
+	// Re-encode: byte-identical, or the format drifted without a bump.
+	out, err := Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(out), bytes.TrimSpace(data)) {
+		t.Error("golden snapshot does not re-encode byte-identically: the format drifted — bump snapshot.Version and add a new golden")
+	}
+
+	// Restore: the old snapshot must still produce a runnable simulation.
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatalf("restore v1 golden: %v", err)
+	}
+	fp := finishRun(t, restored)
+	if fp == "" {
+		t.Error("restored golden produced an empty fingerprint")
+	}
+}
+
+// TestGoldenMatchesCurrentCapture pins capture determinism end to end: the
+// same deterministic run captured by the current code must byte-match the
+// checked-in golden. This fails when capture order or field contents change
+// — the moment to decide between fixing the regression and bumping Version.
+func TestGoldenMatchesCurrentCapture(t *testing.T) {
+	if *update {
+		t.Skip("golden being rewritten")
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	got := goldenBytes(t)
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+		t.Error("current capture of the golden run differs from the checked-in golden (regenerate with -update if intentional, and bump Version if the format changed)")
+	}
+}

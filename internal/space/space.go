@@ -377,6 +377,81 @@ func (m *Map) ReclaimableChildren(s id.ServerID) []id.ServerID {
 	return out
 }
 
+// PartitionNode is one partition plus its split-tree parent, the unit of a
+// MapState snapshot.
+type PartitionNode struct {
+	Owner  id.ServerID
+	Bounds geom.Rect
+	Parent id.ServerID // id.None for the root
+}
+
+// MapState is a Map's serializable snapshot. Nodes are sorted by owner so
+// encoding the same map twice produces byte-identical output.
+type MapState struct {
+	World   geom.Rect
+	Root    id.ServerID
+	Version uint64
+	Nodes   []PartitionNode
+}
+
+// State snapshots the map: partitions, tree edges and the topology version.
+func (m *Map) State() MapState {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st := MapState{World: m.world, Root: m.root, Version: m.version}
+	for s, b := range m.bounds {
+		st.Nodes = append(st.Nodes, PartitionNode{Owner: s, Bounds: b, Parent: m.parent[s]})
+	}
+	sort.Slice(st.Nodes, func(i, j int) bool { return st.Nodes[i].Owner < st.Nodes[j].Owner })
+	return st
+}
+
+// NewMapFromState rebuilds a map from a snapshot, re-deriving the children
+// index and re-checking every structural invariant.
+func NewMapFromState(st MapState) (*Map, error) {
+	if st.World.Empty() {
+		return nil, errors.New("space: world rectangle is empty")
+	}
+	if !st.Root.Valid() {
+		return nil, errors.New("space: root server id is invalid")
+	}
+	m := &Map{
+		world:    st.World,
+		bounds:   make(map[id.ServerID]geom.Rect, len(st.Nodes)),
+		parent:   map[id.ServerID]id.ServerID{},
+		children: map[id.ServerID]map[id.ServerID]bool{},
+		root:     st.Root,
+		version:  st.Version,
+	}
+	for _, n := range st.Nodes {
+		if !n.Owner.Valid() {
+			return nil, errors.New("space: invalid owner in map state")
+		}
+		if _, dup := m.bounds[n.Owner]; dup {
+			return nil, fmt.Errorf("%w: %v", ErrDuplicateOwner, n.Owner)
+		}
+		m.bounds[n.Owner] = n.Bounds
+		if n.Owner == st.Root {
+			continue
+		}
+		if !n.Parent.Valid() {
+			return nil, fmt.Errorf("space: non-root %v has no parent", n.Owner)
+		}
+		m.parent[n.Owner] = n.Parent
+		if m.children[n.Parent] == nil {
+			m.children[n.Parent] = make(map[id.ServerID]bool)
+		}
+		m.children[n.Parent][n.Owner] = true
+	}
+	if _, ok := m.bounds[st.Root]; !ok {
+		return nil, fmt.Errorf("space: root %v missing from map state", st.Root)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // Validate checks the structural invariants: pairwise-disjoint partitions
 // exactly tiling the world, and a parent map that forms a tree rooted at
 // Root. It is used by tests and by the coordinator's self-checks.

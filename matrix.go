@@ -37,6 +37,7 @@ import (
 	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/sim"
+	"matrix/internal/snapshot"
 	"matrix/internal/staticpart"
 	"matrix/internal/transport"
 )
@@ -98,6 +99,7 @@ const (
 	EventHeal      = game.EventHeal
 	EventCrash     = game.EventCrash
 	EventRecover   = game.EventRecover
+	EventCrashLose = game.EventCrashLose
 )
 
 // Pt builds a Point.
@@ -158,6 +160,7 @@ type options struct {
 	serviceRate int
 	maxQueue    int
 	report      time.Duration
+	restore     []byte
 }
 
 func defaultOptions() options {
@@ -215,6 +218,14 @@ func WithMaxQueue(n int) Option { return func(o *options) { o.maxQueue = n } }
 // WithReportInterval sets the load-report cadence (servers).
 func WithReportInterval(d time.Duration) Option { return func(o *options) { o.report = d } }
 
+// WithRestoreSnapshot makes a server adopt the game world (client avatars
+// and map objects) from a snapshot blob before it starts serving, so no
+// client can join into a window a later restore would wipe. Topology is
+// not restored — the server registers freshly (servers only).
+func WithRestoreSnapshot(blob []byte) Option {
+	return func(o *options) { o.restore = append([]byte(nil), blob...) }
+}
+
 // RunSimulation executes one deterministic simulation and returns its
 // result (series, latencies, topology events). It is how the bundled
 // experiments regenerate the paper's figures.
@@ -229,6 +240,18 @@ func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
 // NewSimulation builds a simulation without running it, for callers that
 // want to inspect cluster state afterwards.
 func NewSimulation(cfg SimulationConfig) (*sim.Sim, error) { return sim.New(cfg) }
+
+// SimulationSnapshot is a complete captured simulation state, restorable
+// into a run that continues byte-identically (see internal/snapshot).
+type SimulationSnapshot = snapshot.Snapshot
+
+// CaptureSimulation freezes a simulation built with NewSimulation (between
+// steps, or after it finished) into a versioned snapshot.
+func CaptureSimulation(s *sim.Sim) (*SimulationSnapshot, error) { return snapshot.Capture(s) }
+
+// RestoreSimulation rebuilds a simulation from a snapshot; the restored
+// run's Result.Fingerprint matches the uninterrupted run's byte for byte.
+func RestoreSimulation(snap *SimulationSnapshot) (*sim.Sim, error) { return snapshot.Restore(snap) }
 
 // internal glue shared by the constructors in cluster.go.
 func (o options) coordinatorConfig() coordinator.Config {
