@@ -203,6 +203,45 @@ func BenchmarkScenarioSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioSimWorkers measures the intra-sim tick engine: the two
+// biggest single runs in the table (the surge family's shared warmup
+// scenario and the crash-recovery scenario) at increasing
+// Config.SimWorkers. Results are byte-identical across the sweep (the
+// engine's contract); only the wall clock moves. docs/PERF.md records
+// this table — regenerate with:
+//
+//	go test -bench ScenarioSimWorkers -benchtime 3x
+func BenchmarkScenarioSimWorkers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("8 full runs of the two heaviest scenarios; the CI smoke step only needs benchmarks to compile")
+	}
+	for _, name := range []string{"surge-drain", "recovery"} {
+		sc, ok := experiments.ScenarioByName(name)
+		if !ok {
+			b.Fatalf("scenario %q missing from the table", name)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/sim-workers=%d", name, w), func(b *testing.B) {
+				var peak float64
+				for i := 0; i < b.N; i++ {
+					cfg := sc.Config(1)
+					cfg.SimWorkers = w
+					s, err := sim.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := s.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					peak = float64(res.PeakServers)
+				}
+				b.ReportMetric(peak, "peak-servers")
+			})
+		}
+	}
+}
+
 // --- Ablations (design choices the paper leaves open) ---
 
 // ablationConfig is a small hotspot scenario shared by the ablations.

@@ -42,6 +42,7 @@ func run(args []string) error {
 	expFlag := fs.String("exp", "all", "experiments to run: all or a comma list of "+strings.Join(order, ","))
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	simWorkers := fs.Int("sim-workers", 0, "intra-sim tick worker pool per simulation (<=1 = serial; fingerprints are identical for any value)")
 	scenarioFlag := fs.String("scenario", "all", "scenarios for -exp scenarios: all or a comma list of "+strings.Join(experiments.ScenarioNames(), ","))
 	listFlag := fs.Bool("list", false, "print the scenario table (name + description) and exit")
 	branchFlag := fs.Bool("branch", false, "share scenario-family warmups via snapshots in -exp scenarios (results identical to cold starts)")
@@ -62,13 +63,13 @@ func run(args []string) error {
 	// Ctrl-C cancels in-flight sweeps mid-run instead of between runs.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	runner := experiments.Runner{Workers: *workers}
+	runner := experiments.Runner{Workers: *workers, SimWorkers: *simWorkers}
 
 	if *restoreFile != "" {
-		return runRestore(ctx, *restoreFile)
+		return runRestore(ctx, *restoreFile, *simWorkers)
 	}
 	if *snapFile != "" {
-		return runSnapshot(ctx, *snapFile, *snapAt, *scenarioFlag, *seed)
+		return runSnapshot(ctx, *snapFile, *snapAt, *scenarioFlag, *seed, *simWorkers)
 	}
 
 	want := map[string]bool{}
@@ -196,7 +197,7 @@ func run(args []string) error {
 // runSnapshot runs one scenario, captures its complete state at the given
 // virtual time into a file, then finishes the run and prints its
 // fingerprint digest — the value a later -restore run must reproduce.
-func runSnapshot(ctx context.Context, path string, at float64, scenarioFlag string, seed int64) error {
+func runSnapshot(ctx context.Context, path string, at float64, scenarioFlag string, seed int64, simWorkers int) error {
 	name := strings.TrimSpace(scenarioFlag)
 	if name == "" || name == "all" || strings.Contains(name, ",") {
 		return fmt.Errorf("-snapshot needs exactly one -scenario (have %q)", scenarioFlag)
@@ -206,7 +207,16 @@ func runSnapshot(ctx context.Context, path string, at float64, scenarioFlag stri
 		return fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(experiments.ScenarioNames(), ","))
 	}
 	cfg := sc.Config(seed)
-	if at <= 0 {
+	cfg.SimWorkers = simWorkers
+	// A capture point at or past the scenario's end would silently never
+	// fire mid-run (the loop below finishes first and captures a trivial
+	// end-state snapshot); a negative one is never reached. Fail fast and
+	// name the valid range against the resolved duration instead.
+	if at < 0 || at >= cfg.DurationSeconds {
+		return fmt.Errorf("-snapshot-at %g is outside scenario %q, which runs %g simulated seconds; valid range is 0 < t < %g (0 picks the midpoint)",
+			at, name, cfg.DurationSeconds, cfg.DurationSeconds)
+	}
+	if at == 0 {
 		at = cfg.DurationSeconds / 2
 	}
 	s, err := sim.New(cfg)
@@ -254,13 +264,14 @@ func stepAll(ctx context.Context, s *sim.Sim, until float64) error {
 }
 
 // runRestore loads a snapshot file, finishes the run, and prints the same
-// fingerprint digest the capturing process printed.
-func runRestore(ctx context.Context, path string) error {
+// fingerprint digest the capturing process printed — whatever -sim-workers
+// either process ran with (snapshots never record a worker count).
+func runRestore(ctx context.Context, path string, simWorkers int) error {
 	snap, err := snapshot.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	s, err := snapshot.Restore(snap)
+	s, err := snapshot.RestoreWith(snap, sim.RestoreOptions{SimWorkers: simWorkers})
 	if err != nil {
 		return err
 	}

@@ -161,6 +161,9 @@ func BranchedOutputs(ctx context.Context, r Runner, seed int64, names ...string)
 func (r Runner) runWarmup(ctx context.Context, cfg sim.Config, warmup float64) (*sim.State, error) {
 	warmCfg := cfg
 	warmCfg.Script = cfg.Script.PrefixBefore(warmup)
+	if warmCfg.SimWorkers == 0 {
+		warmCfg.SimWorkers = r.SimWorkers
+	}
 	s, err := sim.New(warmCfg)
 	if err != nil {
 		return nil, err
@@ -185,9 +188,14 @@ func (r Runner) runWarmup(ctx context.Context, cfg sim.Config, warmup float64) (
 // runTail restores a member simulation from the family snapshot and drives
 // it to completion.
 func (r Runner) runTail(ctx context.Context, st *sim.State, cfg sim.Config) (*sim.Result, error) {
+	simWorkers := cfg.SimWorkers
+	if simWorkers == 0 {
+		simWorkers = r.SimWorkers
+	}
 	s, err := sim.RestoreWith(st, sim.RestoreOptions{
 		Script:          cfg.Script,
 		DurationSeconds: cfg.DurationSeconds,
+		SimWorkers:      simWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -228,9 +236,11 @@ func validateFamily(fam string, warmup float64, cfgs []sim.Config, warmups []flo
 }
 
 // normalizeConfig blanks the per-member fields so DeepEqual compares only
-// what the warmup actually shares.
+// what the warmup actually shares. SimWorkers is an execution knob that
+// never affects results, so members may differ on it freely.
 func normalizeConfig(cfg sim.Config) sim.Config {
 	cfg.Script = nil
 	cfg.DurationSeconds = 0
+	cfg.SimWorkers = 0
 	return cfg
 }

@@ -39,6 +39,12 @@ type RunOutput struct {
 type Runner struct {
 	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// SimWorkers bounds each simulation's intra-sim tick worker pool
+	// (sim.Config.SimWorkers) for jobs that do not set one themselves;
+	// <= 1 steps each tick serially. Fingerprints are identical for any
+	// value, so a sweep may combine both pools — across-sim workers for
+	// many small runs, intra-sim workers for a few large ones.
+	SimWorkers int
 	// CancelEveryTicks is how many simulation steps a worker advances
 	// between context polls; <= 0 means 50 (5 simulated seconds at the
 	// default 0.1s tick).
@@ -62,6 +68,9 @@ func (r Runner) cancelEvery() int {
 // runOne drives a single simulation with step primitives, polling ctx so a
 // sweep cancels mid-run instead of only between runs.
 func (r Runner) runOne(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	if cfg.SimWorkers == 0 {
+		cfg.SimWorkers = r.SimWorkers
+	}
 	s, err := sim.New(cfg)
 	if err != nil {
 		return nil, err

@@ -258,3 +258,42 @@ func TestParseSpec(t *testing.T) {
 		t.Errorf("String round-trip: %+v -> %q -> %+v (%v)", l, l.String(), rt, err)
 	}
 }
+
+// TestParseSpecNegativeDurations pins the error shape for negative delay
+// and jitter in both accepted forms: the Go-duration branch ("-5ms") and
+// the bare-millisecond fallback ("-5") must fail identically, at parse
+// time, naming the offending element — the fallback used to accept the
+// value and leave the failure to the trailing Validate, whose message
+// named neither.
+func TestParseSpecNegativeDurations(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want string // error substring, "" = must parse
+	}{
+		{"delay=-5ms", `netem: spec delay=-5ms: negative duration -5ms`},
+		{"delay=-5", `netem: spec delay=-5: negative duration -5ms`},
+		{"jitter=-5ms", `netem: spec jitter=-5ms: negative duration -5ms`},
+		{"jitter=-5", `netem: spec jitter=-5: negative duration -5ms`},
+		{"delay=-1.5s", `netem: spec delay=-1.5s: negative duration -1.5s`},
+		{"delay=-1500", `netem: spec delay=-1500: negative duration -1.5s`},
+		{"jitter=-0.5", `netem: spec jitter=-0.5: negative duration -500µs`},
+		{"delay=0", ""},
+		{"delay=0ms,jitter=0", ""},
+		{"delay=5,jitter=2.5", ""},
+	} {
+		_, err := ParseSpec(tc.spec)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("ParseSpec(%q): unexpected error %v", tc.spec, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want %q", tc.spec, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("ParseSpec(%q) error = %q, want %q", tc.spec, err.Error(), tc.want)
+		}
+	}
+}

@@ -61,7 +61,11 @@ func ParseSpec(spec string) (LinkConfig, error) {
 }
 
 // parseMs accepts "40ms"/"1.5s" (Go duration) or a bare number of
-// milliseconds.
+// milliseconds. Negative values fail in either form with the same error,
+// naming the offending element — the bare-number fallback must reject
+// "-5" exactly as the duration branch rejects "-5ms", not defer to the
+// trailing LinkConfig.Validate (whose message points at neither the key
+// nor the value the operator typed).
 func parseMs(s string) (float64, error) {
 	if d, err := time.ParseDuration(s); err == nil {
 		if d < 0 {
@@ -72,6 +76,9 @@ func parseMs(s string) (float64, error) {
 	ms, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("want a duration or milliseconds, got %q", s)
+	}
+	if ms < 0 {
+		return 0, fmt.Errorf("negative duration %v", time.Duration(ms*float64(time.Millisecond)))
 	}
 	return ms, nil
 }

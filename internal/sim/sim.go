@@ -95,6 +95,15 @@ type Config struct {
 	// disables expiry. Only runs with active network emulation can produce
 	// ghosts, so netem-free fingerprints are unaffected.
 	GhostExpirySeconds float64
+	// SimWorkers bounds the intra-sim worker pool that fans each tick's
+	// per-server work (game-server inbox processing and the co-located
+	// Matrix server's packet/load logic) out across cores; <= 1 — the
+	// default — runs the tick serially on the stepping goroutine. The
+	// worker count NEVER affects results: Result.Fingerprint is
+	// byte-identical for any value (see engine.go), so this is an
+	// execution knob, not simulation state — snapshots do not record it
+	// and a restored run picks its own.
+	SimWorkers int `json:"-"`
 }
 
 // DefaultGhostExpirySeconds is the ghost-client idle timeout applied when
@@ -288,16 +297,17 @@ type Sim struct {
 	chkEvery    int     // checkpoint period in ticks (0 = off)
 	ghostAfter  float64 // ghost idle timeout in seconds (<= 0 = off)
 
-	// Per-tick scratch, reused across ticks (reset, not reallocated). Each
-	// buffer is fully consumed before its next reuse: the game-server loop
-	// routes one server's envelopes to completion before processing the
-	// next, and the core fast path never re-enters itself (peer and MC
-	// fallout lands in other servers' handlers, which build their own
-	// slices).
-	gsEnvBuf   scratch.Buf[gameserver.Envelope]
-	coreFwdBuf scratch.Buf[core.Envelope]
-	idScratch  []id.ClientID
-	scScratch  []*simClient
+	// Per-tick scratch, reused across ticks (reset, not reallocated).
+	idScratch []id.ClientID
+	scScratch []*simClient
+
+	// Tick-engine state (see engine.go): outs holds each server's buffered
+	// phase-A fallout (indexed by position in order), gsBufs the per-worker
+	// game-server envelope buffers, live the positions processing this
+	// tick.
+	outs   []serverOut
+	gsBufs scratch.Pool[gameserver.Envelope]
+	live   []int
 
 	// compatAlloc forces the legacy allocating APIs (Process /
 	// HandleGameUpdate) instead of the buffer-reusing append APIs. Tests
@@ -396,30 +406,6 @@ func (s *Sim) deliverToCore(to id.ServerID, from id.ServerID, m protocol.Message
 		// Inactive servers legitimately reject packets that were in
 		// flight across a topology change; everything else is counted
 		// but must not stop the run.
-		s.reg.Counter("errors/core").Inc()
-		return
-	}
-	s.routeCoreEnvelopes(to, envs)
-}
-
-// deliverLocalUpdate routes one game update from to's own game server
-// through the reused fast-path buffer. ONLY Step's game-server loop may
-// call it: the reuse is safe because nothing downstream re-enters this
-// function — peer forwards and MC fallout go through deliverToCore, which
-// allocates. Keeping the entry point separate makes that invariant
-// structural instead of an inference about message types.
-func (s *Sim) deliverLocalUpdate(to id.ServerID, u *protocol.GameUpdate) {
-	if s.compatAlloc {
-		s.deliverToCore(to, id.None, u)
-		return
-	}
-	n, ok := s.nodes[to]
-	if !ok {
-		return
-	}
-	envs, err := n.core.AppendGameUpdate(s.coreFwdBuf.Take(), u)
-	defer s.coreFwdBuf.Done(envs)
-	if err != nil {
 		s.reg.Counter("errors/core").Inc()
 		return
 	}
@@ -944,65 +930,27 @@ func (s *Sim) Step() error {
 	// 2. Client traffic.
 	s.generateTraffic(dt)
 
-	// 3. Game servers process their queues. The envelope buffer is reused
-	// across servers and ticks: each server's envelopes are fully routed
-	// below before the next server processes. Crashed servers are frozen:
-	// their queues keep whatever arrived before the crash and resume
-	// draining on recovery.
-	for _, sid := range s.order {
-		if s.nm != nil && s.nm.Crashed(sid) {
-			continue
-		}
-		n := s.nodes[sid]
-		var envs []gameserver.Envelope
-		var err error
-		if s.compatAlloc {
-			envs, err = n.gs.Process(s.cfg.ServiceRatePerTick)
-		} else {
-			envs, err = n.gs.ProcessAppend(s.gsEnvBuf.Take(), s.cfg.ServiceRatePerTick)
-		}
-		if err != nil {
-			s.reg.Counter("errors/gs").Inc()
-		}
-		for _, e := range envs {
-			switch e.Dest {
-			case gameserver.DestMatrix:
-				if u, isUpdate := e.Msg.(*protocol.GameUpdate); isUpdate {
-					s.deliverLocalUpdate(sid, u)
-				} else {
-					s.deliverToCore(sid, id.None, e.Msg)
-				}
-			case gameserver.DestClient:
-				if s.nm != nil && s.impair(netem.ServerEndpoint(sid), netem.ClientEndpoint(e.Client), netemToClient, e.Msg) {
-					continue
-				}
-				s.deliverToClient(e.Client, e.Msg)
-			}
-		}
-		if !s.compatAlloc {
-			s.gsEnvBuf.Done(envs)
-		}
-	}
+	// 3. Game servers process their queues — the two-phase tick engine
+	// (engine.go). Phase A fans the per-server work out to the worker pool
+	// (serially when SimWorkers <= 1): each live server drains its inbox
+	// and hands its updates to its co-located Matrix server, touching only
+	// its own state and buffering the fallout. Phase B merges the buffered
+	// envelopes in canonical server order and routes them, so delivery,
+	// netem judging and RNG consumption are byte-identical for any worker
+	// count. Crashed servers are frozen: their queues keep whatever
+	// arrived before the crash and resume draining on recovery.
+	workers := s.ensureEngine()
+	s.liveServers()
+	s.runPhaseA(workers, s.processNode)
+	s.routePhaseB()
 
-	// 4. Load reports. Crashed servers report nothing, so parents see a
-	// frozen last-known child load until recovery.
+	// 4. Load reports, same two phases: every live active server runs its
+	// split/reclaim policy against its own load in phase A, the MC traffic
+	// routes canonically in phase B. Crashed servers report nothing, so
+	// parents see a frozen last-known child load until recovery.
 	if tick%s.reportEvery == 0 {
-		for _, sid := range s.order {
-			if s.nm != nil && s.nm.Crashed(sid) {
-				continue
-			}
-			n := s.nodes[sid]
-			if !n.core.Active() {
-				continue
-			}
-			rep := n.gs.LoadReport()
-			envs, err := n.core.HandleLocalLoad(int(rep.Clients), int(rep.QueueLen))
-			if err != nil {
-				s.reg.Counter("errors/core").Inc()
-				continue
-			}
-			s.routeCoreEnvelopes(sid, envs)
-		}
+		s.runPhaseA(workers, func(_, idx int) { s.loadReportNode(idx) })
+		s.routePhaseB()
 	}
 
 	// 5. Hello retries for clients stuck unconnected (dropped joins).
@@ -1255,6 +1203,12 @@ func (s *Sim) finish() *Result {
 	}
 	return &res
 }
+
+// SetSimWorkers re-bounds the intra-sim worker pool before the next Step
+// (see Config.SimWorkers). The worker count never affects results, so
+// changing it mid-run — e.g. on a sim restored from a snapshot, which
+// does not record it — is always safe.
+func (s *Sim) SetSimWorkers(n int) { s.cfg.SimWorkers = n }
 
 // MC exposes the coordinator for assertions in tests and experiments.
 func (s *Sim) MC() *coordinator.Coordinator { return s.mc }

@@ -170,6 +170,10 @@ func (s *Sim) CaptureState() (*State, error) {
 			RecoveryRejoins: s.res.RecoveryRejoins,
 		},
 	}
+	// The worker count is an execution knob that never affects results:
+	// captured state is identical whatever pool the run used, and a
+	// restored run picks its own (RestoreOptions.SimWorkers).
+	st.Config.SimWorkers = 0
 	st.Coordinator = s.mc.CaptureState()
 
 	for _, sid := range s.order {
@@ -272,6 +276,11 @@ type RestoreOptions struct {
 	// DurationSeconds, when positive, overrides the captured run length.
 	// It must not cut the run shorter than the snapshot point.
 	DurationSeconds float64
+	// SimWorkers, when positive, sets the restored run's intra-sim worker
+	// pool (snapshots never record one — the worker count cannot affect
+	// results, so the restored run continues byte-identically to the
+	// captured one under any value).
+	SimWorkers int
 }
 
 // Restore rebuilds a simulation from a captured state; the state is not
@@ -295,6 +304,9 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 	}
 	if opts.DurationSeconds > 0 {
 		cfg.DurationSeconds = opts.DurationSeconds
+	}
+	if opts.SimWorkers > 0 {
+		cfg.SimWorkers = opts.SimWorkers
 	}
 	cfg, err := cfg.sanitized()
 	if err != nil {

@@ -12,10 +12,14 @@ import (
 // snapshot through the full serialize/deserialize path (what -snapshot /
 // -restore files do between processes), restore, finish — the
 // Result.Fingerprint must be byte-identical to the uninterrupted run.
-// Covers plain, netem-impaired and crash-recovery scenarios.
+// Covers plain, netem-impaired and crash-recovery scenarios, and the
+// intra-sim worker-pool matrix: the run is captured under a parallel tick
+// engine and restored both serially and with a differently sized pool
+// (snapshots never record a worker count; a restore lands in the same
+// schedule-independent state whatever SimWorkers either side used).
 func TestScenarioFingerprintEquivalence(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs four table scenarios twice each")
+		t.Skip("runs four table scenarios three times each")
 	}
 	for _, name := range []string{"flashcrowd", "reclaimstress", "lossy", "recovery"} {
 		t.Run(name, func(t *testing.T) {
@@ -35,7 +39,9 @@ func TestScenarioFingerprintEquivalence(t *testing.T) {
 			}
 			want := finishRun(t, cold)
 
-			warm, err := sim.New(cfg)
+			warmCfg := cfg
+			warmCfg.SimWorkers = 4 // capture under a parallel tick engine
+			warm, err := sim.New(warmCfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,6 +67,13 @@ func TestScenarioFingerprintEquivalence(t *testing.T) {
 			}
 			if got := finishRun(t, restored); got != want {
 				t.Errorf("scenario %q: restored run diverged from uninterrupted run", name)
+			}
+			reparallel, err := RestoreWith(decoded, sim.RestoreOptions{SimWorkers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := finishRun(t, reparallel); got != want {
+				t.Errorf("scenario %q: SimWorkers=8 restore diverged from uninterrupted serial run", name)
 			}
 		})
 	}
