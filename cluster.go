@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"io"
 	"time"
 
 	"matrix/internal/host"
@@ -48,6 +49,13 @@ func (c *Coordinator) Partitions() map[ServerID]Rect {
 	return out
 }
 
+// ServeMetrics starts a Prometheus-format /metrics HTTP endpoint for the
+// coordinator on addr (host:0 picks an ephemeral port). It returns the
+// bound address and a closer that stops the endpoint.
+func (c *Coordinator) ServeMetrics(addr string) (string, io.Closer, error) {
+	return c.h.ServeMetrics(addr)
+}
+
 // Close shuts the coordinator down.
 func (c *Coordinator) Close() error { return c.h.Close() }
 
@@ -75,6 +83,7 @@ func StartServer(mcAddr string, opts ...Option) (*Server, error) {
 		ReportInterval: o.report,
 		Logger:         o.logger,
 		Restore:        o.restore,
+		Middleware:     o.mw,
 	})
 	if err != nil {
 		return nil, err
@@ -99,6 +108,14 @@ func (s *Server) ClientCount() int { return s.h.Game().ClientCount() }
 
 // QueueLen returns the receive-queue length (the paper's load signal).
 func (s *Server) QueueLen() int { return s.h.Game().QueueLen() }
+
+// ServeMetrics starts a Prometheus-format /metrics HTTP endpoint for the
+// server on addr (host:0 picks an ephemeral port), exposing the gauges and
+// the middleware chain's verdict counters. It returns the bound address
+// and a closer that stops the endpoint.
+func (s *Server) ServeMetrics(addr string) (string, io.Closer, error) {
+	return s.h.ServeMetrics(addr)
+}
 
 // Snapshot dumps the node's complete state (Matrix server + game server) as
 // a versioned blob. Any peer can also fetch it over the wire by sending a
@@ -130,6 +147,7 @@ func Dial(serverAddr string, clientID ClientID, pos Point, opts ...Option) (*Cli
 		ServerAddr: serverAddr,
 		Client:     clientConfig(clientID, pos),
 		Logger:     o.logger,
+		AuthToken:  o.authToken,
 	})
 	if err != nil {
 		return nil, err

@@ -35,6 +35,7 @@ func run(args []string) error {
 	world := fs.String("world", "1000x1000", "game world size WxH")
 	staticN := fs.Int("static", 0, "run the static-partitioning baseline with N fixed servers (0 = adaptive Matrix)")
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
+	metricsAddr := fs.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +62,14 @@ func run(args []string) error {
 	}
 	defer mc.Close()
 	log.Printf("coordinator listening at %s (world %gx%g, static=%d)", mc.Addr(), w, h, *staticN)
+	if *metricsAddr != "" {
+		bound, closer, err := mc.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		log.Printf("metrics: serving http://%s/metrics", bound)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"matrix"
+	"matrix/internal/middleware"
 	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/transport"
@@ -43,6 +44,12 @@ func run(args []string) error {
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
 	netemSpec := fs.String("netem", "", "emulate a degraded network on every connection, e.g. delay=40ms,jitter=25ms,loss=2% (empty = off)")
 	netemSeed := fs.Int64("netem-seed", 1, "seed for the netem impairment streams")
+	mwSpec := fs.String("middleware", "", "wire-path interceptor stages in request order, e.g. auth,ratelimit,admission,audit (empty = off)")
+	rateLimit := fs.Float64("rate-limit", 200, "per-client sustained updates/sec for the ratelimit stage (must be positive)")
+	rateBurst := fs.Float64("rate-burst", 0, "token-bucket depth for the ratelimit stage (0 = 2x -rate-limit)")
+	shedQueue := fs.Int("shed-queue", 5000, "queue length at which the admission stage sheds data-plane frames")
+	authSecret := fs.String("auth-secret", "", "shared session token the auth stage requires on every hello")
+	metricsAddr := fs.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (empty = off)")
 	dumpAddr := fs.String("dump", "", "dump mode: fetch a running matrix-server's state from this address (via a protocol snapshot frame) and exit")
 	outFile := fs.String("o", "", "with -dump: write the snapshot blob here (default stdout)")
 	restoreFile := fs.String("restore", "", "restore this node's state from a snapshot blob at startup (file produced by -dump)")
@@ -65,6 +72,30 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Middleware knobs are validated here, at parse time, so a typo fails
+	// the invocation instead of surfacing mid-run (netem.ParseSpec style).
+	stages, err := matrix.ParseMiddlewareSpec(*mwSpec)
+	if err != nil {
+		return err
+	}
+	if err := middleware.ValidateRate(*rateLimit); err != nil {
+		return err
+	}
+	if *shedQueue <= 0 {
+		return fmt.Errorf("middleware: shed queue must be positive (got %d)", *shedQueue)
+	}
+	for _, s := range stages {
+		if s == middleware.StageAuth && *authSecret == "" {
+			return fmt.Errorf("middleware: stage %q requires -auth-secret", s)
+		}
+	}
+	mw := matrix.HostMiddleware{
+		Stages:          stages,
+		AuthSecret:      *authSecret,
+		RateLimitPerSec: *rateLimit,
+		RateLimitBurst:  *rateBurst,
+		ShedQueue:       *shedQueue,
+	}
 	network := netem.WrapNetwork(transport.TCPNetwork{}, link, *netemSeed)
 	if !link.Zero() {
 		log.Printf("netem: impairing all connections with %s (seed %d)", link, *netemSeed)
@@ -78,6 +109,11 @@ func run(args []string) error {
 		matrix.WithServiceRate(*serviceRate),
 		matrix.WithTickInterval(*tick),
 		matrix.WithLogger(log.New(os.Stderr, "server ", log.LstdFlags)),
+	}
+	if len(stages) > 0 {
+		opts = append(opts, matrix.WithMiddleware(mw))
+		log.Printf("middleware: chain %v (rate=%g/s burst=%g shed-queue=%d)",
+			stages, *rateLimit, *rateBurst, *shedQueue)
 	}
 	if *restoreFile != "" {
 		blob, err := os.ReadFile(*restoreFile)
@@ -93,6 +129,14 @@ func run(args []string) error {
 	}
 	defer srv.Close()
 	log.Printf("server %v listening at %s (bounds %v)", srv.ID(), srv.Addr(), srv.Bounds())
+	if *metricsAddr != "" {
+		bound, closer, err := srv.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		log.Printf("metrics: serving http://%s/metrics", bound)
+	}
 	if *restoreFile != "" {
 		log.Printf("restored state from %s: active=%v bounds=%v clients=%d",
 			*restoreFile, srv.Active(), srv.Bounds(), srv.ClientCount())

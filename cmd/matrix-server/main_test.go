@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMiddlewareFlagValidation pins the parse-time guards: malformed
+// -middleware specs and nonsense knob values must fail the invocation
+// with a pointed error before anything dials the coordinator.
+func TestMiddlewareFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown-stage", []string{"-middleware", "auth,teleport"}, `unknown stage "teleport"`},
+		{"duplicate-stage", []string{"-middleware", "ratelimit,ratelimit"}, `duplicate stage "ratelimit"`},
+		{"empty-element", []string{"-middleware", "auth,,audit"}, "bad spec element"},
+		{"zero-rate", []string{"-middleware", "ratelimit", "-rate-limit", "0"}, "rate limit must be positive"},
+		{"negative-rate", []string{"-middleware", "ratelimit", "-rate-limit", "-3"}, "rate limit must be positive"},
+		{"nan-rate", []string{"-middleware", "ratelimit", "-rate-limit", "NaN"}, "rate limit must be positive"},
+		{"zero-shed-queue", []string{"-middleware", "admission", "-shed-queue", "0"}, "shed queue must be positive"},
+		{"negative-shed-queue", []string{"-middleware", "admission", "-shed-queue", "-1"}, "shed queue must be positive"},
+		{"auth-without-secret", []string{"-middleware", "auth"}, "requires -auth-secret"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) accepted an invalid middleware config", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMiddlewareFlagValidationBeforeDial proves the guards fire at parse
+// time: with an unreachable coordinator, a valid chain spec fails on the
+// dial while an invalid one fails on the spec — the spec error wins.
+func TestMiddlewareFlagValidationBeforeDial(t *testing.T) {
+	args := []string{"-coordinator", "127.0.0.1:1", "-middleware", "nonsense"}
+	err := run(args)
+	if err == nil || !strings.Contains(err.Error(), `unknown stage "nonsense"`) {
+		t.Errorf("run(%v) = %v, want the spec error (not a dial error)", args, err)
+	}
+}

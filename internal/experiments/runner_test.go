@@ -224,6 +224,42 @@ func TestScenarioTable(t *testing.T) {
 	}
 }
 
+// TestSheddingScenarioDeterministic runs the shedding scenario — the
+// admission chain under flash-crowd churn — serially and on an 8-worker
+// tick engine: the fingerprints must match byte for byte, and both the
+// rate limiter and the shed queue must actually have fired (a vacuously
+// identical run proves nothing). The fast version of this check lives in
+// internal/sim; this one exercises the real scenario-table entry.
+func TestSheddingScenarioDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full 110s shedding scenario twice")
+	}
+	t.Parallel()
+	run := func(workers int) *sim.Result {
+		cfg := SheddingConfig(1)
+		cfg.SimWorkers = workers
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.RateLimited == 0 {
+		t.Error("shedding scenario never rate-limited (limiter mis-tuned?)")
+	}
+	if serial.AdmissionShed == 0 {
+		t.Error("shedding scenario never shed (queue threshold mis-tuned?)")
+	}
+	if got := run(8).Fingerprint(); got != serial.Fingerprint() {
+		t.Errorf("shedding fingerprint diverges between serial and SimWorkers=8:\n--- serial\n%.400s\n--- workers=8\n%.400s", serial.Fingerprint(), got)
+	}
+}
+
 // TestScenarioSweep runs the three new stress scenarios end to end on the
 // pool and checks each one exercises the machinery it was written for.
 func TestScenarioSweep(t *testing.T) {

@@ -57,6 +57,11 @@ var scenarioTable = []Scenario{
 		Config: ReclaimStressConfig,
 	},
 	{
+		Name:   "shedding",
+		Title:  "overload shedding — flash-crowd churn with per-client rate limiting + queue admission",
+		Config: SheddingConfig,
+	},
+	{
 		Name:   "lossy",
 		Title:  "bursty loss — flash-crowd churn with 2% i.i.d. + Gilbert–Elliott burst loss on every link",
 		Config: LossyConfig,
@@ -158,6 +163,24 @@ func FlashCrowdConfig(seed int64) sim.Config {
 	cfg := scenarioBase(seed)
 	cfg.DurationSeconds = 110
 	cfg.Script = game.FlashCrowdScript(World, 4, 400, 22, 10, seed)
+	return cfg
+}
+
+// SheddingConfig builds the overload-shedding scenario: the flash-crowd
+// churn workload with the admission chain active. Each client may send 4
+// updates/sec sustained (burst 8) against bzflag's 5/sec offered rate, so
+// the limiter trims steady-state traffic, and the shed queue kicks in at
+// half the overload threshold so bursts shed data-plane load before the
+// load policy ever reports overload.
+func SheddingConfig(seed int64) sim.Config {
+	cfg := scenarioBase(seed)
+	cfg.DurationSeconds = 110
+	cfg.Script = game.FlashCrowdScript(World, 4, 400, 22, 10, seed)
+	cfg.Middleware = &sim.MiddlewareConfig{
+		RateLimitPerSec: 4,
+		RateLimitBurst:  8,
+		ShedQueue:       1500,
+	}
 	return cfg
 }
 
@@ -389,6 +412,8 @@ func scenarioReport(outs []RunOutput) *Report {
 		rep.Numbers[o.Name+"/netem_delayed"] = float64(res.NetemDelayed)
 		rep.Numbers[o.Name+"/ghosts"] = float64(res.GhostsExpired)
 		rep.Numbers[o.Name+"/restarts"] = float64(res.Restarts)
+		rep.Numbers[o.Name+"/ratelimited"] = float64(res.RateLimited)
+		rep.Numbers[o.Name+"/shed"] = float64(res.AdmissionShed)
 		rep.Numbers[o.Name+"/p95_ms"] = res.Latency.Quantile(0.95)
 	}
 	return rep

@@ -19,6 +19,10 @@ type ClientConfig struct {
 	ServerAddr string
 	// Client is the client state machine's configuration.
 	Client gameclient.Config
+	// AuthToken is the session credential stamped on every hello (initial
+	// join and every redirect rejoin), verified by servers running the
+	// middleware auth stage. Empty keeps hellos token-free.
+	AuthToken string
 	// WelcomeTimeout bounds the join handshake (default 5s).
 	WelcomeTimeout time.Duration
 	// Logger receives diagnostics (nil = silent).
@@ -73,7 +77,9 @@ func (h *ClientHost) connect(addr string) error {
 	if err != nil {
 		return fmt.Errorf("host: client dial %s: %w", addr, err)
 	}
-	if err := conn.Send(h.cl.Hello()); err != nil {
+	hello := h.cl.Hello()
+	hello.Token = h.cfg.AuthToken
+	if err := conn.Send(hello); err != nil {
 		_ = conn.Close()
 		return err
 	}

@@ -11,11 +11,13 @@ package host
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"sync"
 
 	"matrix/internal/coordinator"
 	"matrix/internal/id"
+	"matrix/internal/metrics"
 	"matrix/internal/protocol"
 	"matrix/internal/transport"
 )
@@ -74,6 +76,25 @@ func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 
 // Addr returns the address servers should dial.
 func (h *CoordinatorHost) Addr() string { return h.ln.Addr() }
+
+// ServeMetrics starts a Prometheus-format /metrics HTTP endpoint for the
+// coordinator on addr, returning the bound address and a closer that
+// stops the endpoint. Values are sampled at scrape time.
+func (h *CoordinatorHost) ServeMetrics(addr string) (string, io.Closer, error) {
+	return metrics.Serve(addr, h.writeMetrics)
+}
+
+// writeMetrics renders one scrape.
+func (h *CoordinatorHost) writeMetrics(w io.Writer) {
+	h.mu.Lock()
+	conns := len(h.conns)
+	h.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE matrix_mc_server_conns gauge\nmatrix_mc_server_conns %d\n", conns)
+	fmt.Fprintf(w, "# TYPE matrix_mc_active_servers gauge\nmatrix_mc_active_servers %d\n", len(h.mc.ActiveServers()))
+	fmt.Fprintf(w, "# TYPE matrix_mc_spare_servers gauge\nmatrix_mc_spare_servers %d\n", h.mc.SpareCount())
+	fmt.Fprintf(w, "# TYPE matrix_mc_splits_total counter\nmatrix_mc_splits_total %d\n", h.mc.Splits())
+	fmt.Fprintf(w, "# TYPE matrix_mc_reclaims_total counter\nmatrix_mc_reclaims_total %d\n", h.mc.Reclaims())
+}
 
 // MC exposes the underlying coordinator (status tooling).
 func (h *CoordinatorHost) MC() *coordinator.Coordinator { return h.mc }
@@ -188,6 +209,3 @@ func (h *CoordinatorHost) drop(sid id.ServerID, conn transport.Conn) {
 	}
 	h.mu.Unlock()
 }
-
-// fmt is used by error paths only.
-var _ = fmt.Sprintf

@@ -3,6 +3,7 @@ package host
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"sync"
 	"time"
@@ -11,6 +12,8 @@ import (
 	"matrix/internal/gameserver"
 	"matrix/internal/id"
 	"matrix/internal/load"
+	"matrix/internal/metrics"
+	"matrix/internal/middleware"
 	"matrix/internal/protocol"
 	"matrix/internal/scratch"
 	"matrix/internal/snapshot"
@@ -47,11 +50,22 @@ type ServerConfig struct {
 	// that a later restore would wipe. Topology is not restored: the node
 	// registers freshly and owns whatever the MC assigns.
 	Restore []byte
+	// Middleware configures the wire-path interceptor chain judging every
+	// client and peer frame before it reaches the game server (zero value
+	// = no chain).
+	Middleware middleware.Config
+	// PeerDialTimeout bounds the background dial of a peer connection
+	// (default 3s). On failure the queued frames are dropped with a log
+	// line; the tick loop never waits on connection establishment.
+	PeerDialTimeout time.Duration
 }
 
 func (c ServerConfig) sanitized() ServerConfig {
 	if c.TickInterval <= 0 {
 		c.TickInterval = 10 * time.Millisecond
+	}
+	if c.PeerDialTimeout <= 0 {
+		c.PeerDialTimeout = 3 * time.Second
 	}
 	if c.ServiceRate <= 0 {
 		c.ServiceRate = 500
@@ -74,11 +88,24 @@ type ServerHost struct {
 	mcConn transport.Conn
 	ln     transport.Listener
 
+	mw      *middleware.Chain // nil when no chain is configured
+	started time.Time         // epoch of the middleware clock
+
 	mu      sync.Mutex
 	peers   map[string]transport.Conn // outbound, keyed by dial address
-	inbound map[transport.Conn]bool   // accepted peer connections
+	dialing map[string][]protocol.Message
+	inbound map[transport.Conn]bool // accepted peer connections
 	clients map[id.ClientID]transport.Conn
 	closed  bool
+
+	// ingress is the single-writer funnel: mcLoop and the peer pumps park
+	// core-bound messages here and tickLoop alone routes them, so every
+	// frame to a peer connection leaves from the tick goroutine in batch
+	// order — an MC-triggered state transfer can no longer interleave with
+	// (or overtake flushing of) the tick's batched traffic.
+	ingressMu    sync.Mutex
+	ingress      []ingressMsg
+	ingressSpare []ingressMsg
 
 	// tickLoop-owned scratch (no locking): the per-tick envelope buffers
 	// and the per-peer message batches flushed as one frame per peer per
@@ -94,6 +121,13 @@ type ServerHost struct {
 // StartServer registers with the MC and brings the pumps up.
 func StartServer(cfg ServerConfig) (*ServerHost, error) {
 	cfg = cfg.sanitized()
+	var mw *middleware.Chain
+	if cfg.Middleware.Enabled() {
+		var err error
+		if mw, err = middleware.New(cfg.Middleware); err != nil {
+			return nil, err
+		}
+	}
 	ln, err := cfg.Network.Listen(cfg.ListenAddr)
 	if err != nil {
 		return nil, err
@@ -156,7 +190,10 @@ func StartServer(cfg ServerConfig) (*ServerHost, error) {
 		gs:        gs,
 		mcConn:    mcConn,
 		ln:        ln,
+		mw:        mw,
+		started:   time.Now(),
 		peers:     make(map[string]transport.Conn),
+		dialing:   make(map[string][]protocol.Message),
 		inbound:   make(map[transport.Conn]bool),
 		clients:   make(map[id.ClientID]transport.Conn),
 		tickBatch: make(map[string][]protocol.Message),
@@ -248,10 +285,40 @@ func (h *ServerHost) Close() error {
 		_ = c.Close()
 	}
 	h.wg.Wait()
+	if h.mw != nil {
+		h.mw.Close()
+	}
 	return err
 }
 
-// mcLoop pumps coordinator messages into the Matrix server.
+// clockSeconds is the middleware clock: monotonic seconds since the host
+// started.
+func (h *ServerHost) clockSeconds() float64 { return time.Since(h.started).Seconds() }
+
+// ServeMetrics starts a Prometheus-format /metrics HTTP endpoint for this
+// host on addr, returning the bound address and a closer that stops the
+// endpoint. Gauges are sampled at scrape time; the middleware chain's
+// counters are included when a chain is configured.
+func (h *ServerHost) ServeMetrics(addr string) (string, io.Closer, error) {
+	return metrics.Serve(addr, h.writeMetrics)
+}
+
+// writeMetrics renders one scrape.
+func (h *ServerHost) writeMetrics(w io.Writer) {
+	rep := h.gs.LoadReport()
+	fmt.Fprintf(w, "# TYPE matrix_server_clients gauge\nmatrix_server_clients %d\n", rep.Clients)
+	fmt.Fprintf(w, "# TYPE matrix_server_queue_len gauge\nmatrix_server_queue_len %d\n", rep.QueueLen)
+	h.mu.Lock()
+	peers := len(h.peers)
+	h.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE matrix_server_peer_conns gauge\nmatrix_server_peer_conns %d\n", peers)
+	if h.mw != nil {
+		h.mw.Stats().WritePrometheus(w)
+	}
+}
+
+// mcLoop pumps coordinator messages into the ingress funnel; the tick
+// goroutine does the actual routing (see drainIngress).
 func (h *ServerHost) mcLoop() {
 	defer h.wg.Done()
 	for {
@@ -259,12 +326,56 @@ func (h *ServerHost) mcLoop() {
 		if err != nil {
 			return
 		}
-		envs, err := h.core.HandleMessage(id.None, m)
-		if err != nil {
-			h.cfg.Logger.Printf("server %v: mc message %v: %v", h.core.ID(), m.MsgType(), err)
-		}
-		h.routeCore(envs, nil)
+		h.enqueueIngress(id.None, m)
 	}
+}
+
+// ingressMsg is one coordinator- or peer-originated message awaiting the
+// tick goroutine.
+type ingressMsg struct {
+	from id.ServerID
+	msg  protocol.Message
+}
+
+// maxIngress bounds the funnel between ticks; beyond it frames are dropped
+// with a log line rather than growing without bound while the tick
+// goroutine is busy.
+const maxIngress = 1 << 16
+
+// enqueueIngress parks one coordinator- or peer-originated message for the
+// tick goroutine. Routing core envelopes only there keeps every peer
+// connection single-writer, so the state-before-redirect wire order cannot
+// be broken by an mcLoop or peer-pump send racing the tick flush.
+func (h *ServerHost) enqueueIngress(from id.ServerID, m protocol.Message) {
+	h.ingressMu.Lock()
+	if len(h.ingress) >= maxIngress {
+		h.ingressMu.Unlock()
+		h.cfg.Logger.Printf("server %v: ingress overflow, dropping %v", h.core.ID(), m.MsgType())
+		return
+	}
+	h.ingress = append(h.ingress, ingressMsg{from: from, msg: m})
+	h.ingressMu.Unlock()
+}
+
+// drainIngress feeds everything the funnel holds through the Matrix
+// server, collecting peer-bound fallout into batch. Runs on the tick
+// goroutine only; both backing slices are reused tick over tick.
+func (h *ServerHost) drainIngress(batch map[string][]protocol.Message) {
+	h.ingressMu.Lock()
+	msgs := h.ingress
+	h.ingress = h.ingressSpare[:0]
+	h.ingressMu.Unlock()
+	for _, im := range msgs {
+		envs, err := h.core.HandleMessage(im.from, im.msg)
+		if err != nil {
+			h.cfg.Logger.Printf("server %v: message %v: %v", h.core.ID(), im.msg.MsgType(), err)
+		}
+		h.routeCore(envs, batch)
+	}
+	for i := range msgs {
+		msgs[i] = ingressMsg{}
+	}
+	h.ingressSpare = msgs[:0]
 }
 
 // acceptLoop admits peer and client connections; the first message
@@ -320,8 +431,28 @@ func (h *ServerHost) serveConn(conn transport.Conn) {
 	}
 }
 
-// serveClient pumps one game client's connection.
+// serveClient pumps one game client's connection. Every frame passes the
+// middleware chain first (when configured): the hello must clear auth
+// before the connection is even registered, and per-frame judging reuses
+// one Request so the steady-state path does not allocate.
 func (h *ServerHost) serveClient(conn transport.Conn, hello *protocol.ClientHello) {
+	var req middleware.Request
+	if h.mw != nil {
+		req = middleware.Request{
+			Source:   middleware.SourceClient,
+			Client:   hello.Client,
+			Msg:      hello,
+			Now:      h.clockSeconds(),
+			QueueLen: h.gs.QueueLen(),
+		}
+		if v := h.mw.Handle(&req); !v.Admitted() {
+			h.cfg.Logger.Printf("server %v: client %v hello rejected: %v", h.core.ID(), hello.Client, v)
+			_ = conn.Send(&protocol.ErrorMsg{Of: protocol.TypeClientHello, Reason: "middleware: " + v.String()})
+			_ = conn.Close()
+			return
+		}
+	}
+
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -343,14 +474,25 @@ func (h *ServerHost) serveClient(conn transport.Conn, hello *protocol.ClientHell
 			h.dropClient(hello.Client, conn)
 			return
 		}
+		if h.mw != nil {
+			req.Msg = m
+			req.Now = h.clockSeconds()
+			req.QueueLen = h.gs.QueueLen()
+			if !h.mw.Handle(&req).Admitted() {
+				continue // judged and counted; the frame is simply not delivered
+			}
+		}
 		if err := h.gs.Enqueue(m); err != nil && err != gameserver.ErrQueueOverflow {
 			h.cfg.Logger.Printf("server %v: client %v: %v", h.core.ID(), hello.Client, err)
 		}
 	}
 }
 
-// servePeer pumps a peer Matrix server's connection.
+// servePeer pumps a peer Matrix server's connection. Frames are judged by
+// the middleware chain (admission control sheds forwarded data plane under
+// overload) and parked in the ingress funnel for the tick goroutine.
 func (h *ServerHost) servePeer(conn transport.Conn, first protocol.Message) {
+	var req middleware.Request
 	handle := func(m protocol.Message) {
 		from := id.None
 		switch pm := m.(type) {
@@ -359,11 +501,19 @@ func (h *ServerHost) servePeer(conn transport.Conn, first protocol.Message) {
 		case *protocol.StateTransfer:
 			from = pm.From
 		}
-		envs, err := h.core.HandleMessage(from, m)
-		if err != nil {
-			h.cfg.Logger.Printf("server %v: peer message %v: %v", h.core.ID(), m.MsgType(), err)
+		if h.mw != nil {
+			req = middleware.Request{
+				Source:   middleware.SourcePeer,
+				Peer:     from,
+				Msg:      m,
+				Now:      h.clockSeconds(),
+				QueueLen: h.gs.QueueLen(),
+			}
+			if !h.mw.Handle(&req).Admitted() {
+				return
+			}
 		}
-		h.routeCore(envs, nil)
+		h.enqueueIngress(from, m)
 	}
 	handle(first)
 	for {
@@ -388,6 +538,11 @@ func (h *ServerHost) tickLoop() {
 		case <-h.done:
 			return
 		case <-tick.C:
+			// Coordinator and peer fallout first: split/reclaim state
+			// transfers join this tick's batch, ahead of whatever redirects
+			// the game server emits below (routeGame flushes the batch
+			// before any redirect reaches a client).
+			h.drainIngress(h.tickBatch)
 			envs, err := h.gs.ProcessAppend(h.tickEnvs.Take(), h.cfg.ServiceRate)
 			if err != nil {
 				h.cfg.Logger.Printf("server %v: process: %v", h.core.ID(), err)
@@ -514,34 +669,114 @@ func (h *ServerHost) sendPeer(addr string, m protocol.Message) {
 	h.sendPeerMsgs(addr, m)
 }
 
-// sendPeerMsgs sends msgs as one batch to a peer Matrix server, dialing
-// and caching the connection on first use.
+// maxDialBacklog bounds the frames queued behind an in-flight peer dial.
+const maxDialBacklog = 4096
+
+// sendPeerMsgs sends msgs as one batch to a peer Matrix server. The first
+// send to an unconnected address starts a background bounded-timeout dial
+// and queues the messages behind it — the tick loop never blocks on a
+// dead peer's dial — and sends issued while the dial is in flight join
+// the queue, which dialPeer flushes in order before publishing the
+// connection, so nothing sent later can overtake the backlog.
 func (h *ServerHost) sendPeerMsgs(addr string, msgs ...protocol.Message) {
 	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
 	conn, ok := h.peers[addr]
-	h.mu.Unlock()
 	if !ok {
-		var err error
-		conn, err = h.cfg.Network.Dial(addr)
-		if err != nil {
-			h.cfg.Logger.Printf("server %v: dial peer %s: %v", h.core.ID(), addr, err)
+		pending, inFlight := h.dialing[addr]
+		if len(pending)+len(msgs) > maxDialBacklog {
+			h.mu.Unlock()
+			h.cfg.Logger.Printf("server %v: dial backlog to peer %s full, dropping %d message(s)", h.core.ID(), addr, len(msgs))
 			return
 		}
+		// Copied, not aliased: the caller reuses its batch slices.
+		h.dialing[addr] = append(pending, msgs...)
+		if !inFlight {
+			h.wg.Add(1)
+			go h.dialPeer(addr)
+		}
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	h.sendPeerConn(addr, conn, msgs)
+}
+
+// dialPeer performs the background bounded dial for addr, then flushes the
+// queued messages in order before publishing the connection to h.peers.
+func (h *ServerHost) dialPeer(addr string) {
+	defer h.wg.Done()
+	conn, err := h.dialTimeout(addr)
+	if err != nil {
+		h.mu.Lock()
+		n := len(h.dialing[addr])
+		delete(h.dialing, addr)
+		h.mu.Unlock()
+		h.cfg.Logger.Printf("server %v: dial peer %s: %v (dropped %d queued message(s))", h.core.ID(), addr, err, n)
+		return
+	}
+	for {
 		h.mu.Lock()
 		if h.closed {
+			delete(h.dialing, addr)
 			h.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		if existing, raced := h.peers[addr]; raced {
-			h.mu.Unlock()
-			_ = conn.Close()
-			conn = existing
-		} else {
+		pending := h.dialing[addr]
+		if len(pending) == 0 {
+			// Backlog drained: publish. From here sends go direct.
 			h.peers[addr] = conn
+			delete(h.dialing, addr)
 			h.mu.Unlock()
+			return
 		}
+		h.dialing[addr] = nil
+		h.mu.Unlock()
+		h.sendPeerConn(addr, conn, pending)
 	}
+}
+
+// dialTimeout dials addr within the configured bound: natively when the
+// network supports deadlines, otherwise by racing Dial against a timer (a
+// late success is then closed by a reaper goroutine — the dial may
+// linger, the caller never does).
+func (h *ServerHost) dialTimeout(addr string) (transport.Conn, error) {
+	d := h.cfg.PeerDialTimeout
+	if td, ok := h.cfg.Network.(transport.TimeoutDialer); ok {
+		return td.DialTimeout(addr, d)
+	}
+	type result struct {
+		conn transport.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := h.cfg.Network.Dial(addr)
+		ch <- result{conn, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-timer.C:
+		go func() {
+			if r := <-ch; r.conn != nil {
+				_ = r.conn.Close()
+			}
+		}()
+		return nil, fmt.Errorf("host: dial peer %s: timeout after %v", addr, d)
+	}
+}
+
+// sendPeerConn transmits msgs on an established peer connection, salvaging
+// encode failures individually and forgetting the connection when it is
+// lost.
+func (h *ServerHost) sendPeerConn(addr string, conn transport.Conn, msgs []protocol.Message) {
 	err := conn.SendBatch(msgs)
 	if err != nil && !errors.Is(err, transport.ErrClosed) {
 		// Encode failure (an oversized message): the connection is still
@@ -570,12 +805,19 @@ func (h *ServerHost) sendPeerMsgs(addr string, msgs ...protocol.Message) {
 	}
 }
 
-// dropClient forgets a client connection.
+// dropClient forgets a client connection (and, when this was the client's
+// live connection, its rate-limit bucket — a reconnect starts fresh).
 func (h *ServerHost) dropClient(c id.ClientID, conn transport.Conn) {
 	_ = conn.Close()
 	h.mu.Lock()
-	if h.clients[c] == conn {
+	current := h.clients[c] == conn
+	if current {
 		delete(h.clients, c)
 	}
 	h.mu.Unlock()
+	if current && h.mw != nil {
+		if l := h.mw.Limiter(); l != nil {
+			l.Forget(c)
+		}
+	}
 }

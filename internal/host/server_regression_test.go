@@ -1,0 +1,521 @@
+package host
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"matrix/internal/coordinator"
+	"matrix/internal/core"
+	"matrix/internal/gameclient"
+	"matrix/internal/gameserver"
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/load"
+	"matrix/internal/middleware"
+	"matrix/internal/protocol"
+	"matrix/internal/transport"
+)
+
+// gatedNetwork wraps a Network so dials to chosen addresses block until a
+// gate channel is closed — a blackholed peer from the dialer's point of
+// view. It deliberately does NOT implement transport.TimeoutDialer, so the
+// host must bound the dial itself.
+type gatedNetwork struct {
+	inner transport.Network
+	mu    sync.Mutex
+	gates map[string]chan struct{}
+}
+
+func newGatedNetwork(inner transport.Network) *gatedNetwork {
+	return &gatedNetwork{inner: inner, gates: make(map[string]chan struct{})}
+}
+
+// gate makes future dials to addr block until the returned channel closes.
+func (n *gatedNetwork) gate(addr string) chan struct{} {
+	ch := make(chan struct{})
+	n.mu.Lock()
+	n.gates[addr] = ch
+	n.mu.Unlock()
+	return ch
+}
+
+func (n *gatedNetwork) Listen(addr string) (transport.Listener, error) {
+	return n.inner.Listen(addr)
+}
+
+func (n *gatedNetwork) Dial(addr string) (transport.Conn, error) {
+	n.mu.Lock()
+	ch := n.gates[addr]
+	n.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	return n.inner.Dial(addr)
+}
+
+// fwd fabricates a peer-bound forward with a recognizable sequence number.
+func fwd(seq int) *protocol.Forward {
+	return &protocol.Forward{From: 1, Update: protocol.GameUpdate{
+		Client: 1, Seq: id.PacketSeq(seq), Kind: protocol.KindAction,
+		Origin: geom.Pt(1, 1), Dest: geom.Pt(1, 1),
+	}}
+}
+
+// TestDeadPeerDoesNotStallTicks pins the S1 regression: a send to a peer
+// whose address blackholes (dial never completes) must return immediately
+// and the tick loop must keep serving clients at full rate while the
+// bounded background dial times out.
+func TestDeadPeerDoesNotStallTicks(t *testing.T) {
+	nw := newGatedNetwork(transport.NewMemNetwork())
+	nw.gate("blackhole:1") // never opened
+	mc, err := ServeCoordinator(nw, "", coordinatorConfigForTest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mc.Close() })
+	h, err := StartServer(ServerConfig{
+		Network:         nw,
+		Coordinator:     mc.Addr(),
+		Radius:          40,
+		TickInterval:    2 * time.Millisecond,
+		PeerDialTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+
+	ch, err := DialClient(ClientConfig{
+		Network:    nw,
+		ServerAddr: h.Addr(),
+		Client:     gameclient.Config{ID: 1, Pos: geom.Pt(100, 100)},
+	})
+	if err != nil {
+		t.Fatalf("DialClient: %v", err)
+	}
+	defer ch.Close()
+
+	// Sends to the dead peer must not block the caller (the tick goroutine
+	// in production).
+	for i := 1; i <= 3; i++ {
+		start := time.Now()
+		h.sendPeerMsgs("blackhole:1", fwd(i))
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("sendPeerMsgs blocked %v on a dead peer", d)
+		}
+	}
+
+	// While the dial is still pending, client traffic keeps echoing: the
+	// tick loop is alive.
+	if err := ch.Send(ch.Client().MakeAction(protocol.KindAction, geom.Pt(101, 100))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "echo during blocked dial", func() bool {
+		return ch.Client().Stats().EchoCount >= 1
+	})
+
+	// The bounded dial times out and the queued frames are dropped: the
+	// pending entry must disappear rather than accumulate forever.
+	waitFor(t, "dial backlog cleanup", func() bool {
+		h.mu.Lock()
+		_, inFlight := h.dialing["blackhole:1"]
+		h.mu.Unlock()
+		return !inFlight
+	})
+}
+
+// TestPeerDialBacklogFlushedInOrder pins the ordering half of the S1 fix:
+// frames queued while a peer dial is in flight are flushed in send order
+// before the connection is published, so nothing sent later overtakes the
+// backlog.
+func TestPeerDialBacklogFlushedInOrder(t *testing.T) {
+	mem := transport.NewMemNetwork()
+	nw := newGatedNetwork(mem)
+	open := nw.gate("peer:slow")
+	_, hosts := startCluster(t, nw, 1, load.Config{})
+	h := hosts[0]
+
+	ln, err := mem.Listen("peer:slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var seqMu sync.Mutex
+	var got []int
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if f, ok := m.(*protocol.Forward); ok {
+				seqMu.Lock()
+				got = append(got, int(f.Update.Seq))
+				seqMu.Unlock()
+			}
+		}
+	}()
+
+	// Three sends while the dial is gated: all queue behind it.
+	h.sendPeerMsgs("peer:slow", fwd(1))
+	h.sendPeerMsgs("peer:slow", fwd(2), fwd(3))
+	close(open)
+
+	waitFor(t, "backlog flushed", func() bool {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		return len(got) == 3
+	})
+	// Once published, later sends go direct over the same connection.
+	waitFor(t, "connection published", func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.peers["peer:slow"] != nil
+	})
+	h.sendPeerMsgs("peer:slow", fwd(4))
+	waitFor(t, "direct send", func() bool {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		return len(got) == 4
+	})
+	seqMu.Lock()
+	defer seqMu.Unlock()
+	for i, want := range []int{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("delivery order = %v, want [1 2 3 4]", got)
+		}
+	}
+}
+
+// TestStateBeforeRedirectWireOrder pins the S2 regression: peer-bound
+// fallout routed on the tick goroutine is deferred into the tick batch (not
+// sent from other goroutines), and routeGame flushes that batch before any
+// redirect reaches a client — the migrating state is committed to the peer
+// connection ahead of the client's rejoin.
+func TestStateBeforeRedirectWireOrder(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	_, hosts := startCluster(t, nw, 1, load.Config{})
+	h := hosts[0]
+
+	// A fake peer captures what the host sends it.
+	ln, err := nw.Listen("peer:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	peerGot := make(chan protocol.Message, 16)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			peerGot <- m
+		}
+	}()
+
+	// A raw client connection (no auto-reconnect) registered with the host.
+	cl, err := nw.Dial(h.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Send(&protocol.ClientHello{Client: 42, Pos: geom.Pt(100, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	clientGot := make(chan protocol.Message, 16)
+	go func() {
+		for {
+			m, err := cl.Recv()
+			if err != nil {
+				return
+			}
+			clientGot <- m
+		}
+	}()
+	waitFor(t, "client registered", func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.clients[42] != nil
+	})
+
+	// Establish the peer connection first (warm-up frame), so the ordered
+	// flush below runs synchronously on the established connection.
+	h.sendPeerMsgs("peer:x", fwd(0))
+	select {
+	case <-peerGot:
+	case <-time.After(5 * time.Second):
+		t.Fatal("warm-up frame never arrived")
+	}
+
+	// Simulate what the tick goroutine does during a migration: the state
+	// transfer is routed first and must be DEFERRED into the batch (the S2
+	// fix — before it, another goroutine could push it onto the wire out of
+	// order), then the redirect flushes the batch ahead of itself.
+	batch := make(map[string][]protocol.Message)
+	st := &protocol.StateTransfer{From: h.ID(), To: 99, Final: true}
+	h.routeCore([]core.Envelope{{Dest: core.DestPeer, Peer: 99, Addr: "peer:x", Msg: st}}, batch)
+	if len(batch["peer:x"]) != 1 {
+		t.Fatalf("state transfer not deferred into batch: %v", batch)
+	}
+	select {
+	case m := <-peerGot:
+		t.Fatalf("peer already received %v before the flush", m.MsgType())
+	default:
+	}
+
+	h.routeGame([]gameserver.Envelope{{
+		Dest:   gameserver.DestClient,
+		Client: 42,
+		Msg:    &protocol.Redirect{Client: 42, NewOwner: 99, NewAddr: "peer:x"},
+	}}, batch)
+
+	// The redirect arrives; the state transfer was sent on the (established,
+	// single-writer) peer connection before it, so it must already be there.
+	waitForMsg := func(ch chan protocol.Message, want protocol.MsgType) protocol.Message {
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case m := <-ch:
+				if m.MsgType() == want {
+					return m
+				}
+			case <-deadline:
+				t.Fatalf("no %v frame arrived", want)
+			}
+		}
+	}
+	waitForMsg(clientGot, protocol.TypeRedirect)
+	select {
+	case m := <-peerGot:
+		if m.MsgType() != protocol.TypeStateTransfer {
+			t.Fatalf("peer got %v, want state transfer", m.MsgType())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("state transfer not on the peer connection after the redirect was delivered")
+	}
+}
+
+// TestIngressFunnelOverflowDrops pins the funnel's bound: beyond maxIngress
+// parked messages, enqueueIngress drops rather than growing without limit.
+func TestIngressFunnelOverflowDrops(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	mc, err := ServeCoordinator(nw, "", coordinatorConfigForTest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mc.Close() })
+	// A near-stopped tick loop so the funnel is not drained mid-test.
+	h, err := StartServer(ServerConfig{
+		Network:      nw,
+		Coordinator:  mc.Addr(),
+		Radius:       40,
+		TickInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+
+	h.ingressMu.Lock()
+	h.ingress = make([]ingressMsg, maxIngress)
+	h.ingressMu.Unlock()
+	h.enqueueIngress(id.None, fwd(1))
+	h.ingressMu.Lock()
+	n := len(h.ingress)
+	h.ingress = nil
+	h.ingressMu.Unlock()
+	if n != maxIngress {
+		t.Fatalf("ingress grew to %d, want overflow drop at %d", n, maxIngress)
+	}
+}
+
+// TestIngressFunnelConcurrentEnqueue drives the funnel from several
+// goroutines at once — the mcLoop/peer-pump interleaving of the S2 bug —
+// and checks every message is processed by the tick goroutine (inbound
+// state transfers reach the game server via core routing, and nothing
+// races).
+func TestIngressFunnelConcurrentEnqueue(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	_, hosts := startCluster(t, nw, 1, load.Config{})
+	h := hosts[0]
+
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Inbound transfer addressed to us: core routes it to the
+				// game server — a benign, countable path.
+				h.enqueueIngress(99, &protocol.StateTransfer{From: 99, To: h.ID(), Final: true})
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, "funnel drained", func() bool {
+		h.ingressMu.Lock()
+		defer h.ingressMu.Unlock()
+		return len(h.ingress) == 0
+	})
+}
+
+// coordinatorConfigForTest returns the config startCluster uses, for tests
+// that build hosts by hand.
+func coordinatorConfigForTest() coordinator.Config {
+	return coordinator.Config{World: geom.R(0, 0, 1000, 1000)}
+}
+
+// TestMiddlewareAuthAndRateLimitOverWire runs the chain end to end: a
+// tokenless client is rejected at the hello, an authenticated client joins,
+// and its update flood is rate limited while control frames flow.
+func TestMiddlewareAuthAndRateLimitOverWire(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	mc, err := ServeCoordinator(nw, "", coordinatorConfigForTest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mc.Close() })
+	h, err := StartServer(ServerConfig{
+		Network:      nw,
+		Coordinator:  mc.Addr(),
+		Radius:       40,
+		TickInterval: 2 * time.Millisecond,
+		Middleware: middleware.Config{
+			Stages:          []string{middleware.StageAuth, middleware.StageRateLimit},
+			AuthSecret:      "s3cret",
+			RateLimitPerSec: 0.001, // effectively: the burst and nothing more
+			RateLimitBurst:  2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+
+	// Wrong token: the hello is rejected before the join, so the client
+	// never sees a welcome.
+	if _, err := DialClient(ClientConfig{
+		Network:        nw,
+		ServerAddr:     h.Addr(),
+		AuthToken:      "wrong",
+		Client:         gameclient.Config{ID: 1, Pos: geom.Pt(100, 100)},
+		WelcomeTimeout: 300 * time.Millisecond,
+	}); err != ErrNotWelcomed {
+		t.Fatalf("bad-token dial error = %v, want ErrNotWelcomed", err)
+	}
+	if got := h.mw.Stats().AuthFailed.Value(); got != 1 {
+		t.Fatalf("AuthFailed = %d, want 1", got)
+	}
+
+	// Right token: joins normally.
+	ch, err := DialClient(ClientConfig{
+		Network:    nw,
+		ServerAddr: h.Addr(),
+		AuthToken:  "s3cret",
+		Client:     gameclient.Config{ID: 2, Pos: geom.Pt(100, 100)},
+	})
+	if err != nil {
+		t.Fatalf("DialClient with token: %v", err)
+	}
+	defer ch.Close()
+
+	// Flood updates: the burst admits two, the rest are shed at the wire.
+	for i := 0; i < 10; i++ {
+		if err := ch.Send(ch.Client().MakeAction(protocol.KindAction, geom.Pt(101, 100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "rate limiting", func() bool {
+		return h.mw.Stats().RateLimited.Value() >= 8
+	})
+	waitFor(t, "burst echoed", func() bool {
+		return ch.Client().Stats().EchoCount >= 2
+	})
+	if got := ch.Client().Stats().EchoCount; got > 2 {
+		t.Fatalf("EchoCount = %d, want exactly the burst of 2", got)
+	}
+}
+
+// TestServeMetricsEndpoint scrapes the /metrics endpoints of a server (with
+// a middleware chain) and the coordinator once, and checks the core series
+// are present.
+func TestServeMetricsEndpoint(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	mc, err := ServeCoordinator(nw, "", coordinatorConfigForTest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mc.Close() })
+	h, err := StartServer(ServerConfig{
+		Network:      nw,
+		Coordinator:  mc.Addr(),
+		Radius:       40,
+		TickInterval: 2 * time.Millisecond,
+		Middleware: middleware.Config{
+			Stages:    []string{middleware.StageRateLimit, middleware.StageAdmission},
+			ShedQueue: 100,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+
+	scrape := func(serve func(string) (string, io.Closer, error)) string {
+		t.Helper()
+		addr, closer, err := serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ServeMetrics: %v", err)
+		}
+		defer closer.Close()
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape status %d", resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	sbody := scrape(h.ServeMetrics)
+	for _, want := range []string{
+		"matrix_server_clients ",
+		"matrix_server_queue_len ",
+		"matrix_server_peer_conns ",
+		"matrix_mw_dropped_total",
+	} {
+		if !strings.Contains(sbody, want) {
+			t.Errorf("server scrape missing %q:\n%s", want, sbody)
+		}
+	}
+	cbody := scrape(mc.ServeMetrics)
+	for _, want := range []string{
+		"matrix_mc_server_conns 1",
+		"matrix_mc_active_servers 1",
+		"matrix_mc_splits_total 0",
+	} {
+		if !strings.Contains(cbody, want) {
+			t.Errorf("coordinator scrape missing %q:\n%s", want, cbody)
+		}
+	}
+}

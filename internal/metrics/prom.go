@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// PromName sanitizes an instrument name ("server/queue-len") into a
+// Prometheus metric name ("matrix_server_queue_len"): a fixed matrix_
+// prefix, with every rune outside [a-zA-Z0-9] mapped to '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len("matrix_") + len(name))
+	b.WriteString("matrix_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every counter, gauge and histogram in reg in the
+// Prometheus text exposition format. Counters get a _total suffix;
+// histograms export their _count and _sum (the raw-sample store has no
+// fixed buckets). Series are a simulation artifact and are not scraped.
+func WritePrometheus(w io.Writer, reg *Registry) {
+	st := reg.State()
+	for _, c := range st.Counters {
+		n := PromName(c.Name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range st.Gauges {
+		n := PromName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, g.Value)
+	}
+	for _, h := range st.Histograms {
+		n := PromName(h.Name)
+		var sum float64
+		for _, s := range h.Samples {
+			sum += s
+		}
+		fmt.Fprintf(w, "# TYPE %s summary\n%s_count %d\n%s_sum %g\n", n, n, len(h.Samples), n, sum)
+	}
+}
+
+// metricsServer ties an HTTP server to its listener for Close.
+type metricsServer struct {
+	srv *http.Server
+}
+
+// Close implements io.Closer.
+func (m *metricsServer) Close() error { return m.srv.Close() }
+
+// Serve starts an HTTP server on addr exposing GET /metrics, rendered by
+// write on every scrape (write runs on the HTTP handler goroutine; callers
+// typically refresh gauges there before rendering). It returns the bound
+// address — useful when addr requests an ephemeral port — and a closer
+// that stops the server.
+func Serve(addr string, write func(io.Writer)) (string, io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		write(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), &metricsServer{srv: srv}, nil
+}

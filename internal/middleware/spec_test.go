@@ -1,0 +1,63 @@
+package middleware
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    []string
+		wantErr string
+	}{
+		{spec: "", want: nil},
+		{spec: "   ", want: nil},
+		{spec: "ratelimit", want: []string{"ratelimit"}},
+		{spec: "auth,ratelimit,admission,audit", want: []string{"auth", "ratelimit", "admission", "audit"}},
+		// Order is preserved (registration order = request order).
+		{spec: "admission,ratelimit", want: []string{"admission", "ratelimit"}},
+		// Whitespace and case are forgiven.
+		{spec: " Auth , RATELIMIT ", want: []string{"auth", "ratelimit"}},
+		{spec: "auth,,ratelimit", wantErr: "bad spec element"},
+		{spec: "ratelimit,", wantErr: "bad spec element"},
+		{spec: "throttle", wantErr: `unknown stage "throttle"`},
+		{spec: "auth,auth", wantErr: `duplicate stage "auth"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			got, err := ParseSpec(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseSpec(%q) error = %v, want containing %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseSpec(%q) error = %v", tc.spec, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("ParseSpec(%q) = %v, want %v", tc.spec, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ParseSpec(%q) = %v, want %v", tc.spec, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateRate(t *testing.T) {
+	for _, bad := range []float64{0, -1, -0.5, math.NaN(), math.Inf(-1)} {
+		if err := ValidateRate(bad); err == nil || !strings.Contains(err.Error(), "rate limit must be positive") {
+			t.Fatalf("ValidateRate(%v) = %v, want positive-rate error", bad, err)
+		}
+	}
+	for _, good := range []float64{0.1, 1, 200, math.Inf(1)} {
+		if err := ValidateRate(good); err != nil {
+			t.Fatalf("ValidateRate(%v) = %v, want nil", good, err)
+		}
+	}
+}

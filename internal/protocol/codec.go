@@ -428,11 +428,22 @@ func (m *NonProximalReply) decodeBody(r *reader) error {
 func (m *ClientHello) encodeBody(b *buffer) {
 	b.u64(uint64(m.Client))
 	b.point(m.Pos)
+	// The token is an optional trailing field: omitted entirely when empty
+	// so token-free hellos keep the historical encoding (golden frames,
+	// byte-parity and fingerprints unchanged), present as a length-prefixed
+	// string otherwise. Unmarshal rejects trailing garbage, so the decoder
+	// reads it exactly when bytes remain.
+	if m.Token != "" {
+		b.str(m.Token)
+	}
 }
 
 func (m *ClientHello) decodeBody(r *reader) error {
 	m.Client = id.ClientID(r.u64())
 	m.Pos = r.point()
+	if r.err == nil && r.off < len(r.b) {
+		m.Token = r.str()
+	}
 	return r.err
 }
 

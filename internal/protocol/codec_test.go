@@ -74,6 +74,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&NonProximalReply{Servers: []id.ServerID{1, 2, 3}, Peers: []PeerAddr{{Server: 1, Addr: "x:1"}}},
 		&NonProximalReply{},
 		&ClientHello{Client: 12, Pos: geom.Pt(1, 2)},
+		&ClientHello{Client: 12, Pos: geom.Pt(1, 2), Token: "s3cret"},
 		&ClientWelcome{Server: 2, Bounds: geom.R(0, 0, 10, 10)},
 		&RangeUpdate{Server: 6, Bounds: geom.R(5, 5, 10, 10)},
 		&RangeUpdate{

@@ -1,0 +1,68 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"matrix/internal/geom"
+)
+
+// helloFrameV0 hand-builds the historical ClientHello encoding (u64 client
+// + two f64 coordinates, no token field), exactly what every pre-token
+// peer put on the wire.
+func helloFrameV0(client uint64, x, y float64) []byte {
+	body := binary.BigEndian.AppendUint64(nil, client)
+	body = binary.BigEndian.AppendUint64(body, math.Float64bits(x))
+	body = binary.BigEndian.AppendUint64(body, math.Float64bits(y))
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+	frame = append(frame, uint8(TypeClientHello))
+	return append(frame, body...)
+}
+
+// TestClientHelloTokenBackwardCompatible pins the wire contract of the
+// optional token: a token-free hello encodes byte-identically to the
+// historical format, and the historical format still decodes.
+func TestClientHelloTokenBackwardCompatible(t *testing.T) {
+	old := helloFrameV0(12, 1, 2)
+
+	// Token-free hellos must not change on the wire — golden frames,
+	// byte-parity between transports and sim fingerprints all depend on it.
+	got, err := Marshal(&ClientHello{Client: 12, Pos: geom.Pt(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatalf("token-free hello encoding changed:\n got  %x\n want %x", got, old)
+	}
+
+	// A frame from a pre-token sender decodes with an empty token.
+	m, err := Unmarshal(old)
+	if err != nil {
+		t.Fatalf("historical frame no longer decodes: %v", err)
+	}
+	hello, ok := m.(*ClientHello)
+	if !ok {
+		t.Fatalf("decoded %T, want *ClientHello", m)
+	}
+	if hello.Client != 12 || hello.Pos != geom.Pt(1, 2) || hello.Token != "" {
+		t.Fatalf("decoded %+v, want client 12 at (1,2) with empty token", hello)
+	}
+
+	// A tokened hello is strictly the old frame plus the trailing string.
+	tokened, err := Marshal(&ClientHello{Client: 12, Pos: geom.Pt(1, 2), Token: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tokened[5:5+len(old)-5], old[5:]) {
+		t.Fatalf("tokened hello does not extend the historical body:\n got  %x\n old  %x", tokened, old)
+	}
+	back, err := Unmarshal(tokened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := back.(*ClientHello); h.Token != "s3cret" {
+		t.Fatalf("token round trip = %q, want %q", h.Token, "s3cret")
+	}
+}

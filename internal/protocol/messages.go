@@ -51,6 +51,11 @@ const (
 	typeMax // sentinel for validation
 )
 
+// NumMsgTypes sizes arrays indexed by MsgType (values start at 1, so index
+// 0 is unused). The middleware stats block uses it to pre-resolve one
+// counter per message type with no map on the hot path.
+const NumMsgTypes = int(typeMax)
+
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
 	names := [...]string{
@@ -313,6 +318,10 @@ func (*NonProximalReply) MsgType() MsgType { return TypeNonProximalReply }
 type ClientHello struct {
 	Client id.ClientID
 	Pos    geom.Point
+	// Token is the optional session credential the middleware auth stage
+	// verifies. It rides the wire only when non-empty, so token-free hellos
+	// encode byte-identically to the historical format.
+	Token string
 }
 
 // MsgType implements Message.

@@ -26,6 +26,11 @@ func (r *Result) Fingerprint() string {
 		fmt.Fprintf(&b, "recovery restarts=%d rejoins=%d gap=%s\n",
 			r.Restarts, r.RecoveryRejoins, histFingerprint(r.RecoveryGap))
 	}
+	// Likewise the middleware line joins only when the admission chain ran,
+	// keeping chain-free fingerprints byte-identical to their history.
+	if r.MiddlewareActive {
+		fmt.Fprintf(&b, "middleware ratelimited=%d shed=%d\n", r.RateLimited, r.AdmissionShed)
+	}
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "event t=%.3f %s server=%v\n", e.Time, e.Kind, e.Server)
 	}

@@ -30,6 +30,7 @@ import (
 	"matrix/internal/id"
 	"matrix/internal/load"
 	"matrix/internal/metrics"
+	"matrix/internal/middleware"
 	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/scratch"
@@ -95,6 +96,15 @@ type Config struct {
 	// disables expiry. Only runs with active network emulation can produce
 	// ghosts, so netem-free fingerprints are unaffected.
 	GhostExpirySeconds float64
+	// Middleware, when non-nil and enabled, puts the wire-path admission
+	// chain (internal/middleware) in front of every game server: per-client
+	// token-bucket rate limiting on client updates and overload shedding of
+	// data-plane traffic once a server's queue reaches ShedQueue. Every
+	// admission decision runs on the stepping goroutine against virtual
+	// time, so the judged run is deterministic — Result.Fingerprint stays
+	// byte-identical for any SimWorkers value — and the decisions fold into
+	// the fingerprint via the middleware counters.
+	Middleware *MiddlewareConfig `json:",omitempty"`
 	// SimWorkers bounds the intra-sim worker pool that fans each tick's
 	// per-server work (game-server inbox processing and the co-located
 	// Matrix server's packet/load logic) out across cores; <= 1 — the
@@ -104,6 +114,26 @@ type Config struct {
 	// execution knob, not simulation state — snapshots do not record it
 	// and a restored run picks its own.
 	SimWorkers int `json:"-"`
+}
+
+// MiddlewareConfig is the simulator's projection of the host middleware
+// chain: the two deterministic stages (rate limiting and overload
+// admission). Auth and audit are wire-host concerns with no simulation
+// analogue. A zero field disables its stage.
+type MiddlewareConfig struct {
+	// RateLimitPerSec is each client's sustained update budget (updates per
+	// simulated second); despawns are exempt. Zero disables rate limiting.
+	RateLimitPerSec float64 `json:",omitempty"`
+	// RateLimitBurst is the token-bucket depth (default 2× the rate).
+	RateLimitBurst float64 `json:",omitempty"`
+	// ShedQueue is the game-server queue length at which data-plane
+	// messages (minus despawns) are shed. Zero disables admission control.
+	ShedQueue int `json:",omitempty"`
+}
+
+// Enabled reports whether any middleware stage is active.
+func (m *MiddlewareConfig) Enabled() bool {
+	return m != nil && (m.RateLimitPerSec > 0 || m.ShedQueue > 0)
 }
 
 // DefaultGhostExpirySeconds is the ghost-client idle timeout applied when
@@ -147,6 +177,14 @@ func (c Config) sanitized() (Config, error) {
 	}
 	if c.GhostExpirySeconds == 0 {
 		c.GhostExpirySeconds = DefaultGhostExpirySeconds
+	}
+	if m := c.Middleware; m != nil {
+		if m.RateLimitPerSec < 0 {
+			return c, fmt.Errorf("sim: middleware rate limit must not be negative (got %v)", m.RateLimitPerSec)
+		}
+		if m.ShedQueue < 0 {
+			return c, fmt.Errorf("sim: middleware shed queue must not be negative (got %d)", m.ShedQueue)
+		}
 	}
 	return c, nil
 }
@@ -212,6 +250,14 @@ type Result struct {
 	// RecoveryGap is the distribution of recover→reconnected times in
 	// milliseconds for clients of restarted servers (the recovery gap).
 	RecoveryGap *metrics.Histogram
+	// MiddlewareActive records whether the admission chain ran; its
+	// counters join the fingerprint only when it did, so middleware-free
+	// runs keep their historical byte-identical fingerprints.
+	MiddlewareActive bool
+	// RateLimited counts client updates shed by per-client token buckets.
+	RateLimited uint64
+	// AdmissionShed counts data-plane messages shed by overload admission.
+	AdmissionShed uint64
 }
 
 // node is one server slot: a Matrix server and its co-located game server.
@@ -309,6 +355,13 @@ type Sim struct {
 	gsBufs scratch.Pool[gameserver.Envelope]
 	live   []int
 
+	// Middleware admission state (nil when Config.Middleware is disabled):
+	// one rate limiter per server, its per-client token buckets advanced on
+	// virtual time. Judged on the stepping goroutine only — generateTraffic,
+	// pumpNetem delivery and phase-B routing — never inside phase A, so the
+	// decisions are identical for any SimWorkers value.
+	mwLim map[id.ServerID]*middleware.RateLimiter
+
 	// compatAlloc forces the legacy allocating APIs (Process /
 	// HandleGameUpdate) instead of the buffer-reusing append APIs. Tests
 	// set it to prove both paths produce byte-identical fingerprints.
@@ -392,6 +445,45 @@ func (s *Sim) registerServer() error {
 	return nil
 }
 
+// limiterFor returns (lazily creating) server sid's rate limiter. Only
+// called when the middleware chain is active.
+func (s *Sim) limiterFor(sid id.ServerID) *middleware.RateLimiter {
+	l := s.mwLim[sid]
+	if l == nil {
+		l = middleware.NewRateLimiter(s.cfg.Middleware.RateLimitPerSec, s.cfg.Middleware.RateLimitBurst)
+		s.mwLim[sid] = l
+	}
+	return l
+}
+
+// admitIngress is the simulator's middleware chain: it judges one message
+// arriving at server sid exactly as the wire host's chain would — the
+// per-client token bucket first (client-sourced updates only, despawns
+// exempt), then overload admission against the receiving queue. It returns
+// false when the message is shed, counting the decision into the result
+// (and thus the fingerprint). Runs on the stepping goroutine only.
+func (s *Sim) admitIngress(sid id.ServerID, fromClient bool, m protocol.Message) bool {
+	mw := s.cfg.Middleware
+	if s.mwLim == nil {
+		return true
+	}
+	if fromClient && mw.RateLimitPerSec > 0 {
+		if u, ok := m.(*protocol.GameUpdate); ok && u.Kind != protocol.KindDespawn {
+			if !s.limiterFor(sid).Allow(u.Client, s.now) {
+				s.res.RateLimited++
+				return false
+			}
+		}
+	}
+	if mw.ShedQueue > 0 && middleware.Sheddable(m) {
+		if n, ok := s.nodes[sid]; ok && n.gs.QueueLen() >= mw.ShedQueue {
+			s.res.AdmissionShed++
+			return false
+		}
+	}
+	return true
+}
+
 // deliverToCore hands a message to a Matrix server and routes the fallout.
 // This is the general path: handlers build fresh envelope slices, which
 // re-entrant deliveries (MC fallout, peer chains) require. The per-tick
@@ -427,6 +519,11 @@ func (s *Sim) routeCoreEnvelopes(from id.ServerID, envs []core.Envelope) {
 				s.deliverToCore(me.To, id.None, me.Msg)
 			}
 		case core.DestGameServer:
+			// Peer-forwarded data plane passes the local admission stage
+			// before it can land on an overloaded queue.
+			if !s.admitIngress(from, false, e.Msg) {
+				continue
+			}
 			// Overflow drops are counted by the game server itself.
 			_ = s.nodes[from].gs.Enqueue(e.Msg)
 		case core.DestPeer:
@@ -657,6 +754,10 @@ func (s *Sim) pumpNetem() {
 		switch e.kind {
 		case netemToGS:
 			if n, ok := s.nodes[e.to.Server]; ok {
+				// A delayed message is judged at arrival, like any other.
+				if !s.admitIngress(e.to.Server, e.from.Client != 0, e.msg) {
+					continue
+				}
 				_ = n.gs.Enqueue(e.msg) // overflow counted by the game server
 			}
 		case netemToClient:
@@ -788,6 +889,13 @@ func (s *Sim) Start() error {
 		s.nm = netem.NewModel(ncfg)
 		s.nq = make(map[int][]netemEntry)
 		s.res.NetemActive = true
+	}
+
+	// The admission chain activates on an enabled middleware config; runs
+	// without one keep the historical judge-free path (and fingerprint).
+	if s.cfg.Middleware.Enabled() {
+		s.mwLim = make(map[id.ServerID]*middleware.RateLimiter)
+		s.res.MiddlewareActive = true
 	}
 
 	// Base population scattered uniformly.
@@ -1016,6 +1124,9 @@ func (s *Sim) restartNode(sid id.ServerID) {
 		return
 	}
 	delete(s.loseState, sid)
+	// The process died: its in-memory token buckets died with it. A
+	// restarted server starts every client's budget fresh.
+	delete(s.mwLim, sid)
 	chkCore, chkGame := s.blankNodeState(sid)
 	if chk := s.checkpoints[sid]; chk != nil {
 		chkCore, chkGame = chk.core, chk.game
@@ -1109,6 +1220,10 @@ func (s *Sim) generateTraffic(dt float64) {
 			}
 			u.Payload = make([]byte, s.cfg.Profile.PayloadBytes)
 			if s.nm != nil && s.impair(netem.ClientEndpoint(sc.cl.ID()), netem.ServerEndpoint(sc.assigned), netemToGS, u) {
+				continue
+			}
+			// The network delivered it; the server's chain judges it.
+			if !s.admitIngress(sc.assigned, true, u) {
 				continue
 			}
 			_ = n.gs.Enqueue(u) // overflow counted by the game server

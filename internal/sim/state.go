@@ -27,6 +27,7 @@ import (
 	"matrix/internal/gameserver"
 	"matrix/internal/id"
 	"matrix/internal/metrics"
+	"matrix/internal/middleware"
 	"matrix/internal/netem"
 	"matrix/internal/protocol"
 )
@@ -49,6 +50,10 @@ type NodeState struct {
 	Server id.ServerID
 	Core   *core.State
 	Game   *gameserver.State
+	// Limiter is the server's middleware rate-limiter image (per-client
+	// token buckets, sorted by client). Omitted when empty so middleware-
+	// free snapshots re-encode byte-identically to their history.
+	Limiter []middleware.BucketState `json:",omitempty"`
 }
 
 // DelayedEntry is one in-flight netem-delayed message.
@@ -106,6 +111,11 @@ type CountersState struct {
 	GhostsExpired   uint64
 	Restarts        uint64
 	RecoveryRejoins uint64
+	// The middleware counters are omitted when zero, so snapshots captured
+	// before the admission chain existed re-encode byte-identically.
+	MiddlewareActive bool   `json:",omitempty"`
+	RateLimited      uint64 `json:",omitempty"`
+	AdmissionShed    uint64 `json:",omitempty"`
 }
 
 // State is a Sim's complete serializable image between two ticks.
@@ -168,6 +178,10 @@ func (s *Sim) CaptureState() (*State, error) {
 			GhostsExpired:   s.res.GhostsExpired,
 			Restarts:        s.res.Restarts,
 			RecoveryRejoins: s.res.RecoveryRejoins,
+
+			MiddlewareActive: s.res.MiddlewareActive,
+			RateLimited:      s.res.RateLimited,
+			AdmissionShed:    s.res.AdmissionShed,
 		},
 	}
 	// The worker count is an execution knob that never affects results:
@@ -186,7 +200,11 @@ func (s *Sim) CaptureState() (*State, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: capture %v game server: %w", sid, err)
 		}
-		st.Nodes = append(st.Nodes, NodeState{Server: sid, Core: cs, Game: gs})
+		ns := NodeState{Server: sid, Core: cs, Game: gs}
+		if l := s.mwLim[sid]; l != nil {
+			ns.Limiter = l.State()
+		}
+		st.Nodes = append(st.Nodes, ns)
 	}
 
 	for _, cid := range sortedClientIDs(s.clients) {
@@ -357,6 +375,11 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 		return nil, err
 	}
 
+	if cfg.Middleware.Enabled() {
+		s.mwLim = make(map[id.ServerID]*middleware.RateLimiter)
+		s.res.MiddlewareActive = true
+	}
+
 	for _, ns := range st.Nodes {
 		if ns.Core == nil || ns.Game == nil {
 			return nil, fmt.Errorf("sim: node %v state incomplete", ns.Server)
@@ -384,6 +407,9 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 		}
 		s.nodes[ns.Server] = &node{core: cs, gs: gs}
 		s.order = append(s.order, ns.Server)
+		if s.mwLim != nil && len(ns.Limiter) > 0 {
+			s.limiterFor(ns.Server).SetState(ns.Limiter)
+		}
 	}
 
 	for _, cst := range st.Clients {
@@ -415,6 +441,9 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 	s.res.GhostsExpired = st.Counters.GhostsExpired
 	s.res.Restarts = st.Counters.Restarts
 	s.res.RecoveryRejoins = st.Counters.RecoveryRejoins
+	s.res.MiddlewareActive = st.Counters.MiddlewareActive
+	s.res.RateLimited = st.Counters.RateLimited
+	s.res.AdmissionShed = st.Counters.AdmissionShed
 	for _, sid := range st.ActivePrev {
 		s.activePrev[sid] = true
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"matrix/internal/protocol"
 )
@@ -68,6 +69,14 @@ type Network interface {
 	Dial(addr string) (Conn, error)
 }
 
+// TimeoutDialer is implemented by networks whose Dial can enforce a
+// deadline natively (TCP). Callers that need a bounded dial should use it
+// when available and fall back to racing Dial against a timer otherwise.
+type TimeoutDialer interface {
+	// DialTimeout connects to a listener, failing after d.
+	DialTimeout(addr string, d time.Duration) (Conn, error)
+}
+
 // --- TCP implementation ---
 
 // TCPNetwork is the production transport over real sockets.
@@ -89,6 +98,16 @@ func (TCPNetwork) Listen(addr string) (Listener, error) {
 // Dial implements Network.
 func (TCPNetwork) Dial(addr string) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+// DialTimeout implements TimeoutDialer: a dial to a blackholed address
+// fails after d instead of the kernel's (much longer) SYN timeout.
+func (TCPNetwork) DialTimeout(addr string, d time.Duration) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -506,10 +525,11 @@ func (c *memConn) BytesReceived() uint64 {
 }
 
 var (
-	_ Network  = TCPNetwork{}
-	_ Network  = (*MemNetwork)(nil)
-	_ Conn     = (*tcpConn)(nil)
-	_ Conn     = (*memConn)(nil)
-	_ Listener = (*tcpListener)(nil)
-	_ Listener = (*memListener)(nil)
+	_ Network       = TCPNetwork{}
+	_ TimeoutDialer = TCPNetwork{}
+	_ Network       = (*MemNetwork)(nil)
+	_ Conn          = (*tcpConn)(nil)
+	_ Conn          = (*memConn)(nil)
+	_ Listener      = (*tcpListener)(nil)
+	_ Listener      = (*memListener)(nil)
 )

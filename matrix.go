@@ -34,6 +34,7 @@ import (
 	"matrix/internal/geom"
 	"matrix/internal/id"
 	"matrix/internal/load"
+	"matrix/internal/middleware"
 	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/sim"
@@ -78,6 +79,13 @@ type (
 	// NetemLink is one link's impairment: delay, jitter, i.i.d. and burst
 	// loss.
 	NetemLink = netem.LinkConfig
+	// HostMiddleware configures the wire-path interceptor chain a server
+	// runs on every inbound frame (see WithMiddleware). The zero value
+	// installs nothing.
+	HostMiddleware = middleware.Config
+	// SimMiddleware configures the simulation's deterministic admission
+	// chain (SimulationConfig.Middleware).
+	SimMiddleware = sim.MiddlewareConfig
 )
 
 // Update kinds.
@@ -126,6 +134,11 @@ func ImpairNetwork(nw Network, link NetemLink, seed int64) Network {
 // "delay=40ms,jitter=25ms,loss=2%".
 func ParseNetemSpec(spec string) (NetemLink, error) { return netem.ParseSpec(spec) }
 
+// ParseMiddlewareSpec parses the CLI stage-list syntax behind -middleware,
+// e.g. "auth,ratelimit,admission,audit". Order is preserved (it becomes
+// request order); an empty spec disables the chain.
+func ParseMiddlewareSpec(spec string) ([]string, error) { return middleware.ParseSpec(spec) }
+
 // BzflagProfile returns the BzFlag-like workload (tank shooter).
 func BzflagProfile() Profile { return game.Bzflag() }
 
@@ -161,6 +174,8 @@ type options struct {
 	maxQueue    int
 	report      time.Duration
 	restore     []byte
+	mw          HostMiddleware
+	authToken   string
 }
 
 func defaultOptions() options {
@@ -217,6 +232,17 @@ func WithMaxQueue(n int) Option { return func(o *options) { o.maxQueue = n } }
 
 // WithReportInterval sets the load-report cadence (servers).
 func WithReportInterval(d time.Duration) Option { return func(o *options) { o.report = d } }
+
+// WithMiddleware installs the wire-path interceptor chain on a server:
+// every inbound client and peer frame is judged by the configured stages
+// (auth, ratelimit, admission, audit) before it reaches the game server
+// (servers only).
+func WithMiddleware(cfg HostMiddleware) Option { return func(o *options) { o.mw = cfg } }
+
+// WithAuthToken stamps the session token on the client's ClientHello —
+// the initial join and every redirect rejoin — for servers running the
+// auth stage (clients only).
+func WithAuthToken(token string) Option { return func(o *options) { o.authToken = token } }
 
 // WithRestoreSnapshot makes a server adopt the game world (client avatars
 // and map objects) from a snapshot blob before it starts serving, so no
