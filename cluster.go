@@ -39,6 +39,29 @@ func (c *Coordinator) Splits() int { return c.h.MC().Splits() }
 // Reclaims returns the number of granted reclamations so far.
 func (c *Coordinator) Reclaims() int { return c.h.MC().Reclaims() }
 
+// Deaths returns the number of servers declared dead so far (health
+// tracking must be on — see WithHeartbeatEvery).
+func (c *Coordinator) Deaths() int { return c.h.MC().Deaths() }
+
+// Adoptions returns the number of dead-server regions re-homed onto warm
+// spares so far.
+func (c *Coordinator) Adoptions() int { return c.h.MC().Adoptions() }
+
+// Drains returns the number of operator drains granted so far.
+func (c *Coordinator) Drains() int { return c.h.MC().Drains() }
+
+// Parked lists regions whose owners died with no spare available; they are
+// adopted the moment a spare registers.
+func (c *Coordinator) Parked() []ServerID { return c.h.MC().Parked() }
+
+// Drain migrates target's partition off it — to a warm spare via live
+// handoff, or folded into its parent when the pool is empty — and returns
+// the server to the spare pool, or retires it when exit is set. Requires
+// health tracking (WithHeartbeatEvery).
+func (c *Coordinator) Drain(target ServerID, exit bool) error {
+	return c.h.AdminDrain(target, exit)
+}
+
 // Partitions snapshots the current world partitioning as (server, rect)
 // pairs.
 func (c *Coordinator) Partitions() map[ServerID]Rect {
@@ -72,18 +95,20 @@ func StartServer(mcAddr string, opts ...Option) (*Server, error) {
 		opt(&o)
 	}
 	h, err := host.StartServer(host.ServerConfig{
-		Network:        o.network,
-		Coordinator:    mcAddr,
-		ListenAddr:     o.addr,
-		Radius:         o.radius,
-		Load:           o.loadPolicy,
-		TickInterval:   o.tick,
-		ServiceRate:    o.serviceRate,
-		MaxQueue:       o.maxQueue,
-		ReportInterval: o.report,
-		Logger:         o.logger,
-		Restore:        o.restore,
-		Middleware:     o.mw,
+		Network:         o.network,
+		Coordinator:     mcAddr,
+		ListenAddr:      o.addr,
+		Radius:          o.radius,
+		Load:            o.loadPolicy,
+		TickInterval:    o.tick,
+		ServiceRate:     o.serviceRate,
+		MaxQueue:        o.maxQueue,
+		ReportInterval:  o.report,
+		Logger:          o.logger,
+		Restore:         o.restore,
+		Middleware:      o.mw,
+		HeartbeatEvery:  o.heartbeat,
+		CheckpointEvery: o.checkpoint,
 	})
 	if err != nil {
 		return nil, err
@@ -117,6 +142,15 @@ func (s *Server) ServeMetrics(addr string) (string, io.Closer, error) {
 	return s.h.ServeMetrics(addr)
 }
 
+// Drain asks the coordinator to take this server out of rotation: its
+// partition migrates to a spare (or folds into its parent), clients are
+// redirected away, and the call returns once the server is empty. With
+// exit the server is retired from the pool instead of becoming a spare.
+func (s *Server) Drain(exit bool, timeout time.Duration) error { return s.h.Drain(exit, timeout) }
+
+// Drained is closed once a requested drain has fully evacuated the server.
+func (s *Server) Drained() <-chan struct{} { return s.h.Drained() }
+
 // Snapshot dumps the node's complete state (Matrix server + game server) as
 // a versioned blob. Any peer can also fetch it over the wire by sending a
 // SnapshotRequest frame; matrix-server's -dump flag does exactly that.
@@ -143,11 +177,13 @@ func Dial(serverAddr string, clientID ClientID, pos Point, opts ...Option) (*Cli
 		opt(&o)
 	}
 	h, err := host.DialClient(host.ClientConfig{
-		Network:    o.network,
-		ServerAddr: serverAddr,
-		Client:     clientConfig(clientID, pos),
-		Logger:     o.logger,
-		AuthToken:  o.authToken,
+		Network:       o.network,
+		ServerAddr:    serverAddr,
+		Client:        clientConfig(clientID, pos),
+		Logger:        o.logger,
+		AuthToken:     o.authToken,
+		FallbackAddrs: o.fallbacks,
+		RedialEvery:   o.redialEvery,
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,8 @@
 //
 //	matrix-coordinator -addr :7000 -world 1000x1000
 //	matrix-coordinator -addr :7000 -world 1000x1000 -static 4   # baseline
+//	matrix-coordinator -addr :7000 -heartbeat-every 1s          # self-healing
+//	matrix-coordinator -addr :7000 -drain 3                     # admin: drain server 3
 package main
 
 import (
@@ -20,6 +22,9 @@ import (
 	"time"
 
 	"matrix"
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+	"matrix/internal/transport"
 )
 
 func main() {
@@ -36,8 +41,32 @@ func run(args []string) error {
 	staticN := fs.Int("static", 0, "run the static-partitioning baseline with N fixed servers (0 = adaptive Matrix)")
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
 	metricsAddr := fs.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (empty = off)")
+	heartbeatEvery := fs.Duration("heartbeat-every", 0, "enable fleet health tracking: expire a server's lease after -lease-misses missed heartbeats at this cadence and re-home its regions onto warm spares (0 = off)")
+	leaseMisses := fs.Int("lease-misses", 0, "consecutive missed heartbeats that kill a lease (0 = default 3; requires -heartbeat-every)")
+	drainTarget := fs.Int("drain", 0, "admin mode: ask the running coordinator at -addr to drain server N, print the verdict and exit")
+	drainExit := fs.Bool("drain-exit", false, "with -drain: retire server N from the fleet instead of returning it to the spare pool")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Health and drain knobs fail at parse time, not mid-run.
+	if *heartbeatEvery < 0 {
+		return fmt.Errorf("health: -heartbeat-every must not be negative (got %v)", *heartbeatEvery)
+	}
+	if *leaseMisses < 0 {
+		return fmt.Errorf("health: -lease-misses must not be negative (got %d)", *leaseMisses)
+	}
+	if *leaseMisses > 0 && *heartbeatEvery == 0 {
+		return fmt.Errorf("health: -lease-misses requires -heartbeat-every")
+	}
+	if *drainTarget < 0 {
+		return fmt.Errorf("drain: -drain wants a server id (got %d)", *drainTarget)
+	}
+	if *drainExit && *drainTarget == 0 {
+		return fmt.Errorf("drain: -drain-exit requires -drain")
+	}
+	if *drainTarget > 0 {
+		return adminDrain(*addr, id.ServerID(*drainTarget), *drainExit)
 	}
 
 	w, h, err := parseWorld(*world)
@@ -55,6 +84,12 @@ func run(args []string) error {
 			return err
 		}
 		opts = append(opts, matrix.WithStaticPartitions(tiles))
+	}
+	if *heartbeatEvery > 0 {
+		opts = append(opts,
+			matrix.WithHeartbeatEvery(*heartbeatEvery),
+			matrix.WithLeaseMisses(*leaseMisses))
+		log.Printf("health: tracking leases every %v (misses=%d)", *heartbeatEvery, *leaseMisses)
 	}
 	mc, err := matrix.ServeCoordinator(opts...)
 	if err != nil {
@@ -87,11 +122,41 @@ func run(args []string) error {
 			parts := mc.Partitions()
 			log.Printf("status: %d active servers, %d splits, %d reclaims",
 				len(parts), mc.Splits(), mc.Reclaims())
+			if *heartbeatEvery > 0 {
+				log.Printf("health: %d deaths, %d adoptions, %d drains, %d parked regions",
+					mc.Deaths(), mc.Adoptions(), mc.Drains(), len(mc.Parked()))
+			}
 			for sid, bounds := range parts {
 				log.Printf("  %v -> %v", sid, bounds)
 			}
 		}
 	}
+}
+
+// adminDrain dials a running coordinator, opens with a DrainRequest naming
+// the target server (instead of registering) and reports the verdict.
+func adminDrain(addr string, target id.ServerID, exit bool) error {
+	conn, err := transport.TCPNetwork{}.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(&protocol.DrainRequest{Server: target, Exit: exit}); err != nil {
+		return err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("receive drain verdict: %w", err)
+	}
+	dr, ok := reply.(*protocol.DrainReply)
+	if !ok {
+		return fmt.Errorf("unexpected reply %v", reply.MsgType())
+	}
+	if !dr.Granted {
+		return fmt.Errorf("drain of %v denied: %s", target, dr.Reason)
+	}
+	log.Printf("drain of %v granted (exit=%v)", target, exit)
+	return nil
 }
 
 // parseWorld parses "WxH".

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHealthFlagValidation pins the parse-time guards on the fleet-health
+// and admin-drain knobs: a typo fails the invocation with a pointed error
+// before the coordinator binds a listener or an admin dial goes out.
+func TestHealthFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative-heartbeat", []string{"-heartbeat-every", "-1s"}, "-heartbeat-every must not be negative"},
+		{"negative-misses", []string{"-heartbeat-every", "1s", "-lease-misses", "-2"}, "-lease-misses must not be negative"},
+		{"misses-without-heartbeat", []string{"-lease-misses", "5"}, "-lease-misses requires -heartbeat-every"},
+		{"negative-drain-target", []string{"-drain", "-7"}, "-drain wants a server id"},
+		{"drain-exit-without-drain", []string{"-drain-exit"}, "-drain-exit requires -drain"},
+		{"bad-world", []string{"-world", "circle"}, "invalid -world"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) accepted an invalid config", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAdminDrainUnreachableCoordinator: admin mode with nobody listening
+// fails on the dial, not with a hang or a panic.
+func TestAdminDrainUnreachableCoordinator(t *testing.T) {
+	err := run([]string{"-addr", "127.0.0.1:1", "-drain", "3"})
+	if err == nil {
+		t.Fatal("run(-drain 3) against a dead coordinator succeeded")
+	}
+	if strings.Contains(err.Error(), "denied") {
+		t.Errorf("error %q should be a dial failure, not a drain verdict", err)
+	}
+}

@@ -55,12 +55,26 @@ func run(args []string) error {
 	restoreFile := fs.String("restore", "", "restore this node's state from a snapshot blob at startup (file produced by -dump)")
 	snapshotFile := fs.String("snapshot-file", "", "periodically checkpoint this node's state to this file (atomic rename)")
 	snapshotEvery := fs.Duration("snapshot-every", 30*time.Second, "checkpoint period for -snapshot-file")
+	heartbeatEvery := fs.Duration("heartbeat-every", time.Second, "heartbeat cadence to the coordinator (negative = off; ignored by coordinators without -heartbeat-every)")
+	checkpointEvery := fs.Duration("checkpoint-every", 10*time.Second, "ship a state checkpoint to the coordinator this often while owning a partition (negative = off)")
+	drain := fs.Bool("drain", false, "on SIGINT/SIGTERM, drain via the coordinator — migrate the partition, redirect clients — before exiting")
+	drainExit := fs.Bool("drain-exit", false, "with -drain: retire from the fleet instead of returning to the spare pool")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "with -drain: give up on a stuck drain after this long")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *dumpAddr != "" {
 		return dump(*dumpAddr, *outFile)
+	}
+
+	// Drain knobs are validated at parse time too: a typo must not surface
+	// only at the moment the operator tries to take the server down.
+	if *drainExit && !*drain {
+		return fmt.Errorf("drain: -drain-exit requires -drain")
+	}
+	if *drain && *drainTimeout <= 0 {
+		return fmt.Errorf("drain: -drain-timeout must be positive (got %v)", *drainTimeout)
 	}
 
 	policy := matrix.DefaultLoadPolicy()
@@ -108,6 +122,8 @@ func run(args []string) error {
 		matrix.WithLoadPolicy(policy),
 		matrix.WithServiceRate(*serviceRate),
 		matrix.WithTickInterval(*tick),
+		matrix.WithHeartbeatEvery(*heartbeatEvery),
+		matrix.WithCheckpointEvery(*checkpointEvery),
 		matrix.WithLogger(log.New(os.Stderr, "server ", log.LstdFlags)),
 	}
 	if len(stages) > 0 {
@@ -158,6 +174,14 @@ func run(args []string) error {
 	for {
 		select {
 		case <-stop:
+			if !*drain {
+				return nil
+			}
+			log.Printf("drain: evacuating (exit=%v, timeout %v)", *drainExit, *drainTimeout)
+			if err := srv.Drain(*drainExit, *drainTimeout); err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			log.Printf("drain: complete, shutting down")
 			return nil
 		case <-statusC:
 			log.Printf("status: active=%v bounds=%v clients=%d queue=%d",

@@ -37,6 +37,41 @@ func TestMiddlewareFlagValidation(t *testing.T) {
 	}
 }
 
+// TestDrainFlagValidation pins the parse-time guards on the graceful
+// shutdown knobs.
+func TestDrainFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"exit-without-drain", []string{"-drain-exit"}, "-drain-exit requires -drain"},
+		{"zero-timeout", []string{"-drain", "-drain-timeout", "0s"}, "-drain-timeout must be positive"},
+		{"negative-timeout", []string{"-drain", "-drain-timeout", "-5s"}, "-drain-timeout must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) accepted an invalid drain config", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDrainFlagValidationBeforeDial proves the drain guards fire before the
+// coordinator dial: with an unreachable coordinator the flag error wins.
+func TestDrainFlagValidationBeforeDial(t *testing.T) {
+	args := []string{"-coordinator", "127.0.0.1:1", "-drain-exit"}
+	err := run(args)
+	if err == nil || !strings.Contains(err.Error(), "-drain-exit requires -drain") {
+		t.Errorf("run(%v) = %v, want the flag error (not a dial error)", args, err)
+	}
+}
+
 // TestMiddlewareFlagValidationBeforeDial proves the guards fire at parse
 // time: with an unreachable coordinator, a valid chain spec fails on the
 // dial while an invalid one fails on the spec — the spec error wins.

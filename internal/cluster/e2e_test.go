@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"matrix"
+)
+
+// TestE2EKillNineOverTCP is the out-of-process version of the tentpole: it
+// builds the real matrix-coordinator and matrix-server binaries, runs a
+// two-server fleet over TCP, kill -9s the partition owner and asserts the
+// fleet converges (spare adopts, metrics agree) and the client rejoins and
+// keeps playing. Skipped under -short: it compiles binaries and forks
+// processes.
+func TestE2EKillNineOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-level e2e in -short mode")
+	}
+
+	bin := t.TempDir()
+	coordBin := filepath.Join(bin, "matrix-coordinator")
+	serverBin := filepath.Join(bin, "matrix-server")
+	build(t, coordBin, "matrix/cmd/matrix-coordinator")
+	build(t, serverBin, "matrix/cmd/matrix-server")
+
+	mcAddr := freeAddr(t)
+	metricsAddr := freeAddr(t)
+	s1Addr := freeAddr(t)
+	s2Addr := freeAddr(t)
+
+	startProc(t, coordBin,
+		"-addr", mcAddr, "-status", "0",
+		"-heartbeat-every", "50ms", "-lease-misses", "3",
+		"-metrics-addr", metricsAddr)
+	// The metrics endpoint comes up after the MC listener binds, so a
+	// successful scrape (key present, not a zero default) means servers
+	// can register.
+	waitFor(t, "coordinator up", func() bool {
+		_, ok := scrape(metricsAddr)["matrix_mc_server_conns"]
+		return ok
+	})
+
+	serverArgs := func(addr string) []string {
+		return []string{
+			"-coordinator", mcAddr, "-addr", addr, "-status", "0",
+			"-tick", "2ms", "-heartbeat-every", "25ms", "-checkpoint-every", "50ms",
+		}
+	}
+	// Start the victim first and alone so it deterministically registers
+	// first and owns the whole world; the second server is the warm spare.
+	victim := startProc(t, serverBin, serverArgs(s1Addr)...)
+	waitFor(t, "owner registered", func() bool {
+		return scrape(metricsAddr)["matrix_mc_active_servers"] == 1
+	})
+	startProc(t, serverBin, serverArgs(s2Addr)...)
+	waitFor(t, "spare registered", func() bool {
+		return scrape(metricsAddr)["matrix_mc_spare_servers"] == 1
+	})
+
+	cl, err := matrix.Dial(s1Addr, 1, matrix.Pt(500, 500),
+		matrix.WithNetwork(matrix.TCP()),
+		matrix.WithFallbackAddrs(s2Addr),
+		matrix.WithRedialEvery(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	owner := cl.Server()
+
+	// Let a post-join checkpoint ship, then kill -9 the owner.
+	time.Sleep(300 * time.Millisecond)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.Wait()
+
+	waitFor(t, "spare adopted the world", func() bool {
+		m := scrape(metricsAddr)
+		return m["matrix_mc_deaths_total"] == 1 &&
+			m["matrix_mc_adoptions_total"] == 1 &&
+			m["matrix_mc_active_servers"] == 1
+	})
+
+	// The client redials the fallback and resumes against the heir.
+	waitFor(t, "client rejoined the heir", func() bool {
+		return cl.Server() != 0 && cl.Server() != owner
+	})
+	got := cl.Stats().Received
+	waitFor(t, "client traffic flows again", func() bool {
+		_ = cl.Move(matrix.Pt(501, 500))
+		return cl.Stats().Received > got
+	})
+}
+
+// build compiles a cmd package into dst with the module's own toolchain.
+func build(t *testing.T, dst, pkg string) {
+	t.Helper()
+	cmd := exec.Command("go", "build", "-o", dst, pkg)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+}
+
+// repoRoot walks up from the package dir to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test dir")
+		}
+		dir = parent
+	}
+}
+
+// startProc launches a binary and guarantees it dies with the test.
+func startProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if testing.Verbose() {
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	return cmd
+}
+
+// freeAddr grabs an ephemeral 127.0.0.1 port and releases it for the
+// process under test (racy in principle, fine for a test).
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// scrape fetches and parses one Prometheus exposition from addr (missing
+// endpoint = empty map, so callers can poll through startup).
+func scrape(addr string) map[string]float64 {
+	out := make(map[string]float64)
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		return out
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out
+}
+
+// waitFor polls cond for up to 10s (processes and TCP are slower than the
+// in-memory fleet).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

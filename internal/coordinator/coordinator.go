@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"matrix/internal/clock"
 	"matrix/internal/geom"
 	"matrix/internal/id"
 	"matrix/internal/overlap"
@@ -32,6 +34,7 @@ var (
 	ErrUnknownServer = errors.New("coordinator: unknown server")
 	ErrNotSpare      = errors.New("coordinator: server is not a spare")
 	ErrBadRadius     = errors.New("coordinator: radius must be positive")
+	ErrNotActive     = errors.New("coordinator: server owns no partition")
 )
 
 // Envelope is one message the caller must deliver to a Matrix server.
@@ -53,6 +56,17 @@ type Config struct {
 	// to Static[i] forever, and all split/reclaim requests are denied.
 	// The rectangles must tile World exactly.
 	Static []geom.Rect
+	// HeartbeatEvery is the interval servers are expected to beat at.
+	// Zero disables every health feature (leases, death detection,
+	// adoption, drain) — the pre-health behaviour, which the deterministic
+	// simulation relies on.
+	HeartbeatEvery time.Duration
+	// LeaseMisses is how many consecutive missed beats expire a lease.
+	// Defaults to 3 when zero.
+	LeaseMisses int
+	// Clock supplies lease time. Defaults to the wall clock; tests inject
+	// a virtual clock to expire leases deterministically.
+	Clock clock.Clock
 }
 
 // serverState tracks one registered server.
@@ -62,6 +76,14 @@ type serverState struct {
 	radius  float64
 	active  bool // owns a partition (vs. spare in the pool)
 	clients int
+
+	// Health state, all idle while Config.HeartbeatEvery == 0.
+	draining bool      // evacuating its partition after a drain grant
+	retired  bool      // drained with exit; never returns to the pool
+	dead     bool      // lease expired or control connection dropped
+	lastBeat time.Time // instant of the last heartbeat (or registration)
+	beats    uint64    // heartbeats received
+	cpTick   uint64    // checkpoint tick reported by the last heartbeat
 }
 
 // Coordinator is the MC. Safe for concurrent use.
@@ -78,6 +100,14 @@ type Coordinator struct {
 
 	// Static-baseline state: partitions assigned so far, pending map build.
 	staticAssigned []space.Partition
+
+	// Health/remediation state (idle while cfg.HeartbeatEvery == 0).
+	checkpoints map[id.ServerID][]byte // last complete checkpoint blob per server
+	cpPartial   map[id.ServerID][]byte // in-flight chunked checkpoint uploads
+	parked      []id.ServerID          // dead owners awaiting a spare (FIFO)
+	deaths      int
+	adoptions   int
+	drains      int
 }
 
 // New creates a Coordinator for the given world.
@@ -90,9 +120,17 @@ func New(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("%w: %v", ErrBadRadius, r)
 		}
 	}
+	if cfg.HeartbeatEvery < 0 {
+		return nil, errors.New("coordinator: negative heartbeat interval")
+	}
+	if cfg.LeaseMisses < 0 {
+		return nil, errors.New("coordinator: negative lease misses")
+	}
 	return &Coordinator{
-		cfg:     cfg,
-		servers: make(map[id.ServerID]*serverState),
+		cfg:         cfg,
+		servers:     make(map[id.ServerID]*serverState),
+		checkpoints: make(map[id.ServerID][]byte),
+		cpPartial:   make(map[id.ServerID][]byte),
 	}, nil
 }
 
@@ -107,7 +145,7 @@ func (c *Coordinator) Register(addr string, radius float64) (*protocol.RegisterR
 		return nil, nil, fmt.Errorf("%w: %v", ErrBadRadius, radius)
 	}
 	sid := c.gen.NextServer()
-	st := &serverState{id: sid, addr: addr, radius: radius}
+	st := &serverState{id: sid, addr: addr, radius: radius, lastBeat: c.now()}
 	c.servers[sid] = st
 
 	if len(c.cfg.Static) > 0 {
@@ -134,6 +172,13 @@ func (c *Coordinator) Register(addr string, radius float64) (*protocol.RegisterR
 	// Spare: no partition yet.
 	c.spares = append(c.spares, sid)
 	reply := &protocol.RegisterReply{Server: sid, Bounds: geom.Rect{}, World: c.cfg.World}
+	if c.healthEnabled() && len(c.parked) > 0 {
+		// A region is parked waiting for capacity; the new spare adopts it
+		// immediately rather than waiting for the next lease tick.
+		victim := c.parked[0]
+		c.parked = c.parked[1:]
+		return reply, c.adoptLocked(victim), nil
+	}
 	return reply, nil, nil
 }
 
@@ -181,6 +226,12 @@ func (c *Coordinator) HandleMessage(from id.ServerID, m protocol.Message) ([]Env
 		return c.handleLoadReport(from, msg)
 	case *protocol.NonProximalQuery:
 		return c.handleNonProximal(from, msg)
+	case *protocol.Heartbeat:
+		return c.handleHeartbeat(from, msg)
+	case *protocol.SnapshotData:
+		return c.handleCheckpoint(from, msg)
+	case *protocol.DrainRequest:
+		return c.handleDrainRequest(from, msg)
 	default:
 		return nil, fmt.Errorf("coordinator: unexpected message %v from %v", m.MsgType(), from)
 	}
@@ -211,6 +262,7 @@ func (c *Coordinator) handleSplit(from id.ServerID, req *protocol.SplitRequest) 
 	}
 	c.spares = c.spares[1:]
 	child.active = true
+	child.draining = false
 	c.splits++
 
 	out := []Envelope{
@@ -422,23 +474,17 @@ func (c *Coordinator) peerAddrsLocked(set overlap.Set) []protocol.PeerAddr {
 func (c *Coordinator) Resync(sid id.ServerID) ([]Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.resyncLocked(sid)
+}
+
+func (c *Coordinator) resyncLocked(sid id.ServerID) ([]Envelope, error) {
 	if _, ok := c.servers[sid]; !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownServer, sid)
 	}
 	if c.m == nil {
 		return nil, nil
 	}
-	var handoff []protocol.HandoffTarget
-	for _, part := range c.m.Partitions() {
-		if part.Owner == sid {
-			continue
-		}
-		addr := ""
-		if st, ok := c.servers[part.Owner]; ok {
-			addr = st.addr
-		}
-		handoff = append(handoff, protocol.HandoffTarget{Server: part.Owner, Addr: addr, Bounds: part.Bounds})
-	}
+	handoff := c.handoffTargetsLocked(sid)
 	bounds, err := c.m.Bounds(sid)
 	if err != nil {
 		// Not in the map: the server was reclaimed while down; it rejoins
@@ -476,17 +522,50 @@ func (c *Coordinator) Resync(sid id.ServerID) ([]Envelope, error) {
 	return out, nil
 }
 
-// ServerSnap is one registered server inside a State snapshot.
+// handoffTargetsLocked lists every active partition except exclude's as a
+// handoff target, so the receiver can redirect any client it does not own.
+func (c *Coordinator) handoffTargetsLocked(exclude id.ServerID) []protocol.HandoffTarget {
+	var out []protocol.HandoffTarget
+	for _, part := range c.m.Partitions() {
+		if part.Owner == exclude {
+			continue
+		}
+		addr := ""
+		if st, ok := c.servers[part.Owner]; ok {
+			addr = st.addr
+		}
+		out = append(out, protocol.HandoffTarget{Server: part.Owner, Addr: addr, Bounds: part.Bounds})
+	}
+	return out
+}
+
+// ServerSnap is one registered server inside a State snapshot. The health
+// fields are omitted when zero so snapshots from health-disabled deployments
+// (the deterministic sim) stay byte-identical to the pre-health format.
 type ServerSnap struct {
 	ID      id.ServerID
 	Addr    string
 	Radius  float64
 	Active  bool
 	Clients int
+
+	Draining         bool   `json:",omitempty"`
+	Retired          bool   `json:",omitempty"`
+	Dead             bool   `json:",omitempty"`
+	Beats            uint64 `json:",omitempty"`
+	LastBeatUnixNano int64  `json:",omitempty"`
+	CheckpointTick   uint64 `json:",omitempty"`
+}
+
+// CheckpointSnap is one server's last shipped checkpoint blob inside a State
+// snapshot.
+type CheckpointSnap struct {
+	ID   id.ServerID
+	Blob []byte
 }
 
 // State is the Coordinator's serializable snapshot. Servers are sorted by
-// ID; spares keep their FIFO order.
+// ID; spares and parked regions keep their FIFO order.
 type State struct {
 	Gen      id.GeneratorState
 	Radius   float64
@@ -496,6 +575,12 @@ type State struct {
 	Spares   []id.ServerID
 	Static   []space.Partition
 	Map      *space.MapState
+
+	Deaths      int              `json:",omitempty"`
+	Adoptions   int              `json:",omitempty"`
+	Drains      int              `json:",omitempty"`
+	Parked      []id.ServerID    `json:",omitempty"`
+	Checkpoints []CheckpointSnap `json:",omitempty"`
 }
 
 // CaptureState snapshots the coordinator.
@@ -503,12 +588,16 @@ func (c *Coordinator) CaptureState() *State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := &State{
-		Gen:      c.gen.State(),
-		Radius:   c.radius,
-		Splits:   c.splits,
-		Reclaims: c.reclaim,
-		Spares:   append([]id.ServerID(nil), c.spares...),
-		Static:   append([]space.Partition(nil), c.staticAssigned...),
+		Gen:       c.gen.State(),
+		Radius:    c.radius,
+		Splits:    c.splits,
+		Reclaims:  c.reclaim,
+		Spares:    append([]id.ServerID(nil), c.spares...),
+		Static:    append([]space.Partition(nil), c.staticAssigned...),
+		Deaths:    c.deaths,
+		Adoptions: c.adoptions,
+		Drains:    c.drains,
+		Parked:    append([]id.ServerID(nil), c.parked...),
 	}
 	ids := make([]id.ServerID, 0, len(c.servers))
 	for sid := range c.servers {
@@ -517,7 +606,26 @@ func (c *Coordinator) CaptureState() *State {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, sid := range ids {
 		s := c.servers[sid]
-		st.Servers = append(st.Servers, ServerSnap{ID: sid, Addr: s.addr, Radius: s.radius, Active: s.active, Clients: s.clients})
+		snap := ServerSnap{ID: sid, Addr: s.addr, Radius: s.radius, Active: s.active, Clients: s.clients}
+		if c.healthEnabled() {
+			snap.Draining = s.draining
+			snap.Retired = s.retired
+			snap.Dead = s.dead
+			snap.Beats = s.beats
+			snap.CheckpointTick = s.cpTick
+			if !s.lastBeat.IsZero() {
+				snap.LastBeatUnixNano = s.lastBeat.UnixNano()
+			}
+		}
+		st.Servers = append(st.Servers, snap)
+	}
+	cpIDs := make([]id.ServerID, 0, len(c.checkpoints))
+	for sid := range c.checkpoints {
+		cpIDs = append(cpIDs, sid)
+	}
+	sort.Slice(cpIDs, func(i, j int) bool { return cpIDs[i] < cpIDs[j] })
+	for _, sid := range cpIDs {
+		st.Checkpoints = append(st.Checkpoints, CheckpointSnap{ID: sid, Blob: append([]byte(nil), c.checkpoints[sid]...)})
 	}
 	if c.m != nil {
 		ms := c.m.State()
@@ -545,9 +653,30 @@ func (c *Coordinator) RestoreState(st *State) error {
 	c.reclaim = st.Reclaims
 	c.spares = append([]id.ServerID(nil), st.Spares...)
 	c.staticAssigned = append([]space.Partition(nil), st.Static...)
+	c.deaths = st.Deaths
+	c.adoptions = st.Adoptions
+	c.drains = st.Drains
+	c.parked = append([]id.ServerID(nil), st.Parked...)
+	c.checkpoints = make(map[id.ServerID][]byte, len(st.Checkpoints))
+	for _, cp := range st.Checkpoints {
+		c.checkpoints[cp.ID] = append([]byte(nil), cp.Blob...)
+	}
+	c.cpPartial = make(map[id.ServerID][]byte)
 	c.servers = make(map[id.ServerID]*serverState, len(st.Servers))
 	for _, s := range st.Servers {
-		c.servers[s.ID] = &serverState{id: s.ID, addr: s.Addr, radius: s.Radius, active: s.Active, clients: s.Clients}
+		ss := &serverState{
+			id: s.ID, addr: s.Addr, radius: s.Radius, active: s.Active, clients: s.Clients,
+			draining: s.Draining, retired: s.Retired, dead: s.Dead,
+			beats: s.Beats, cpTick: s.CheckpointTick,
+		}
+		if s.LastBeatUnixNano != 0 {
+			ss.lastBeat = time.Unix(0, s.LastBeatUnixNano)
+		} else if c.healthEnabled() {
+			// Pre-health snapshot restored into a health-enabled
+			// coordinator: grant a fresh lease instead of an instant expiry.
+			ss.lastBeat = c.now()
+		}
+		c.servers[s.ID] = ss
 	}
 	c.m = m
 	return nil

@@ -1,0 +1,413 @@
+// Fleet health: heartbeat leases, death detection, warm-spare adoption and
+// operator drain.
+//
+// The sim proved checkpoint recovery works when a whole run is restarted
+// from a snapshot; this file makes the *live* cluster survive the same
+// failures without restarting anything. Servers renew a lease with periodic
+// Heartbeat frames and ship checkpoint blobs between beats; the coordinator
+// expires leases on its clock, declares the holder dead, and hands the dead
+// server's partition to the first warm spare (restored from the victim's
+// last checkpoint). Everything here is inert while Config.HeartbeatEvery is
+// zero, so health-unaware deployments — in particular the deterministic
+// simulation — behave exactly as before.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+)
+
+// adoptChunkSize bounds the blob slice carried by one Adopt frame, mirroring
+// the host's snapshot chunking so a large checkpoint never approaches
+// protocol.MaxFrameSize.
+const adoptChunkSize = 1 << 20
+
+// defaultLeaseMisses is how many beats a server may miss before its lease
+// expires when Config.LeaseMisses is zero.
+const defaultLeaseMisses = 3
+
+// healthEnabled reports whether heartbeat/lease tracking is on.
+func (c *Coordinator) healthEnabled() bool { return c.cfg.HeartbeatEvery > 0 }
+
+func (c *Coordinator) now() time.Time {
+	if c.cfg.Clock != nil {
+		return c.cfg.Clock.Now()
+	}
+	return time.Now()
+}
+
+// leaseLocked is how long a server may go without beating before it is
+// declared dead.
+func (c *Coordinator) leaseLocked() time.Duration {
+	misses := c.cfg.LeaseMisses
+	if misses <= 0 {
+		misses = defaultLeaseMisses
+	}
+	return time.Duration(misses) * c.cfg.HeartbeatEvery
+}
+
+func indexOf(s []id.ServerID, v id.ServerID) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleHeartbeat renews from's lease. A beat from a server previously
+// declared dead means it was paused or partitioned, not crashed: if its
+// region is still parked it is revived in place; if a spare already adopted
+// the region the zombie is demoted back into the pool and resynced so it
+// redirects any clients it still holds.
+func (c *Coordinator) handleHeartbeat(from id.ServerID, hb *protocol.Heartbeat) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.servers[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownServer, from)
+	}
+	if !c.healthEnabled() {
+		return nil, nil
+	}
+	st.lastBeat = c.now()
+	st.beats++
+	st.clients = int(hb.Clients)
+	st.cpTick = hb.CheckpointTick
+	if !st.dead {
+		return nil, nil
+	}
+	st.dead = false
+	if i := indexOf(c.parked, from); i >= 0 {
+		// Nobody adopted the region yet: the returning server still owns it.
+		c.parked = append(c.parked[:i], c.parked[i+1:]...)
+		st.active = true
+		return c.resyncLocked(from)
+	}
+	// Replaced while away: demote to the spare pool and hand clients over.
+	st.active = false
+	st.draining = false
+	if !st.retired && indexOf(c.spares, from) < 0 {
+		c.spares = append(c.spares, from)
+	}
+	return c.resyncLocked(from)
+}
+
+// handleCheckpoint accumulates a server's chunked checkpoint upload and
+// installs it as the server's recovery blob when the final chunk arrives.
+func (c *Coordinator) handleCheckpoint(from id.ServerID, msg *protocol.SnapshotData) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.servers[from]; !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownServer, from)
+	}
+	c.cpPartial[from] = append(c.cpPartial[from], msg.Blob...)
+	if msg.Final {
+		c.checkpoints[from] = c.cpPartial[from]
+		delete(c.cpPartial, from)
+	}
+	return nil, nil
+}
+
+// HandleDisconnect reacts to a server's control connection dropping. With
+// health enabled a dropped connection is an immediate lease expiry — a TCP
+// reset is a faster death signal than waiting out N missed beats. With
+// health disabled it is a no-op, preserving the pre-health contract that a
+// reconnecting server resyncs explicitly.
+func (c *Coordinator) HandleDisconnect(sid id.ServerID) []Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.healthEnabled() {
+		return nil
+	}
+	st, ok := c.servers[sid]
+	if !ok || st.dead || st.retired {
+		return nil
+	}
+	return c.declareDeadLocked(sid)
+}
+
+// Tick advances failure detection: leases older than HeartbeatEvery ×
+// LeaseMisses expire, and parked regions retry adoption against any spares
+// that have appeared. The coordinator host calls it once per heartbeat
+// interval; tests call it after advancing a virtual clock.
+func (c *Coordinator) Tick() []Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.healthEnabled() {
+		return nil
+	}
+	lease := c.leaseLocked()
+	now := c.now()
+	var expired []id.ServerID
+	for sid, st := range c.servers {
+		if st.dead || st.retired || st.lastBeat.IsZero() {
+			continue
+		}
+		if now.Sub(st.lastBeat) > lease {
+			expired = append(expired, sid)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	var out []Envelope
+	for _, sid := range expired {
+		out = append(out, c.declareDeadLocked(sid)...)
+	}
+	for len(c.parked) > 0 && len(c.spares) > 0 {
+		victim := c.parked[0]
+		c.parked = c.parked[1:]
+		out = append(out, c.adoptLocked(victim)...)
+	}
+	return out
+}
+
+// declareDeadLocked marks sid dead and starts remediation. A dead spare
+// (including a server that crashed mid-drain, which re-pooled when its drain
+// was granted) simply leaves the pool; a dead partition owner triggers
+// adoption.
+func (c *Coordinator) declareDeadLocked(sid id.ServerID) []Envelope {
+	st := c.servers[sid]
+	st.dead = true
+	c.deaths++
+	delete(c.cpPartial, sid) // a half-shipped checkpoint is useless
+	if i := indexOf(c.spares, sid); i >= 0 {
+		c.spares = append(c.spares[:i], c.spares[i+1:]...)
+		return nil
+	}
+	if !st.active || c.m == nil {
+		return nil
+	}
+	st.active = false
+	return c.adoptLocked(sid)
+}
+
+// adoptLocked hands victim's partition to the first spare in the pool,
+// restored from the victim's last shipped checkpoint. With no spare
+// available the victim parks for a later Tick or registration to retry —
+// regions are never silently dropped.
+func (c *Coordinator) adoptLocked(victim id.ServerID) []Envelope {
+	if c.m == nil {
+		return nil
+	}
+	if _, err := c.m.Bounds(victim); err != nil {
+		return nil // already adopted or reclaimed away
+	}
+	if len(c.spares) == 0 {
+		if indexOf(c.parked, victim) < 0 {
+			c.parked = append(c.parked, victim)
+		}
+		return nil
+	}
+	spareID := c.spares[0]
+	bounds, err := c.m.ReplaceOwner(victim, spareID)
+	if err != nil {
+		return nil
+	}
+	c.spares = c.spares[1:]
+	spare := c.servers[spareID]
+	spare.active = true
+	spare.draining = false
+	c.adoptions++
+
+	blob := c.checkpoints[victim]
+	delete(c.checkpoints, victim)
+
+	// Envelope order on the spare's connection is the restore contract:
+	// checkpoint chunks, then overlap tables, then the activating
+	// RangeUpdate — the spare must hold the victim's world before it owns
+	// the victim's rectangle. The handoff list lets it immediately migrate
+	// avatars the stale checkpoint places outside the adopted bounds.
+	var out []Envelope
+	if len(blob) == 0 {
+		// Cold adoption: no checkpoint was ever shipped. The spare starts
+		// the region empty and clients rebuild their avatars on reconnect.
+		out = append(out, Envelope{To: spareID, Msg: &protocol.Adopt{Victim: victim, Bounds: bounds, Final: true}})
+	} else {
+		for off := 0; off < len(blob); off += adoptChunkSize {
+			end := off + adoptChunkSize
+			if end > len(blob) {
+				end = len(blob)
+			}
+			out = append(out, Envelope{To: spareID, Msg: &protocol.Adopt{
+				Victim: victim,
+				Bounds: bounds,
+				Blob:   blob[off:end],
+				Final:  end == len(blob),
+			}})
+		}
+	}
+	if tables, err := c.tableEnvelopesLocked(); err == nil {
+		out = append(out, tables...)
+	}
+	out = append(out, Envelope{To: spareID, Msg: &protocol.RangeUpdate{
+		Server:  spareID,
+		Bounds:  bounds,
+		Handoff: c.handoffTargetsLocked(spareID),
+	}})
+	// Best-effort demotion in case the victim is a zombie still draining
+	// its socket; for a truly dead process the envelope is simply dropped.
+	out = append(out, Envelope{To: victim, Msg: &protocol.RangeUpdate{
+		Server:  victim,
+		Handoff: c.handoffTargetsLocked(victim),
+	}})
+	return out
+}
+
+// handleDrainRequest services a server-initiated drain (matrix-server
+// -drain): the requester gets a DrainReply verdict, then the usual drain
+// envelopes.
+func (c *Coordinator) handleDrainRequest(from id.ServerID, req *protocol.DrainRequest) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	target := req.Server
+	if !target.Valid() {
+		target = from
+	}
+	envs, err := c.drainLocked(target, req.Exit)
+	if err != nil {
+		return []Envelope{{To: from, Msg: &protocol.DrainReply{Granted: false, Reason: err.Error()}}}, nil
+	}
+	return append([]Envelope{{To: from, Msg: &protocol.DrainReply{Granted: true}}}, envs...), nil
+}
+
+// Drain evacuates target's partition and removes it from service: its
+// rectangle goes to a warm spare if one is free, else merges back into its
+// split-tree parent. The drainee migrates every client through the live
+// handoff path, then re-joins the spare pool — or retires for good when
+// exit is set. Operator tooling (the coordinator admin port) calls this
+// directly; servers request it over the wire via DrainRequest.
+func (c *Coordinator) Drain(target id.ServerID, exit bool) ([]Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drainLocked(target, exit)
+}
+
+func (c *Coordinator) drainLocked(target id.ServerID, exit bool) ([]Envelope, error) {
+	if !c.healthEnabled() {
+		return nil, errors.New("coordinator: health tracking disabled (set -heartbeat-every)")
+	}
+	st, ok := c.servers[target]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownServer, target)
+	}
+	switch {
+	case st.dead:
+		return nil, fmt.Errorf("coordinator: server %v is dead", target)
+	case st.retired:
+		return nil, fmt.Errorf("coordinator: server %v already retired", target)
+	case st.draining:
+		return nil, fmt.Errorf("coordinator: server %v already draining", target)
+	}
+	if !st.active {
+		// An idle spare has nothing to migrate; draining it only makes
+		// sense as a retirement.
+		if !exit {
+			return nil, fmt.Errorf("%w: %v is already an idle spare", ErrNotActive, target)
+		}
+		if i := indexOf(c.spares, target); i >= 0 {
+			c.spares = append(c.spares[:i], c.spares[i+1:]...)
+		}
+		st.retired = true
+		c.drains++
+		return []Envelope{{To: target, Msg: &protocol.DrainRequest{Server: target, Exit: true}}}, nil
+	}
+	if c.m == nil {
+		return nil, errors.New("coordinator: no active map")
+	}
+	var out []Envelope
+	if len(c.spares) > 0 {
+		// A warm spare takes over the exact rectangle; the drainee's
+		// clients and objects flow to it through live handoff, so no
+		// checkpoint is involved.
+		spareID := c.spares[0]
+		bounds, err := c.m.ReplaceOwner(target, spareID)
+		if err != nil {
+			return nil, err
+		}
+		c.spares = c.spares[1:]
+		spare := c.servers[spareID]
+		spare.active = true
+		spare.draining = false
+		out = append(out, Envelope{To: spareID, Msg: &protocol.RangeUpdate{
+			Server:  spareID,
+			Bounds:  bounds,
+			Handoff: c.handoffTargetsLocked(spareID),
+		}})
+	} else if c.m.CanReclaim(target) {
+		// No spare capacity: fold the rectangle back into the parent, the
+		// same merge a reclamation performs.
+		parent, merged, err := c.m.Reclaim(target)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Envelope{To: parent, Msg: &protocol.RangeUpdate{Server: parent, Bounds: merged}})
+	} else {
+		return nil, fmt.Errorf("%w: no spare and partition of %v is not mergeable", ErrPoolExhausted, target)
+	}
+	st.active = false
+	st.clients = 0
+	st.draining = true
+	c.drains++
+	if exit {
+		st.retired = true
+	} else {
+		// Re-pool immediately: a crash mid-drain then reads as a dead
+		// spare (regions are already elsewhere), not a lost partition.
+		c.spares = append(c.spares, target)
+	}
+	if tables, err := c.tableEnvelopesLocked(); err == nil {
+		out = append(out, tables...)
+	}
+	// Deactivate the drainee last so its successors' tables are already
+	// out when it starts migrating clients away.
+	out = append(out, Envelope{To: target, Msg: &protocol.RangeUpdate{
+		Server:  target,
+		Handoff: c.handoffTargetsLocked(target),
+	}})
+	out = append(out, Envelope{To: target, Msg: &protocol.DrainRequest{Server: target, Exit: exit}})
+	return out, nil
+}
+
+// --- health introspection (tooling, /metrics and tests) ---
+
+// Deaths returns the number of servers declared dead so far.
+func (c *Coordinator) Deaths() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deaths
+}
+
+// Adoptions returns the number of partitions adopted by spares.
+func (c *Coordinator) Adoptions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.adoptions
+}
+
+// Drains returns the number of granted drains.
+func (c *Coordinator) Drains() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drains
+}
+
+// Parked returns the dead owners whose regions still await a spare, in
+// retry (FIFO) order.
+func (c *Coordinator) Parked() []id.ServerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]id.ServerID(nil), c.parked...)
+}
+
+// CheckpointSize returns the byte length of sid's last complete checkpoint
+// (zero when none was shipped).
+func (c *Coordinator) CheckpointSize(sid id.ServerID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.checkpoints[sid])
+}

@@ -25,6 +25,15 @@ type ClientConfig struct {
 	AuthToken string
 	// WelcomeTimeout bounds the join handshake (default 5s).
 	WelcomeTimeout time.Duration
+	// FallbackAddrs lists additional game servers to try when the live
+	// connection dies without a redirect (the owner crashed). The redial
+	// loop cycles last-known-owner, ServerAddr, then these until one
+	// accepts the hello; the hello-retry path on any live server then
+	// routes the client to its real owner.
+	FallbackAddrs []string
+	// RedialEvery is the crash-reconnect retry cadence (default 200ms,
+	// negative disables redialing entirely).
+	RedialEvery time.Duration
 	// Logger receives diagnostics (nil = silent).
 	Logger *log.Logger
 }
@@ -35,9 +44,10 @@ type ClientHost struct {
 	cfg ClientConfig
 	cl  *gameclient.Client
 
-	mu     sync.Mutex
-	conn   transport.Conn
-	closed bool
+	mu        sync.Mutex
+	conn      transport.Conn
+	closed    bool
+	redialing bool // one crash-redial loop at a time
 
 	welcomed chan struct{} // closed on first welcome
 	once     sync.Once
@@ -49,6 +59,9 @@ type ClientHost struct {
 func DialClient(cfg ClientConfig) (*ClientHost, error) {
 	if cfg.WelcomeTimeout <= 0 {
 		cfg.WelcomeTimeout = 5 * time.Second
+	}
+	if cfg.RedialEvery == 0 {
+		cfg.RedialEvery = 200 * time.Millisecond
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(logDiscard{}, "", 0)
@@ -100,12 +113,15 @@ func (h *ClientHost) connect(addr string) error {
 	return nil
 }
 
-// recvLoop pumps one connection until it dies or is replaced.
+// recvLoop pumps one connection until it dies or is replaced. A connection
+// that dies while still current (no redirect replaced it) means the server
+// crashed under the client: the redial loop takes over.
 func (h *ClientHost) recvLoop(conn transport.Conn) {
 	defer h.wg.Done()
 	for {
 		m, err := conn.Recv()
 		if err != nil {
+			h.maybeRedial(conn)
 			return
 		}
 		ev, err := h.cl.Handle(m)
@@ -125,10 +141,93 @@ func (h *ClientHost) recvLoop(conn transport.Conn) {
 				defer h.wg.Done()
 				if err := h.connect(addr); err != nil && err != ErrClosed {
 					h.cfg.Logger.Printf("client %v: reconnect %s: %v", h.cl.ID(), addr, err)
+					// The redirect target is already gone too; fall back
+					// to cycling every known address.
+					h.startRedial()
 				}
 			}()
 			return
 		}
+	}
+}
+
+// maybeRedial starts the crash-redial loop if dead is still the live
+// connection — a redirect-replaced connection dying is routine, not a
+// crash.
+func (h *ClientHost) maybeRedial(dead transport.Conn) {
+	h.mu.Lock()
+	current := h.conn == dead && !h.closed
+	h.mu.Unlock()
+	if current {
+		h.startRedial()
+	}
+}
+
+// startRedial spawns at most one background redial loop. Only clients that
+// made it into the game redial: a connection rejected at the hello (bad
+// token, admission) surfaces as ErrNotWelcomed from DialClient instead of
+// hammering the server with retries.
+func (h *ClientHost) startRedial() {
+	if h.cfg.RedialEvery <= 0 {
+		return
+	}
+	select {
+	case <-h.welcomed:
+	default:
+		return
+	}
+	h.mu.Lock()
+	if h.closed || h.redialing {
+		h.mu.Unlock()
+		return
+	}
+	h.redialing = true
+	h.mu.Unlock()
+	h.cl.Disconnect()
+	h.wg.Add(1)
+	go h.redialLoop()
+}
+
+// redialLoop cycles candidate servers until one accepts the hello again:
+// the last-known owner first (it may come back), then the original join
+// address, then the configured fallbacks. Any live Matrix server welcomes
+// the client and, via the hello-retry path, migrates it to the partition
+// owner — so reaching *any* survivor is enough to converge.
+func (h *ClientHost) redialLoop() {
+	defer h.wg.Done()
+	defer func() {
+		h.mu.Lock()
+		h.redialing = false
+		h.mu.Unlock()
+	}()
+	for attempt := 0; ; attempt++ {
+		h.mu.Lock()
+		closed := h.closed
+		h.mu.Unlock()
+		if closed {
+			return
+		}
+		var cands []string
+		if a := h.cl.ServerAddr(); a != "" {
+			cands = append(cands, a)
+		}
+		if h.cfg.ServerAddr != "" {
+			cands = append(cands, h.cfg.ServerAddr)
+		}
+		cands = append(cands, h.cfg.FallbackAddrs...)
+		if len(cands) == 0 {
+			return
+		}
+		addr := cands[attempt%len(cands)]
+		err := h.connect(addr)
+		if err == nil {
+			h.cfg.Logger.Printf("client %v: re-joined via %s", h.cl.ID(), addr)
+			return
+		}
+		if err == ErrClosed {
+			return
+		}
+		time.Sleep(h.cfg.RedialEvery)
 	}
 }
 

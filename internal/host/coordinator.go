@@ -14,6 +14,7 @@ import (
 	"io"
 	"log"
 	"sync"
+	"time"
 
 	"matrix/internal/coordinator"
 	"matrix/internal/id"
@@ -41,10 +42,13 @@ type CoordinatorHost struct {
 	conns  map[id.ServerID]transport.Conn
 	closed bool
 
-	wg sync.WaitGroup
+	wg   sync.WaitGroup
+	done chan struct{}
 }
 
-// ServeCoordinator starts an MC on addr (empty = transport default).
+// ServeCoordinator starts an MC on addr (empty = transport default). When
+// cfg enables health tracking (HeartbeatEvery > 0) the host also runs the
+// lease loop that expires silent servers and re-homes their regions.
 func ServeCoordinator(nw transport.Network, addr string, cfg coordinator.Config, logger *log.Logger) (*CoordinatorHost, error) {
 	mc, err := coordinator.New(cfg)
 	if err != nil {
@@ -62,10 +66,32 @@ func ServeCoordinator(nw transport.Network, addr string, cfg coordinator.Config,
 		ln:     ln,
 		logger: logger,
 		conns:  make(map[id.ServerID]transport.Conn),
+		done:   make(chan struct{}),
 	}
 	h.wg.Add(1)
 	go h.acceptLoop()
+	if cfg.HeartbeatEvery > 0 {
+		h.wg.Add(1)
+		go h.leaseLoop(cfg.HeartbeatEvery)
+	}
 	return h, nil
+}
+
+// leaseLoop drives the coordinator's failure detector: every heartbeat
+// interval it expires overdue leases and delivers whatever remediation
+// (adoptions, demotions) falls out.
+func (h *CoordinatorHost) leaseLoop(every time.Duration) {
+	defer h.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-t.C:
+			h.deliver(h.mc.Tick())
+		}
+	}
 }
 
 // logDiscard is an io.Writer that drops everything (avoids importing
@@ -94,6 +120,25 @@ func (h *CoordinatorHost) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE matrix_mc_spare_servers gauge\nmatrix_mc_spare_servers %d\n", h.mc.SpareCount())
 	fmt.Fprintf(w, "# TYPE matrix_mc_splits_total counter\nmatrix_mc_splits_total %d\n", h.mc.Splits())
 	fmt.Fprintf(w, "# TYPE matrix_mc_reclaims_total counter\nmatrix_mc_reclaims_total %d\n", h.mc.Reclaims())
+	fmt.Fprintf(w, "# TYPE matrix_mc_deaths_total counter\nmatrix_mc_deaths_total %d\n", h.mc.Deaths())
+	fmt.Fprintf(w, "# TYPE matrix_mc_adoptions_total counter\nmatrix_mc_adoptions_total %d\n", h.mc.Adoptions())
+	fmt.Fprintf(w, "# TYPE matrix_mc_drains_total counter\nmatrix_mc_drains_total %d\n", h.mc.Drains())
+	fmt.Fprintf(w, "# TYPE matrix_mc_parked_regions gauge\nmatrix_mc_parked_regions %d\n", len(h.mc.Parked()))
+}
+
+// AdminDrain asks the coordinator to drain target (operator action): its
+// partition migrates to a spare or folds into its parent, and the fallout
+// is delivered to the fleet. With exit the server is retired instead of
+// returned to the spare pool. An admin connection that opens with a
+// DrainRequest frame lands here too.
+func (h *CoordinatorHost) AdminDrain(target id.ServerID, exit bool) error {
+	envs, err := h.mc.Drain(target, exit)
+	if err != nil {
+		return err
+	}
+	h.logger.Printf("coordinator: admin drain of %v (exit=%v)", target, exit)
+	h.deliver(envs)
+	return nil
 }
 
 // MC exposes the underlying coordinator (status tooling).
@@ -107,6 +152,7 @@ func (h *CoordinatorHost) Close() error {
 		return nil
 	}
 	h.closed = true
+	close(h.done)
 	conns := make([]transport.Conn, 0, len(h.conns))
 	for _, c := range h.conns {
 		conns = append(conns, c)
@@ -139,6 +185,18 @@ func (h *CoordinatorHost) serveConn(conn transport.Conn) {
 	defer h.wg.Done()
 	first, err := conn.Recv()
 	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	// An admin connection opens with a DrainRequest naming a target server
+	// instead of registering: grant or deny, deliver the fallout to the
+	// fleet, and close.
+	if dr, isDrain := first.(*protocol.DrainRequest); isDrain {
+		if err := h.AdminDrain(dr.Server, dr.Exit); err != nil {
+			_ = conn.Send(&protocol.DrainReply{Granted: false, Reason: err.Error()})
+		} else {
+			_ = conn.Send(&protocol.DrainReply{Granted: true})
+		}
 		_ = conn.Close()
 		return
 	}
@@ -200,12 +258,20 @@ func (h *CoordinatorHost) deliver(envs []coordinator.Envelope) {
 	}
 }
 
-// drop forgets a dead server connection.
+// drop forgets a dead server connection and, when health tracking is on,
+// tells the coordinator so the lease expires immediately instead of after N
+// missed beats. Remediation envelopes go straight back out to the fleet.
 func (h *CoordinatorHost) drop(sid id.ServerID, conn transport.Conn) {
 	_ = conn.Close()
 	h.mu.Lock()
-	if h.conns[sid] == conn {
+	current := h.conns[sid] == conn
+	if current {
 		delete(h.conns, sid)
 	}
+	closed := h.closed
 	h.mu.Unlock()
+	if current && !closed {
+		h.logger.Printf("coordinator: connection to %v lost", sid)
+		h.deliver(h.mc.HandleDisconnect(sid))
+	}
 }

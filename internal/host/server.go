@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"matrix/internal/core"
@@ -58,6 +59,15 @@ type ServerConfig struct {
 	// (default 3s). On failure the queued frames are dropped with a log
 	// line; the tick loop never waits on connection establishment.
 	PeerDialTimeout time.Duration
+	// HeartbeatEvery is the lease-renewal cadence towards the MC (default
+	// 1s, negative disables). A coordinator with health tracking off
+	// ignores the beats, so the default is always safe.
+	HeartbeatEvery time.Duration
+	// CheckpointEvery is how often this node ships its full state to the
+	// MC as the recovery blob a warm spare adopts after a crash (default
+	// 10s, negative disables). Only partition owners ship; spares have
+	// nothing to lose.
+	CheckpointEvery time.Duration
 }
 
 func (c ServerConfig) sanitized() ServerConfig {
@@ -72,6 +82,12 @@ func (c ServerConfig) sanitized() ServerConfig {
 	}
 	if c.ReportInterval <= 0 {
 		c.ReportInterval = time.Second
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10 * time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(logDiscard{}, "", 0)
@@ -113,6 +129,20 @@ type ServerHost struct {
 	tickEnvs     scratch.Buf[gameserver.Envelope]
 	tickCoreEnvs scratch.Buf[core.Envelope]
 	tickBatch    map[string][]protocol.Message
+
+	// Health state. adoptBuf/ticks/cpTick are tick-goroutine owned (Adopt
+	// frames and the checkpoint ticker both run there).
+	beatsPaused atomic.Bool // test hook: simulate a zombie (alive, silent)
+	drainActive atomic.Bool // a drain grant arrived; drainWatch is running
+	drainExit   atomic.Bool // the grant asked for exit instead of re-pooling
+	drainReply  chan *protocol.DrainReply
+	drained     chan struct{} // closed when the evacuation completes
+	drainOnce   sync.Once
+	adoptBuf    []byte // accumulating chunked Adopt blob
+	ticks       uint64 // game ticks processed
+	// cpTick is the tick count when the last checkpoint shipped; atomic so
+	// harnesses can watch checkpoint progress from outside the tick loop.
+	cpTick atomic.Uint64
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -185,19 +215,21 @@ func StartServer(cfg ServerConfig) (*ServerHost, error) {
 	}
 
 	h := &ServerHost{
-		cfg:       cfg,
-		core:      cs,
-		gs:        gs,
-		mcConn:    mcConn,
-		ln:        ln,
-		mw:        mw,
-		started:   time.Now(),
-		peers:     make(map[string]transport.Conn),
-		dialing:   make(map[string][]protocol.Message),
-		inbound:   make(map[transport.Conn]bool),
-		clients:   make(map[id.ClientID]transport.Conn),
-		tickBatch: make(map[string][]protocol.Message),
-		done:      make(chan struct{}),
+		cfg:        cfg,
+		core:       cs,
+		gs:         gs,
+		mcConn:     mcConn,
+		ln:         ln,
+		mw:         mw,
+		started:    time.Now(),
+		peers:      make(map[string]transport.Conn),
+		dialing:    make(map[string][]protocol.Message),
+		inbound:    make(map[transport.Conn]bool),
+		clients:    make(map[id.ClientID]transport.Conn),
+		tickBatch:  make(map[string][]protocol.Message),
+		drainReply: make(chan *protocol.DrainReply, 1),
+		drained:    make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	h.wg.Add(3)
 	go h.mcLoop()
@@ -366,6 +398,24 @@ func (h *ServerHost) drainIngress(batch map[string][]protocol.Message) {
 	h.ingress = h.ingressSpare[:0]
 	h.ingressMu.Unlock()
 	for _, im := range msgs {
+		// Health frames are host-level concerns the Matrix core never
+		// sees; intercepting them here (on the tick goroutine, in arrival
+		// order) guarantees an Adopt restore lands before the activating
+		// RangeUpdate that follows it on the MC connection.
+		switch m := im.msg.(type) {
+		case *protocol.Adopt:
+			h.handleAdopt(m)
+			continue
+		case *protocol.DrainReply:
+			select {
+			case h.drainReply <- m:
+			default:
+			}
+			continue
+		case *protocol.DrainRequest:
+			h.startDrain(m.Exit)
+			continue
+		}
 		envs, err := h.core.HandleMessage(im.from, im.msg)
 		if err != nil {
 			h.cfg.Logger.Printf("server %v: message %v: %v", h.core.ID(), im.msg.MsgType(), err)
@@ -526,18 +576,48 @@ func (h *ServerHost) servePeer(conn transport.Conn, first protocol.Message) {
 	}
 }
 
-// tickLoop drives game-server processing and periodic load reports.
+// tickLoop drives game-server processing, periodic load reports, lease
+// heartbeats and checkpoint shipping. Everything that writes the MC
+// connection runs here, keeping it single-writer.
 func (h *ServerHost) tickLoop() {
 	defer h.wg.Done()
 	tick := time.NewTicker(h.cfg.TickInterval)
 	report := time.NewTicker(h.cfg.ReportInterval)
 	defer tick.Stop()
 	defer report.Stop()
+	var beatC, cpC <-chan time.Time
+	if h.cfg.HeartbeatEvery > 0 {
+		beat := time.NewTicker(h.cfg.HeartbeatEvery)
+		defer beat.Stop()
+		beatC = beat.C
+	}
+	if h.cfg.CheckpointEvery > 0 {
+		cp := time.NewTicker(h.cfg.CheckpointEvery)
+		defer cp.Stop()
+		cpC = cp.C
+	}
 	for {
 		select {
 		case <-h.done:
 			return
+		case <-beatC:
+			if h.beatsPaused.Load() {
+				continue
+			}
+			rep := h.gs.LoadReport()
+			hb := &protocol.Heartbeat{
+				Server:         h.core.ID(),
+				Clients:        rep.Clients,
+				QueueLen:       rep.QueueLen,
+				CheckpointTick: h.cpTick.Load(),
+			}
+			if err := h.mcConn.Send(hb); err != nil {
+				h.cfg.Logger.Printf("server %v: heartbeat: %v", h.core.ID(), err)
+			}
+		case <-cpC:
+			h.shipCheckpoint()
 		case <-tick.C:
+			h.ticks++
 			// Coordinator and peer fallout first: split/reclaim state
 			// transfers join this tick's batch, ahead of whatever redirects
 			// the game server emits below (routeGame flushes the batch
@@ -804,6 +884,153 @@ func (h *ServerHost) sendPeerConn(addr string, conn transport.Conn, msgs []proto
 		_ = conn.Close()
 	}
 }
+
+// handleAdopt accumulates a chunked Adopt stream and, on the final chunk,
+// restores the victim's world into this node's game server. Runs on the
+// tick goroutine via drainIngress, so the restore strictly precedes the
+// activating RangeUpdate the MC sends next on the same connection.
+func (h *ServerHost) handleAdopt(m *protocol.Adopt) {
+	h.adoptBuf = append(h.adoptBuf, m.Blob...)
+	if !m.Final {
+		return
+	}
+	blob := h.adoptBuf
+	h.adoptBuf = nil
+	if len(blob) == 0 {
+		h.cfg.Logger.Printf("server %v: cold-adopting %v's region %v (no checkpoint: world starts empty)",
+			h.core.ID(), m.Victim, m.Bounds)
+		return
+	}
+	if err := snapshot.RestoreNodeGame(blob, h.gs); err != nil {
+		h.cfg.Logger.Printf("server %v: adopt restore of %v's checkpoint: %v", h.core.ID(), m.Victim, err)
+		return
+	}
+	h.cfg.Logger.Printf("server %v: adopted %v's region %v from checkpoint (%d bytes)",
+		h.core.ID(), m.Victim, m.Bounds, len(blob))
+}
+
+// shipCheckpoint streams this node's full state to the MC as SnapshotData
+// chunks — the blob a warm spare restores if this node dies. Spares ship
+// nothing: they own no world. Runs on the tick goroutine.
+func (h *ServerHost) shipCheckpoint() {
+	if !h.core.Active() {
+		return
+	}
+	blob, err := snapshot.MarshalNode(h.core, h.gs)
+	if err != nil {
+		h.cfg.Logger.Printf("server %v: checkpoint marshal: %v", h.core.ID(), err)
+		return
+	}
+	if err := sendSnapshotChunks(h.mcConn, blob); err != nil {
+		h.cfg.Logger.Printf("server %v: checkpoint ship: %v", h.core.ID(), err)
+		return
+	}
+	h.cpTick.Store(h.ticks)
+}
+
+// CheckpointTick reports the game tick at which the last checkpoint
+// shipped to the coordinator (0 = none yet). A strictly increasing value
+// means fresh checkpoints keep landing.
+func (h *ServerHost) CheckpointTick() uint64 { return h.cpTick.Load() }
+
+// PauseHeartbeats stops (or resumes) lease renewal without touching any
+// connection: the zombie test hook — a process that is alive and serving
+// but looks dead to the coordinator.
+func (h *ServerHost) PauseHeartbeats(paused bool) { h.beatsPaused.Store(paused) }
+
+// startDrain reacts to a drain grant from the MC: a background watcher
+// waits for the evacuation (deactivation plus live client handoff) to
+// finish, then marks the host drained.
+func (h *ServerHost) startDrain(exit bool) {
+	if exit {
+		h.drainExit.Store(true)
+	}
+	if !h.drainActive.CompareAndSwap(false, true) {
+		return
+	}
+	h.wg.Add(1)
+	go h.drainWatch()
+}
+
+// drainWatch polls until the node has fully evacuated: deactivated, no
+// avatars left, no peer dials in flight — held for a few consecutive polls
+// so an in-flight state transfer cannot race the verdict.
+func (h *ServerHost) drainWatch() {
+	defer h.wg.Done()
+	poll := h.cfg.TickInterval * 2
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	settled := 0
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-t.C:
+			if h.evacuated() {
+				settled++
+			} else {
+				settled = 0
+			}
+			if settled >= 3 {
+				h.drainOnce.Do(func() { close(h.drained) })
+				h.cfg.Logger.Printf("server %v: drained (exit=%v)", h.core.ID(), h.drainExit.Load())
+				return
+			}
+		}
+	}
+}
+
+// evacuated reports whether this node holds no world responsibility.
+func (h *ServerHost) evacuated() bool {
+	if h.core.Active() || h.gs.ClientCount() != 0 {
+		return false
+	}
+	h.mu.Lock()
+	pending := len(h.dialing)
+	h.mu.Unlock()
+	return pending == 0
+}
+
+// Drain asks the MC to evacuate this server, then blocks until the
+// evacuation completes (or timeout). With exit set the server retires for
+// good — the caller should Close it once Drain returns — otherwise it
+// re-joins the MC's spare pool and keeps serving.
+func (h *ServerHost) Drain(exit bool, timeout time.Duration) error {
+	if err := h.mcConn.Send(&protocol.DrainRequest{Server: h.core.ID(), Exit: exit}); err != nil {
+		return fmt.Errorf("host: drain request: %w", err)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	select {
+	case rep := <-h.drainReply:
+		if !rep.Granted {
+			return fmt.Errorf("host: drain denied: %s", rep.Reason)
+		}
+	case <-deadline.C:
+		return errors.New("host: no drain reply before timeout")
+	case <-h.done:
+		return ErrClosed
+	}
+	select {
+	case <-h.drained:
+		return nil
+	case <-deadline.C:
+		return errors.New("host: drain did not complete before timeout")
+	case <-h.done:
+		return ErrClosed
+	}
+}
+
+// Drained is closed once a granted drain has fully evacuated this node.
+func (h *ServerHost) Drained() <-chan struct{} { return h.drained }
+
+// DrainExitRequested reports whether the drain grant asked this process to
+// exit rather than re-join the spare pool (the cmd binary checks it after
+// Drained fires).
+func (h *ServerHost) DrainExitRequested() bool { return h.drainExit.Load() }
 
 // dropClient forgets a client connection (and, when this was the client's
 // live connection, its rate-limit bucket — a reconnect starts fresh).

@@ -1,0 +1,57 @@
+package middleware
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary -middleware stage lists at the parser: it
+// must never panic, anything it accepts must contain only known stages
+// with no duplicates, and parsing the canonical re-join of an accepted
+// list must accept it again with the same result (idempotent
+// normalization).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"auth",
+		"auth,ratelimit,admission,audit",
+		"AUDIT, auth",
+		"auth,,audit",
+		"auth,auth",
+		"teleport",
+		",",
+		"auth,ratelimit,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		stages, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		seen := make(map[string]bool, len(stages))
+		for _, s := range stages {
+			switch s {
+			case StageAuth, StageRateLimit, StageAdmission, StageAudit:
+			default:
+				t.Fatalf("ParseSpec(%q) accepted unknown stage %q", spec, s)
+			}
+			if seen[s] {
+				t.Fatalf("ParseSpec(%q) accepted duplicate stage %q", spec, s)
+			}
+			seen[s] = true
+		}
+		again, err := ParseSpec(strings.Join(stages, ","))
+		if err != nil {
+			t.Fatalf("re-parse of normalized %v failed: %v", stages, err)
+		}
+		if len(again) != len(stages) {
+			t.Fatalf("re-parse of %v produced %v", stages, again)
+		}
+		for i := range stages {
+			if again[i] != stages[i] {
+				t.Fatalf("re-parse of %v produced %v", stages, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package netem
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary CLI strings at the impairment parser: it
+// must return a config or an error — never panic — and every config it
+// accepts must satisfy its own Validate (ParseSpec promises validated
+// output, so the operator's first run is also the last place it can lie).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"off",
+		"delay=40ms,jitter=25ms,loss=2%",
+		"loss=0.01,burst=0.3,burst-enter=0.02,burst-exit=0.25",
+		"delay=5",
+		"delay=-1ms",
+		"loss=200%",
+		"burst=0.3",
+		"delay",
+		"delay=",
+		"=40ms",
+		"delay=40ms,,loss=1%",
+		"delay=1h",
+		"loss=NaN",
+		"loss=Inf",
+		"delay=9e999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		l, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid config %+v: %v", spec, l, verr)
+		}
+		// The String rendering of an accepted config must itself be safe.
+		_ = l.String()
+	})
+}

@@ -577,6 +577,58 @@ func (m *SnapshotData) decodeBody(r *reader) error {
 	return r.err
 }
 
+func (m *Heartbeat) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.i32(m.Clients)
+	b.i32(m.QueueLen)
+	b.u64(m.CheckpointTick)
+}
+
+func (m *Heartbeat) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Clients = r.i32()
+	m.QueueLen = r.i32()
+	m.CheckpointTick = r.u64()
+	return r.err
+}
+
+func (m *DrainRequest) encodeBody(b *buffer) {
+	b.serverID(m.Server)
+	b.boolean(m.Exit)
+}
+
+func (m *DrainRequest) decodeBody(r *reader) error {
+	m.Server = r.serverID()
+	m.Exit = r.boolean()
+	return r.err
+}
+
+func (m *DrainReply) encodeBody(b *buffer) {
+	b.boolean(m.Granted)
+	b.str(m.Reason)
+}
+
+func (m *DrainReply) decodeBody(r *reader) error {
+	m.Granted = r.boolean()
+	m.Reason = r.str()
+	return r.err
+}
+
+func (m *Adopt) encodeBody(b *buffer) {
+	b.serverID(m.Victim)
+	b.rect(m.Bounds)
+	b.bytes(m.Blob)
+	b.boolean(m.Final)
+}
+
+func (m *Adopt) decodeBody(r *reader) error {
+	m.Victim = r.serverID()
+	m.Bounds = r.rect()
+	m.Blob = r.bytes()
+	m.Final = r.boolean()
+	return r.err
+}
+
 // newMessage allocates the empty message for a wire type.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
@@ -624,6 +676,14 @@ func newMessage(t MsgType) (Message, error) {
 		return &SnapshotRequest{}, nil
 	case TypeSnapshotData:
 		return &SnapshotData{}, nil
+	case TypeHeartbeat:
+		return &Heartbeat{}, nil
+	case TypeDrainRequest:
+		return &DrainRequest{}, nil
+	case TypeDrainReply:
+		return &DrainReply{}, nil
+	case TypeAdopt:
+		return &Adopt{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 	}

@@ -87,6 +87,14 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&SnapshotData{Blob: []byte(`{"Version":1}`)},
 		&SnapshotData{Blob: []byte("chunk"), Final: true},
 		&SnapshotData{Final: true}, // empty final chunk
+		&Heartbeat{Server: 3, Clients: 12, QueueLen: 4, CheckpointTick: 99},
+		&Heartbeat{},
+		&DrainRequest{Server: 7, Exit: true},
+		&DrainRequest{Server: 7},
+		&DrainReply{Granted: true},
+		&DrainReply{Granted: false, Reason: "no spare capacity"},
+		&Adopt{Victim: 2, Bounds: geom.R(0, 0, 50, 100), Blob: []byte("blob"), Final: true},
+		&Adopt{Victim: 2, Final: true}, // cold adoption: no checkpoint
 	}
 	for _, m := range msgs {
 		m := m
@@ -107,6 +115,12 @@ func TestRoundTripAllTypes(t *testing.T) {
 func normalize(m Message) Message {
 	switch v := m.(type) {
 	case *SnapshotData:
+		c := *v
+		if len(c.Blob) == 0 {
+			c.Blob = nil
+		}
+		return &c
+	case *Adopt:
 		c := *v
 		if len(c.Blob) == 0 {
 			c.Blob = nil
@@ -365,6 +379,10 @@ func sampleMessages() []Message {
 		&ErrorMsg{Of: TypeReclaimRequest, Reason: "no such child"},
 		&SnapshotRequest{},
 		&SnapshotData{Blob: []byte("state")},
+		&Heartbeat{Server: 3, Clients: 12, QueueLen: 4, CheckpointTick: 99},
+		&DrainRequest{Server: 7, Exit: true},
+		&DrainReply{Granted: false, Reason: "no spare capacity"},
+		&Adopt{Victim: 2, Bounds: geom.R(0, 0, 50, 100), Blob: []byte("blob"), Final: true},
 	}
 }
 

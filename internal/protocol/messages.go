@@ -47,6 +47,10 @@ const (
 	TypeBatch
 	TypeSnapshotRequest
 	TypeSnapshotData
+	TypeHeartbeat
+	TypeDrainRequest
+	TypeDrainReply
+	TypeAdopt
 
 	typeMax // sentinel for validation
 )
@@ -81,6 +85,10 @@ func (t MsgType) String() string {
 		TypeBatch:            "batch",
 		TypeSnapshotRequest:  "snapshot-request",
 		TypeSnapshotData:     "snapshot-data",
+		TypeHeartbeat:        "heartbeat",
+		TypeDrainRequest:     "drain-request",
+		TypeDrainReply:       "drain-reply",
+		TypeAdopt:            "adopt",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]
@@ -407,6 +415,61 @@ type SnapshotData struct {
 
 // MsgType implements Message.
 func (*SnapshotData) MsgType() MsgType { return TypeSnapshotData }
+
+// Heartbeat is a server's periodic proof of life to the MC, piggybacking
+// its load signals. The MC renews the server's lease on every beat; a
+// server that misses enough beats is declared dead and its partition is
+// adopted by a warm spare (see internal/coordinator). CheckpointTick counts
+// the checkpoints the server has shipped so far, so operators can see how
+// stale a crash restore would be.
+type Heartbeat struct {
+	Server         id.ServerID
+	Clients        int32
+	QueueLen       int32
+	CheckpointTick uint64
+}
+
+// MsgType implements Message.
+func (*Heartbeat) MsgType() MsgType { return TypeHeartbeat }
+
+// DrainRequest asks the MC to migrate every region owned by Server away via
+// the live handoff path. A server sends it for itself on its registered
+// connection (operator-initiated drain relayed by the host); the MC also
+// sends it server-bound to announce an admin-initiated drain, so the
+// drained host knows whether to retire into the spare pool or exit once
+// its evacuation completes.
+type DrainRequest struct {
+	Server id.ServerID
+	Exit   bool // exit after draining instead of re-joining the spare pool
+}
+
+// MsgType implements Message.
+func (*DrainRequest) MsgType() MsgType { return TypeDrainRequest }
+
+// DrainReply reports a drain decision.
+type DrainReply struct {
+	Granted bool
+	Reason  string // populated when denied
+}
+
+// MsgType implements Message.
+func (*DrainReply) MsgType() MsgType { return TypeDrainReply }
+
+// Adopt tells a warm spare it is taking over a dead server's partition,
+// carrying the victim's last checkpoint blob (chunked like SnapshotData;
+// empty on the final chunk when no checkpoint was ever shipped — a cold
+// adoption that serves the region with a fresh world). The activating
+// RangeUpdate follows the final chunk on the same connection, so the world
+// is restored before the bounds arrive.
+type Adopt struct {
+	Victim id.ServerID
+	Bounds geom.Rect
+	Blob   []byte
+	Final  bool
+}
+
+// MsgType implements Message.
+func (*Adopt) MsgType() MsgType { return TypeAdopt }
 
 // RegionsToWire converts overlap regions to their wire form.
 func RegionsToWire(regions []overlap.Region) []TableRegion {

@@ -307,6 +307,51 @@ func (m *Map) Split(overloaded, child id.ServerID, policy SplitPolicy) (keep, gi
 	return keep, give, nil
 }
 
+// ReplaceOwner transfers the partition of old — bounds, tree edges and root
+// status — to next, removing old from the map. It is the topology half of
+// failure remediation: when a server dies, a warm spare takes over its exact
+// rectangle, so the tiling and the split tree are unchanged apart from the
+// renamed node. It returns the transferred bounds.
+func (m *Map) ReplaceOwner(old, next id.ServerID) (geom.Rect, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bounds, ok := m.bounds[old]
+	if !ok {
+		return geom.Rect{}, fmt.Errorf("%w: %v", ErrUnknownServer, old)
+	}
+	if !next.Valid() {
+		return geom.Rect{}, errors.New("space: replacement server id is invalid")
+	}
+	if _, exists := m.bounds[next]; exists {
+		return geom.Rect{}, fmt.Errorf("%w: %v", ErrDuplicateOwner, next)
+	}
+	m.bounds[next] = bounds
+	delete(m.bounds, old)
+	if p, hasParent := m.parent[old]; hasParent {
+		m.parent[next] = p
+		delete(m.parent, old)
+		delete(m.children[p], old)
+		if m.children[p] == nil {
+			m.children[p] = make(map[id.ServerID]bool)
+		}
+		m.children[p][next] = true
+	}
+	if kids := m.children[old]; len(kids) > 0 {
+		m.children[next] = kids
+		delete(m.children, old)
+		for k := range kids {
+			m.parent[k] = next
+		}
+	} else {
+		delete(m.children, old)
+	}
+	if m.root == old {
+		m.root = next
+	}
+	m.version++
+	return bounds, nil
+}
+
 // Reclaim merges the partition of child back into its parent, removing child
 // from the map. Only leaf servers can be reclaimed, and only by their own
 // parent (the paper's parent/child reclamation rule). It returns the

@@ -296,3 +296,91 @@ func TestBoundsUnknown(t *testing.T) {
 		t.Errorf("want ErrUnknownServer, got %v", err)
 	}
 }
+
+func TestReplaceOwnerRoot(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 10, 10), 1)
+	bounds, err := m.ReplaceOwner(1, 2)
+	if err != nil {
+		t.Fatalf("ReplaceOwner: %v", err)
+	}
+	if !bounds.Eq(geom.R(0, 0, 10, 10)) {
+		t.Errorf("transferred bounds = %v", bounds)
+	}
+	if m.Root() != 2 {
+		t.Errorf("Root = %v, want 2", m.Root())
+	}
+	if got := m.Owner(geom.Pt(5, 5)); got != 2 {
+		t.Errorf("Owner = %v, want 2", got)
+	}
+	if _, err := m.Bounds(1); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("old owner still known: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestReplaceOwnerMidTreeRewiresEdges(t *testing.T) {
+	// Build 1 -> 2 -> 3 by splitting twice, then replace the middle node.
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	if _, _, err := m.Split(1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Split(2, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	oldBounds, _ := m.Bounds(2)
+	v := m.Version()
+	bounds, err := m.ReplaceOwner(2, 9)
+	if err != nil {
+		t.Fatalf("ReplaceOwner: %v", err)
+	}
+	if !bounds.Eq(oldBounds) {
+		t.Errorf("bounds = %v, want %v", bounds, oldBounds)
+	}
+	if m.Version() != v+1 {
+		t.Errorf("version = %d, want %d", m.Version(), v+1)
+	}
+	if p, _ := m.Parent(9); p != 1 {
+		t.Errorf("Parent(9) = %v, want 1", p)
+	}
+	if p, _ := m.Parent(3); p != 9 {
+		t.Errorf("Parent(3) = %v, want 9", p)
+	}
+	if kids := m.Children(9); len(kids) != 1 || kids[0] != 3 {
+		t.Errorf("Children(9) = %v", kids)
+	}
+	if kids := m.Children(1); len(kids) != 1 || kids[0] != 9 {
+		t.Errorf("Children(1) = %v", kids)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// The replacement slots into the reclaim chain exactly where the old
+	// owner was: reclaiming 3 into 9 must still work.
+	if !m.CanReclaim(3) {
+		t.Error("CanReclaim(3) = false after replacement")
+	}
+	if _, _, err := m.Reclaim(3); err != nil {
+		t.Errorf("Reclaim(3): %v", err)
+	}
+}
+
+func TestReplaceOwnerErrors(t *testing.T) {
+	m := mustMap(t, geom.R(0, 0, 100, 100), 1)
+	if _, _, err := m.Split(1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReplaceOwner(42, 9); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("unknown old: %v", err)
+	}
+	if _, err := m.ReplaceOwner(1, 2); !errors.Is(err, ErrDuplicateOwner) {
+		t.Errorf("duplicate next: %v", err)
+	}
+	if _, err := m.ReplaceOwner(1, id.None); err == nil {
+		t.Error("invalid next must be rejected")
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("failed replaces must not corrupt the map: %v", err)
+	}
+}

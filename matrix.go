@@ -176,6 +176,11 @@ type options struct {
 	restore     []byte
 	mw          HostMiddleware
 	authToken   string
+	heartbeat   time.Duration
+	leaseMisses int
+	checkpoint  time.Duration
+	fallbacks   []string
+	redialEvery time.Duration
 }
 
 func defaultOptions() options {
@@ -244,6 +249,36 @@ func WithMiddleware(cfg HostMiddleware) Option { return func(o *options) { o.mw 
 // auth stage (clients only).
 func WithAuthToken(token string) Option { return func(o *options) { o.authToken = token } }
 
+// WithHeartbeatEvery enables fleet health tracking. On a coordinator it
+// sets the lease tick: servers that miss WithLeaseMisses consecutive beats
+// are declared dead and their regions are adopted by warm spares. On a
+// server it sets the heartbeat send cadence (default 1s; beats are ignored
+// by coordinators with health off, so the default is always safe). Zero on
+// the coordinator disables every health feature.
+func WithHeartbeatEvery(d time.Duration) Option { return func(o *options) { o.heartbeat = d } }
+
+// WithLeaseMisses sets how many consecutive missed heartbeats kill a
+// server's lease (coordinator only, default 3).
+func WithLeaseMisses(n int) Option { return func(o *options) { o.leaseMisses = n } }
+
+// WithCheckpointEvery sets how often a partition-owning server ships a
+// checkpoint of its full node state to the coordinator (default 10s,
+// negative disables). A spare adopting a dead server's region restores
+// from the victim's last checkpoint (servers only).
+func WithCheckpointEvery(d time.Duration) Option { return func(o *options) { o.checkpoint = d } }
+
+// WithFallbackAddrs lists additional game servers a client may redial when
+// its live connection dies without a redirect — i.e. its server crashed.
+// Reaching any survivor is enough: the hello-retry path routes the client
+// to whichever server owns its position now (clients only).
+func WithFallbackAddrs(addrs ...string) Option {
+	return func(o *options) { o.fallbacks = append([]string(nil), addrs...) }
+}
+
+// WithRedialEvery sets the client's crash-reconnect retry cadence
+// (default 200ms, negative disables redialing; clients only).
+func WithRedialEvery(d time.Duration) Option { return func(o *options) { o.redialEvery = d } }
+
 // WithRestoreSnapshot makes a server adopt the game world (client avatars
 // and map objects) from a snapshot blob before it starts serving, so no
 // client can join into a window a later restore would wipe. Topology is
@@ -281,7 +316,13 @@ func RestoreSimulation(snap *SimulationSnapshot) (*sim.Sim, error) { return snap
 
 // internal glue shared by the constructors in cluster.go.
 func (o options) coordinatorConfig() coordinator.Config {
-	return coordinator.Config{World: o.world, ExtraRadii: o.extraRadii, Static: o.static}
+	return coordinator.Config{
+		World:          o.world,
+		ExtraRadii:     o.extraRadii,
+		Static:         o.static,
+		HeartbeatEvery: o.heartbeat,
+		LeaseMisses:    o.leaseMisses,
+	}
 }
 
 // clientConfig assembles a gameclient.Config.
