@@ -109,6 +109,7 @@ func StartServer(mcAddr string, opts ...Option) (*Server, error) {
 		Middleware:      o.mw,
 		HeartbeatEvery:  o.heartbeat,
 		CheckpointEvery: o.checkpoint,
+		Tracer:          o.tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -11,21 +11,31 @@
 //	matrix-bench -exp all
 //	matrix-bench -exp fig2a,fig2b -seed 7
 //	matrix-bench -exp scenarios -scenario flashcrowd,lossy -workers 4
+//	matrix-bench -trace out.json                   # Perfetto trace of flashcrowd
+//	matrix-bench -bench-json BENCH.json            # machine-readable cost record
+//	matrix-bench -bench-baseline BENCH.json        # regression gate vs committed record
 package main
 
 import (
+	"bufio"
 	"context"
 	"crypto/sha256"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
+	"matrix/internal/bench"
 	"matrix/internal/experiments"
 	"matrix/internal/sim"
 	"matrix/internal/snapshot"
+	"matrix/internal/trace"
 )
 
 func main() {
@@ -49,7 +59,16 @@ func run(args []string) error {
 	snapFile := fs.String("snapshot", "", "run one -scenario, snapshot its full state at -snapshot-at into this file, then finish the run")
 	snapAt := fs.Float64("snapshot-at", 0, "virtual time (seconds) of the -snapshot capture (0 = half the scenario duration)")
 	restoreFile := fs.String("restore", "", "restore a -snapshot file and finish its run (fingerprint matches the uninterrupted run)")
+	traceFile := fs.String("trace", "", "run one -scenario (default flashcrowd) with the tracer attached and write Chrome trace JSON (Perfetto-loadable) to this file")
+	benchJSON := fs.String("bench-json", "", "measure the bench scenarios (-scenario, default flashcrowd,reclaimstress) and write the machine-readable record to this file")
+	benchBaseline := fs.String("bench-baseline", "", "measure the bench scenarios and fail if tick cost regressed past -bench-threshold vs this committed record")
+	benchRepeats := fs.Int("bench-repeats", 2, "full runs per bench scenario (the fastest wins)")
+	benchThreshold := fs.Float64("bench-threshold", bench.DefaultThreshold, "relative ns/tick regression that fails -bench-baseline")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for CPU/heap profiling while experiments run")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := servePprof(*pprofAddr); err != nil {
 		return err
 	}
 
@@ -70,6 +89,12 @@ func run(args []string) error {
 	}
 	if *snapFile != "" {
 		return runSnapshot(ctx, *snapFile, *snapAt, *scenarioFlag, *seed, *simWorkers)
+	}
+	if *traceFile != "" {
+		return runTrace(ctx, *traceFile, *scenarioFlag, *seed, *simWorkers)
+	}
+	if *benchJSON != "" || *benchBaseline != "" {
+		return runBench(ctx, *benchJSON, *benchBaseline, *scenarioFlag, *seed, *simWorkers, *benchRepeats, *benchThreshold)
 	}
 
 	want := map[string]bool{}
@@ -281,6 +306,158 @@ func runRestore(ctx context.Context, path string, simWorkers int) error {
 	}
 	printFingerprint("restored", s.Finish())
 	return nil
+}
+
+// servePprof exposes net/http/pprof on addr (empty = off). The profile
+// handlers live on http.DefaultServeMux via the pprof import.
+func servePprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listen: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pprof at http://%s/debug/pprof/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, nil) }()
+	return nil
+}
+
+// oneScenario resolves the single scenario a mode needs, defaulting to
+// def when the -scenario flag was left at "all".
+func oneScenario(scenarioFlag, def string) (experiments.Scenario, error) {
+	name := strings.TrimSpace(scenarioFlag)
+	if name == "" || name == "all" {
+		name = def
+	}
+	if strings.Contains(name, ",") {
+		return experiments.Scenario{}, fmt.Errorf("this mode needs exactly one -scenario (have %q)", scenarioFlag)
+	}
+	sc, ok := experiments.ScenarioByName(name)
+	if !ok {
+		return experiments.Scenario{}, fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(experiments.ScenarioNames(), ","))
+	}
+	return sc, nil
+}
+
+// runTrace runs one scenario with the tracer attached and writes the ring
+// as Chrome trace JSON — load the file at https://ui.perfetto.dev. The
+// traced run's fingerprint is identical to the untraced run's (tracing is
+// observation only), so the digest printed here matches a plain run.
+func runTrace(ctx context.Context, path, scenarioFlag string, seed int64, simWorkers int) error {
+	sc, err := oneScenario(scenarioFlag, "flashcrowd")
+	if err != nil {
+		return err
+	}
+	cfg := sc.Config(seed)
+	cfg.SimWorkers = simWorkers
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	tr := trace.New(0)
+	s.SetTracer(tr)
+	if err := s.Start(); err != nil {
+		return err
+	}
+	if err := stepAll(ctx, s, 0); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := tr.WriteJSON(w); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace of %q: %d events (%d dropped by the ring) written to %s\n",
+		sc.Name, tr.Len(), tr.Dropped(), path)
+	printFingerprint(sc.Name, s.Finish())
+	return nil
+}
+
+// benchDefaults is the scenario set the bench gate measures when
+// -scenario is left at "all": one split-heavy churn workload and one
+// reclaim-thrashing workload bound the tick path from both sides.
+var benchDefaults = []string{"flashcrowd", "reclaimstress"}
+
+// runBench measures the bench scenario set, optionally writes the record
+// (-bench-json) and optionally gates against a committed baseline
+// (-bench-baseline), returning an error — a non-zero exit — on
+// regression.
+func runBench(ctx context.Context, jsonPath, baselinePath, scenarioFlag string, seed int64, simWorkers, repeats int, threshold float64) error {
+	names := benchDefaults
+	if s := strings.TrimSpace(scenarioFlag); s != "" && s != "all" {
+		names = nil
+		for _, n := range strings.Split(s, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	// Load the baseline before measuring anything: a missing or
+	// wrong-schema file should fail in milliseconds, not minutes.
+	var base *bench.File
+	if baselinePath != "" {
+		var err error
+		if base, err = bench.ReadFile(baselinePath); err != nil {
+			return err
+		}
+	}
+	f := bench.NewFile()
+	for _, name := range names {
+		sc, ok := experiments.ScenarioByName(name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(experiments.ScenarioNames(), ","))
+		}
+		cfg := sc.Config(seed)
+		cfg.SimWorkers = simWorkers
+		start := time.Now()
+		m, err := bench.Run(ctx, cfg, repeats)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		f.Scenarios[name] = m
+		fmt.Fprintf(os.Stderr, "bench %s: %d ticks x%d runs in %.1fs\n", name, m.Ticks, repeats, time.Since(start).Seconds())
+	}
+	printBench(f)
+	if jsonPath != "" {
+		if err := bench.WriteFile(jsonPath, f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench record written to %s\n", jsonPath)
+	}
+	if base != nil {
+		if err := bench.Compare(base, f, threshold); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench gate passed vs %s (threshold %.0f%%)\n", baselinePath, threshold*100)
+	}
+	return nil
+}
+
+// printBench renders the measurement table on stdout.
+func printBench(f *bench.File) {
+	names := make([]string, 0, len(f.Scenarios))
+	for name := range f.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-16s %12s %12s %12s %10s %10s\n", "scenario", "ns/tick", "allocs/tick", "ticks/sec", "p50 ms", "p95 ms")
+	for _, name := range names {
+		m := f.Scenarios[name]
+		fmt.Printf("%-16s %12.0f %12.1f %12.0f %10.2f %10.2f\n",
+			name, m.NsPerTick, m.AllocsPerTick, m.TicksPerSec, m.LatencyP50Ms, m.LatencyP95Ms)
+	}
 }
 
 func printFingerprint(name string, res *sim.Result) {

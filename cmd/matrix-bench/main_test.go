@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"matrix/internal/bench"
+	"matrix/internal/trace"
+)
+
+// TestTraceFlashcrowd is the tentpole acceptance test: `matrix-bench
+// -trace out.json` (flashcrowd by default) must produce structurally
+// valid Chrome trace JSON containing tick-phase slices and at least one
+// cross-server packet span.
+func TestTraceFlashcrowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flashcrowd run")
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := run([]string{"-trace", path, "-sim-workers", "2"}); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateJSON(data); err != nil {
+		t.Fatalf("trace not structurally valid: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			ID2  *struct {
+				Global string `json:"global"`
+			} `json:"id2"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	slices := map[string]bool{}
+	spans := map[string]map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices[e.Name] = true
+		case "b", "n", "e":
+			if e.ID2 == nil {
+				continue
+			}
+			m := spans[e.ID2.Global]
+			if m == nil {
+				m = map[string]bool{}
+				spans[e.ID2.Global] = m
+			}
+			m[e.Name] = true
+		}
+	}
+	for _, want := range []string{"tick", "phase-a", "phase-b", "server-process"} {
+		if !slices[want] {
+			t.Errorf("trace has no %q slice", want)
+		}
+	}
+	cross := 0
+	for _, names := range spans {
+		if names["packet"] && names["peer-forward"] {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Errorf("no cross-server packet span in flashcrowd trace (%d spans)", len(spans))
+	}
+}
+
+// TestBenchJSONAndGate covers the bench record + gate CLI path with one
+// real measurement: the record is schema-valid, and a generous synthetic
+// baseline passes the gate in the same invocation.
+func TestBenchJSONAndGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flashcrowd run")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	basePath := filepath.Join(dir, "base.json")
+	base := bench.NewFile()
+	base.Scenarios["flashcrowd"] = bench.Measurement{NsPerTick: 1e15} // nothing is slower than this
+	if err := bench.WriteFile(basePath, base); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-bench-json", out, "-bench-baseline", basePath,
+		"-bench-repeats", "1", "-scenario", "flashcrowd", "-sim-workers", "2"})
+	if err != nil {
+		t.Fatalf("bench run: %v", err)
+	}
+	f, err := bench.ReadFile(out)
+	if err != nil {
+		t.Fatalf("bench record unreadable: %v", err)
+	}
+	m, ok := f.Scenarios["flashcrowd"]
+	if !ok || m.NsPerTick <= 0 || m.Ticks <= 0 || m.TicksPerSec <= 0 {
+		t.Errorf("bench record implausible: %+v", f.Scenarios)
+	}
+}
+
+// TestFlagValidation exercises the cheap error paths: bad scenario names
+// and baselines must fail before any simulation runs.
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{"-trace", "/tmp/x.json", "-scenario", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("-trace with unknown scenario: %v", err)
+	}
+	if err := run([]string{"-trace", "/tmp/x.json", "-scenario", "flashcrowd,lossy"}); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Errorf("-trace with two scenarios: %v", err)
+	}
+	if err := run([]string{"-bench-baseline", "/does/not/exist.json"}); err == nil {
+		t.Error("-bench-baseline with missing file succeeded")
+	}
+	badSchema := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badSchema, []byte(`{"schema":"matrix-bench/99","scenarios":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench-baseline", badSchema}); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("-bench-baseline with wrong schema: %v", err)
+	}
+	if err := run([]string{"-bench-json", "/tmp/x.json", "-scenario", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("-bench-json with unknown scenario: %v", err)
+	}
+}

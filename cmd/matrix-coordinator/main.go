@@ -14,7 +14,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +26,7 @@ import (
 
 	"matrix"
 	"matrix/internal/id"
+	"matrix/internal/logging"
 	"matrix/internal/protocol"
 	"matrix/internal/transport"
 )
@@ -40,7 +44,10 @@ func run(args []string) error {
 	world := fs.String("world", "1000x1000", "game world size WxH")
 	staticN := fs.Int("static", 0, "run the static-partitioning baseline with N fixed servers (0 = adaptive Matrix)")
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
-	metricsAddr := fs.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (empty = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz and /readyz on this address (empty = off)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiling endpoints on this address (empty = off)")
+	logLevel := fs.String("log-level", "info", "minimum log level: "+logging.LevelNames)
+	logJSON := fs.Bool("log-json", false, "emit one JSON object per log line instead of text")
 	heartbeatEvery := fs.Duration("heartbeat-every", 0, "enable fleet health tracking: expire a server's lease after -lease-misses missed heartbeats at this cadence and re-home its regions onto warm spares (0 = off)")
 	leaseMisses := fs.Int("lease-misses", 0, "consecutive missed heartbeats that kill a lease (0 = default 3; requires -heartbeat-every)")
 	drainTarget := fs.Int("drain", 0, "admin mode: ask the running coordinator at -addr to drain server N, print the verdict and exit")
@@ -48,6 +55,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	level, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := logging.New(os.Stderr, level, *logJSON, slog.String("component", "mc"))
 
 	// Health and drain knobs fail at parse time, not mid-run.
 	if *heartbeatEvery < 0 {
@@ -66,17 +79,20 @@ func run(args []string) error {
 		return fmt.Errorf("drain: -drain-exit requires -drain")
 	}
 	if *drainTarget > 0 {
-		return adminDrain(*addr, id.ServerID(*drainTarget), *drainExit)
+		return adminDrain(logger, *addr, id.ServerID(*drainTarget), *drainExit)
 	}
 
 	w, h, err := parseWorld(*world)
 	if err != nil {
 		return err
 	}
+	if err := servePprof(logger, *pprofAddr); err != nil {
+		return err
+	}
 	opts := []matrix.Option{
 		matrix.WithAddr(*addr),
 		matrix.WithWorld(matrix.R(0, 0, w, h)),
-		matrix.WithLogger(log.New(os.Stderr, "mc ", log.LstdFlags)),
+		matrix.WithLogger(logging.Std(logger, slog.LevelInfo)),
 	}
 	if *staticN > 0 {
 		tiles, err := matrix.StaticGrid(matrix.R(0, 0, w, h), *staticN)
@@ -89,21 +105,22 @@ func run(args []string) error {
 		opts = append(opts,
 			matrix.WithHeartbeatEvery(*heartbeatEvery),
 			matrix.WithLeaseMisses(*leaseMisses))
-		log.Printf("health: tracking leases every %v (misses=%d)", *heartbeatEvery, *leaseMisses)
+		logger.Info("health tracking leases", "every", *heartbeatEvery, "misses", *leaseMisses)
 	}
 	mc, err := matrix.ServeCoordinator(opts...)
 	if err != nil {
 		return err
 	}
 	defer mc.Close()
-	log.Printf("coordinator listening at %s (world %gx%g, static=%d)", mc.Addr(), w, h, *staticN)
+	logger.Info("coordinator listening", "addr", mc.Addr(),
+		"world", fmt.Sprintf("%gx%g", w, h), "static", *staticN)
 	if *metricsAddr != "" {
 		bound, closer, err := mc.ServeMetrics(*metricsAddr)
 		if err != nil {
 			return err
 		}
 		defer closer.Close()
-		log.Printf("metrics: serving http://%s/metrics", bound)
+		logger.Info("metrics serving", "url", "http://"+bound+"/metrics")
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -120,22 +137,38 @@ func run(args []string) error {
 			return nil
 		case <-ticker.C:
 			parts := mc.Partitions()
-			log.Printf("status: %d active servers, %d splits, %d reclaims",
-				len(parts), mc.Splits(), mc.Reclaims())
+			logger.Info("status", "active", len(parts),
+				"splits", mc.Splits(), "reclaims", mc.Reclaims())
 			if *heartbeatEvery > 0 {
-				log.Printf("health: %d deaths, %d adoptions, %d drains, %d parked regions",
-					mc.Deaths(), mc.Adoptions(), mc.Drains(), len(mc.Parked()))
+				logger.Info("health", "deaths", mc.Deaths(), "adoptions", mc.Adoptions(),
+					"drains", mc.Drains(), "parked", len(mc.Parked()))
 			}
 			for sid, bounds := range parts {
-				log.Printf("  %v -> %v", sid, bounds)
+				logger.Info("partition", "server", sid.String(), "region", bounds.String())
 			}
 		}
 	}
 }
 
+// servePprof exposes the net/http/pprof endpoints (registered on the
+// default mux by the blank import) on their own listener, kept off the
+// metrics address so profiling can be firewalled separately.
+func servePprof(logger *slog.Logger, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	logger.Info("pprof serving", "url", "http://"+ln.Addr().String()+"/debug/pprof/")
+	return nil
+}
+
 // adminDrain dials a running coordinator, opens with a DrainRequest naming
 // the target server (instead of registering) and reports the verdict.
-func adminDrain(addr string, target id.ServerID, exit bool) error {
+func adminDrain(logger *slog.Logger, addr string, target id.ServerID, exit bool) error {
 	conn, err := transport.TCPNetwork{}.Dial(addr)
 	if err != nil {
 		return err
@@ -155,7 +188,7 @@ func adminDrain(addr string, target id.ServerID, exit bool) error {
 	if !dr.Granted {
 		return fmt.Errorf("drain of %v denied: %s", target, dr.Reason)
 	}
-	log.Printf("drain of %v granted (exit=%v)", target, exit)
+	logger.Info("drain granted", "server", target.String(), "exit", exit)
 	return nil
 }
 

@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -47,8 +50,18 @@ func run(args []string) error {
 	worldFlag := fs.String("world", "1000x1000", "world size WxH (must match the coordinator)")
 	netemSpec := fs.String("netem", "", "emulate a degraded network on every client connection, e.g. delay=40ms,jitter=25ms,loss=2% (empty = off)")
 	netemSeed := fs.Int64("netem-seed", 0, "seed for the netem impairment streams (0 = derive from -seed)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiling endpoints on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		go func() { _ = http.Serve(ln, nil) }()
+		fmt.Printf("pprof: serving http://%s/debug/pprof/\n", ln.Addr())
 	}
 
 	profile, ok := game.Profiles()[*profileName]

@@ -6,18 +6,24 @@
 // Usage:
 //
 //	matrix-server -coordinator 127.0.0.1:7000 -addr :7101 -radius 40
+//	matrix-server -coordinator 127.0.0.1:7000 -trace-addr :7171  # live trace ring
+//	matrix-server -coordinator 127.0.0.1:7000 -log-json -log-level debug
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"matrix"
+	"matrix/internal/logging"
 	"matrix/internal/middleware"
 	"matrix/internal/netem"
 	"matrix/internal/protocol"
@@ -49,7 +55,11 @@ func run(args []string) error {
 	rateBurst := fs.Float64("rate-burst", 0, "token-bucket depth for the ratelimit stage (0 = 2x -rate-limit)")
 	shedQueue := fs.Int("shed-queue", 5000, "queue length at which the admission stage sheds data-plane frames")
 	authSecret := fs.String("auth-secret", "", "shared session token the auth stage requires on every hello")
-	metricsAddr := fs.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (empty = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz and /readyz on this address (empty = off)")
+	traceAddr := fs.String("trace-addr", "", "serve the live packet-path trace ring on this address: /trace.json (Perfetto) and /trace.txt (empty = off)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiling endpoints on this address (empty = off)")
+	logLevel := fs.String("log-level", "info", "minimum log level: "+logging.LevelNames)
+	logJSON := fs.Bool("log-json", false, "emit one JSON object per log line instead of text")
 	dumpAddr := fs.String("dump", "", "dump mode: fetch a running matrix-server's state from this address (via a protocol snapshot frame) and exit")
 	outFile := fs.String("o", "", "with -dump: write the snapshot blob here (default stdout)")
 	restoreFile := fs.String("restore", "", "restore this node's state from a snapshot blob at startup (file produced by -dump)")
@@ -64,8 +74,14 @@ func run(args []string) error {
 		return err
 	}
 
+	level, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := logging.New(os.Stderr, level, *logJSON, slog.String("component", "server"))
+
 	if *dumpAddr != "" {
-		return dump(*dumpAddr, *outFile)
+		return dump(logger, *dumpAddr, *outFile)
 	}
 
 	// Drain knobs are validated at parse time too: a typo must not surface
@@ -112,7 +128,11 @@ func run(args []string) error {
 	}
 	network := netem.WrapNetwork(transport.TCPNetwork{}, link, *netemSeed)
 	if !link.Zero() {
-		log.Printf("netem: impairing all connections with %s (seed %d)", link, *netemSeed)
+		logger.Info("netem impairing all connections", "spec", link.String(), "seed", *netemSeed)
+	}
+
+	if err := servePprof(logger, *pprofAddr); err != nil {
+		return err
 	}
 
 	opts := []matrix.Option{
@@ -124,12 +144,17 @@ func run(args []string) error {
 		matrix.WithTickInterval(*tick),
 		matrix.WithHeartbeatEvery(*heartbeatEvery),
 		matrix.WithCheckpointEvery(*checkpointEvery),
-		matrix.WithLogger(log.New(os.Stderr, "server ", log.LstdFlags)),
+		matrix.WithLogger(logging.Std(logger, slog.LevelInfo)),
+	}
+	var tr *matrix.Tracer
+	if *traceAddr != "" {
+		tr = matrix.NewTracer(0)
+		opts = append(opts, matrix.WithTracer(tr))
 	}
 	if len(stages) > 0 {
 		opts = append(opts, matrix.WithMiddleware(mw))
-		log.Printf("middleware: chain %v (rate=%g/s burst=%g shed-queue=%d)",
-			stages, *rateLimit, *rateBurst, *shedQueue)
+		logger.Info("middleware chain enabled", "stages", fmt.Sprint(stages),
+			"rate_per_sec", *rateLimit, "burst", *rateBurst, "shed_queue", *shedQueue)
 	}
 	if *restoreFile != "" {
 		blob, err := os.ReadFile(*restoreFile)
@@ -144,18 +169,27 @@ func run(args []string) error {
 		return err
 	}
 	defer srv.Close()
-	log.Printf("server %v listening at %s (bounds %v)", srv.ID(), srv.Addr(), srv.Bounds())
+	logger = logger.With("server", srv.ID().String())
+	logger.Info("server listening", "addr", srv.Addr(), "region", srv.Bounds().String())
 	if *metricsAddr != "" {
 		bound, closer, err := srv.ServeMetrics(*metricsAddr)
 		if err != nil {
 			return err
 		}
 		defer closer.Close()
-		log.Printf("metrics: serving http://%s/metrics", bound)
+		logger.Info("metrics serving", "url", "http://"+bound+"/metrics")
+	}
+	if tr != nil {
+		bound, closer, err := tr.Serve(*traceAddr)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		logger.Info("trace ring serving", "url", "http://"+bound+"/trace.json")
 	}
 	if *restoreFile != "" {
-		log.Printf("restored state from %s: active=%v bounds=%v clients=%d",
-			*restoreFile, srv.Active(), srv.Bounds(), srv.ClientCount())
+		logger.Info("restored state", "file", *restoreFile,
+			"active", srv.Active(), "region", srv.Bounds().String(), "clients", srv.ClientCount())
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -177,21 +211,37 @@ func run(args []string) error {
 			if !*drain {
 				return nil
 			}
-			log.Printf("drain: evacuating (exit=%v, timeout %v)", *drainExit, *drainTimeout)
+			logger.Info("drain evacuating", "exit", *drainExit, "timeout", *drainTimeout)
 			if err := srv.Drain(*drainExit, *drainTimeout); err != nil {
 				return fmt.Errorf("drain: %w", err)
 			}
-			log.Printf("drain: complete, shutting down")
+			logger.Info("drain complete, shutting down")
 			return nil
 		case <-statusC:
-			log.Printf("status: active=%v bounds=%v clients=%d queue=%d",
-				srv.Active(), srv.Bounds(), srv.ClientCount(), srv.QueueLen())
+			logger.Info("status", "active", srv.Active(), "region", srv.Bounds().String(),
+				"clients", srv.ClientCount(), "queue", srv.QueueLen())
 		case <-snapC:
 			if err := checkpoint(srv, *snapshotFile); err != nil {
-				log.Printf("checkpoint: %v", err)
+				logger.Warn("checkpoint failed", "err", err)
 			}
 		}
 	}
+}
+
+// servePprof exposes the net/http/pprof endpoints (registered on the
+// default mux by the blank import) on their own listener, kept off the
+// metrics address so profiling can be firewalled separately.
+func servePprof(logger *slog.Logger, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	logger.Info("pprof serving", "url", "http://"+ln.Addr().String()+"/debug/pprof/")
+	return nil
 }
 
 // checkpoint writes the node's state with an atomic rename, so a crash
@@ -210,7 +260,7 @@ func checkpoint(srv *matrix.Server, path string) error {
 
 // dump connects to a running matrix-server, requests its state via a
 // protocol snapshot frame, and writes the blob.
-func dump(addr, out string) error {
+func dump(logger *slog.Logger, addr, out string) error {
 	conn, err := transport.TCPNetwork{}.Dial(addr)
 	if err != nil {
 		return err
@@ -242,6 +292,6 @@ func dump(addr, out string) error {
 	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	log.Printf("wrote %d-byte snapshot of %s to %s", len(blob), addr, out)
+	logger.Info("wrote snapshot", "bytes", len(blob), "from", addr, "to", out)
 	return nil
 }

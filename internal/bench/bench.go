@@ -1,0 +1,205 @@
+// Package bench measures simulation throughput for the bench trajectory
+// gate: a machine-readable {ns/op, allocs/op, ticks/sec, latency} record
+// per scenario, written as JSON (schema "matrix-bench/1"), and a compare
+// step that fails when the current tree's tick cost regresses past a
+// threshold against a committed baseline.
+//
+// Wall-clock benchmarks on shared CI machines are noisy, so the gate is
+// deliberately coarse: best-of-N repeats (the minimum is the least-noisy
+// estimator of the true cost) and a generous default threshold (15%).
+// The committed baseline's absolute numbers are machine-specific; only
+// the trajectory — today's tree against the same file regenerated on the
+// same machine — is meaningful, which is exactly what CI measures by
+// regenerating the current measurement on the box that holds the
+// baseline's ancestry.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"matrix/internal/sim"
+)
+
+// Schema identifies the bench file format. Bump on incompatible change.
+const Schema = "matrix-bench/1"
+
+// DefaultThreshold is the relative ns/tick regression that fails the gate.
+const DefaultThreshold = 0.15
+
+// Measurement is one scenario's cost record.
+type Measurement struct {
+	// NsPerTick is wall nanoseconds per simulation tick (best of repeats).
+	NsPerTick float64 `json:"ns_per_tick"`
+	// AllocsPerTick is heap allocations per tick (same run as NsPerTick).
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+	// TicksPerSec is the reciprocal throughput of the best run.
+	TicksPerSec float64 `json:"ticks_per_sec"`
+	// Ticks is how many ticks one run of the scenario steps.
+	Ticks int `json:"ticks"`
+	// LatencyP50Ms / LatencyP95Ms summarize the run's simulated
+	// action→echo latency distribution (deterministic per scenario, so
+	// they double as a cheap correctness fingerprint in review).
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+}
+
+// File is one committed bench record: environment stamp plus a
+// measurement per scenario.
+type File struct {
+	Schema    string                 `json:"schema"`
+	Go        string                 `json:"go"`
+	GOOS      string                 `json:"goos"`
+	GOARCH    string                 `json:"goarch"`
+	Scenarios map[string]Measurement `json:"scenarios"`
+}
+
+// NewFile returns an empty record stamped with the current toolchain.
+func NewFile() *File {
+	return &File{
+		Schema:    Schema,
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scenarios: map[string]Measurement{},
+	}
+}
+
+// Run measures one scenario config: repeats full simulation runs and
+// keeps the cheapest (minimum wall ns/tick), which is the standard
+// estimator under scheduler noise. Latency quantiles come from the last
+// run — the simulation is deterministic, so every repeat produces the
+// identical distribution.
+func Run(ctx context.Context, cfg sim.Config, repeats int) (Measurement, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var best Measurement
+	for r := 0; r < repeats; r++ {
+		m, err := runOnce(ctx, cfg)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if r == 0 || m.NsPerTick < best.NsPerTick {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// runOnce steps one full simulation, measuring wall time and heap
+// allocations across the stepping loop only (construction and Finish are
+// excluded: they are O(1) per run, not per tick).
+func runOnce(ctx context.Context, cfg sim.Config) (Measurement, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := s.Start(); err != nil {
+		return Measurement{}, err
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	ticks := 0
+	for !s.Done() {
+		if ticks%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Measurement{}, err
+			}
+		}
+		if err := s.Step(); err != nil {
+			return Measurement{}, err
+		}
+		ticks++
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	res := s.Finish()
+	if ticks == 0 {
+		return Measurement{}, fmt.Errorf("bench: scenario ran zero ticks")
+	}
+	m := Measurement{
+		NsPerTick:     float64(wall.Nanoseconds()) / float64(ticks),
+		AllocsPerTick: float64(ms1.Mallocs-ms0.Mallocs) / float64(ticks),
+		Ticks:         ticks,
+	}
+	if m.NsPerTick > 0 {
+		m.TicksPerSec = 1e9 / m.NsPerTick
+	}
+	if res.Latency != nil && res.Latency.Count() > 0 {
+		m.LatencyP50Ms = res.Latency.Quantile(0.5)
+		m.LatencyP95Ms = res.Latency.Quantile(0.95)
+	}
+	return m, nil
+}
+
+// WriteFile writes f as indented JSON (stable key order — encoding/json
+// sorts map keys) with a trailing newline, so committed baselines diff
+// cleanly.
+func WriteFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and schema-checks a bench record.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s has schema %q, want %q", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Compare gates current against baseline: every baseline scenario must be
+// present, and none may exceed the baseline's ns/tick by more than
+// threshold (fraction; <=0 selects DefaultThreshold). The returned error
+// lists every violation; nil means the gate passes. Improvements and new
+// scenarios never fail the gate.
+func Compare(baseline, current *File, threshold float64) error {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	names := make([]string, 0, len(baseline.Scenarios))
+	for name := range baseline.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var fails []string
+	for _, name := range names {
+		base := baseline.Scenarios[name]
+		cur, ok := current.Scenarios[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		if base.NsPerTick <= 0 {
+			continue // degenerate baseline entry; nothing to gate against
+		}
+		ratio := cur.NsPerTick / base.NsPerTick
+		if ratio > 1+threshold {
+			fails = append(fails, fmt.Sprintf("%s: %.0f ns/tick vs baseline %.0f (%+.1f%%, limit %+.0f%%)",
+				name, cur.NsPerTick, base.NsPerTick, (ratio-1)*100, threshold*100))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
+}

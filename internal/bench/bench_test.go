@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"matrix/internal/game"
+	"matrix/internal/geom"
+	"matrix/internal/load"
+	"matrix/internal/sim"
+)
+
+// tinyConfig is a seconds-scale run, big enough to produce echoes (so the
+// latency quantiles are non-zero) and cheap enough for the unit suite.
+func tinyConfig() sim.Config {
+	return sim.Config{
+		Profile:         game.Bzflag(),
+		World:           geom.R(0, 0, 500, 500),
+		Seed:            3,
+		DurationSeconds: 5,
+		MaxServers:      2,
+		BasePopulation:  15,
+		LoadPolicy:      load.Config{},
+	}
+}
+
+func TestRunProducesMeasurement(t *testing.T) {
+	m, err := Run(context.Background(), tinyConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ticks <= 0 {
+		t.Errorf("Ticks = %d, want > 0", m.Ticks)
+	}
+	if m.NsPerTick <= 0 {
+		t.Errorf("NsPerTick = %g, want > 0", m.NsPerTick)
+	}
+	if m.TicksPerSec <= 0 {
+		t.Errorf("TicksPerSec = %g, want > 0", m.TicksPerSec)
+	}
+	// An unloaded scenario echoes within the same virtual tick, so 0ms
+	// quantiles are legitimate — only ordering is asserted.
+	if m.LatencyP50Ms < 0 || m.LatencyP95Ms < m.LatencyP50Ms {
+		t.Errorf("latency quantiles implausible: p50=%g p95=%g", m.LatencyP50Ms, m.LatencyP95Ms)
+	}
+}
+
+func TestRunCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, tinyConfig(), 1); err == nil {
+		t.Error("Run with cancelled context succeeded")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := NewFile()
+	f.Scenarios["flashcrowd"] = Measurement{NsPerTick: 123456, Ticks: 3000, TicksPerSec: 8100}
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Scenarios["flashcrowd"].NsPerTick != 123456 {
+		t.Errorf("round trip mangled the record: %+v", got)
+	}
+
+	// A wrong schema is rejected, not silently compared.
+	f.Schema = "matrix-bench/0"
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema accepted (err=%v)", err)
+	}
+}
+
+// TestCompareGate is the gate's self-test: a synthetic 2x tick slowdown
+// must fail, matching noise must pass, and a dropped scenario must fail.
+func TestCompareGate(t *testing.T) {
+	base := NewFile()
+	base.Scenarios["flashcrowd"] = Measurement{NsPerTick: 100000}
+	base.Scenarios["reclaimstress"] = Measurement{NsPerTick: 50000}
+
+	ok := NewFile()
+	ok.Scenarios["flashcrowd"] = Measurement{NsPerTick: 110000} // +10% < 15%
+	ok.Scenarios["reclaimstress"] = Measurement{NsPerTick: 40000}
+	if err := Compare(base, ok, 0); err != nil {
+		t.Errorf("within-threshold run failed the gate: %v", err)
+	}
+
+	slow := NewFile()
+	slow.Scenarios["flashcrowd"] = Measurement{NsPerTick: 200000} // 2x
+	slow.Scenarios["reclaimstress"] = Measurement{NsPerTick: 50000}
+	err := Compare(base, slow, 0)
+	if err == nil {
+		t.Fatal("2x slowdown passed the gate")
+	}
+	if !strings.Contains(err.Error(), "flashcrowd") || strings.Contains(err.Error(), "reclaimstress:") {
+		t.Errorf("gate error names the wrong scenarios: %v", err)
+	}
+
+	missing := NewFile()
+	missing.Scenarios["flashcrowd"] = Measurement{NsPerTick: 100000}
+	if err := Compare(base, missing, 0); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("dropped scenario passed the gate (err=%v)", err)
+	}
+
+	// New scenarios and improvements never fail.
+	better := NewFile()
+	better.Scenarios["flashcrowd"] = Measurement{NsPerTick: 30000}
+	better.Scenarios["reclaimstress"] = Measurement{NsPerTick: 20000}
+	better.Scenarios["brandnew"] = Measurement{NsPerTick: 9e9}
+	if err := Compare(base, better, 0); err != nil {
+		t.Errorf("improved run failed the gate: %v", err)
+	}
+}

@@ -103,11 +103,25 @@ func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 // Addr returns the address servers should dial.
 func (h *CoordinatorHost) Addr() string { return h.ln.Addr() }
 
-// ServeMetrics starts a Prometheus-format /metrics HTTP endpoint for the
-// coordinator on addr, returning the bound address and a closer that
-// stops the endpoint. Values are sampled at scrape time.
+// ServeMetrics starts a Prometheus-format HTTP endpoint for the
+// coordinator on addr — /metrics plus /healthz and /readyz — returning
+// the bound address and a closer that stops the endpoint. Values are
+// sampled at scrape time.
 func (h *CoordinatorHost) ServeMetrics(addr string) (string, io.Closer, error) {
-	return metrics.Serve(addr, h.writeMetrics)
+	return metrics.ServeWith(addr, h.writeMetrics, h.Ready)
+}
+
+// Ready is the /readyz probe: nil until the host is closed. The listener
+// accepting is the coordinator's only liveness dependency — it has no
+// upstream of its own.
+func (h *CoordinatorHost) Ready() error {
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return errors.New("host closed")
+	}
+	return nil
 }
 
 // writeMetrics renders one scrape.
@@ -124,6 +138,7 @@ func (h *CoordinatorHost) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE matrix_mc_adoptions_total counter\nmatrix_mc_adoptions_total %d\n", h.mc.Adoptions())
 	fmt.Fprintf(w, "# TYPE matrix_mc_drains_total counter\nmatrix_mc_drains_total %d\n", h.mc.Drains())
 	fmt.Fprintf(w, "# TYPE matrix_mc_parked_regions gauge\nmatrix_mc_parked_regions %d\n", len(h.mc.Parked()))
+	metrics.WriteRuntime(w)
 }
 
 // AdminDrain asks the coordinator to drain target (operator action): its

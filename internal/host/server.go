@@ -18,6 +18,7 @@ import (
 	"matrix/internal/protocol"
 	"matrix/internal/scratch"
 	"matrix/internal/snapshot"
+	"matrix/internal/trace"
 	"matrix/internal/transport"
 )
 
@@ -68,6 +69,11 @@ type ServerConfig struct {
 	// 10s, negative disables). Only partition owners ship; spares have
 	// nothing to lose.
 	CheckpointEvery time.Duration
+	// Tracer, when non-nil, records tick-phase slices and packet-path
+	// events into its ring (wall-clock microseconds since tracer creation)
+	// and turns on the tick-phase histograms in /metrics. Nil — the default
+	// — costs nothing on the frame path.
+	Tracer *trace.Tracer
 }
 
 func (c ServerConfig) sanitized() ServerConfig {
@@ -107,6 +113,14 @@ type ServerHost struct {
 	mw      *middleware.Chain // nil when no chain is configured
 	started time.Time         // epoch of the middleware clock
 
+	// Observability: tr mirrors cfg.Tracer (nil = off); treg holds the
+	// tick-phase histograms, populated only while tracing and reset on
+	// every /metrics scrape so the raw-sample store stays bounded; mcDown
+	// flips when the coordinator connection dies (readiness signal).
+	tr     *trace.Tracer
+	treg   *metrics.Registry
+	mcDown atomic.Bool
+
 	mu      sync.Mutex
 	peers   map[string]transport.Conn // outbound, keyed by dial address
 	dialing map[string][]protocol.Message
@@ -138,8 +152,8 @@ type ServerHost struct {
 	drainReply  chan *protocol.DrainReply
 	drained     chan struct{} // closed when the evacuation completes
 	drainOnce   sync.Once
-	adoptBuf    []byte // accumulating chunked Adopt blob
-	ticks       uint64 // game ticks processed
+	adoptBuf    []byte        // accumulating chunked Adopt blob
+	ticks       atomic.Uint64 // game ticks processed (atomic: /metrics reads it)
 	// cpTick is the tick count when the last checkpoint shipped; atomic so
 	// harnesses can watch checkpoint progress from outside the tick loop.
 	cpTick atomic.Uint64
@@ -221,6 +235,8 @@ func StartServer(cfg ServerConfig) (*ServerHost, error) {
 		mcConn:     mcConn,
 		ln:         ln,
 		mw:         mw,
+		tr:         cfg.Tracer,
+		treg:       metrics.NewRegistry(),
 		started:    time.Now(),
 		peers:      make(map[string]transport.Conn),
 		dialing:    make(map[string][]protocol.Message),
@@ -230,6 +246,11 @@ func StartServer(cfg ServerConfig) (*ServerHost, error) {
 		drainReply: make(chan *protocol.DrainReply, 1),
 		drained:    make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if h.tr != nil {
+		h.tr.NameProcess(hostTracePid, cs.ID().String())
+		h.tr.NameThread(hostTracePid, hostTraceTidTick, "tick")
+		h.tr.NameThread(hostTracePid, hostTraceTidNet, "net")
 	}
 	h.wg.Add(3)
 	go h.mcLoop()
@@ -327,15 +348,18 @@ func (h *ServerHost) Close() error {
 // started.
 func (h *ServerHost) clockSeconds() float64 { return time.Since(h.started).Seconds() }
 
-// ServeMetrics starts a Prometheus-format /metrics HTTP endpoint for this
-// host on addr, returning the bound address and a closer that stops the
+// ServeMetrics starts a Prometheus-format HTTP endpoint for this host on
+// addr — /metrics plus /healthz (liveness) and /readyz (readiness, see
+// Ready) — returning the bound address and a closer that stops the
 // endpoint. Gauges are sampled at scrape time; the middleware chain's
 // counters are included when a chain is configured.
 func (h *ServerHost) ServeMetrics(addr string) (string, io.Closer, error) {
-	return metrics.Serve(addr, h.writeMetrics)
+	return metrics.ServeWith(addr, h.writeMetrics, h.Ready)
 }
 
-// writeMetrics renders one scrape.
+// writeMetrics renders one scrape. The tick-phase histograms (populated
+// only while tracing) are reset after rendering so their raw-sample store
+// is bounded by the scrape interval, not the process lifetime.
 func (h *ServerHost) writeMetrics(w io.Writer) {
 	rep := h.gs.LoadReport()
 	fmt.Fprintf(w, "# TYPE matrix_server_clients gauge\nmatrix_server_clients %d\n", rep.Clients)
@@ -344,9 +368,17 @@ func (h *ServerHost) writeMetrics(w io.Writer) {
 	peers := len(h.peers)
 	h.mu.Unlock()
 	fmt.Fprintf(w, "# TYPE matrix_server_peer_conns gauge\nmatrix_server_peer_conns %d\n", peers)
+	fmt.Fprintf(w, "# TYPE matrix_server_ticks counter\nmatrix_server_ticks %d\n", h.ticks.Load())
 	if h.mw != nil {
 		h.mw.Stats().WritePrometheus(w)
 	}
+	if h.tr != nil {
+		metrics.WritePrometheus(w, h.treg)
+		for _, name := range hostPhaseHistograms {
+			h.treg.Histogram(name).Reset()
+		}
+	}
+	metrics.WriteRuntime(w)
 }
 
 // mcLoop pumps coordinator messages into the ingress funnel; the tick
@@ -356,6 +388,9 @@ func (h *ServerHost) mcLoop() {
 	for {
 		m, err := h.mcConn.Recv()
 		if err != nil {
+			// Losing the MC link means no more range updates or drain
+			// grants can arrive: flag it so /readyz flips to 503.
+			h.mcDown.Store(true)
 			return
 		}
 		h.enqueueIngress(id.None, m)
@@ -415,6 +450,9 @@ func (h *ServerHost) drainIngress(batch map[string][]protocol.Message) {
 		case *protocol.DrainRequest:
 			h.startDrain(m.Exit)
 			continue
+		}
+		if h.tr != nil {
+			h.tracePeerHandle(im.msg)
 		}
 		envs, err := h.core.HandleMessage(im.from, im.msg)
 		if err != nil {
@@ -532,6 +570,9 @@ func (h *ServerHost) serveClient(conn transport.Conn, hello *protocol.ClientHell
 				continue // judged and counted; the frame is simply not delivered
 			}
 		}
+		if h.tr != nil {
+			h.tracePacketIn(m)
+		}
 		if err := h.gs.Enqueue(m); err != nil && err != gameserver.ErrQueueOverflow {
 			h.cfg.Logger.Printf("server %v: client %v: %v", h.core.ID(), hello.Client, err)
 		}
@@ -617,22 +658,28 @@ func (h *ServerHost) tickLoop() {
 		case <-cpC:
 			h.shipCheckpoint()
 		case <-tick.C:
-			h.ticks++
+			h.ticks.Add(1)
+			t0 := h.tr.Now()
 			// Coordinator and peer fallout first: split/reclaim state
 			// transfers join this tick's batch, ahead of whatever redirects
 			// the game server emits below (routeGame flushes the batch
 			// before any redirect reaches a client).
 			h.drainIngress(h.tickBatch)
+			t1 := h.tr.Now()
 			envs, err := h.gs.ProcessAppend(h.tickEnvs.Take(), h.cfg.ServiceRate)
 			if err != nil {
 				h.cfg.Logger.Printf("server %v: process: %v", h.core.ID(), err)
 			}
+			t2 := h.tr.Now()
 			// Everything this tick produced for the same peer leaves as one
 			// batch frame — the per-message framing and write amortized
 			// across the tick.
 			h.routeGame(envs, h.tickBatch)
 			h.flushBatches(h.tickBatch)
 			h.tickEnvs.Done(envs)
+			if h.tr != nil {
+				h.traceTick(t0, t1, t2, h.tr.Now())
+			}
 		case <-report.C:
 			rep := h.gs.LoadReport()
 			envs, err := h.core.HandleLocalLoad(int(rep.Clients), int(rep.QueueLen))
@@ -661,6 +708,9 @@ func (h *ServerHost) routeCore(envs []core.Envelope, batch map[string][]protocol
 				h.cfg.Logger.Printf("server %v: enqueue: %v", h.core.ID(), err)
 			}
 		case core.DestPeer:
+			if h.tr != nil {
+				h.tracePeerForward(e.Msg)
+			}
 			if batch != nil {
 				if e.Addr == "" {
 					h.cfg.Logger.Printf("server %v: no address for peer (dropping %v)", h.core.ID(), e.Msg.MsgType())
@@ -715,6 +765,9 @@ func (h *ServerHost) routeGame(envs []gameserver.Envelope, batch map[string][]pr
 			h.mu.Unlock()
 			if !ok {
 				continue // client disconnected; deliveries are best-effort
+			}
+			if h.tr != nil {
+				h.tracePacketOut(e.Client, e.Msg)
 			}
 			if err := conn.Send(e.Msg); err != nil {
 				h.dropClient(e.Client, conn)
@@ -925,7 +978,7 @@ func (h *ServerHost) shipCheckpoint() {
 		h.cfg.Logger.Printf("server %v: checkpoint ship: %v", h.core.ID(), err)
 		return
 	}
-	h.cpTick.Store(h.ticks)
+	h.cpTick.Store(h.ticks.Load())
 }
 
 // CheckpointTick reports the game tick at which the last checkpoint

@@ -1,0 +1,113 @@
+// Live-host observability: tick-phase slices and packet-path events for a
+// ServerHost with a Tracer attached, plus the readiness probe backing
+// /readyz.
+//
+// Unlike the simulator (which runs on a virtual clock), the live host uses
+// the tracer's default clock — wall microseconds since the tracer was
+// created — so slices from the tick loop and async packet spans from the
+// connection pumps land on one shared timeline. The tick-phase histograms
+// live in a host-local registry that writeMetrics resets after every
+// scrape, keeping the raw-sample store bounded by the scrape interval.
+package host
+
+import (
+	"errors"
+
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+)
+
+// Trace track layout for a live host: one process (the host), with the
+// tick loop on tid 1 and connection-pump events on tid 2. Packet spans are
+// async events, so they render on their own id-keyed tracks.
+const (
+	hostTracePid     = 1
+	hostTraceTidTick = 1
+	hostTraceTidNet  = 2
+)
+
+// hostPhaseHistograms names the tick-phase histograms writeMetrics renders
+// and resets each scrape (milliseconds per tick spent in each phase).
+var hostPhaseHistograms = []string{
+	"tick/drain-ms",
+	"tick/process-ms",
+	"tick/route-ms",
+	"tick/total-ms",
+}
+
+// hostPacketID correlates one client packet across the host's layers: the
+// client id in the high bits, the packet sequence in the low 24 — the same
+// scheme the simulator uses, so tooling reads both the same way.
+func hostPacketID(c id.ClientID, seq id.PacketSeq) uint64 {
+	return uint64(c)<<24 | uint64(seq)&0xFFFFFF
+}
+
+// traceTick closes the tick's phase slices and feeds the phase histograms.
+// t0..t3 bracket drainIngress, ProcessAppend, and routeGame+flushBatches.
+// Called from the tick goroutine only, and only while tracing.
+func (h *ServerHost) traceTick(t0, t1, t2, t3 int64) {
+	h.tr.Slice(hostTracePid, hostTraceTidTick, "drain-ingress", t0, t1-t0)
+	h.tr.Slice(hostTracePid, hostTraceTidTick, "process", t1, t2-t1)
+	h.tr.Slice(hostTracePid, hostTraceTidTick, "route-flush", t2, t3-t2)
+	h.tr.Slice(hostTracePid, hostTraceTidTick, "tick", t0, t3-t0)
+	h.treg.Histogram("tick/drain-ms").Observe(float64(t1-t0) / 1000)
+	h.treg.Histogram("tick/process-ms").Observe(float64(t2-t1) / 1000)
+	h.treg.Histogram("tick/route-ms").Observe(float64(t3-t2) / 1000)
+	h.treg.Histogram("tick/total-ms").Observe(float64(t3-t0) / 1000)
+}
+
+// tracePacketIn opens a packet span when a client game update clears the
+// middleware chain and enters the inbox. Runs on the client's connection
+// goroutine; the tracer is lock-free, so this is safe alongside the tick.
+func (h *ServerHost) tracePacketIn(m protocol.Message) {
+	if u, ok := m.(*protocol.GameUpdate); ok {
+		h.tr.AsyncBegin(hostTracePid, "packet", "packet", hostPacketID(u.Client, u.Seq), h.tr.Now())
+	}
+}
+
+// tracePeerForward marks a packet leaving for a peer Matrix server.
+func (h *ServerHost) tracePeerForward(m protocol.Message) {
+	if f, ok := m.(*protocol.Forward); ok {
+		h.tr.AsyncStep(hostTracePid, "packet", "peer-forward", hostPacketID(f.Update.Client, f.Update.Seq), h.tr.Now())
+	}
+}
+
+// tracePeerHandle marks a forwarded packet entering this host's core from
+// the ingress funnel.
+func (h *ServerHost) tracePeerHandle(m protocol.Message) {
+	if f, ok := m.(*protocol.Forward); ok {
+		h.tr.AsyncStep(hostTracePid, "packet", "peer-handle", hostPacketID(f.Update.Client, f.Update.Seq), h.tr.Now())
+	}
+}
+
+// tracePacketOut closes a packet span when the client's own update echoes
+// back to it (the delivery the sim's latency measure uses too).
+func (h *ServerHost) tracePacketOut(c id.ClientID, m protocol.Message) {
+	if u, ok := m.(*protocol.GameUpdate); ok && u.Client == c {
+		h.tr.AsyncEnd(hostTracePid, "packet", "packet", hostPacketID(u.Client, u.Seq), h.tr.Now())
+	}
+}
+
+// Ready is the /readyz probe: nil while the host can serve traffic. It
+// reports an error once the coordinator connection is lost, the host is
+// closed, or a drain-for-exit has evacuated the node (a drain back to the
+// spare pool keeps the host ready — it is still serving).
+func (h *ServerHost) Ready() error {
+	if h.mcDown.Load() {
+		return errors.New("coordinator connection lost")
+	}
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return errors.New("host closed")
+	}
+	select {
+	case <-h.drained:
+		if h.drainExit.Load() {
+			return errors.New("drained for exit")
+		}
+	default:
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package logging
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewTextLevelAndAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelWarn, false, slog.String("component", "server"))
+	l.Info("hidden")
+	l.Warn("shown", "region", "0,0-500,500")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("info line emitted at warn level")
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "component=server") || !strings.Contains(out, "region=") {
+		t.Errorf("warn line missing fields: %q", out)
+	}
+}
+
+func TestNewJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelInfo, true, slog.String("component", "mc"))
+	l.Info("up", "addr", "127.0.0.1:7000")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "up" || rec["component"] != "mc" || rec["addr"] != "127.0.0.1:7000" {
+		t.Errorf("JSON record missing fields: %v", rec)
+	}
+}
+
+func TestStdBridge(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelInfo, false, slog.String("component", "server"))
+	std := Std(l, slog.LevelInfo)
+	std.Printf("server %v up", 3)
+	out := buf.String()
+	if !strings.Contains(out, "server 3 up") || !strings.Contains(out, "component=server") {
+		t.Errorf("bridged line mangled: %q", out)
+	}
+}

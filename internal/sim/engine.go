@@ -175,6 +175,15 @@ func (s *Sim) processNode(w, idx int) {
 	for _, e := range envs {
 		switch e.Dest {
 		case gameserver.DestMatrix:
+			if s.tr != nil {
+				// The packet reached the co-located Matrix server's handler:
+				// the core-handle step in its span. Safe in phase A — the
+				// tracer is lock-free and feeds nothing back into the tick.
+				if u, isUpdate := e.Msg.(*protocol.GameUpdate); isUpdate {
+					s.tr.AsyncStep(tracePidServer(s.order[idx]), "packet", "core-handle",
+						packetSpanID(u.Client, u.Seq), s.tr.Now())
+				}
+			}
 			out.appendCore(s, n, e.Msg)
 		case gameserver.DestClient:
 			out.actions = append(out.actions, tickAction{kind: actClient, client: e.Client, msg: e.Msg})

@@ -34,6 +34,7 @@ import (
 	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/scratch"
+	"matrix/internal/trace"
 )
 
 // Config describes one simulation run.
@@ -366,6 +367,17 @@ type Sim struct {
 	// HandleGameUpdate) instead of the buffer-reusing append APIs. Tests
 	// set it to prove both paths produce byte-identical fingerprints.
 	compatAlloc bool
+
+	// Tracing state (see trace.go; nil tr = tracing off, the default).
+	// trTickBase/trAnchor anchor the virtual-first trace clock at the
+	// current tick; trBusy accumulates per-worker busy microseconds for the
+	// occupancy measure. Like SimWorkers, the tracer is an execution knob,
+	// not simulation state: snapshots do not record it and results are
+	// byte-identical with or without one.
+	tr         *trace.Tracer
+	trTickBase int64
+	trAnchor   time.Time
+	trBusy     []int64
 }
 
 // New builds a simulation.
@@ -493,6 +505,12 @@ func (s *Sim) deliverToCore(to id.ServerID, from id.ServerID, m protocol.Message
 	if !ok {
 		return
 	}
+	if s.tr != nil {
+		if fwd, isFwd := m.(*protocol.Forward); isFwd {
+			s.tr.AsyncStep(tracePidServer(to), "packet", "peer-handle",
+				packetSpanID(fwd.Update.Client, fwd.Update.Seq), s.tr.Now())
+		}
+	}
 	envs, err := n.core.HandleMessage(from, m)
 	if err != nil {
 		// Inactive servers legitimately reject packets that were in
@@ -527,6 +545,15 @@ func (s *Sim) routeCoreEnvelopes(from id.ServerID, envs []core.Envelope) {
 			// Overflow drops are counted by the game server itself.
 			_ = s.nodes[from].gs.Enqueue(e.Msg)
 		case core.DestPeer:
+			if s.tr != nil {
+				// A forward crossing the server boundary: the cross-server
+				// hop in the packet's span.
+				if fwd, isFwd := e.Msg.(*protocol.Forward); isFwd {
+					s.tr.AsyncStepArg(tracePidServer(from), "packet", "peer-forward",
+						packetSpanID(fwd.Update.Client, fwd.Update.Seq), s.tr.Now(),
+						"peer", int64(e.Peer))
+				}
+			}
 			if s.nm != nil && s.impair(netem.ServerEndpoint(from), netem.ServerEndpoint(e.Peer), netemToCore, e.Msg) {
 				continue
 			}
@@ -568,6 +595,13 @@ func (s *Sim) deliverToClient(cid id.ClientID, m protocol.Message) {
 	sc, ok := s.clients[cid]
 	if !ok || !sc.alive {
 		return
+	}
+	if s.tr != nil {
+		// The echo of the client's own update closes its packet span.
+		if u, isUpdate := m.(*protocol.GameUpdate); isUpdate && u.Client == cid {
+			s.tr.AsyncEnd(tracePidServer(sc.assigned), "packet", "packet",
+				packetSpanID(u.Client, u.Seq), s.tr.Now())
+		}
 	}
 	ev, err := sc.cl.Handle(m)
 	if err != nil {
@@ -964,6 +998,13 @@ func (s *Sim) Step() error {
 	dt := s.dt
 	s.now = float64(tick) * dt
 
+	// Re-anchor the trace clock at the tick's virtual start (trace.go).
+	// Tracing is pure observation: nothing below branches on it.
+	var tickStart int64
+	if s.tr != nil {
+		tickStart = s.traceTickStart(s.cfg.SimWorkers)
+	}
+
 	// 1. Script events.
 	for _, e := range s.script.Due(s.now, s.now+dt) {
 		switch e.Kind {
@@ -1049,16 +1090,32 @@ func (s *Sim) Step() error {
 	// arrived before the crash and resume draining on recovery.
 	workers := s.ensureEngine()
 	s.liveServers()
-	s.runPhaseA(workers, s.processNode)
+	processNode := s.processNode
+	if s.tr != nil {
+		processNode = s.traceProcessNode
+	}
+	paStart := s.tr.Now()
+	s.runPhaseA(workers, processNode)
+	if s.tr != nil {
+		s.tracePhaseA(paStart, workers)
+	}
+	pbStart := s.tr.Now()
 	s.routePhaseB()
+	if s.tr != nil {
+		s.tracePhaseB(pbStart)
+	}
 
 	// 4. Load reports, same two phases: every live active server runs its
 	// split/reclaim policy against its own load in phase A, the MC traffic
 	// routes canonically in phase B. Crashed servers report nothing, so
 	// parents see a frozen last-known child load until recovery.
 	if tick%s.reportEvery == 0 {
+		lrStart := s.tr.Now()
 		s.runPhaseA(workers, func(_, idx int) { s.loadReportNode(idx) })
 		s.routePhaseB()
+		if s.tr != nil {
+			s.traceLoadReport(lrStart)
+		}
 	}
 
 	// 5. Hello retries for clients stuck unconnected (dropped joins).
@@ -1086,6 +1143,10 @@ func (s *Sim) Step() error {
 	// dead process cannot checkpoint itself.
 	if s.chkEvery > 0 && tick%s.chkEvery == 0 {
 		s.takeCheckpoints()
+	}
+
+	if s.tr != nil {
+		s.traceTickEnd(tickStart)
 	}
 
 	s.clk.Advance(time.Duration(dt * float64(time.Second)))
@@ -1225,6 +1286,12 @@ func (s *Sim) generateTraffic(dt float64) {
 			// The network delivered it; the server's chain judges it.
 			if !s.admitIngress(sc.assigned, true, u) {
 				continue
+			}
+			if s.tr != nil {
+				// The packet span opens as the update enters its server's
+				// inbox and ends when its echo reaches the client.
+				s.tr.AsyncBegin(tracePidServer(sc.assigned), "packet", "packet",
+					packetSpanID(u.Client, u.Seq), s.tr.Now())
 			}
 			_ = n.gs.Enqueue(u) // overflow counted by the game server
 		}

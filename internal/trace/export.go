@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteJSON renders the ring as Chrome trace-event JSON (the JSON Object
+// Format: {"traceEvents": [...]}) with microsecond timestamps, the shape
+// Perfetto and chrome://tracing load directly. A nil tracer writes an empty
+// trace, so dump endpoints need no nil checks.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, e := range t.Events() {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := writeEventJSON(bw, e); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeEventJSON renders one event. Hand-rolled rather than encoding/json
+// so a quarter-million-event ring dumps without building an []any mirror.
+func writeEventJSON(bw *bufio.Writer, e Event) error {
+	bw.WriteString(`{"name":`)
+	writeJSONString(bw, e.Name)
+	bw.WriteString(`,"ph":"`)
+	bw.WriteByte(e.Ph)
+	bw.WriteString(`","ts":`)
+	bw.WriteString(strconv.FormatInt(e.TS, 10))
+	bw.WriteString(`,"pid":`)
+	bw.WriteString(strconv.FormatInt(int64(e.Pid), 10))
+	bw.WriteString(`,"tid":`)
+	bw.WriteString(strconv.FormatInt(int64(e.Tid), 10))
+	if e.Cat != "" {
+		bw.WriteString(`,"cat":`)
+		writeJSONString(bw, e.Cat)
+	}
+	if e.Ph == PhaseSlice {
+		bw.WriteString(`,"dur":`)
+		bw.WriteString(strconv.FormatInt(e.Dur, 10))
+	}
+	if e.Ph == PhaseAsyncBegin || e.Ph == PhaseAsyncInstant || e.Ph == PhaseAsyncEnd {
+		// Nestable async events correlate on "id2.global" (string form keeps
+		// 64-bit ids exact across JSON implementations).
+		bw.WriteString(`,"id2":{"global":"0x`)
+		bw.WriteString(strconv.FormatUint(e.ID, 16))
+		bw.WriteString(`"}`)
+	}
+	if e.ArgName != "" {
+		bw.WriteString(`,"args":{`)
+		writeJSONString(bw, e.ArgName)
+		bw.WriteByte(':')
+		if e.Arg2 != "" {
+			writeJSONString(bw, e.Arg2)
+		} else {
+			bw.WriteString(strconv.FormatInt(e.Arg, 10))
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+	return nil
+}
+
+// writeJSONString writes s as a JSON string. Names are static ASCII in
+// practice; escape defensively anyway.
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(bw, `\u%04x`, c)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}
+
+// WriteText renders the ring as a human-readable dump, one event per line,
+// sorted by timestamp. Useful when a browser is out of reach.
+func (t *Tracer) WriteText(w io.Writer) error {
+	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace: %d events, %d dropped\n", len(events), t.Dropped())
+	for _, e := range events {
+		if e.Ph == PhaseMetadata {
+			fmt.Fprintf(bw, "meta pid=%d tid=%d %s=%s\n", e.Pid, e.Tid, e.Name, e.Arg2)
+			continue
+		}
+		fmt.Fprintf(bw, "%12dus pid=%-3d tid=%-3d %c %-20s", e.TS, e.Pid, e.Tid, e.Ph, e.Name)
+		if e.Ph == PhaseSlice {
+			fmt.Fprintf(bw, " dur=%dus", e.Dur)
+		}
+		if e.Ph == PhaseAsyncBegin || e.Ph == PhaseAsyncInstant || e.Ph == PhaseAsyncEnd {
+			fmt.Fprintf(bw, " id=0x%x", e.ID)
+		}
+		if e.ArgName != "" {
+			if e.Arg2 != "" {
+				fmt.Fprintf(bw, " %s=%s", e.ArgName, e.Arg2)
+			} else {
+				fmt.Fprintf(bw, " %s=%d", e.ArgName, e.Arg)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// validPhases is the set of "ph" values this package emits; ValidateJSON
+// rejects anything else.
+var validPhases = map[string]bool{
+	"X": true, "i": true, "b": true, "n": true, "e": true, "C": true, "M": true,
+}
+
+// ValidateJSON structurally checks data against the Chrome trace-event JSON
+// Object Format: a traceEvents array whose members carry name/ph/ts/pid/tid,
+// where complete events carry a non-negative dur and async events carry a
+// correlation id. This is the schema contract Perfetto's importer relies
+// on; tests use it to keep exports loadable.
+func ValidateJSON(data []byte) error {
+	var top struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if top.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range top.TraceEvents {
+		var ph, name string
+		if err := unmarshalField(ev, "ph", &ph); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if !validPhases[ph] {
+			return fmt.Errorf("trace: event %d: unknown phase %q", i, ph)
+		}
+		if err := unmarshalField(ev, "name", &name); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if name == "" {
+			return fmt.Errorf("trace: event %d: empty name", i)
+		}
+		if ph == "M" {
+			continue // metadata events carry no timestamp
+		}
+		var ts float64
+		if err := unmarshalField(ev, "ts", &ts); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		var pid, tid int64
+		if err := unmarshalField(ev, "pid", &pid); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		if err := unmarshalField(ev, "tid", &tid); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		if ph == "X" {
+			var dur float64
+			if err := unmarshalField(ev, "dur", &dur); err != nil {
+				return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+			}
+			if dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): negative dur %g", i, name, dur)
+			}
+		}
+		if ph == "b" || ph == "n" || ph == "e" {
+			if _, ok := ev["id"]; !ok {
+				if _, ok := ev["id2"]; !ok {
+					return fmt.Errorf("trace: event %d (%s): async event without id", i, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// unmarshalField decodes one required field of a raw event object.
+func unmarshalField(ev map[string]json.RawMessage, key string, dst any) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %q", key)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("bad %q: %w", key, err)
+	}
+	return nil
+}

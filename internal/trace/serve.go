@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+)
+
+// traceServer ties the dump HTTP server to its listener for Close.
+type traceServer struct {
+	srv *http.Server
+}
+
+// Close implements io.Closer.
+func (s *traceServer) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP server on addr exposing the live ring:
+//
+//	GET /trace       Chrome trace-event JSON (load in Perfetto)
+//	GET /trace.json  alias for /trace
+//	GET /trace.txt   plain-text dump
+//
+// Each request snapshots the ring at that moment; dumping does not pause
+// the traced process, so a dump taken mid-tick can contain a torn event at
+// the write frontier. It returns the bound address and a closer that stops
+// the server.
+func (t *Tracer) Serve(addr string) (string, io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("trace: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	dumpJSON := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteJSON(w)
+	}
+	mux.HandleFunc("/trace", dumpJSON)
+	mux.HandleFunc("/trace.json", dumpJSON)
+	mux.HandleFunc("/trace.txt", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = t.WriteText(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), &traceServer{srv: srv}, nil
+}

@@ -40,6 +40,7 @@ import (
 	"matrix/internal/sim"
 	"matrix/internal/snapshot"
 	"matrix/internal/staticpart"
+	"matrix/internal/trace"
 	"matrix/internal/transport"
 )
 
@@ -86,6 +87,10 @@ type (
 	// SimMiddleware configures the simulation's deterministic admission
 	// chain (SimulationConfig.Middleware).
 	SimMiddleware = sim.MiddlewareConfig
+	// Tracer is a ring-buffered packet-path and tick-phase tracer (see
+	// NewTracer, WithTracer). Export with its WriteJSON (Perfetto-loadable
+	// Chrome trace JSON), WriteText, or Serve methods.
+	Tracer = trace.Tracer
 )
 
 // Update kinds.
@@ -174,6 +179,7 @@ type options struct {
 	maxQueue    int
 	report      time.Duration
 	restore     []byte
+	tracer      *trace.Tracer
 	mw          HostMiddleware
 	authToken   string
 	heartbeat   time.Duration
@@ -278,6 +284,17 @@ func WithFallbackAddrs(addrs ...string) Option {
 // WithRedialEvery sets the client's crash-reconnect retry cadence
 // (default 200ms, negative disables redialing; clients only).
 func WithRedialEvery(d time.Duration) Option { return func(o *options) { o.redialEvery = d } }
+
+// NewTracer builds a tracer with the given ring capacity (rounded up to a
+// power of two; <= 0 picks the default, large enough for a busy tick
+// window). A nil *Tracer is the disabled tracer — every method is safe.
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// WithTracer attaches a tracer to a server: tick phases become trace
+// slices and /metrics summaries, and every client packet is followed
+// across middleware, processing and peer forwards as an async span
+// (servers only; nil means tracing off, which costs nothing).
+func WithTracer(tr *Tracer) Option { return func(o *options) { o.tracer = tr } }
 
 // WithRestoreSnapshot makes a server adopt the game world (client avatars
 // and map objects) from a snapshot blob before it starts serving, so no
