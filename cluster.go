@@ -24,6 +24,9 @@ func ServeCoordinator(opts ...Option) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.tracer != nil {
+		h.SetTracer(o.tracer)
+	}
 	return &Coordinator{h: h}, nil
 }
 

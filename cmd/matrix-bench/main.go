@@ -12,6 +12,7 @@
 //	matrix-bench -exp fig2a,fig2b -seed 7
 //	matrix-bench -exp scenarios -scenario flashcrowd,lossy -workers 4
 //	matrix-bench -trace out.json                   # Perfetto trace of flashcrowd
+//	matrix-bench -record out/ -audit               # flight recording + decision audit
 //	matrix-bench -bench-json BENCH.json            # machine-readable cost record
 //	matrix-bench -bench-baseline BENCH.json        # regression gate vs committed record
 package main
@@ -22,17 +23,20 @@ import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"matrix/internal/bench"
 	"matrix/internal/experiments"
+	"matrix/internal/flight"
 	"matrix/internal/sim"
 	"matrix/internal/snapshot"
 	"matrix/internal/trace"
@@ -60,6 +64,8 @@ func run(args []string) error {
 	snapAt := fs.Float64("snapshot-at", 0, "virtual time (seconds) of the -snapshot capture (0 = half the scenario duration)")
 	restoreFile := fs.String("restore", "", "restore a -snapshot file and finish its run (fingerprint matches the uninterrupted run)")
 	traceFile := fs.String("trace", "", "run one -scenario (default flashcrowd) with the tracer attached and write Chrome trace JSON (Perfetto-loadable) to this file")
+	recordDir := fs.String("record", "", "run one -scenario (default flashcrowd) with the flight recorder attached and write flight.csv, flight.json and audit.txt into this directory; combine with -trace to get the counter tracks and decision instants merged into the Perfetto trace")
+	auditFlag := fs.Bool("audit", false, "with -record: also print the decision audit timeline on stdout")
 	benchJSON := fs.String("bench-json", "", "measure the bench scenarios (-scenario, default flashcrowd,reclaimstress) and write the machine-readable record to this file")
 	benchBaseline := fs.String("bench-baseline", "", "measure the bench scenarios and fail if tick cost regressed past -bench-threshold vs this committed record")
 	benchRepeats := fs.Int("bench-repeats", 2, "full runs per bench scenario (the fastest wins)")
@@ -89,6 +95,12 @@ func run(args []string) error {
 	}
 	if *snapFile != "" {
 		return runSnapshot(ctx, *snapFile, *snapAt, *scenarioFlag, *seed, *simWorkers)
+	}
+	if *auditFlag && *recordDir == "" {
+		return fmt.Errorf("-audit requires -record")
+	}
+	if *recordDir != "" {
+		return runRecord(ctx, *recordDir, *auditFlag, *traceFile, *scenarioFlag, *seed, *simWorkers)
 	}
 	if *traceFile != "" {
 		return runTrace(ctx, *traceFile, *scenarioFlag, *seed, *simWorkers)
@@ -383,6 +395,86 @@ func runTrace(ctx context.Context, path, scenarioFlag string, seed int64, simWor
 		sc.Name, tr.Len(), tr.Dropped(), path)
 	printFingerprint(sc.Name, s.Finish())
 	return nil
+}
+
+// runRecord runs one scenario with the flight recorder attached and writes
+// the recording artifacts into dir: flight.csv (time series), flight.json
+// (series + decision log, schema matrix-flight/1) and audit.txt (the
+// human-readable decision timeline). Recording is observation only — the
+// fingerprint printed here matches an unrecorded run, and the artifact
+// bytes are identical for any -sim-workers value. When -trace is also set,
+// the recording's counter tracks and decision instants are merged into the
+// Perfetto trace before it is written.
+func runRecord(ctx context.Context, dir string, audit bool, tracePath, scenarioFlag string, seed int64, simWorkers int) error {
+	sc, err := oneScenario(scenarioFlag, "flashcrowd")
+	if err != nil {
+		return err
+	}
+	cfg := sc.Config(seed)
+	cfg.SimWorkers = simWorkers
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	rec := flight.New()
+	s.SetRecorder(rec)
+	var tr *trace.Tracer
+	if tracePath != "" {
+		tr = trace.New(0)
+		s.SetTracer(tr)
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	if err := stepAll(ctx, s, 0); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	artifacts := []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		{"flight.csv", rec.WriteCSV},
+		{"flight.json", rec.WriteJSON},
+		{"audit.txt", rec.WriteTimeline},
+	}
+	for _, a := range artifacts {
+		if err := writeArtifact(filepath.Join(dir, a.name), a.write); err != nil {
+			return err
+		}
+	}
+	if tr != nil {
+		rec.MergeTrace(tr)
+		if err := writeArtifact(tracePath, tr.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace of %q with flight counters merged written to %s\n", sc.Name, tracePath)
+	}
+	fmt.Fprintf(os.Stderr, "flight recording of %q: %d samples x %d series, %d decisions written to %s\n",
+		sc.Name, rec.Rows(), len(rec.Columns()), len(rec.Decisions()), dir)
+	if audit {
+		if err := rec.WriteTimeline(os.Stdout); err != nil {
+			return err
+		}
+	}
+	printFingerprint(sc.Name, s.Finish())
+	return nil
+}
+
+// writeArtifact creates path and streams write into it, surfacing close
+// errors (a full disk shows up at close with buffered writers).
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // benchDefaults is the scenario set the bench gate measures when

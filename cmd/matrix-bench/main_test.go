@@ -77,6 +77,97 @@ func TestTraceFlashcrowd(t *testing.T) {
 	}
 }
 
+// TestRecordFlashcrowd covers the flight-recorder CLI path: `matrix-bench
+// -record out/ -trace out.json` must write all three artifacts with their
+// documented shapes and merge counter tracks into a still-valid Perfetto
+// trace.
+func TestRecordFlashcrowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flashcrowd run")
+	}
+	dir := t.TempDir()
+	recDir := filepath.Join(dir, "rec")
+	tracePath := filepath.Join(dir, "out.json")
+	if err := run([]string{"-record", recDir, "-trace", tracePath, "-sim-workers", "2"}); err != nil {
+		t.Fatalf("run -record: %v", err)
+	}
+
+	csvData, err := os.ReadFile(filepath.Join(recDir, "flight.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvData), "tick,time,") {
+		t.Errorf("flight.csv header = %q, want tick,time,... prefix", firstLine(csvData))
+	}
+	if !strings.Contains(firstLine(csvData), "servers/active") {
+		t.Errorf("flight.csv header %q missing servers/active column", firstLine(csvData))
+	}
+
+	jsonData, err := os.ReadFile(filepath.Join(recDir, "flight.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema    string                   `json:"schema"`
+		Rows      int                      `json:"rows"`
+		Decisions []map[string]interface{} `json:"decisions"`
+	}
+	if err := json.Unmarshal(jsonData, &doc); err != nil {
+		t.Fatalf("flight.json: %v", err)
+	}
+	if doc.Schema != "matrix-flight/1" {
+		t.Errorf("flight.json schema = %q", doc.Schema)
+	}
+	if doc.Rows == 0 || len(doc.Decisions) == 0 {
+		t.Errorf("flight.json empty: rows=%d decisions=%d", doc.Rows, len(doc.Decisions))
+	}
+
+	audit, err := os.ReadFile(filepath.Join(recDir, "audit.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(audit), "# decision audit:") {
+		t.Errorf("audit.txt header = %q", firstLine(audit))
+	}
+	if !strings.Contains(string(audit), "split") {
+		t.Error("audit.txt records no split decision for flashcrowd")
+	}
+
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateJSON(traceData); err != nil {
+		t.Fatalf("merged trace not structurally valid: %v", err)
+	}
+	var tdoc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &tdoc); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]bool{}
+	for _, e := range tdoc.TraceEvents {
+		if e.Ph == "C" {
+			counters[e.Name] = true
+		}
+	}
+	if !counters["servers/active"] || !counters["imbalance/cov-pct"] {
+		t.Errorf("merged trace missing flight counter tracks (have %d counters)", len(counters))
+	}
+}
+
+func firstLine(b []byte) string {
+	s := string(b)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
 // TestBenchJSONAndGate covers the bench record + gate CLI path with one
 // real measurement: the record is schema-valid, and a generous synthetic
 // baseline passes the gate in the same invocation.
@@ -128,5 +219,11 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-bench-json", "/tmp/x.json", "-scenario", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
 		t.Errorf("-bench-json with unknown scenario: %v", err)
+	}
+	if err := run([]string{"-audit"}); err == nil || !strings.Contains(err.Error(), "-record") {
+		t.Errorf("-audit without -record: %v", err)
+	}
+	if err := run([]string{"-record", "/tmp/rec", "-scenario", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("-record with unknown scenario: %v", err)
 	}
 }

@@ -44,7 +44,8 @@ func run(args []string) error {
 	world := fs.String("world", "1000x1000", "game world size WxH")
 	staticN := fs.Int("static", 0, "run the static-partitioning baseline with N fixed servers (0 = adaptive Matrix)")
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
-	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz and /readyz on this address (empty = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz and the /fleetz JSON snapshot on this address (empty = off)")
+	traceAddr := fs.String("trace-addr", "", "serve the control-plane trace ring (correlation instants for split/adopt/drain fan-out) as /trace.json on this address (empty = tracing off)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiling endpoints on this address (empty = off)")
 	logLevel := fs.String("log-level", "info", "minimum log level: "+logging.LevelNames)
 	logJSON := fs.Bool("log-json", false, "emit one JSON object per log line instead of text")
@@ -107,6 +108,11 @@ func run(args []string) error {
 			matrix.WithLeaseMisses(*leaseMisses))
 		logger.Info("health tracking leases", "every", *heartbeatEvery, "misses", *leaseMisses)
 	}
+	var tr *matrix.Tracer
+	if *traceAddr != "" {
+		tr = matrix.NewTracer(0)
+		opts = append(opts, matrix.WithTracer(tr))
+	}
 	mc, err := matrix.ServeCoordinator(opts...)
 	if err != nil {
 		return err
@@ -121,6 +127,15 @@ func run(args []string) error {
 		}
 		defer closer.Close()
 		logger.Info("metrics serving", "url", "http://"+bound+"/metrics")
+		logger.Info("fleet snapshot serving", "url", "http://"+bound+"/fleetz")
+	}
+	if tr != nil {
+		bound, closer, err := tr.Serve(*traceAddr)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		logger.Info("trace ring serving", "url", "http://"+bound+"/trace.json")
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net"
@@ -25,6 +26,7 @@ import (
 	"matrix/internal/game"
 	"matrix/internal/gameclient"
 	"matrix/internal/host"
+	"matrix/internal/logging"
 	"matrix/internal/netem"
 	"matrix/internal/protocol"
 	"matrix/internal/transport"
@@ -51,9 +53,17 @@ func run(args []string) error {
 	netemSpec := fs.String("netem", "", "emulate a degraded network on every client connection, e.g. delay=40ms,jitter=25ms,loss=2% (empty = off)")
 	netemSeed := fs.Int64("netem-seed", 0, "seed for the netem impairment streams (0 = derive from -seed)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof profiling endpoints on this address (empty = off)")
+	logLevel := fs.String("log-level", "info", "minimum log level: "+logging.LevelNames)
+	logJSON := fs.Bool("log-json", false, "emit one JSON object per log line instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	level, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := logging.New(os.Stderr, level, *logJSON, slog.String("component", "loadgen"))
 
 	if *pprofAddr != "" {
 		ln, err := net.Listen("tcp", *pprofAddr)
@@ -61,7 +71,7 @@ func run(args []string) error {
 			return fmt.Errorf("pprof: %w", err)
 		}
 		go func() { _ = http.Serve(ln, nil) }()
-		fmt.Printf("pprof: serving http://%s/debug/pprof/\n", ln.Addr())
+		logger.Info("pprof serving", "url", "http://"+ln.Addr().String()+"/debug/pprof/")
 	}
 
 	profile, ok := game.Profiles()[*profileName]
@@ -83,7 +93,7 @@ func run(args []string) error {
 	}
 	network := netem.WrapNetwork(transport.TCPNetwork{}, link, *netemSeed)
 	if !link.Zero() {
-		fmt.Printf("netem: impairing client connections with %s\n", link)
+		logger.Info("netem impairing client connections", "link", link.String())
 	}
 
 	rnd := rand.New(rand.NewSource(*seed))
@@ -100,6 +110,7 @@ func run(args []string) error {
 			Network:    network,
 			ServerAddr: *server,
 			Client:     gameclient.Config{ID: matrix.ClientID(i + 1), Pos: pos},
+			Logger:     logging.Std(logger, slog.LevelDebug),
 		})
 		if err != nil {
 			return fmt.Errorf("client %d: %w", i, err)
@@ -109,8 +120,8 @@ func run(args []string) error {
 		mover.Attract(matrix.Pt(*x, *y), *spread)
 		agents = append(agents, agent{h: ch, mover: mover})
 	}
-	fmt.Printf("joined %d clients at (%g,%g)±%g; running %v of %s traffic\n",
-		len(agents), *x, *y, *spread, *duration, profile.Name)
+	logger.Info("clients joined", "clients", len(agents),
+		"x", *x, "y", *y, "spread", *spread, "duration", *duration, "profile", profile.Name)
 
 	interval := time.Duration(float64(time.Second) / profile.UpdatesPerSec)
 	deadline := time.Now().Add(*duration)

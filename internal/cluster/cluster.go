@@ -20,6 +20,7 @@ import (
 	"matrix/internal/id"
 	"matrix/internal/load"
 	"matrix/internal/protocol"
+	"matrix/internal/trace"
 	"matrix/internal/transport"
 )
 
@@ -127,7 +128,19 @@ func New(cfg Config) (*Cluster, error) {
 // AddServer registers one more server with the coordinator. It becomes a
 // warm spare unless the world is unowned (first server, or a parked
 // region waits — then it adopts immediately).
-func (c *Cluster) AddServer() (id.ServerID, error) {
+func (c *Cluster) AddServer() (id.ServerID, error) { return c.addServer(nil) }
+
+// AddServerTraced is AddServer with a tracer attached from boot, so a test
+// can follow a control-plane decision's correlation ID from the
+// coordinator's trace into this server's.
+func (c *Cluster) AddServerTraced(tr *trace.Tracer) (id.ServerID, error) { return c.addServer(tr) }
+
+// SetCoordinatorTracer attaches a tracer to the coordinator host: every
+// correlation-stamped control frame it fans out from now on gets an
+// instant event (see host.CoordinatorHost.SetTracer).
+func (c *Cluster) SetCoordinatorTracer(tr *trace.Tracer) { c.mc.SetTracer(tr) }
+
+func (c *Cluster) addServer(tr *trace.Tracer) (id.ServerID, error) {
 	h, err := host.StartServer(host.ServerConfig{
 		Network:         c.nw,
 		Coordinator:     c.mc.Addr(),
@@ -138,6 +151,7 @@ func (c *Cluster) AddServer() (id.ServerID, error) {
 		CheckpointEvery: c.cfg.CheckpointEvery,
 		ReportInterval:  c.cfg.HeartbeatEvery,
 		Logger:          c.cfg.Logger,
+		Tracer:          tr,
 	})
 	if err != nil {
 		return 0, err

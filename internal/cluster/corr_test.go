@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+	"matrix/internal/trace"
+)
+
+// corrInstants collects every correlation instant a tracer recorded,
+// grouped by event name ("corr/drain-request", "corr/range-update", ...).
+func corrInstants(tr *trace.Tracer) map[string][]int64 {
+	out := map[string][]int64{}
+	for _, e := range tr.Events() {
+		if e.Ph == trace.PhaseInstant && e.ArgName == "corr" {
+			out[e.Name] = append(out[e.Name], e.Arg)
+		}
+	}
+	return out
+}
+
+func hasCorr(vals []int64, want int64) bool {
+	for _, v := range vals {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDrainCorrSpansProcessTraces is the live-handoff observability
+// acceptance test: one operator drain must be followable end-to-end by its
+// correlation ID — the coordinator's trace shows the stamped fan-out
+// leaving, the drained server's trace shows the same corr arriving
+// (RangeUpdate + DrainRequest) and leaving again on the Redirects that
+// push its clients to the successor.
+func TestDrainCorrSpansProcessTraces(t *testing.T) {
+	c, err := New(Config{Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	trMC := trace.New(0)
+	c.SetCoordinatorTracer(trMC)
+	trOwner := trace.New(0)
+	traced, err := c.AddServerTraced(trOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand the world to the traced server first, so the drain under test
+	// is served BY a traced process: drain the untraced first owner onto
+	// the traced spare.
+	first := c.MC().ActiveServers()[0]
+	if err := c.AdminDrain(first, false); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitUntilQuiet(convergeWithin, func() bool {
+		a := c.MC().ActiveServers()
+		return len(a) == 1 && a[0] == traced && c.Server(traced).Core().Active()
+	}) {
+		t.Fatalf("world never migrated to the traced server: active=%v", c.MC().ActiveServers())
+	}
+	adopt := corrInstants(trOwner)
+	if len(adopt["corr/range-update"]) == 0 {
+		t.Fatalf("traced server recorded no corr/range-update arrival for the handoff: %v", adopt)
+	}
+
+	// Clients join the traced owner; their eviction Redirects are the
+	// handoff's client leg.
+	for cid := id.ClientID(1); cid <= 3; cid++ {
+		if err := c.AddClient(cid, geom.Pt(float64(200*cid), 400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.WaitUntil(convergeWithin, func() bool {
+		return c.Server(traced).Game().ClientCount() == 3
+	}) {
+		t.Fatal("clients never joined the traced owner")
+	}
+
+	// A fresh spare stands by to inherit, then the traced owner drains.
+	if _, err := c.AddServer(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdminDrain(traced, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Server(traced).Drained():
+	case <-time.After(convergeWithin):
+		t.Fatal("traced server never finished draining")
+	}
+
+	mc := corrInstants(trMC)
+	drains := mc["corr/drain-request"]
+	if len(drains) == 0 {
+		t.Fatalf("coordinator trace has no corr/drain-request instant: %v", mc)
+	}
+	corr := drains[len(drains)-1] // the drain under test is the last one granted
+	if corr == 0 {
+		t.Fatal("drain correlation ID is zero")
+	}
+	if !hasCorr(mc["corr/range-update"], corr) {
+		t.Errorf("coordinator trace missing the corr=%d RangeUpdate fan-out: %v", corr, mc)
+	}
+
+	srv := corrInstants(trOwner)
+	if !hasCorr(srv["corr/drain-request"], corr) {
+		t.Errorf("drained server's trace missing corr=%d DrainRequest arrival: %v", corr, srv)
+	}
+	if !hasCorr(srv["corr/range-update"], corr) {
+		t.Errorf("drained server's trace missing corr=%d RangeUpdate arrival: %v", corr, srv)
+	}
+	if !hasCorr(srv["corr/redirect"], corr) {
+		t.Errorf("drained server's trace missing corr=%d client Redirect departures: %v", corr, srv)
+	}
+}

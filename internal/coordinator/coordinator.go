@@ -108,6 +108,56 @@ type Coordinator struct {
 	deaths      int
 	adoptions   int
 	drains      int
+
+	// Decision audit state. corr numbers topology decisions (splits,
+	// adoptions, drains); every control frame one decision fans out into
+	// carries the same value, so a handoff is traceable
+	// coordinator→server→client across process traces. decisions is a
+	// bounded ring of the most recent decisions for /fleetz. Neither is
+	// serialized into State: they are observability, not topology, and the
+	// snapshot golden format must not change (a restored coordinator
+	// renumbers from zero).
+	corr      uint64
+	decisions []Decision
+}
+
+// maxRecentDecisions bounds the /fleetz decision ring.
+const maxRecentDecisions = 64
+
+// Decision is one audited coordinator action, kept in the recent-decisions
+// ring and served on /fleetz. Seq is the correlation ID stamped on the
+// frames the decision produced (0 for denials, which send none).
+type Decision struct {
+	Seq     uint64             `json:"seq,omitempty"`
+	Kind    string             `json:"kind"` // "split", "reclaim", "adopt", "drain"
+	Server  id.ServerID        `json:"server"`
+	Child   id.ServerID        `json:"child,omitempty"`
+	Granted bool               `json:"granted"`
+	Reason  string             `json:"reason,omitempty"`
+	Inputs  map[string]float64 `json:"inputs,omitempty"`
+}
+
+// nextCorrLocked numbers one granted decision.
+func (c *Coordinator) nextCorrLocked() uint64 {
+	c.corr++
+	return c.corr
+}
+
+// recordLocked appends d to the bounded recent-decisions ring.
+func (c *Coordinator) recordLocked(d Decision) {
+	if len(c.decisions) >= maxRecentDecisions {
+		copy(c.decisions, c.decisions[1:])
+		c.decisions = c.decisions[:len(c.decisions)-1]
+	}
+	c.decisions = append(c.decisions, d)
+}
+
+// RecentDecisions returns the newest decisions, oldest first (bounded by
+// maxRecentDecisions).
+func (c *Coordinator) RecentDecisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Decision(nil), c.decisions...)
 }
 
 // New creates a Coordinator for the given world.
@@ -242,28 +292,35 @@ func (c *Coordinator) HandleMessage(from id.ServerID, m protocol.Message) ([]Env
 func (c *Coordinator) handleSplit(from id.ServerID, req *protocol.SplitRequest) ([]Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	deny := func(reason string) []Envelope {
+		c.recordLocked(Decision{Kind: "split", Server: from, Reason: reason,
+			Inputs: map[string]float64{"clients": float64(req.Clients), "spares": float64(len(c.spares))}})
+		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: reason}}}
+	}
 	st, ok := c.servers[from]
 	if !ok || !st.active || c.m == nil {
-		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: "unknown or inactive server"}}},
-			fmt.Errorf("%w: %v", ErrUnknownServer, from)
+		return deny("unknown or inactive server"), fmt.Errorf("%w: %v", ErrUnknownServer, from)
 	}
 	st.clients = int(req.Clients)
 	if len(c.cfg.Static) > 0 {
-		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: "static partitioning"}}}, nil
+		return deny("static partitioning"), nil
 	}
 	if len(c.spares) == 0 {
-		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: "pool exhausted"}}}, nil
+		return deny("pool exhausted"), nil
 	}
 	childID := c.spares[0]
 	child := c.servers[childID]
 	keep, give, err := c.m.Split(from, childID, space.SplitToLeft{})
 	if err != nil {
-		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: err.Error()}}}, nil
+		return deny(err.Error()), nil
 	}
 	c.spares = c.spares[1:]
 	child.active = true
 	child.draining = false
 	c.splits++
+	corr := c.nextCorrLocked()
+	c.recordLocked(Decision{Seq: corr, Kind: "split", Server: from, Child: childID, Granted: true,
+		Inputs: map[string]float64{"clients": float64(req.Clients), "spares": float64(len(c.spares))}})
 
 	out := []Envelope{
 		{To: from, Msg: &protocol.SplitReply{
@@ -272,8 +329,9 @@ func (c *Coordinator) handleSplit(from id.ServerID, req *protocol.SplitRequest) 
 			ChildAddr: child.addr,
 			Keep:      keep,
 			Give:      give,
+			Corr:      corr,
 		}},
-		{To: childID, Msg: &protocol.RangeUpdate{Server: childID, Bounds: give}},
+		{To: childID, Msg: &protocol.RangeUpdate{Server: childID, Bounds: give, Corr: corr}},
 	}
 	tables, err := c.tableEnvelopesLocked()
 	if err != nil {
@@ -287,6 +345,7 @@ func (c *Coordinator) handleReclaim(from id.ServerID, req *protocol.ReclaimReque
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	deny := func(reason string) []Envelope {
+		c.recordLocked(Decision{Kind: "reclaim", Server: req.Parent, Child: req.Child, Reason: reason})
 		return []Envelope{{To: from, Msg: &protocol.ReclaimReply{Granted: false, Reason: reason}}}
 	}
 	if c.m == nil {
@@ -313,10 +372,14 @@ func (c *Coordinator) handleReclaim(from id.ServerID, req *protocol.ReclaimReque
 		return deny(err.Error()), nil
 	}
 	child := c.servers[req.Child]
+	childClients := child.clients
 	child.active = false
 	child.clients = 0
 	c.spares = append(c.spares, req.Child)
 	c.reclaim++
+	corr := c.nextCorrLocked()
+	c.recordLocked(Decision{Seq: corr, Kind: "reclaim", Server: req.Parent, Child: req.Child, Granted: true,
+		Inputs: map[string]float64{"child_clients": float64(childClients), "spares": float64(len(c.spares))}})
 
 	parentAddr := ""
 	if ps, ok := c.servers[from]; ok {
@@ -334,6 +397,7 @@ func (c *Coordinator) handleReclaim(from id.ServerID, req *protocol.ReclaimReque
 				Addr:   parentAddr,
 				Bounds: merged,
 			}},
+			Corr: corr,
 		}},
 	}
 	tables, err := c.tableEnvelopesLocked()

@@ -216,6 +216,14 @@ func (c *Coordinator) adoptLocked(victim id.ServerID) []Envelope {
 
 	blob := c.checkpoints[victim]
 	delete(c.checkpoints, victim)
+	corr := c.nextCorrLocked()
+	c.recordLocked(Decision{Seq: corr, Kind: "adopt", Server: victim, Child: spareID, Granted: true,
+		Inputs: map[string]float64{
+			"checkpoint_bytes": float64(len(blob)),
+			"checkpoint_tick":  float64(c.servers[victim].cpTick),
+			"spares":           float64(len(c.spares)),
+			"parked":           float64(len(c.parked)),
+		}})
 
 	// Envelope order on the spare's connection is the restore contract:
 	// checkpoint chunks, then overlap tables, then the activating
@@ -226,7 +234,7 @@ func (c *Coordinator) adoptLocked(victim id.ServerID) []Envelope {
 	if len(blob) == 0 {
 		// Cold adoption: no checkpoint was ever shipped. The spare starts
 		// the region empty and clients rebuild their avatars on reconnect.
-		out = append(out, Envelope{To: spareID, Msg: &protocol.Adopt{Victim: victim, Bounds: bounds, Final: true}})
+		out = append(out, Envelope{To: spareID, Msg: &protocol.Adopt{Victim: victim, Bounds: bounds, Final: true, Corr: corr}})
 	} else {
 		for off := 0; off < len(blob); off += adoptChunkSize {
 			end := off + adoptChunkSize
@@ -238,6 +246,7 @@ func (c *Coordinator) adoptLocked(victim id.ServerID) []Envelope {
 				Bounds: bounds,
 				Blob:   blob[off:end],
 				Final:  end == len(blob),
+				Corr:   corr,
 			}})
 		}
 	}
@@ -248,12 +257,14 @@ func (c *Coordinator) adoptLocked(victim id.ServerID) []Envelope {
 		Server:  spareID,
 		Bounds:  bounds,
 		Handoff: c.handoffTargetsLocked(spareID),
+		Corr:    corr,
 	}})
 	// Best-effort demotion in case the victim is a zombie still draining
 	// its socket; for a truly dead process the envelope is simply dropped.
 	out = append(out, Envelope{To: victim, Msg: &protocol.RangeUpdate{
 		Server:  victim,
 		Handoff: c.handoffTargetsLocked(victim),
+		Corr:    corr,
 	}})
 	return out
 }
@@ -314,12 +325,18 @@ func (c *Coordinator) drainLocked(target id.ServerID, exit bool) ([]Envelope, er
 		}
 		st.retired = true
 		c.drains++
-		return []Envelope{{To: target, Msg: &protocol.DrainRequest{Server: target, Exit: true}}}, nil
+		corr := c.nextCorrLocked()
+		c.recordLocked(Decision{Seq: corr, Kind: "drain", Server: target, Granted: true,
+			Inputs: map[string]float64{"exit": 1, "spares": float64(len(c.spares))}})
+		return []Envelope{{To: target, Msg: &protocol.DrainRequest{Server: target, Exit: true, Corr: corr}}}, nil
 	}
 	if c.m == nil {
 		return nil, errors.New("coordinator: no active map")
 	}
+	drainClients := st.clients
+	corr := c.nextCorrLocked()
 	var out []Envelope
+	var successor id.ServerID
 	if len(c.spares) > 0 {
 		// A warm spare takes over the exact rectangle; the drainee's
 		// clients and objects flow to it through live handoff, so no
@@ -333,10 +350,12 @@ func (c *Coordinator) drainLocked(target id.ServerID, exit bool) ([]Envelope, er
 		spare := c.servers[spareID]
 		spare.active = true
 		spare.draining = false
+		successor = spareID
 		out = append(out, Envelope{To: spareID, Msg: &protocol.RangeUpdate{
 			Server:  spareID,
 			Bounds:  bounds,
 			Handoff: c.handoffTargetsLocked(spareID),
+			Corr:    corr,
 		}})
 	} else if c.m.CanReclaim(target) {
 		// No spare capacity: fold the rectangle back into the parent, the
@@ -345,7 +364,8 @@ func (c *Coordinator) drainLocked(target id.ServerID, exit bool) ([]Envelope, er
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Envelope{To: parent, Msg: &protocol.RangeUpdate{Server: parent, Bounds: merged}})
+		successor = parent
+		out = append(out, Envelope{To: parent, Msg: &protocol.RangeUpdate{Server: parent, Bounds: merged, Corr: corr}})
 	} else {
 		return nil, fmt.Errorf("%w: no spare and partition of %v is not mergeable", ErrPoolExhausted, target)
 	}
@@ -353,6 +373,8 @@ func (c *Coordinator) drainLocked(target id.ServerID, exit bool) ([]Envelope, er
 	st.clients = 0
 	st.draining = true
 	c.drains++
+	c.recordLocked(Decision{Seq: corr, Kind: "drain", Server: target, Child: successor, Granted: true,
+		Inputs: map[string]float64{"clients": float64(drainClients), "exit": b2f(exit), "spares": float64(len(c.spares))}})
 	if exit {
 		st.retired = true
 	} else {
@@ -368,9 +390,18 @@ func (c *Coordinator) drainLocked(target id.ServerID, exit bool) ([]Envelope, er
 	out = append(out, Envelope{To: target, Msg: &protocol.RangeUpdate{
 		Server:  target,
 		Handoff: c.handoffTargetsLocked(target),
+		Corr:    corr,
 	}})
-	out = append(out, Envelope{To: target, Msg: &protocol.DrainRequest{Server: target, Exit: exit}})
+	out = append(out, Envelope{To: target, Msg: &protocol.DrainRequest{Server: target, Exit: exit, Corr: corr}})
 	return out, nil
+}
+
+// b2f renders a flag as a decision input.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // --- health introspection (tooling, /metrics and tests) ---

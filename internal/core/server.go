@@ -493,6 +493,9 @@ func (s *Server) handleSplitReply(r *protocol.SplitReply) ([]Envelope, error) {
 			Addr:   r.ChildAddr,
 			Bounds: r.Give,
 		}},
+		// The split decision's correlation ID follows the range change to
+		// the game server, which stamps it on the redirects it causes.
+		Corr: r.Corr,
 	}}}, nil
 }
 
@@ -557,11 +560,13 @@ func (s *Server) handleRangeUpdate(r *protocol.RangeUpdate) ([]Envelope, error) 
 		s.reclaimDeniedUntil = make(map[id.ServerID]time.Time)
 	}
 	// The co-located game server always mirrors our range (handoff targets
-	// included, so it can redirect displaced clients).
+	// and the decision's correlation ID included, so it can redirect
+	// displaced clients and stamp those redirects).
 	return []Envelope{{Dest: DestGameServer, Msg: &protocol.RangeUpdate{
 		Server:  s.id,
 		Bounds:  r.Bounds,
 		Handoff: r.Handoff,
+		Corr:    r.Corr,
 	}}}, nil
 }
 

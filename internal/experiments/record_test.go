@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"matrix/internal/flight"
+	"matrix/internal/sim"
+)
+
+// TestFlashCrowdAuditComplete pins the acceptance criterion on the real
+// scenario-table entry: a flight-recorded flashcrowd run must explain every
+// observed split and reclaim — each Result.Events entry has a granted audit
+// decision at the same instant with the load inputs that produced it.
+func TestFlashCrowdAuditComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full 110s flashcrowd scenario")
+	}
+	t.Parallel()
+	s, err := sim.New(FlashCrowdConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flight.New()
+	s.SetRecorder(rec)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decs := rec.Decisions()
+	splits, reclaims := 0, 0
+	for _, ev := range res.Events {
+		if ev.Kind != "split" && ev.Kind != "reclaim" {
+			continue
+		}
+		explained := false
+		for _, d := range decs {
+			if d.Kind == ev.Kind && d.Granted && d.Time == ev.Time &&
+				d.Child == int64(ev.Server) && len(d.Inputs) > 0 {
+				explained = true
+				break
+			}
+		}
+		if !explained {
+			t.Errorf("%s of server %v at t=%.1f unexplained by the audit log", ev.Kind, ev.Server, ev.Time)
+		}
+		if ev.Kind == "split" {
+			splits++
+		} else {
+			reclaims++
+		}
+	}
+	// Four 400-client crowds that drain within ~15s must both split and
+	// reclaim; a run that does neither proves nothing.
+	if splits == 0 || reclaims == 0 {
+		t.Fatalf("flashcrowd run had %d splits, %d reclaims; expected both", splits, reclaims)
+	}
+}

@@ -1,0 +1,119 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// sortedNames returns the column names in canonical (sorted) order, the
+// order every export uses so recordings are byte-identical run to run.
+func (r *Recorder) sortedNames() []string {
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	return names
+}
+
+// WriteCSV renders the time series as CSV: a tick,time header plus one
+// column per recorded name in sorted order, one row per sample. Floats use
+// the shortest round-trip decimal form, so the bytes are deterministic.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := r.sortedNames()
+	bw.WriteString("tick,time")
+	for _, n := range names {
+		bw.WriteByte(',')
+		bw.WriteString(n)
+	}
+	bw.WriteByte('\n')
+	for i := range r.ticks {
+		bw.WriteString(strconv.FormatInt(r.ticks[i], 10))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatFloat(r.times[i], 'g', -1, 64))
+		for _, n := range names {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(r.Column(n)[i], 'g', -1, 64))
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonDoc is the artifact schema (matrix-flight/1): row-aligned tick/time
+// arrays, a name→values column map, and the decision log in record order.
+type jsonDoc struct {
+	Schema    string               `json:"schema"`
+	Rows      int                  `json:"rows"`
+	Ticks     []int64              `json:"ticks"`
+	Times     []float64            `json:"times"`
+	Columns   map[string][]float64 `json:"columns"`
+	Decisions []Decision           `json:"decisions"`
+}
+
+// Schema is the JSON artifact schema identifier.
+const Schema = "matrix-flight/1"
+
+// WriteJSON renders the full recording — series and audit log — as one
+// JSON document. encoding/json sorts the column map's keys, so the bytes
+// are deterministic.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{
+		Schema:    Schema,
+		Rows:      r.Rows(),
+		Ticks:     r.ticks,
+		Times:     r.times,
+		Columns:   make(map[string][]float64, len(r.names)),
+		Decisions: r.decs,
+	}
+	if doc.Ticks == nil {
+		doc.Ticks = []int64{}
+	}
+	if doc.Times == nil {
+		doc.Times = []float64{}
+	}
+	if doc.Decisions == nil {
+		doc.Decisions = []Decision{}
+	}
+	for _, n := range r.names {
+		doc.Columns[n] = r.Column(n)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteTimeline renders the decision audit as a human-readable timeline,
+// one decision per line with its recorded inputs in the order the decider
+// read them.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# decision audit: %d decisions\n", len(r.decs))
+	for _, d := range r.decs {
+		verdict := "granted"
+		if !d.Granted {
+			verdict = "denied"
+		}
+		fmt.Fprintf(bw, "t=%.2fs tick=%d %-8s %-7s server=%d", d.Time, d.Tick, d.Kind, verdict, d.Server)
+		if d.Child != 0 {
+			fmt.Fprintf(bw, " child=%d", d.Child)
+		}
+		if d.Corr != 0 {
+			fmt.Fprintf(bw, " corr=%d", d.Corr)
+		}
+		for _, kv := range d.Inputs {
+			fmt.Fprintf(bw, " %s=%s", kv.Key, strconv.FormatFloat(kv.Val, 'g', -1, 64))
+		}
+		if d.Reason != "" {
+			fmt.Fprintf(bw, " reason=%q", d.Reason)
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

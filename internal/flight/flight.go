@@ -1,0 +1,154 @@
+// Package flight is the simulator's flight recorder: a compact columnar
+// time series of domain-level measurements (per-server load, region count,
+// imbalance statistics, protocol counters) sampled once per report epoch,
+// plus a decision audit log that captures every split grant/denial,
+// reclaim, placement and restart together with the exact inputs that
+// produced it.
+//
+// The recorder follows the same contract discipline as internal/trace:
+//
+//  1. Off means off. A nil *Recorder is the disabled recorder — every
+//     method is nil-safe and returns immediately — so call sites hold a
+//     possibly-nil pointer and record unconditionally.
+//
+//  2. Observation only. Recording never influences simulation results:
+//     attaching a recorder must not change Result.Fingerprint (pinned by
+//     test in internal/sim).
+//
+//  3. Deterministic bytes. Every export (CSV, JSON, timeline) is
+//     byte-identical for byte-identical runs, for any -sim-workers value:
+//     the simulator feeds the recorder from the stepping goroutine only,
+//     and the writers sort columns and format floats canonically.
+//
+// Unlike the tracer's fixed ring, the recorder keeps everything: a sample
+// is a handful of float64 appends per epoch, so even long runs stay small
+// (hours of virtual time ≈ a few MB).
+package flight
+
+// Recorder accumulates rows of named columns plus an ordered decision log.
+// It is single-goroutine by contract: the simulator drives it from the
+// stepping goroutine, mirrors of live state must add their own locking.
+type Recorder struct {
+	ticks []int64
+	times []float64
+	cols  map[string][]float64
+	names []string // insertion order; exports sort
+	decs  []Decision
+}
+
+// New returns an empty Recorder.
+func New() *Recorder {
+	return &Recorder{cols: make(map[string][]float64)}
+}
+
+// KV is one named input to a decision, in the order the decider read them.
+type KV struct {
+	Key string  `json:"k"`
+	Val float64 `json:"v"`
+}
+
+// Decision is one audited control-plane action: a split grant or denial, a
+// reclaim, a placement/adoption, a drain, or a crash restart — recorded with
+// the inputs (load readings, thresholds, dwell state, queue depth) the
+// decider saw at that instant.
+type Decision struct {
+	Tick int64   `json:"tick"`
+	Time float64 `json:"time"`
+	// Kind is "split", "reclaim", "restart", "adopt" or "drain".
+	Kind string `json:"kind"`
+	// Granted is false for denials (Reason says why).
+	Granted bool `json:"granted"`
+	// Server is the deciding/affected server; Child the counterpart (the
+	// new child of a split, the merged child of a reclaim, the adopting
+	// spare). Zero when not applicable.
+	Server int64 `json:"server"`
+	Child  int64 `json:"child,omitempty"`
+	// Corr is the correlation ID stamped on the control frames this
+	// decision produced, 0 when none were sent (denials).
+	Corr   uint64 `json:"corr,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Inputs []KV   `json:"inputs,omitempty"`
+}
+
+// Sample begins a new row at (tick, now). Subsequent Set calls fill the
+// row's columns; unset columns export as zero.
+func (r *Recorder) Sample(tick int64, now float64) {
+	if r == nil {
+		return
+	}
+	r.ticks = append(r.ticks, tick)
+	r.times = append(r.times, now)
+}
+
+// Set stores v in the current row's column name, creating the column on
+// first use (earlier rows backfill as zero). No-op before the first Sample.
+func (r *Recorder) Set(name string, v float64) {
+	if r == nil || len(r.ticks) == 0 {
+		return
+	}
+	col, ok := r.cols[name]
+	if !ok {
+		r.names = append(r.names, name)
+	}
+	row := len(r.ticks) - 1
+	for len(col) < row {
+		col = append(col, 0)
+	}
+	if len(col) == row {
+		col = append(col, v)
+	} else {
+		col[row] = v
+	}
+	r.cols[name] = col
+}
+
+// Record appends one decision to the audit log.
+func (r *Recorder) Record(d Decision) {
+	if r == nil {
+		return
+	}
+	r.decs = append(r.decs, d)
+}
+
+// Rows reports how many samples have been taken.
+func (r *Recorder) Rows() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ticks)
+}
+
+// Columns returns the recorded column names in insertion order. The
+// returned slice is shared; callers must not mutate it.
+func (r *Recorder) Columns() []string {
+	if r == nil {
+		return nil
+	}
+	return r.names
+}
+
+// Column returns column name's values padded to the row count, or nil for
+// an unknown column.
+func (r *Recorder) Column(name string) []float64 {
+	if r == nil {
+		return nil
+	}
+	col, ok := r.cols[name]
+	if !ok {
+		return nil
+	}
+	for len(col) < len(r.ticks) {
+		col = append(col, 0)
+	}
+	r.cols[name] = col
+	return col
+}
+
+// Decisions returns the audit log in record order. The returned slice is
+// shared; callers must not mutate it.
+func (r *Recorder) Decisions() []Decision {
+	if r == nil {
+		return nil
+	}
+	return r.decs
+}

@@ -1,0 +1,151 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"matrix/internal/trace"
+)
+
+// The nil Recorder is the disabled recorder: every method must be safe.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Sample(1, 0.1)
+	r.Set("x", 1)
+	r.Record(Decision{Kind: "split"})
+	if r.Rows() != 0 || r.Columns() != nil || r.Column("x") != nil || r.Decisions() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+	r.MergeTrace(trace.New(16))
+}
+
+// Columns created late backfill earlier rows with zeros, and rows that
+// never set a column export it as zero.
+func TestSparseColumnsPadZero(t *testing.T) {
+	r := New()
+	r.Sample(0, 0)
+	r.Set("a", 1)
+	r.Sample(10, 1)
+	r.Set("a", 2)
+	r.Set("b", 7) // first appearance on row 1
+	r.Sample(20, 2)
+	r.Set("a", 3) // b unset on row 2
+	if got := r.Column("b"); len(got) != 3 || got[0] != 0 || got[1] != 7 || got[2] != 0 {
+		t.Fatalf("column b = %v, want [0 7 0]", got)
+	}
+	if got := r.Column("a"); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("column a = %v", got)
+	}
+}
+
+// build records the same logical data with the given column insertion
+// order; exports must not depend on that order.
+func build(order []string) *Recorder {
+	r := New()
+	vals := map[string]float64{"clients/server-1": 12, "queue/server-1": 3, "servers/active": 1}
+	for row := 0; row < 3; row++ {
+		r.Sample(int64(row*10), float64(row))
+		for _, n := range order {
+			r.Set(n, vals[n]+float64(row))
+		}
+	}
+	r.Record(Decision{Tick: 10, Time: 1, Kind: "split", Granted: true, Server: 1, Child: 2, Corr: 5,
+		Inputs: []KV{{"clients", 412}, {"overload", 300}}})
+	r.Record(Decision{Tick: 20, Time: 2, Kind: "reclaim", Granted: false, Server: 1, Child: 2,
+		Reason: "child still has children", Inputs: []KV{{"child_clients", 88}}})
+	return r
+}
+
+func exportAll(t *testing.T, r *Recorder) (csv, js, tl string) {
+	t.Helper()
+	var b1, b2, b3 bytes.Buffer
+	if err := r.WriteCSV(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteTimeline(&b3); err != nil {
+		t.Fatal(err)
+	}
+	return b1.String(), b2.String(), b3.String()
+}
+
+// Exports are canonical: the same recording written from different column
+// insertion orders is byte-identical.
+func TestExportsCanonical(t *testing.T) {
+	a := build([]string{"clients/server-1", "queue/server-1", "servers/active"})
+	b := build([]string{"servers/active", "queue/server-1", "clients/server-1"})
+	ac, aj, at := exportAll(t, a)
+	bc, bj, bt := exportAll(t, b)
+	if ac != bc {
+		t.Errorf("CSV depends on insertion order:\n%s\nvs\n%s", ac, bc)
+	}
+	if aj != bj {
+		t.Errorf("JSON depends on insertion order")
+	}
+	if at != bt {
+		t.Errorf("timeline depends on insertion order")
+	}
+	if !strings.HasPrefix(ac, "tick,time,clients/server-1,queue/server-1,servers/active\n") {
+		t.Errorf("CSV header not sorted: %q", strings.SplitN(ac, "\n", 2)[0])
+	}
+}
+
+// The JSON artifact round-trips with the documented schema.
+func TestWriteJSONSchema(t *testing.T) {
+	_, js, _ := exportAll(t, build([]string{"clients/server-1", "queue/server-1", "servers/active"}))
+	var doc struct {
+		Schema    string               `json:"schema"`
+		Rows      int                  `json:"rows"`
+		Ticks     []int64              `json:"ticks"`
+		Columns   map[string][]float64 `json:"columns"`
+		Decisions []Decision           `json:"decisions"`
+	}
+	if err := json.Unmarshal([]byte(js), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema || doc.Rows != 3 || len(doc.Ticks) != 3 || len(doc.Columns) != 3 {
+		t.Fatalf("unexpected doc header: %+v", doc)
+	}
+	if len(doc.Decisions) != 2 || doc.Decisions[0].Corr != 5 || doc.Decisions[1].Reason == "" {
+		t.Fatalf("decisions did not round-trip: %+v", doc.Decisions)
+	}
+}
+
+// The timeline names the decision, its verdict, the correlation ID and
+// every recorded input.
+func TestTimelineReadable(t *testing.T) {
+	_, _, tl := exportAll(t, build([]string{"servers/active"}))
+	for _, want := range []string{
+		"split", "granted", "server=1", "child=2", "corr=5", "clients=412", "overload=300",
+		"reclaim", "denied", `reason="child still has children"`,
+	} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+}
+
+// Merged traces stay loadable Chrome trace-event JSON: counter samples for
+// every column and an instant per decision.
+func TestMergeTraceValid(t *testing.T) {
+	r := build([]string{"clients/server-1", "queue/server-1", "servers/active"})
+	tr := trace.New(1024)
+	r.MergeTrace(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateJSON(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"C"`, "clients/server-1", `"split"`, `"reclaim-denied"`, `"corr":5`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged trace missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package flight
+
+import (
+	"math"
+
+	"matrix/internal/trace"
+)
+
+// TracePid is the process id flight data occupies when merged into a
+// Perfetto trace — distinct from the sim engine (1) and the per-server
+// processes (10+N), so the counter tracks group under one "flight" lane.
+const TracePid = 2
+
+// MergeTrace replays the recording into tr as Perfetto counter tracks (one
+// per column, sampled at each row's virtual time) and one instant event per
+// audited decision ("split" / "reclaim-denied" / "restart" / …, carrying
+// the correlation ID when the decision stamped frames). Timestamps are
+// virtual-time microseconds, the same clock the sim tracer uses, so flight
+// counters line up under the tick slices. A nil tracer or nil recorder is
+// a no-op. Merging happens after the run, off the hot path, so the static-
+// name constraint of the live emit path does not apply.
+func (r *Recorder) MergeTrace(tr *trace.Tracer) {
+	if r == nil || tr == nil {
+		return
+	}
+	tr.NameProcess(TracePid, "flight")
+	names := r.sortedNames()
+	for i := range r.ticks {
+		ts := int64(math.Round(r.times[i] * 1e6))
+		for _, n := range names {
+			tr.Counter(TracePid, n, ts, int64(math.Round(r.Column(n)[i])))
+		}
+	}
+	for _, d := range r.decs {
+		name := d.Kind
+		if !d.Granted {
+			name = d.Kind + "-denied"
+		}
+		ts := int64(math.Round(d.Time * 1e6))
+		if d.Corr != 0 {
+			tr.InstantArg(TracePid, 0, name, ts, "corr", int64(d.Corr))
+		} else {
+			tr.InstantArg(TracePid, 0, name, ts, "server", d.Server)
+		}
+	}
+}

@@ -567,10 +567,13 @@ func (s *Server) handleRangeLocked(dst []Envelope, r *protocol.RangeUpdate) ([]E
 		}
 		flush(true)
 		for _, cs := range migrating {
+			// Range-change redirects inherit the decision's correlation ID
+			// so one split/reclaim can be followed coordinator→server→client.
 			dst = append(dst, Envelope{Dest: DestClient, Client: cs.id, Msg: &protocol.Redirect{
 				Client:   cs.id,
 				NewOwner: target,
 				NewAddr:  addrOf[target],
+				Corr:     r.Corr,
 			}})
 			s.stats.Redirects++
 			delete(s.clients, cs.id)

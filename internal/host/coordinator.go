@@ -9,10 +9,12 @@
 package host
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"sync"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"matrix/internal/id"
 	"matrix/internal/metrics"
 	"matrix/internal/protocol"
+	"matrix/internal/trace"
 	"matrix/internal/transport"
 )
 
@@ -41,6 +44,10 @@ type CoordinatorHost struct {
 	mu     sync.Mutex
 	conns  map[id.ServerID]transport.Conn
 	closed bool
+	// tr, when non-nil, gets one instant event per correlation-stamped
+	// control frame the host sends (see corr.go). Guarded by mu: SetTracer
+	// may run while the lease loop is delivering.
+	tr *trace.Tracer
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -103,12 +110,39 @@ func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 // Addr returns the address servers should dial.
 func (h *CoordinatorHost) Addr() string { return h.ln.Addr() }
 
+// SetTracer attaches a tracer: every correlation-stamped control frame the
+// host sends from now on gets an instant event, so a split/adopt/drain can
+// be matched against the receiving server's trace by its corr value.
+func (h *CoordinatorHost) SetTracer(tr *trace.Tracer) {
+	h.mu.Lock()
+	h.tr = tr
+	h.mu.Unlock()
+	if tr != nil {
+		tr.NameProcess(coordTracePid, "coordinator")
+		tr.NameThread(coordTracePid, coordTraceTidCtrl, "control")
+	}
+}
+
 // ServeMetrics starts a Prometheus-format HTTP endpoint for the
 // coordinator on addr — /metrics plus /healthz and /readyz — returning
 // the bound address and a closer that stops the endpoint. Values are
 // sampled at scrape time.
 func (h *CoordinatorHost) ServeMetrics(addr string) (string, io.Closer, error) {
-	return metrics.ServeWith(addr, h.writeMetrics, h.Ready)
+	return metrics.ServeMux(addr, h.writeMetrics, h.Ready, map[string]http.HandlerFunc{
+		"/fleetz": h.serveFleetz,
+	})
+}
+
+// serveFleetz renders the coordinator's operator snapshot — the region
+// tree, per-server load and lease state, and the recent decision ring — as
+// JSON (see coordinator.FleetSnapshot for the schema).
+func (h *CoordinatorHost) serveFleetz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(h.mc.Fleet()); err != nil {
+		h.logger.Printf("coordinator: /fleetz encode: %v", err)
+	}
 }
 
 // Ready is the /readyz probe: nil until the host is closed. The listener
@@ -262,7 +296,14 @@ func (h *CoordinatorHost) deliver(envs []coordinator.Envelope) {
 	for _, e := range envs {
 		h.mu.Lock()
 		conn, ok := h.conns[e.To]
+		tr := h.tr
 		h.mu.Unlock()
+		if tr != nil {
+			// The decision's correlation ID leaves the coordinator here;
+			// emitted even when the target connection is gone, so the trace
+			// shows decisions whose fan-out never reached the fleet.
+			traceCorr(tr, coordTracePid, coordTraceTidCtrl, e.Msg)
+		}
 		if !ok {
 			h.logger.Printf("coordinator: no connection for %v (dropping %v)", e.To, e.Msg.MsgType())
 			continue

@@ -1,0 +1,46 @@
+// Correlation-ID observability. Every control frame a single coordinator
+// decision fans out into — split replies, range updates, adoptions, drains
+// and the client redirects they cause — carries the decision's correlation
+// ID (see protocol.SplitReply.Corr). A host with a tracer attached emits one
+// instant event per stamped frame it sends or receives, so one handoff can
+// be followed coordinator→server→client across the per-process trace files
+// by filtering on the "corr" arg.
+package host
+
+import (
+	"matrix/internal/protocol"
+	"matrix/internal/trace"
+)
+
+// Coordinator trace track layout: one process, control-plane events on one
+// thread (the coordinator host has no tick loop).
+const (
+	coordTracePid     = 1
+	coordTraceTidCtrl = 1
+)
+
+// corrInfo extracts a control frame's correlation ID together with the
+// static instant-event name for its type; corr 0 means unstamped.
+func corrInfo(m protocol.Message) (uint64, string) {
+	switch v := m.(type) {
+	case *protocol.SplitReply:
+		return v.Corr, "corr/split-reply"
+	case *protocol.RangeUpdate:
+		return v.Corr, "corr/range-update"
+	case *protocol.Redirect:
+		return v.Corr, "corr/redirect"
+	case *protocol.DrainRequest:
+		return v.Corr, "corr/drain-request"
+	case *protocol.Adopt:
+		return v.Corr, "corr/adopt"
+	}
+	return 0, ""
+}
+
+// traceCorr emits one correlation instant on (pid, tid) when m is stamped.
+// Callers guard on their tracer being non-nil.
+func traceCorr(tr *trace.Tracer, pid, tid int32, m protocol.Message) {
+	if corr, name := corrInfo(m); corr != 0 {
+		tr.InstantArg(pid, tid, name, tr.Now(), "corr", int64(corr))
+	}
+}

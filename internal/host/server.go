@@ -433,6 +433,11 @@ func (h *ServerHost) drainIngress(batch map[string][]protocol.Message) {
 	h.ingress = h.ingressSpare[:0]
 	h.ingressMu.Unlock()
 	for _, im := range msgs {
+		if h.tr != nil {
+			// Correlation-stamped control frames mark their arrival, pairing
+			// with the coordinator trace's departure instant (see corr.go).
+			traceCorr(h.tr, hostTracePid, hostTraceTidTick, im.msg)
+		}
 		// Health frames are host-level concerns the Matrix core never
 		// sees; intercepting them here (on the tick goroutine, in arrival
 		// order) guarantees an Adopt restore lands before the activating
@@ -768,6 +773,9 @@ func (h *ServerHost) routeGame(envs []gameserver.Envelope, batch map[string][]pr
 			}
 			if h.tr != nil {
 				h.tracePacketOut(e.Client, e.Msg)
+				// A corr-stamped redirect closes the handoff's server leg:
+				// the decision is now visible to the client.
+				traceCorr(h.tr, hostTracePid, hostTraceTidTick, e.Msg)
 			}
 			if err := conn.Send(e.Msg); err != nil {
 				h.dropClient(e.Client, conn)

@@ -138,11 +138,22 @@ func Serve(addr string, write func(io.Writer)) (string, io.Closer, error) {
 // ready). Orchestrators point liveness at /healthz and traffic-gating at
 // /readyz; see docs/OPERATIONS.md.
 func ServeWith(addr string, write func(io.Writer), ready func() error) (string, io.Closer, error) {
+	return ServeMux(addr, write, ready, nil)
+}
+
+// ServeMux is ServeWith plus caller-supplied endpoints (e.g. the
+// coordinator's /fleetz snapshot), registered on the same listener beside
+// /metrics and the health probes. Patterns colliding with the built-in
+// routes panic, as with any ServeMux double-registration.
+func ServeMux(addr string, write func(io.Writer), ready func() error, extra map[string]http.HandlerFunc) (string, io.Closer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	for pattern, h := range extra {
+		mux.HandleFunc(pattern, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		write(w)

@@ -297,6 +297,11 @@ func (m *SplitReply) encodeBody(b *buffer) {
 	b.rect(m.Keep)
 	b.rect(m.Give)
 	b.str(m.Reason)
+	// Corr is an optional trailing field (the ClientHello.Token pattern):
+	// omitted when zero so unstamped frames keep the historical encoding.
+	if m.Corr != 0 {
+		b.u64(m.Corr)
+	}
 }
 
 func (m *SplitReply) decodeBody(r *reader) error {
@@ -306,6 +311,9 @@ func (m *SplitReply) decodeBody(r *reader) error {
 	m.Keep = r.rect()
 	m.Give = r.rect()
 	m.Reason = r.str()
+	if r.err == nil && r.off < len(r.b) {
+		m.Corr = r.u64()
+	}
 	return r.err
 }
 
@@ -337,12 +345,18 @@ func (m *Redirect) encodeBody(b *buffer) {
 	b.u64(uint64(m.Client))
 	b.serverID(m.NewOwner)
 	b.str(m.NewAddr)
+	if m.Corr != 0 { // optional trailing field, see SplitReply
+		b.u64(m.Corr)
+	}
 }
 
 func (m *Redirect) decodeBody(r *reader) error {
 	m.Client = id.ClientID(r.u64())
 	m.NewOwner = r.serverID()
 	m.NewAddr = r.str()
+	if r.err == nil && r.off < len(r.b) {
+		m.Corr = r.u64()
+	}
 	return r.err
 }
 
@@ -467,6 +481,9 @@ func (m *RangeUpdate) encodeBody(b *buffer) {
 		b.str(h.Addr)
 		b.rect(h.Bounds)
 	}
+	if m.Corr != 0 { // optional trailing field, see SplitReply
+		b.u64(m.Corr)
+	}
 }
 
 func (m *RangeUpdate) decodeBody(r *reader) error {
@@ -487,6 +504,9 @@ func (m *RangeUpdate) decodeBody(r *reader) error {
 	}
 	if len(m.Handoff) == 0 {
 		m.Handoff = nil
+	}
+	if r.err == nil && r.off < len(r.b) {
+		m.Corr = r.u64()
 	}
 	return r.err
 }
@@ -595,11 +615,17 @@ func (m *Heartbeat) decodeBody(r *reader) error {
 func (m *DrainRequest) encodeBody(b *buffer) {
 	b.serverID(m.Server)
 	b.boolean(m.Exit)
+	if m.Corr != 0 { // optional trailing field, see SplitReply
+		b.u64(m.Corr)
+	}
 }
 
 func (m *DrainRequest) decodeBody(r *reader) error {
 	m.Server = r.serverID()
 	m.Exit = r.boolean()
+	if r.err == nil && r.off < len(r.b) {
+		m.Corr = r.u64()
+	}
 	return r.err
 }
 
@@ -619,6 +645,9 @@ func (m *Adopt) encodeBody(b *buffer) {
 	b.rect(m.Bounds)
 	b.bytes(m.Blob)
 	b.boolean(m.Final)
+	if m.Corr != 0 { // optional trailing field, see SplitReply
+		b.u64(m.Corr)
+	}
 }
 
 func (m *Adopt) decodeBody(r *reader) error {
@@ -626,6 +655,9 @@ func (m *Adopt) decodeBody(r *reader) error {
 	m.Bounds = r.rect()
 	m.Blob = r.bytes()
 	m.Final = r.boolean()
+	if r.err == nil && r.off < len(r.b) {
+		m.Corr = r.u64()
+	}
 	return r.err
 }
 

@@ -1,0 +1,76 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+
+	"matrix/internal/geom"
+)
+
+// corrMessages builds each correlation-capable message twice: unstamped
+// (Corr 0, the historical encoding) and stamped.
+func corrMessages(corr uint64) []Message {
+	return []Message{
+		&SplitReply{Granted: true, Child: 3, ChildAddr: "s3", Keep: geom.Rect{MaxX: 1, MaxY: 1},
+			Give: geom.Rect{MinX: 1, MaxX: 2, MaxY: 1}, Corr: corr},
+		&RangeUpdate{Server: 2, Bounds: geom.Rect{MaxX: 4, MaxY: 4},
+			Handoff: []HandoffTarget{{Server: 3, Addr: "s3", Bounds: geom.Rect{MaxX: 2, MaxY: 2}}}, Corr: corr},
+		&RangeUpdate{Server: 2, Corr: corr}, // empty bounds + nil handoff (deactivation)
+		&Redirect{Client: 9, NewOwner: 3, NewAddr: "s3", Corr: corr},
+		&DrainRequest{Server: 2, Exit: true, Corr: corr},
+		&Adopt{Victim: 2, Bounds: geom.Rect{MaxX: 4, MaxY: 4}, Blob: []byte{1, 2}, Final: true, Corr: corr},
+	}
+}
+
+// TestCorrBackwardCompatible pins the optional-trailing-field contract for
+// every correlation-capable message: an unstamped message encodes
+// byte-identically to the pre-correlation format (so golden frames, fuzz
+// corpora and fingerprints are unchanged), a stamped one is strictly the
+// old body plus the trailing u64, and an unstamped frame decodes to Corr 0.
+func TestCorrBackwardCompatible(t *testing.T) {
+	plain := corrMessages(0)
+	stamped := corrMessages(0xDEADBEEF12345)
+	for i := range plain {
+		oldFrame, err := Marshal(plain[i])
+		if err != nil {
+			t.Fatalf("%T: %v", plain[i], err)
+		}
+		newFrame, err := Marshal(stamped[i])
+		if err != nil {
+			t.Fatalf("%T: %v", stamped[i], err)
+		}
+		if len(newFrame) != len(oldFrame)+8 || !bytes.Equal(newFrame[5:len(oldFrame)], oldFrame[5:]) {
+			t.Errorf("%T: stamped frame is not old body + trailing u64", stamped[i])
+		}
+		back, err := Unmarshal(newFrame)
+		if err != nil {
+			t.Fatalf("%T: stamped frame does not decode: %v", stamped[i], err)
+		}
+		if got := corrOf(back); got != 0xDEADBEEF12345 {
+			t.Errorf("%T: corr round trip = %#x", back, got)
+		}
+		legacy, err := Unmarshal(oldFrame)
+		if err != nil {
+			t.Fatalf("%T: pre-correlation frame no longer decodes: %v", plain[i], err)
+		}
+		if got := corrOf(legacy); got != 0 {
+			t.Errorf("%T: legacy frame decoded corr %#x, want 0", legacy, got)
+		}
+	}
+}
+
+func corrOf(m Message) uint64 {
+	switch v := m.(type) {
+	case *SplitReply:
+		return v.Corr
+	case *RangeUpdate:
+		return v.Corr
+	case *Redirect:
+		return v.Corr
+	case *DrainRequest:
+		return v.Corr
+	case *Adopt:
+		return v.Corr
+	}
+	return 0
+}

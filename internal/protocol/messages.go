@@ -246,6 +246,13 @@ type SplitReply struct {
 	Keep      geom.Rect
 	Give      geom.Rect
 	Reason    string // populated when denied
+	// Corr is the coordinator decision's correlation ID: every frame a
+	// single split/adopt/drain decision fans out into carries the same
+	// value, so one handoff can be followed coordinator→server→client
+	// across process traces. Zero (the pre-correlation encoding) means
+	// unstamped; it is an optional trailing wire field on every message
+	// that carries it.
+	Corr uint64
 }
 
 // MsgType implements Message.
@@ -276,6 +283,10 @@ type Redirect struct {
 	Client   id.ClientID
 	NewOwner id.ServerID
 	NewAddr  string
+	// Corr carries the correlation ID of the topology decision that
+	// displaced the client (see SplitReply.Corr); zero for boundary
+	// crossings, which are client movement rather than a decision.
+	Corr uint64
 }
 
 // MsgType implements Message.
@@ -361,6 +372,9 @@ type RangeUpdate struct {
 	Server  id.ServerID
 	Bounds  geom.Rect
 	Handoff []HandoffTarget
+	// Corr carries the correlation ID of the decision that produced this
+	// bounds change (see SplitReply.Corr); zero when unstamped.
+	Corr uint64
 }
 
 // MsgType implements Message.
@@ -441,6 +455,10 @@ func (*Heartbeat) MsgType() MsgType { return TypeHeartbeat }
 type DrainRequest struct {
 	Server id.ServerID
 	Exit   bool // exit after draining instead of re-joining the spare pool
+	// Corr carries the drain decision's correlation ID (see
+	// SplitReply.Corr); zero when unstamped (operator-originated admin
+	// frames — the coordinator stamps the copy it forwards).
+	Corr uint64
 }
 
 // MsgType implements Message.
@@ -466,6 +484,9 @@ type Adopt struct {
 	Bounds geom.Rect
 	Blob   []byte
 	Final  bool
+	// Corr carries the adoption decision's correlation ID (see
+	// SplitReply.Corr); zero when unstamped.
+	Corr uint64
 }
 
 // MsgType implements Message.

@@ -1,0 +1,211 @@
+// Flight-recorder integration: the sampling and decision-audit hooks the
+// simulator drives when a recorder is attached (see internal/flight).
+//
+// Every hook runs on the stepping goroutine — sampling from Step's stage 7,
+// decision audit from phase-B envelope routing and script handling — so a
+// recording is byte-identical for any SimWorkers value. Recording is
+// observation only: nothing here mutates simulation state, and attaching a
+// recorder never changes Result.Fingerprint (both pinned by tests).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"matrix/internal/flight"
+	"matrix/internal/id"
+	"matrix/internal/protocol"
+)
+
+// SetRecorder attaches (nil detaches) a flight recorder. Like the tracer
+// and SimWorkers it is an execution knob, not simulation state: snapshots do
+// not record it and results are byte-identical with or without one.
+func (s *Sim) SetRecorder(r *flight.Recorder) { s.rec = r }
+
+// recordSample appends one recorder row: per-server load, fleet shape,
+// cumulative protocol counters and the derived imbalance statistics. Called
+// on the sample cadence, right after the metrics-registry sample, so the
+// recording and Result.Metrics describe the same instants.
+func (s *Sim) recordSample(tick int) {
+	s.rec.Sample(int64(tick), s.now)
+
+	active, depth := 0, 0
+	var total, maxClients float64
+	counts := make([]float64, 0, len(s.order))
+	for _, sid := range s.order {
+		n := s.nodes[sid]
+		if !n.core.Active() {
+			continue
+		}
+		active++
+		c := float64(n.gs.ClientCount())
+		counts = append(counts, c)
+		total += c
+		if c > maxClients {
+			maxClients = c
+		}
+		if d := s.treeDepth(sid); d > depth {
+			depth = d
+		}
+		s.rec.Set(fmt.Sprintf("clients/%v", sid), c)
+		s.rec.Set(fmt.Sprintf("queue/%v", sid), float64(n.gs.QueueLen()))
+		s.rec.Set(fmt.Sprintf("objects/%v", sid), float64(n.gs.ObjectCount()))
+	}
+	s.rec.Set("servers/active", float64(active))
+	s.rec.Set("servers/spare", float64(s.mc.SpareCount()))
+	s.rec.Set("regions", float64(len(s.mc.Partitions())))
+	s.rec.Set("tree/depth", float64(depth))
+
+	var drops, delivered uint64
+	for _, sid := range s.order {
+		st := s.nodes[sid].gs.Stats()
+		drops += st.Dropped
+		delivered += st.Delivered
+	}
+	s.rec.Set("drops/total", float64(drops))
+	s.rec.Set("delivered/total", float64(delivered))
+	s.rec.Set("redirects/total", float64(s.res.Redirects))
+	s.rec.Set("splits/total", float64(s.mc.Splits()))
+	s.rec.Set("reclaims/total", float64(s.mc.Reclaims()))
+
+	// Load-imbalance statistics over active-server client counts, recorded
+	// as percents so the Perfetto counter tracks (integer-valued after the
+	// merge's rounding) keep the signal: CoV of 0.42 becomes 42.
+	if active > 0 && total > 0 {
+		mean := total / float64(active)
+		var ss float64
+		for _, c := range counts {
+			ss += (c - mean) * (c - mean)
+		}
+		cov := math.Sqrt(ss/float64(active)) / mean
+		s.rec.Set("imbalance/cov-pct", cov*100)
+		s.rec.Set("imbalance/max-mean-pct", maxClients/mean*100)
+	} else {
+		s.rec.Set("imbalance/cov-pct", 0)
+		s.rec.Set("imbalance/max-mean-pct", 0)
+	}
+
+	// Subsystem counters join the recording only when their subsystem ran,
+	// mirroring the fingerprint's conditional netem/middleware lines.
+	if s.res.NetemActive {
+		s.rec.Set("netem/lost", float64(s.res.NetemLost))
+		s.rec.Set("netem/severed", float64(s.res.NetemSevered))
+		s.rec.Set("netem/delayed", float64(s.res.NetemDelayed))
+		s.rec.Set("ghosts/expired", float64(s.res.GhostsExpired))
+		s.rec.Set("restarts/total", float64(s.res.Restarts))
+		s.rec.Set("recovery/rejoins", float64(s.res.RecoveryRejoins))
+	}
+	if s.res.MiddlewareActive {
+		s.rec.Set("mw/rate-limited", float64(s.res.RateLimited))
+		s.rec.Set("mw/shed", float64(s.res.AdmissionShed))
+	}
+}
+
+// treeDepth walks sid's split-tree parent chain to the root.
+func (s *Sim) treeDepth(sid id.ServerID) int {
+	d := 0
+	for at := sid; ; {
+		p := s.nodes[at].core.Parent()
+		if !p.Valid() {
+			return d
+		}
+		if _, ok := s.nodes[p]; !ok {
+			return d
+		}
+		d++
+		at = p
+	}
+}
+
+// auditSplit records one split grant or denial with the inputs that
+// produced it: the request's own load reading, the requester's tracker
+// state and thresholds, and the MC's remaining spare pool.
+func (s *Sim) auditSplit(req *protocol.SplitRequest, rep *protocol.SplitReply) {
+	d := flight.Decision{
+		Tick: int64(s.tick), Time: s.now, Kind: "split",
+		Granted: rep.Granted, Server: int64(req.Server),
+		Corr: rep.Corr, Reason: rep.Reason,
+	}
+	if rep.Granted {
+		d.Child = int64(rep.Child)
+	}
+	if n, ok := s.nodes[req.Server]; ok {
+		// The reply has not been delivered yet, so the tracker still holds
+		// exactly the state that produced the request.
+		tr := n.core.Tracker()
+		st, cfg := tr.State(), tr.Config()
+		d.Inputs = append(d.Inputs,
+			flight.KV{Key: "clients", Val: float64(req.Clients)},
+			flight.KV{Key: "queue", Val: float64(st.QueueLen)},
+			flight.KV{Key: "overload-clients", Val: float64(cfg.OverloadClients)},
+			flight.KV{Key: "overload-queue", Val: float64(cfg.OverloadQueue)},
+			flight.KV{Key: "split-cooldown-s", Val: cfg.SplitCooldown.Seconds()},
+			flight.KV{Key: "spares-left", Val: float64(s.mc.SpareCount())},
+		)
+	}
+	s.rec.Record(d)
+}
+
+// auditReclaim records one reclaim grant or denial. corr is the correlation
+// ID the MC stamped on the child's deactivating RangeUpdate (the reply
+// itself is unstamped), zero for denials.
+func (s *Sim) auditReclaim(req *protocol.ReclaimRequest, rep *protocol.ReclaimReply, corr uint64) {
+	d := flight.Decision{
+		Tick: int64(s.tick), Time: s.now, Kind: "reclaim",
+		Granted: rep.Granted, Server: int64(req.Parent), Child: int64(req.Child),
+		Corr: corr, Reason: rep.Reason,
+	}
+	if n, ok := s.nodes[req.Parent]; ok {
+		tr := n.core.Tracker()
+		st, cfg := tr.State(), tr.Config()
+		d.Inputs = append(d.Inputs,
+			flight.KV{Key: "parent-clients", Val: float64(st.Clients)},
+			flight.KV{Key: "parent-queue", Val: float64(st.QueueLen)},
+			flight.KV{Key: "underload-clients", Val: float64(cfg.UnderloadClients)},
+			flight.KV{Key: "reclaim-headroom", Val: cfg.ReclaimHeadroom},
+			flight.KV{Key: "reclaim-dwell-s", Val: cfg.ReclaimDwell.Seconds()},
+		)
+		// The parent forgets the child only when the reply lands, so its
+		// last-reported load and dwell state are still on file.
+		for _, ch := range st.Children {
+			if ch.Child != req.Child {
+				continue
+			}
+			d.Inputs = append(d.Inputs,
+				flight.KV{Key: "child-clients", Val: float64(ch.Clients)},
+				flight.KV{Key: "child-queue", Val: float64(ch.QueueLen)},
+				flight.KV{Key: "child-below", Val: b01(ch.Below)},
+			)
+			break
+		}
+	}
+	s.rec.Record(d)
+}
+
+// auditRestart records one state-losing crash recovery: the checkpoint age
+// it restored from (-1 for a cold restart) and the client count the rolled-
+// back state resurrected. Called after the restore, before resync.
+func (s *Sim) auditRestart(sid id.ServerID, n *node) {
+	if s.rec == nil {
+		return
+	}
+	age := -1.0
+	if chk := s.checkpoints[sid]; chk != nil {
+		age = s.now - chk.takenAt
+	}
+	s.rec.Record(flight.Decision{
+		Tick: int64(s.tick), Time: s.now, Kind: "restart",
+		Granted: true, Server: int64(sid),
+		Inputs: []flight.KV{
+			{Key: "checkpoint-age-s", Val: age},
+			{Key: "clients", Val: float64(n.gs.ClientCount())},
+		},
+	})
+}
+
+func b01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -23,6 +23,7 @@ import (
 	"matrix/internal/clock"
 	"matrix/internal/coordinator"
 	"matrix/internal/core"
+	"matrix/internal/flight"
 	"matrix/internal/game"
 	"matrix/internal/gameclient"
 	"matrix/internal/gameserver"
@@ -378,6 +379,11 @@ type Sim struct {
 	trTickBase int64
 	trAnchor   time.Time
 	trBusy     []int64
+
+	// Flight recorder (see record.go; nil = recording off, the default).
+	// The same execution-knob contract as the tracer: observation only,
+	// never serialized, results byte-identical with or without one.
+	rec *flight.Recorder
 }
 
 // New builds a simulation.
@@ -562,29 +568,48 @@ func (s *Sim) routeCoreEnvelopes(from id.ServerID, envs []core.Envelope) {
 	}
 }
 
-// noteTopology records granted splits/reclaims from MC replies.
+// noteTopology records granted splits/reclaims from MC replies in the
+// topology event log and — when a flight recorder is attached — audits every
+// grant AND denial with the inputs that produced it (see record.go).
 func (s *Sim) noteTopology(req protocol.Message, envs []coordinator.Envelope) {
-	switch req.(type) {
+	switch rr := req.(type) {
 	case *protocol.SplitRequest:
 		for _, e := range envs {
-			if rep, ok := e.Msg.(*protocol.SplitReply); ok && rep.Granted {
+			rep, ok := e.Msg.(*protocol.SplitReply)
+			if !ok {
+				continue
+			}
+			if rep.Granted {
 				s.events = append(s.events, TopologyEvent{Time: s.now, Kind: "split", Server: rep.Child})
+			}
+			if s.rec != nil {
+				s.auditSplit(rr, rep)
 			}
 		}
 	case *protocol.ReclaimRequest:
-		rr := req.(*protocol.ReclaimRequest)
+		// A granted reclaim's correlation ID rides the child's deactivating
+		// RangeUpdate (the reply itself stays unstamped for the parent).
+		var corr uint64
 		for _, e := range envs {
-			if rep, ok := e.Msg.(*protocol.ReclaimReply); ok {
-				if !rep.Granted {
-					if debugTopology {
-						fmt.Printf("sim: t=%.1f reclaim denied parent=%v child=%v reason=%q\n", s.now, rr.Parent, rr.Child, rep.Reason)
-					}
-					continue
-				}
+			if ru, ok := e.Msg.(*protocol.RangeUpdate); ok && ru.Corr != 0 {
+				corr = ru.Corr
+			}
+		}
+		for _, e := range envs {
+			rep, ok := e.Msg.(*protocol.ReclaimReply)
+			if !ok {
+				continue
+			}
+			if rep.Granted {
 				if debugTopology {
 					fmt.Printf("sim: t=%.1f reclaim parent=%v child=%v\n", s.now, rr.Parent, rr.Child)
 				}
 				s.events = append(s.events, TopologyEvent{Time: s.now, Kind: "reclaim", Server: rr.Child})
+			} else if debugTopology {
+				fmt.Printf("sim: t=%.1f reclaim denied parent=%v child=%v reason=%q\n", s.now, rr.Parent, rr.Child, rep.Reason)
+			}
+			if s.rec != nil {
+				s.auditReclaim(rr, rep, corr)
 			}
 		}
 	}
@@ -1133,9 +1158,12 @@ func (s *Sim) Step() error {
 		}
 	}
 
-	// 7. Sampling.
+	// 7. Sampling (and the flight-recorder row, when one is attached).
 	if tick%s.sampleEvery == 0 {
 		s.sample()
+		if s.rec != nil {
+			s.recordSample(tick)
+		}
 	}
 
 	// 8. Periodic checkpoints (the restore points for state-losing crash
@@ -1200,6 +1228,7 @@ func (s *Sim) restartNode(sid id.ServerID) {
 	}
 	s.res.Restarts++
 	s.events = append(s.events, TopologyEvent{Time: s.now, Kind: "restart", Server: sid})
+	s.auditRestart(sid, n)
 
 	// The checkpoint rollback resurrects avatars the server had since let
 	// go of — departed clients AND clients who migrated to another server

@@ -290,10 +290,13 @@ func WithRedialEvery(d time.Duration) Option { return func(o *options) { o.redia
 // window). A nil *Tracer is the disabled tracer — every method is safe.
 func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
 
-// WithTracer attaches a tracer to a server: tick phases become trace
+// WithTracer attaches a tracer. On a server, tick phases become trace
 // slices and /metrics summaries, and every client packet is followed
-// across middleware, processing and peer forwards as an async span
-// (servers only; nil means tracing off, which costs nothing).
+// across middleware, processing and peer forwards as an async span. On a
+// coordinator, every correlation-stamped control frame (split, adoption,
+// drain fan-out) gets an instant event, pairing with the receiving
+// server's trace by corr value. Nil means tracing off, which costs
+// nothing.
 func WithTracer(tr *Tracer) Option { return func(o *options) { o.tracer = tr } }
 
 // WithRestoreSnapshot makes a server adopt the game world (client avatars
