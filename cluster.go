@@ -20,7 +20,11 @@ func ServeCoordinator(opts ...Option) (*Coordinator, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	h, err := host.ServeCoordinator(o.network, o.addr, o.coordinatorConfig(), o.logger)
+	cfg, err := o.coordinatorConfig()
+	if err != nil {
+		return nil, err
+	}
+	h, err := host.ServeCoordinator(o.network, o.addr, cfg, o.logger)
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +107,7 @@ func StartServer(mcAddr string, opts ...Option) (*Server, error) {
 		ListenAddr:      o.addr,
 		Radius:          o.radius,
 		Load:            o.loadPolicy,
+		Policy:          o.policy,
 		TickInterval:    o.tick,
 		ServiceRate:     o.serviceRate,
 		MaxQueue:        o.maxQueue,

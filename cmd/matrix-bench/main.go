@@ -37,6 +37,7 @@ import (
 	"matrix/internal/bench"
 	"matrix/internal/experiments"
 	"matrix/internal/flight"
+	"matrix/internal/policy"
 	"matrix/internal/sim"
 	"matrix/internal/snapshot"
 	"matrix/internal/trace"
@@ -49,7 +50,7 @@ func main() {
 	}
 }
 
-var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic", "degraded", "recovery", "scenarios"}
+var order = []string{"fig2a", "fig2b", "staticvs", "microswitch", "micromc", "microtraffic", "userstudy", "asymptotic", "degraded", "recovery", "policy", "scenarios"}
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("matrix-bench", flag.ContinueOnError)
@@ -58,7 +59,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	simWorkers := fs.Int("sim-workers", 0, "intra-sim tick worker pool per simulation (<=1 = serial; fingerprints are identical for any value)")
 	scenarioFlag := fs.String("scenario", "all", "scenarios for -exp scenarios: all or a comma list of "+strings.Join(experiments.ScenarioNames(), ","))
-	listFlag := fs.Bool("list", false, "print the scenario table (name + description) and exit")
+	listFlag := fs.Bool("list", false, "print the scenario and policy tables (name + description) and exit")
+	policyFlag := fs.String("policy", "", "decision policy for sweeps and single-run modes: "+strings.Join(policy.Names(), ", ")+" (empty = paper; -exp policy always runs all of them)")
 	branchFlag := fs.Bool("branch", false, "share scenario-family warmups via snapshots in -exp scenarios (results identical to cold starts)")
 	snapFile := fs.String("snapshot", "", "run one -scenario, snapshot its full state at -snapshot-at into this file, then finish the run")
 	snapAt := fs.Float64("snapshot-at", 0, "virtual time (seconds) of the -snapshot capture (0 = half the scenario duration)")
@@ -77,10 +79,20 @@ func run(args []string) error {
 	if err := servePprof(*pprofAddr); err != nil {
 		return err
 	}
+	// An unknown -policy fails at parse time with the valid names listed,
+	// netem.ParseSpec-style, before any simulation starts.
+	if err := policy.Valid(*policyFlag); err != nil {
+		return err
+	}
 
 	if *listFlag {
+		fmt.Println("scenarios:")
 		for _, sc := range experiments.Scenarios() {
-			fmt.Printf("%-14s %s\n", sc.Name, sc.Title)
+			fmt.Printf("  %-14s %s\n", sc.Name, sc.Title)
+		}
+		fmt.Println("policies:")
+		for _, name := range policy.Names() {
+			fmt.Printf("  %-14s %s\n", name, policy.Describe(name))
 		}
 		return nil
 	}
@@ -88,25 +100,25 @@ func run(args []string) error {
 	// Ctrl-C cancels in-flight sweeps mid-run instead of between runs.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	runner := experiments.Runner{Workers: *workers, SimWorkers: *simWorkers}
+	runner := experiments.Runner{Workers: *workers, SimWorkers: *simWorkers, Policy: *policyFlag}
 
 	if *restoreFile != "" {
-		return runRestore(ctx, *restoreFile, *simWorkers)
+		return runRestore(ctx, *restoreFile, *simWorkers, *policyFlag)
 	}
 	if *snapFile != "" {
-		return runSnapshot(ctx, *snapFile, *snapAt, *scenarioFlag, *seed, *simWorkers)
+		return runSnapshot(ctx, *snapFile, *snapAt, *scenarioFlag, *seed, *simWorkers, *policyFlag)
 	}
 	if *auditFlag && *recordDir == "" {
 		return fmt.Errorf("-audit requires -record")
 	}
 	if *recordDir != "" {
-		return runRecord(ctx, *recordDir, *auditFlag, *traceFile, *scenarioFlag, *seed, *simWorkers)
+		return runRecord(ctx, *recordDir, *auditFlag, *traceFile, *scenarioFlag, *seed, *simWorkers, *policyFlag)
 	}
 	if *traceFile != "" {
-		return runTrace(ctx, *traceFile, *scenarioFlag, *seed, *simWorkers)
+		return runTrace(ctx, *traceFile, *scenarioFlag, *seed, *simWorkers, *policyFlag)
 	}
 	if *benchJSON != "" || *benchBaseline != "" {
-		return runBench(ctx, *benchJSON, *benchBaseline, *scenarioFlag, *seed, *simWorkers, *benchRepeats, *benchThreshold)
+		return runBench(ctx, *benchJSON, *benchBaseline, *scenarioFlag, *seed, *simWorkers, *benchRepeats, *benchThreshold, *policyFlag)
 	}
 
 	want := map[string]bool{}
@@ -209,6 +221,13 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Print(r.String())
+		case "policy":
+			fmt.Fprintln(os.Stderr, "running policy head-to-head (all policies x full scenario table, branched warmups)...")
+			r, err := experiments.RunPolicyStudy(ctx, runner, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
 		case "scenarios":
 			start := time.Now()
 			run := experiments.RunScenarios
@@ -234,7 +253,7 @@ func run(args []string) error {
 // runSnapshot runs one scenario, captures its complete state at the given
 // virtual time into a file, then finishes the run and prints its
 // fingerprint digest — the value a later -restore run must reproduce.
-func runSnapshot(ctx context.Context, path string, at float64, scenarioFlag string, seed int64, simWorkers int) error {
+func runSnapshot(ctx context.Context, path string, at float64, scenarioFlag string, seed int64, simWorkers int, pol string) error {
 	name := strings.TrimSpace(scenarioFlag)
 	if name == "" || name == "all" || strings.Contains(name, ",") {
 		return fmt.Errorf("-snapshot needs exactly one -scenario (have %q)", scenarioFlag)
@@ -245,6 +264,7 @@ func runSnapshot(ctx context.Context, path string, at float64, scenarioFlag stri
 	}
 	cfg := sc.Config(seed)
 	cfg.SimWorkers = simWorkers
+	cfg.Policy = pol
 	// A capture point at or past the scenario's end would silently never
 	// fire mid-run (the loop below finishes first and captures a trivial
 	// end-state snapshot); a negative one is never reached. Fail fast and
@@ -302,13 +322,16 @@ func stepAll(ctx context.Context, s *sim.Sim, until float64) error {
 
 // runRestore loads a snapshot file, finishes the run, and prints the same
 // fingerprint digest the capturing process printed — whatever -sim-workers
-// either process ran with (snapshots never record a worker count).
-func runRestore(ctx context.Context, path string, simWorkers int) error {
+// either process ran with (snapshots never record a worker count). A
+// -policy naming a different policy than the captured run swaps it in at
+// the restore point (fresh policy state), so the digest then diverges by
+// design.
+func runRestore(ctx context.Context, path string, simWorkers int, pol string) error {
 	snap, err := snapshot.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	s, err := snapshot.RestoreWith(snap, sim.RestoreOptions{SimWorkers: simWorkers})
+	s, err := snapshot.RestoreWith(snap, sim.RestoreOptions{SimWorkers: simWorkers, Policy: pol})
 	if err != nil {
 		return err
 	}
@@ -356,13 +379,14 @@ func oneScenario(scenarioFlag, def string) (experiments.Scenario, error) {
 // as Chrome trace JSON — load the file at https://ui.perfetto.dev. The
 // traced run's fingerprint is identical to the untraced run's (tracing is
 // observation only), so the digest printed here matches a plain run.
-func runTrace(ctx context.Context, path, scenarioFlag string, seed int64, simWorkers int) error {
+func runTrace(ctx context.Context, path, scenarioFlag string, seed int64, simWorkers int, pol string) error {
 	sc, err := oneScenario(scenarioFlag, "flashcrowd")
 	if err != nil {
 		return err
 	}
 	cfg := sc.Config(seed)
 	cfg.SimWorkers = simWorkers
+	cfg.Policy = pol
 	s, err := sim.New(cfg)
 	if err != nil {
 		return err
@@ -405,13 +429,14 @@ func runTrace(ctx context.Context, path, scenarioFlag string, seed int64, simWor
 // bytes are identical for any -sim-workers value. When -trace is also set,
 // the recording's counter tracks and decision instants are merged into the
 // Perfetto trace before it is written.
-func runRecord(ctx context.Context, dir string, audit bool, tracePath, scenarioFlag string, seed int64, simWorkers int) error {
+func runRecord(ctx context.Context, dir string, audit bool, tracePath, scenarioFlag string, seed int64, simWorkers int, pol string) error {
 	sc, err := oneScenario(scenarioFlag, "flashcrowd")
 	if err != nil {
 		return err
 	}
 	cfg := sc.Config(seed)
 	cfg.SimWorkers = simWorkers
+	cfg.Policy = pol
 	s, err := sim.New(cfg)
 	if err != nil {
 		return err
@@ -486,7 +511,7 @@ var benchDefaults = []string{"flashcrowd", "reclaimstress"}
 // (-bench-json) and optionally gates against a committed baseline
 // (-bench-baseline), returning an error — a non-zero exit — on
 // regression.
-func runBench(ctx context.Context, jsonPath, baselinePath, scenarioFlag string, seed int64, simWorkers, repeats int, threshold float64) error {
+func runBench(ctx context.Context, jsonPath, baselinePath, scenarioFlag string, seed int64, simWorkers, repeats int, threshold float64, pol string) error {
 	names := benchDefaults
 	if s := strings.TrimSpace(scenarioFlag); s != "" && s != "all" {
 		names = nil
@@ -513,6 +538,7 @@ func runBench(ctx context.Context, jsonPath, baselinePath, scenarioFlag string, 
 		}
 		cfg := sc.Config(seed)
 		cfg.SimWorkers = simWorkers
+		cfg.Policy = pol
 		start := time.Now()
 		m, err := bench.Run(ctx, cfg, repeats)
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"matrix/internal/bench"
+	"matrix/internal/policy"
 	"matrix/internal/trace"
 )
 
@@ -195,6 +196,47 @@ func TestBenchJSONAndGate(t *testing.T) {
 	m, ok := f.Scenarios["flashcrowd"]
 	if !ok || m.NsPerTick <= 0 || m.Ticks <= 0 || m.TicksPerSec <= 0 {
 		t.Errorf("bench record implausible: %+v", f.Scenarios)
+	}
+}
+
+// TestPolicyFlag table-tests the parse-time -policy validation: every
+// registered name (and the empty default) is accepted, unknown names fail
+// before any simulation starts and the error lists the valid names. The
+// runs pair -policy with -list, which exits after printing the tables, so
+// the accept cases stay milliseconds.
+func TestPolicyFlag(t *testing.T) {
+	type tc struct {
+		name    string
+		policy  string
+		wantErr string
+	}
+	cases := []tc{
+		{"empty means paper", "", ""},
+		{"unknown name", "nope", "unknown policy"},
+		{"near miss", "papers", "unknown policy"},
+		{"case sensitive", "Paper", "unknown policy"},
+	}
+	for _, name := range policy.Names() {
+		cases = append(cases, tc{"registered " + name, name, ""})
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run([]string{"-list", "-policy", c.policy})
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run -policy %q: %v", c.policy, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("run -policy %q: err = %v, want %q", c.policy, err, c.wantErr)
+			}
+			// The parse-time error names the valid choices, like the
+			// netem/middleware spec parsers do.
+			if !strings.Contains(err.Error(), "paper") {
+				t.Errorf("error %v does not list the registered policies", err)
+			}
+		})
 	}
 }
 

@@ -43,6 +43,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7000", "listen address for server registrations")
 	world := fs.String("world", "1000x1000", "game world size WxH")
 	staticN := fs.Int("static", 0, "run the static-partitioning baseline with N fixed servers (0 = adaptive Matrix)")
+	decPolicy := fs.String("policy", "", "spare-selection/placement decision policy: "+strings.Join(matrix.PolicyNames(), ", ")+" (empty = paper)")
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz and the /fleetz JSON snapshot on this address (empty = off)")
 	traceAddr := fs.String("trace-addr", "", "serve the control-plane trace ring (correlation instants for split/adopt/drain fan-out) as /trace.json on this address (empty = tracing off)")
@@ -63,7 +64,10 @@ func run(args []string) error {
 	}
 	logger := logging.New(os.Stderr, level, *logJSON, slog.String("component", "mc"))
 
-	// Health and drain knobs fail at parse time, not mid-run.
+	// Health, drain and policy knobs fail at parse time, not mid-run.
+	if err := matrix.ValidatePolicy(*decPolicy); err != nil {
+		return err
+	}
 	if *heartbeatEvery < 0 {
 		return fmt.Errorf("health: -heartbeat-every must not be negative (got %v)", *heartbeatEvery)
 	}
@@ -93,6 +97,7 @@ func run(args []string) error {
 	opts := []matrix.Option{
 		matrix.WithAddr(*addr),
 		matrix.WithWorld(matrix.R(0, 0, w, h)),
+		matrix.WithPolicy(*decPolicy),
 		matrix.WithLogger(logging.Std(logger, slog.LevelInfo)),
 	}
 	if *staticN > 0 {

@@ -19,6 +19,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +46,7 @@ func run(args []string) error {
 	overload := fs.Int("overload", 300, "client count that triggers a split")
 	underload := fs.Int("underload", 150, "client count below which a child may be reclaimed")
 	overloadQ := fs.Int("overload-queue", 0, "queue length that also triggers a split (0 = off)")
+	decPolicy := fs.String("policy", "", "split/reclaim decision policy: "+strings.Join(matrix.PolicyNames(), ", ")+" (empty = paper)")
 	serviceRate := fs.Int("service-rate", 500, "packets processed per tick")
 	tick := fs.Duration("tick", 10*time.Millisecond, "game-server processing tick")
 	statusEvery := fs.Duration("status", 10*time.Second, "status print interval (0 = silent)")
@@ -97,6 +99,11 @@ func run(args []string) error {
 	policy.OverloadClients = *overload
 	policy.UnderloadClients = *underload
 	policy.OverloadQueue = *overloadQ
+	// Like the netem and middleware specs, a mistyped -policy fails the
+	// invocation at parse time instead of surfacing mid-run.
+	if err := matrix.ValidatePolicy(*decPolicy); err != nil {
+		return err
+	}
 
 	link, err := netem.ParseSpec(*netemSpec)
 	if err != nil {
@@ -140,6 +147,7 @@ func run(args []string) error {
 		matrix.WithAddr(*addr),
 		matrix.WithRadius(*radius),
 		matrix.WithLoadPolicy(policy),
+		matrix.WithPolicy(*decPolicy),
 		matrix.WithServiceRate(*serviceRate),
 		matrix.WithTickInterval(*tick),
 		matrix.WithHeartbeatEvery(*heartbeatEvery),

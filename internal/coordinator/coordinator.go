@@ -14,6 +14,7 @@
 package coordinator
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"matrix/internal/geom"
 	"matrix/internal/id"
 	"matrix/internal/overlap"
+	"matrix/internal/policy"
 	"matrix/internal/protocol"
 	"matrix/internal/space"
 )
@@ -67,6 +69,10 @@ type Config struct {
 	// Clock supplies lease time. Defaults to the wall clock; tests inject
 	// a virtual clock to expire leases deterministically.
 	Clock clock.Clock
+	// Policy decides spare selection and child placement on splits (nil =
+	// the default paper policy: FIFO spares, split-to-left). The instance
+	// must be exclusive to this coordinator.
+	Policy policy.Policy
 }
 
 // serverState tracks one registered server.
@@ -90,6 +96,7 @@ type serverState struct {
 type Coordinator struct {
 	mu      sync.Mutex
 	cfg     Config
+	pol     policy.Policy // never nil; called only under mu
 	gen     id.Generator
 	m       *space.Map // nil until the first active server registers
 	servers map[id.ServerID]*serverState
@@ -135,6 +142,7 @@ type Decision struct {
 	Granted bool               `json:"granted"`
 	Reason  string             `json:"reason,omitempty"`
 	Inputs  map[string]float64 `json:"inputs,omitempty"`
+	Policy  string             `json:"policy,omitempty"` // policy that decided (split/reclaim only)
 }
 
 // nextCorrLocked numbers one granted decision.
@@ -176,8 +184,16 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.LeaseMisses < 0 {
 		return nil, errors.New("coordinator: negative lease misses")
 	}
+	pol := cfg.Policy
+	if pol == nil {
+		var err error
+		if pol, err = policy.New(""); err != nil {
+			return nil, err
+		}
+	}
 	return &Coordinator{
 		cfg:         cfg,
+		pol:         pol,
 		servers:     make(map[id.ServerID]*serverState),
 		checkpoints: make(map[id.ServerID][]byte),
 		cpPartial:   make(map[id.ServerID][]byte),
@@ -287,13 +303,30 @@ func (c *Coordinator) HandleMessage(from id.ServerID, m protocol.Message) ([]Env
 	}
 }
 
-// handleSplit services a split request: acquire a spare, split the
-// requester's partition, and broadcast fresh overlap tables.
+// placementPolicy adapts a policy.Placement into a space.SplitPolicy so
+// the map validates a pluggable policy's placement exactly like one of
+// its built-in split rules (non-empty pieces, minimum extent, tiling
+// invariant). A policy that returns a bad placement gets its split
+// denied with the map's error.
+type placementPolicy struct {
+	place policy.Placement
+	name  string
+}
+
+func (p placementPolicy) Split(geom.Rect) (keep, give geom.Rect) {
+	return p.place.Keep, p.place.Give
+}
+
+func (p placementPolicy) Name() string { return p.name }
+
+// handleSplit services a split request: let the policy pick the spare
+// and the placement, split the requester's partition, and broadcast
+// fresh overlap tables.
 func (c *Coordinator) handleSplit(from id.ServerID, req *protocol.SplitRequest) ([]Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	deny := func(reason string) []Envelope {
-		c.recordLocked(Decision{Kind: "split", Server: from, Reason: reason,
+		c.recordLocked(Decision{Kind: "split", Server: from, Reason: reason, Policy: c.pol.Name(),
 			Inputs: map[string]float64{"clients": float64(req.Clients), "spares": float64(len(c.spares))}})
 		return []Envelope{{To: from, Msg: &protocol.SplitReply{Granted: false, Reason: reason}}}
 	}
@@ -308,18 +341,41 @@ func (c *Coordinator) handleSplit(from id.ServerID, req *protocol.SplitRequest) 
 	if len(c.spares) == 0 {
 		return deny("pool exhausted"), nil
 	}
-	childID := c.spares[0]
+	childID := c.pol.PickSpare(policy.PoolView{Spares: append([]id.ServerID(nil), c.spares...)})
+	idx := -1
+	for i, s := range c.spares {
+		if s == childID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return deny(fmt.Sprintf("policy %q picked %v, which is not a spare", c.pol.Name(), childID)), nil
+	}
 	child := c.servers[childID]
-	keep, give, err := c.m.Split(from, childID, space.SplitToLeft{})
+	bounds, err := c.m.Bounds(from)
 	if err != nil {
 		return deny(err.Error()), nil
 	}
-	c.spares = c.spares[1:]
+	place := c.pol.PlaceChild(policy.SplitView{
+		Parent:  from,
+		Child:   childID,
+		Bounds:  bounds,
+		World:   c.cfg.World,
+		Clients: int(req.Clients),
+		Spares:  len(c.spares),
+	})
+	keep, give, err := c.m.Split(from, childID, placementPolicy{place: place, name: c.pol.Name()})
+	if err != nil {
+		return deny(err.Error()), nil
+	}
+	c.spares = append(c.spares[:idx], c.spares[idx+1:]...)
 	child.active = true
 	child.draining = false
 	c.splits++
 	corr := c.nextCorrLocked()
 	c.recordLocked(Decision{Seq: corr, Kind: "split", Server: from, Child: childID, Granted: true,
+		Policy: c.pol.Name(),
 		Inputs: map[string]float64{"clients": float64(req.Clients), "spares": float64(len(c.spares))}})
 
 	out := []Envelope{
@@ -345,7 +401,7 @@ func (c *Coordinator) handleReclaim(from id.ServerID, req *protocol.ReclaimReque
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	deny := func(reason string) []Envelope {
-		c.recordLocked(Decision{Kind: "reclaim", Server: req.Parent, Child: req.Child, Reason: reason})
+		c.recordLocked(Decision{Kind: "reclaim", Server: req.Parent, Child: req.Child, Reason: reason, Policy: c.pol.Name()})
 		return []Envelope{{To: from, Msg: &protocol.ReclaimReply{Granted: false, Reason: reason}}}
 	}
 	if c.m == nil {
@@ -379,6 +435,7 @@ func (c *Coordinator) handleReclaim(from id.ServerID, req *protocol.ReclaimReque
 	c.reclaim++
 	corr := c.nextCorrLocked()
 	c.recordLocked(Decision{Seq: corr, Kind: "reclaim", Server: req.Parent, Child: req.Child, Granted: true,
+		Policy: c.pol.Name(),
 		Inputs: map[string]float64{"child_clients": float64(childClients), "spares": float64(len(c.spares))}})
 
 	parentAddr := ""
@@ -645,6 +702,12 @@ type State struct {
 	Drains      int              `json:",omitempty"`
 	Parked      []id.ServerID    `json:",omitempty"`
 	Checkpoints []CheckpointSnap `json:",omitempty"`
+
+	// PolicyState is the placement policy's internal snapshot; nil for
+	// stateless policies (including the default paper policy), so snapshots
+	// taken before the policy engine existed and snapshots of the default
+	// configuration encode byte-identically.
+	PolicyState json.RawMessage `json:",omitempty"`
 }
 
 // CaptureState snapshots the coordinator.
@@ -695,6 +758,9 @@ func (c *Coordinator) CaptureState() *State {
 		ms := c.m.State()
 		st.Map = &ms
 	}
+	if ps := c.pol.State(); len(ps) > 0 {
+		st.PolicyState = json.RawMessage(ps)
+	}
 	return st
 }
 
@@ -743,6 +809,9 @@ func (c *Coordinator) RestoreState(st *State) error {
 		c.servers[s.ID] = ss
 	}
 	c.m = m
+	if err := c.pol.RestoreState(st.PolicyState); err != nil {
+		return fmt.Errorf("coordinator: restore policy state: %w", err)
+	}
 	return nil
 }
 

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"matrix/internal/id"
 	"matrix/internal/load"
 	"matrix/internal/overlap"
+	"matrix/internal/policy"
 	"matrix/internal/protocol"
 )
 
@@ -84,8 +86,12 @@ type peerInfo struct {
 
 // Config tunes a Matrix server.
 type Config struct {
-	// Load is the split/reclaim policy (zero value = paper defaults).
+	// Load is the split/reclaim thresholds (zero value = paper defaults).
 	Load load.Config
+	// Policy decides when this server splits and reclaims (nil = the
+	// default paper policy). The instance must be exclusive to this
+	// server — stateful policies snapshot per server.
+	Policy policy.Policy
 	// Clock drives the policy timers (nil = wall clock).
 	Clock clock.Clock
 	// KindRadius optionally overrides the visibility radius per update
@@ -160,6 +166,10 @@ func NewServer(cfg Config, reply *protocol.RegisterReply, radius float64) (*Serv
 	if clk == nil {
 		clk = clock.Wall{}
 	}
+	tracker, err := load.NewTracker(cfg.Load, clk, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		cfg:                cfg,
 		id:                 reply.Server,
@@ -170,7 +180,7 @@ func NewServer(cfg Config, reply *protocol.RegisterReply, radius float64) (*Serv
 		tables:             make(map[float64]*overlap.Table),
 		peers:              make(map[id.ServerID]peerInfo),
 		child:              make(map[id.ServerID]bool),
-		tracker:            load.NewTracker(cfg.Load, clk),
+		tracker:            tracker,
 		reclaimDeniedUntil: make(map[id.ServerID]time.Time),
 	}, nil
 }
@@ -526,6 +536,7 @@ func (s *Server) handleReclaimReply(r *protocol.ReclaimReply) ([]Envelope, error
 			}
 		}
 		s.tracker.ForgetChild(child)
+		s.tracker.NoteReclaim(child)
 	}
 	s.bounds = r.Merged
 	return []Envelope{{Dest: DestGameServer, Msg: &protocol.RangeUpdate{
@@ -648,6 +659,10 @@ type State struct {
 	ReclaimDenied  []DeniedState
 	PendingNonProx [][]byte // encoded GameUpdate frames, oldest first
 	Stats          Stats
+	// PolicyState is the split/reclaim policy's internal snapshot; nil for
+	// stateless policies (paper, static), so pre-policy snapshots and the
+	// default configuration encode byte-identically to version 1.
+	PolicyState json.RawMessage `json:",omitempty"`
 }
 
 // CaptureState snapshots the server.
@@ -667,6 +682,9 @@ func (s *Server) CaptureState() (*State, error) {
 		PendingReclaim: s.pendingReclaim,
 		Stats:          s.stats,
 		Tracker:        s.tracker.State(),
+	}
+	if ps := s.tracker.PolicyState(); len(ps) > 0 {
+		st.PolicyState = json.RawMessage(ps)
 	}
 	for _, sid := range s.peerOrder {
 		info := s.peers[sid]
@@ -753,6 +771,9 @@ func (s *Server) RestoreState(st *State) error {
 		s.child[c] = true
 	}
 	s.tracker.RestoreState(st.Tracker)
+	if err := s.tracker.RestorePolicyState(st.PolicyState); err != nil {
+		return fmt.Errorf("core: restore policy state: %w", err)
+	}
 	s.pendingSplit = st.PendingSplit
 	s.pendingReclaim = st.PendingReclaim
 	s.reclaimDeniedUntil = make(map[id.ServerID]time.Time, len(st.ReclaimDenied))

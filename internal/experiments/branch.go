@@ -48,6 +48,13 @@ func BranchedOutputs(ctx context.Context, r Runner, seed int64, names ...string)
 	var famOrder []string
 	for i, sc := range scs {
 		m := member{idx: i, sc: sc, cfg: sc.Config(seed)}
+		// Apply the sweep-wide policy here, before family validation, so a
+		// branched sweep under any policy stays byte-identical to its cold
+		// sweep: the warmup runs under the policy and every tail inherits it
+		// (with its state) from the captured config.
+		if m.cfg.Policy == "" {
+			m.cfg.Policy = r.Policy
+		}
 		outs[i].Name = sc.Name
 		if sc.Family == "" || sc.WarmupSeconds <= 0 {
 			cold = append(cold, m)

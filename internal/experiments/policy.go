@@ -1,0 +1,313 @@
+// E8 — the policy head-to-head: every registered decision policy
+// (internal/policy) runs the full scenario table and the policies are
+// ranked on a composite of the headline costs. The sweep is branched the
+// same way RunScenariosBranched branches: each scenario family's shared
+// warmup is simulated ONCE per seed (under the default paper policy,
+// since the family members must share their prefix bit-for-bit), and one
+// tail per (member, policy) pair is restored from that snapshot with
+// sim.RestoreOptions.Policy swapping the decision policy at the branch
+// point. The static straw man is the exception: restoring an adaptively
+// split fleet under a policy whose whole premise is "never reshape"
+// would hand it the adaptive warmup for free, so static rows always
+// cold-start on an internal/staticpart grid of MaxServers fixed tiles.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"matrix/internal/policy"
+	"matrix/internal/sim"
+	"matrix/internal/staticpart"
+)
+
+// policyMetrics are the per-run costs the ranking composites over.
+// Lower is better for every one of them.
+type policyMetrics struct {
+	P95Ms     float64 // action→echo latency p95 (ms)
+	Dropped   float64 // packets dropped by full queues
+	Redirects float64 // clients bounced between servers
+	Peak      float64 // peak servers drawn from the pool
+	Topology  float64 // splits + reclaims (churn)
+}
+
+// values returns the metrics in a fixed order matching policyMetricNames.
+func (m policyMetrics) values() []float64 {
+	return []float64{m.P95Ms, m.Dropped, m.Redirects, m.Peak, m.Topology}
+}
+
+var policyMetricNames = []string{"p95_ms", "dropped", "redirects", "peak_servers", "topology"}
+
+// PolicyStanding is one policy's aggregate result in the E8 study,
+// exported so docs tooling and tests can consume the ranking without
+// parsing the report text.
+type PolicyStanding struct {
+	// Policy is the registered policy name.
+	Policy string
+	// Score is the composite: for every scenario and metric the policy's
+	// value is normalized by the best (lowest) value any policy achieved
+	// on that scenario+metric — (v+1)/(min+1), so zero-valued metrics
+	// still compare — and the normalized values are averaged. 1.0 means
+	// the policy won every metric of every scenario outright.
+	Score float64
+	// Mean per-scenario costs, for the summary table.
+	Mean policyMetrics
+}
+
+// RunPolicyStudy executes E8: all registered policies across the full
+// scenario table, ranked by composite score. Family warmups run once per
+// family+seed and fan one tail out per policy; everything else (and every
+// static-policy row) cold-starts.
+func RunPolicyStudy(ctx context.Context, r Runner, seed int64) (*Report, error) {
+	standings, perScenario, err := PolicyStudyOutputs(ctx, r, seed)
+	if err != nil {
+		return nil, err
+	}
+	return policyReport(standings, Scenarios(), perScenario), nil
+}
+
+// PolicyStudyOutputs is RunPolicyStudy without the report rendering: the
+// ranked standings plus the raw per-scenario metrics keyed
+// "<scenario>/<policy>".
+func PolicyStudyOutputs(ctx context.Context, r Runner, seed int64) ([]PolicyStanding, map[string]policyMetrics, error) {
+	pols := policy.Names()
+	scs := Scenarios()
+
+	type member struct {
+		sc  Scenario
+		cfg sim.Config
+	}
+	var cold []member
+	families := map[string][]member{}
+	var famOrder []string
+	for _, sc := range scs {
+		m := member{sc: sc, cfg: sc.Config(seed)}
+		if sc.Family == "" || sc.WarmupSeconds <= 0 {
+			cold = append(cold, m)
+			continue
+		}
+		if _, ok := families[sc.Family]; !ok {
+			famOrder = append(famOrder, sc.Family)
+		}
+		families[sc.Family] = append(families[sc.Family], m)
+	}
+
+	results := make(map[string]*sim.Result, len(scs)*len(pols))
+	var mu sync.Mutex
+	var firstErr error
+	put := func(sc, pol string, res *sim.Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("policy study %s/%s: %w", sc, pol, err)
+			}
+			return
+		}
+		results[sc+"/"+pol] = res
+	}
+
+	// One bounded pool, same shape as BranchedOutputs: warmup tasks return
+	// after submitting their tails, so the pool cannot deadlock.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.workers())
+	submit := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f()
+		}()
+	}
+	runCold := func(m member, pol string) {
+		submit(func() {
+			if err := ctx.Err(); err != nil {
+				put(m.sc.Name, pol, nil, err)
+				return
+			}
+			cfg := m.cfg
+			cfg.Policy = pol
+			if pol == "static" {
+				tiles, err := staticpart.Grid(cfg.World, cfg.MaxServers)
+				if err != nil {
+					put(m.sc.Name, pol, nil, err)
+					return
+				}
+				cfg.Static = tiles
+			}
+			res, err := r.runOne(ctx, cfg)
+			put(m.sc.Name, pol, res, err)
+		})
+	}
+
+	for _, m := range cold {
+		for _, pol := range pols {
+			runCold(m, pol)
+		}
+	}
+	for _, fam := range famOrder {
+		members := families[fam]
+		// Static rows cold-start even inside families (see package doc).
+		for _, m := range members {
+			runCold(m, "static")
+		}
+		submit(func() {
+			// The shared warmup runs under the default policy; the tails
+			// diverge at the branch point via RestoreOptions.Policy (the
+			// paper tail restores the captured policy state and stays
+			// byte-identical to its cold run; a rival tail swaps the
+			// policy in with fresh state).
+			warmCfg := members[0].cfg
+			warmCfg.Policy = policy.Default
+			st, err := r.runWarmup(ctx, warmCfg, members[0].sc.WarmupSeconds)
+			if err != nil {
+				for _, m := range members {
+					for _, pol := range pols {
+						if pol != "static" {
+							put(m.sc.Name, pol, nil, err)
+						}
+					}
+				}
+				return
+			}
+			for _, m := range members {
+				for _, pol := range pols {
+					if pol == "static" {
+						continue
+					}
+					m, pol := m, pol
+					submit(func() {
+						res, err := r.runPolicyTail(ctx, st, m.cfg, pol)
+						put(m.sc.Name, pol, res, err)
+					})
+				}
+			}
+		})
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	perScenario := make(map[string]policyMetrics, len(results))
+	for key, res := range results {
+		splits, reclaims := countEvents(res)
+		perScenario[key] = policyMetrics{
+			P95Ms:     res.Latency.Quantile(0.95),
+			Dropped:   float64(res.DroppedPackets),
+			Redirects: float64(res.Redirects),
+			Peak:      float64(res.PeakServers),
+			Topology:  float64(splits + reclaims),
+		}
+	}
+	return rankPolicies(pols, scs, perScenario), perScenario, nil
+}
+
+// rankPolicies computes each policy's composite score (see
+// PolicyStanding.Score) and returns the standings best-first.
+func rankPolicies(pols []string, scs []Scenario, perScenario map[string]policyMetrics) []PolicyStanding {
+	standings := make([]PolicyStanding, 0, len(pols))
+	for _, pol := range pols {
+		var sum float64
+		var mean policyMetrics
+		for _, sc := range scs {
+			mine := perScenario[sc.Name+"/"+pol].values()
+			var scSum float64
+			for mi, v := range mine {
+				min := v
+				for _, other := range pols {
+					if ov := perScenario[sc.Name+"/"+other].values()[mi]; ov < min {
+						min = ov
+					}
+				}
+				scSum += (v + 1) / (min + 1)
+			}
+			sum += scSum / float64(len(mine))
+			m := perScenario[sc.Name+"/"+pol]
+			mean.P95Ms += m.P95Ms
+			mean.Dropped += m.Dropped
+			mean.Redirects += m.Redirects
+			mean.Peak += m.Peak
+			mean.Topology += m.Topology
+		}
+		n := float64(len(scs))
+		mean.P95Ms /= n
+		mean.Dropped /= n
+		mean.Redirects /= n
+		mean.Peak /= n
+		mean.Topology /= n
+		standings = append(standings, PolicyStanding{
+			Policy: pol,
+			Score:  sum / n,
+			Mean:   mean,
+		})
+	}
+	sort.SliceStable(standings, func(i, j int) bool {
+		return standings[i].Score < standings[j].Score
+	})
+	return standings
+}
+
+// policyReport renders the E8 report: the ranked summary first, then the
+// per-scenario detail grid. Numbers carry the composite per policy
+// ("<policy>/score", "<policy>/rank") and the full metric grid
+// ("<scenario>/<policy>/<metric>").
+func policyReport(standings []PolicyStanding, scs []Scenario, perScenario map[string]policyMetrics) *Report {
+	rep := &Report{ID: "E8", Title: "policy head-to-head — all registered policies across the scenario table", Numbers: map[string]float64{}}
+	rep.addf("%-4s %-12s %7s %10s %9s %10s %6s %9s", "rank", "policy", "score", "p95(ms)", "dropped", "redirects", "peak", "topology")
+	for i, s := range standings {
+		rep.addf("%-4d %-12s %7.3f %10.1f %9.0f %10.0f %6.1f %9.1f",
+			i+1, s.Policy, s.Score, s.Mean.P95Ms, s.Mean.Dropped, s.Mean.Redirects, s.Mean.Peak, s.Mean.Topology)
+		rep.Numbers[s.Policy+"/score"] = s.Score
+		rep.Numbers[s.Policy+"/rank"] = float64(i + 1)
+	}
+	rep.addf("")
+	rep.addf("per-scenario detail (p95 ms / dropped / redirects / peak / topology):")
+	for _, sc := range scs {
+		rep.addf("%-16s", sc.Name)
+		for _, s := range standings {
+			m := perScenario[sc.Name+"/"+s.Policy]
+			rep.addf("  %-12s %10.1f %9.0f %10.0f %6.0f %9.0f",
+				s.Policy, m.P95Ms, m.Dropped, m.Redirects, m.Peak, m.Topology)
+			for mi, name := range policyMetricNames {
+				rep.Numbers[sc.Name+"/"+s.Policy+"/"+name] = m.values()[mi]
+			}
+		}
+	}
+	return rep
+}
+
+// runPolicyTail is runTail with a policy swap at the branch point: the
+// member simulation restores from the family snapshot under pol (fresh
+// policy state when pol differs from the captured run's policy) and runs
+// to completion.
+func (r Runner) runPolicyTail(ctx context.Context, st *sim.State, cfg sim.Config, pol string) (*sim.Result, error) {
+	simWorkers := cfg.SimWorkers
+	if simWorkers == 0 {
+		simWorkers = r.SimWorkers
+	}
+	s, err := sim.RestoreWith(st, sim.RestoreOptions{
+		Script:          cfg.Script,
+		DurationSeconds: cfg.DurationSeconds,
+		SimWorkers:      simWorkers,
+		Policy:          pol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	every := r.cancelEvery()
+	for n := 0; !s.Done(); n++ {
+		if n%every == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}

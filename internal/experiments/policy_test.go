@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRankPolicies pins the composite scoring on synthetic metrics: a
+// policy that wins every metric of every scenario scores exactly 1.0 and
+// ranks first; a strictly worse one ranks behind it; zero-valued metrics
+// compare via the (v+1)/(min+1) shift instead of dividing by zero.
+func TestRankPolicies(t *testing.T) {
+	pols := []string{"good", "bad"}
+	scs := []Scenario{{Name: "a"}, {Name: "b"}}
+	per := map[string]policyMetrics{
+		"a/good": {P95Ms: 10, Dropped: 0, Redirects: 5, Peak: 2, Topology: 1},
+		"a/bad":  {P95Ms: 20, Dropped: 100, Redirects: 10, Peak: 4, Topology: 3},
+		"b/good": {P95Ms: 50, Dropped: 0, Redirects: 0, Peak: 3, Topology: 2},
+		"b/bad":  {P95Ms: 60, Dropped: 0, Redirects: 8, Peak: 6, Topology: 2},
+	}
+	standings := rankPolicies(pols, scs, per)
+	if len(standings) != 2 {
+		t.Fatalf("standings = %v", standings)
+	}
+	if standings[0].Policy != "good" || standings[1].Policy != "bad" {
+		t.Fatalf("ranking = [%s %s], want [good bad]", standings[0].Policy, standings[1].Policy)
+	}
+	if math.Abs(standings[0].Score-1.0) > 1e-12 {
+		t.Errorf("all-metric winner scores %.6f, want exactly 1.0", standings[0].Score)
+	}
+	if standings[1].Score <= standings[0].Score {
+		t.Errorf("loser score %.6f not above winner %.6f", standings[1].Score, standings[0].Score)
+	}
+	// Mean costs average over scenarios.
+	if got := standings[0].Mean.P95Ms; got != 30 {
+		t.Errorf("mean p95 = %g, want 30", got)
+	}
+	// The report renders a row per policy with score and rank numbers.
+	rep := policyReport(standings, scs, per)
+	if rep.ID != "E8" {
+		t.Errorf("report ID = %q", rep.ID)
+	}
+	if rep.Numbers["good/rank"] != 1 || rep.Numbers["bad/rank"] != 2 {
+		t.Errorf("rank numbers = %v", rep.Numbers)
+	}
+	if rep.Numbers["a/bad/dropped"] != 100 {
+		t.Errorf("detail numbers missing: %v", rep.Numbers)
+	}
+}

@@ -49,6 +49,10 @@ type Runner struct {
 	// between context polls; <= 0 means 50 (5 simulated seconds at the
 	// default 0.1s tick).
 	CancelEveryTicks int
+	// Policy names the decision policy (internal/policy) applied to jobs
+	// that do not set sim.Config.Policy themselves; empty keeps each job's
+	// own choice (usually the paper policy).
+	Policy string
 }
 
 func (r Runner) workers() int {
@@ -70,6 +74,9 @@ func (r Runner) cancelEvery() int {
 func (r Runner) runOne(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 	if cfg.SimWorkers == 0 {
 		cfg.SimWorkers = r.SimWorkers
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = r.Policy
 	}
 	s, err := sim.New(cfg)
 	if err != nil {

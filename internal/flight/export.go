@@ -105,6 +105,9 @@ func (r *Recorder) WriteTimeline(w io.Writer) error {
 		if d.Corr != 0 {
 			fmt.Fprintf(bw, " corr=%d", d.Corr)
 		}
+		if d.Policy != "" {
+			fmt.Fprintf(bw, " policy=%s", d.Policy)
+		}
 		for _, kv := range d.Inputs {
 			fmt.Fprintf(bw, " %s=%s", kv.Key, strconv.FormatFloat(kv.Val, 'g', -1, 64))
 		}

@@ -67,6 +67,9 @@ type Decision struct {
 	// decision produced, 0 when none were sent (denials).
 	Corr   uint64 `json:"corr,omitempty"`
 	Reason string `json:"reason,omitempty"`
+	// Policy names the decision policy that judged this action (split and
+	// reclaim audits only); Inputs are the exact values it read.
+	Policy string `json:"policy,omitempty"`
 	Inputs []KV   `json:"inputs,omitempty"`
 }
 

@@ -15,6 +15,7 @@ import (
 	"matrix/internal/load"
 	"matrix/internal/metrics"
 	"matrix/internal/middleware"
+	"matrix/internal/policy"
 	"matrix/internal/protocol"
 	"matrix/internal/scratch"
 	"matrix/internal/snapshot"
@@ -36,6 +37,9 @@ type ServerConfig struct {
 	Radius float64
 	// Load tunes the split/reclaim policy (zero value = paper defaults).
 	Load load.Config
+	// Policy names the decision policy (internal/policy) that judges this
+	// server's splits and reclaims. Empty means the paper's rules.
+	Policy string
 	// TickInterval is the game-server processing cadence (default 10ms).
 	TickInterval time.Duration
 	// ServiceRate is the packets processed per tick (default 500).
@@ -199,7 +203,13 @@ func StartServer(cfg ServerConfig) (*ServerHost, error) {
 		return nil, fmt.Errorf("host: unexpected registration reply %v", first.MsgType())
 	}
 
-	cs, err := core.NewServer(core.Config{Load: cfg.Load}, reply, cfg.Radius)
+	pol, err := policy.New(cfg.Policy)
+	if err != nil {
+		_ = ln.Close()
+		_ = mcConn.Close()
+		return nil, err
+	}
+	cs, err := core.NewServer(core.Config{Load: cfg.Load, Policy: pol}, reply, cfg.Radius)
 	if err != nil {
 		_ = ln.Close()
 		_ = mcConn.Close()

@@ -1,19 +1,23 @@
-// Package load implements Matrix's load-management policy: when a server is
-// overloaded enough to split, and when a parent may reclaim an underloaded
-// child. The thresholds follow the paper's experiment ("a server is
-// overloaded when it has 300+ clients", reclaimed children are "underloaded
-// (< 150 clients)"), and the package makes concrete the "simple heuristics
-// (not described) to prevent oscillations and ensure stability in the
-// splitting / reclamation process".
+// Package load implements Matrix's load-management *mechanism*: the
+// Tracker holds one server's view of its own and its children's load and
+// maintains the anti-oscillation bookkeeping (split cooldown anchor,
+// per-child combined-under dwell timers). The *decisions* — should this
+// server split now, may this child be reclaimed — are delegated to an
+// internal/policy.Policy; the default "paper" policy reproduces the
+// paper's experiment thresholds ("a server is overloaded when it has
+// 300+ clients", reclaimed children are "underloaded (< 150 clients)")
+// and its "simple heuristics (not described) to prevent oscillations".
 package load
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"matrix/internal/clock"
 	"matrix/internal/id"
+	"matrix/internal/policy"
 )
 
 // Config tunes the split/reclaim policy.
@@ -57,17 +61,14 @@ func DefaultConfig() Config {
 	}
 }
 
-// sanitized returns cfg with zero fields replaced by defaults.
-func (c Config) sanitized() Config {
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.OverloadClients <= 0 {
 		c.OverloadClients = d.OverloadClients
 	}
 	if c.UnderloadClients <= 0 {
 		c.UnderloadClients = d.UnderloadClients
-	}
-	if c.UnderloadClients > c.OverloadClients {
-		c.UnderloadClients = c.OverloadClients / 2
 	}
 	if c.SplitCooldown <= 0 {
 		c.SplitCooldown = d.SplitCooldown
@@ -81,13 +82,51 @@ func (c Config) sanitized() Config {
 	return c
 }
 
+// Validate rejects configurations that defaults cannot repair. A negative
+// OverloadQueue is a typo (zero disables the queue trigger, positive
+// enables it), and an underload threshold above the overload threshold
+// would mark every freshly split child reclaimable the moment it spawns,
+// so the fleet would thrash split/reclaim forever.
+func (c Config) Validate() error {
+	if c.OverloadQueue < 0 {
+		return fmt.Errorf("load: OverloadQueue must be zero (queue trigger off) or positive, got %d", c.OverloadQueue)
+	}
+	e := c.withDefaults()
+	if e.UnderloadClients > e.OverloadClients {
+		return fmt.Errorf("load: UnderloadClients (%d) exceeds OverloadClients (%d); a server would be underloaded and overloaded at once", e.UnderloadClients, e.OverloadClients)
+	}
+	return nil
+}
+
+// sanitized validates cfg and fills defaults.
+func (c Config) sanitized() (Config, error) {
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c.withDefaults(), nil
+}
+
+// thresholds is the policy-visible view of the (sanitized) config.
+func (c Config) thresholds() policy.Thresholds {
+	return policy.Thresholds{
+		OverloadClients:  c.OverloadClients,
+		UnderloadClients: c.UnderloadClients,
+		OverloadQueue:    c.OverloadQueue,
+		SplitCooldown:    c.SplitCooldown,
+		ReclaimDwell:     c.ReclaimDwell,
+		ReclaimHeadroom:  c.ReclaimHeadroom,
+	}
+}
+
 // Tracker holds one Matrix server's view of its own and its children's load
-// and answers the two policy questions: ShouldSplit and ReclaimCandidate.
-// It is safe for concurrent use.
+// and routes the two topology questions — ShouldSplit and ReclaimCandidate
+// — through its policy. It is safe for concurrent use; the policy instance
+// is called only under the tracker's mutex.
 type Tracker struct {
 	mu         sync.Mutex
 	cfg        Config
 	clk        clock.Clock
+	pol        policy.Policy
 	clients    int
 	queueLen   int
 	lastSplit  time.Time
@@ -95,21 +134,38 @@ type Tracker struct {
 	childLoad  map[id.ServerID]int
 	childQueue map[id.ServerID]int
 	belowSince map[id.ServerID]time.Time
+	// Verdict caches for the decision audit: the flight recorder reads
+	// them when the coordinator's reply lands (same tick), so the audit
+	// reports exactly the inputs the policy read. Not serialized.
+	splitVerdict    policy.Verdict
+	reclaimVerdicts map[id.ServerID]policy.Verdict
 }
 
-// NewTracker creates a Tracker with the given policy; a nil clk uses the
-// wall clock.
-func NewTracker(cfg Config, clk clock.Clock) *Tracker {
+// NewTracker creates a Tracker with the given thresholds; a nil clk uses
+// the wall clock, a nil pol the default paper policy. The config is
+// validated (see Config.Validate) and defaults are filled in.
+func NewTracker(cfg Config, clk clock.Clock, pol policy.Policy) (*Tracker, error) {
+	sc, err := cfg.sanitized()
+	if err != nil {
+		return nil, err
+	}
 	if clk == nil {
 		clk = clock.Wall{}
 	}
-	return &Tracker{
-		cfg:        cfg.sanitized(),
-		clk:        clk,
-		childLoad:  make(map[id.ServerID]int),
-		childQueue: make(map[id.ServerID]int),
-		belowSince: make(map[id.ServerID]time.Time),
+	if pol == nil {
+		if pol, err = policy.New(""); err != nil {
+			return nil, err
+		}
 	}
+	return &Tracker{
+		cfg:             sc,
+		clk:             clk,
+		pol:             pol,
+		childLoad:       make(map[id.ServerID]int),
+		childQueue:      make(map[id.ServerID]int),
+		belowSince:      make(map[id.ServerID]time.Time),
+		reclaimVerdicts: make(map[id.ServerID]policy.Verdict),
+	}, nil
 }
 
 // Config returns the sanitized policy in effect.
@@ -179,6 +235,7 @@ func (t *Tracker) ForgetChild(child id.ServerID) {
 	delete(t.childLoad, child)
 	delete(t.childQueue, child)
 	delete(t.belowSince, child)
+	delete(t.reclaimVerdicts, child)
 }
 
 // Overloaded reports whether this server is at or over the split threshold.
@@ -196,28 +253,47 @@ func (t *Tracker) Underloaded() bool {
 	return t.clients < t.cfg.UnderloadClients
 }
 
-// ShouldSplit reports whether the server should request a split now:
-// overloaded (by client count, or by queue depth when the queue trigger is
-// enabled) and past the split cooldown.
+// ShouldSplit asks the policy whether the server should request a split
+// now, given the latest load report and the split history. The verdict
+// (with the inputs the policy read) is cached for the decision audit.
 func (t *Tracker) ShouldSplit() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	overloaded := t.clients >= t.cfg.OverloadClients ||
-		(t.cfg.OverloadQueue > 0 && t.queueLen >= t.cfg.OverloadQueue)
-	if !overloaded {
-		return false
-	}
-	if t.haveSplit && t.clk.Since(t.lastSplit) < t.cfg.SplitCooldown {
-		return false
-	}
-	return true
+	v := t.pol.ShouldSplit(policy.LoadView{
+		Now:       t.clk.Now(),
+		Clients:   t.clients,
+		QueueLen:  t.queueLen,
+		HaveSplit: t.haveSplit,
+		LastSplit: t.lastSplit,
+		Cfg:       t.cfg.thresholds(),
+	})
+	t.splitVerdict = v
+	return v.Act
 }
 
-// NoteSplit records that a split happened, starting the cooldown.
+// SplitVerdict returns the policy's verdict from the most recent
+// ShouldSplit call (for the decision audit).
+func (t *Tracker) SplitVerdict() policy.Verdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.splitVerdict
+}
+
+// NoteSplit records that a split happened, starting the cooldown and
+// feeding the churn event back to the policy.
 func (t *Tracker) NoteSplit() {
 	t.mu.Lock()
 	t.lastSplit = t.clk.Now()
 	t.haveSplit = true
+	t.pol.NoteEvent(policy.Event{Now: t.lastSplit, Kind: "split"})
+	t.mu.Unlock()
+}
+
+// NoteReclaim records that child was reclaimed (churn feedback for
+// cost-aware policies).
+func (t *Tracker) NoteReclaim(child id.ServerID) {
+	t.mu.Lock()
+	t.pol.NoteEvent(policy.Event{Now: t.clk.Now(), Kind: "reclaim", Child: child})
 	t.mu.Unlock()
 }
 
@@ -244,20 +320,61 @@ func (t *Tracker) combinedUnderLocked(child id.ServerID) bool {
 	return t.clients+cl < ceiling
 }
 
-// ReclaimCandidate reports whether child can be reclaimed now: it has been
-// underloaded, with combined load under the headroom ceiling, for at least
-// the dwell period.
+// ReclaimCandidate asks the policy whether child can be reclaimed now.
+// The tracker supplies the mechanism's combined-under condition and the
+// child's quiet-streak anchor; the verdict is cached for the audit.
 func (t *Tracker) ReclaimCandidate(child id.ServerID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if !t.combinedUnderLocked(child) {
-		return false
+	cv := policy.ChildView{ID: child, Below: t.combinedUnderLocked(child)}
+	if cl, ok := t.childLoad[child]; ok {
+		cv.Known = true
+		cv.Clients = cl
+		cv.QueueLen = t.childQueue[child]
 	}
-	since, ok := t.belowSince[child]
-	if !ok {
-		return false
+	if since, ok := t.belowSince[child]; ok {
+		cv.BelowSince = since
 	}
-	return t.clk.Since(since) >= t.cfg.ReclaimDwell
+	v := t.pol.ShouldReclaim(policy.FamilyView{
+		Now:      t.clk.Now(),
+		Clients:  t.clients,
+		QueueLen: t.queueLen,
+		Child:    cv,
+		Cfg:      t.cfg.thresholds(),
+	})
+	t.reclaimVerdicts[child] = v
+	return v.Act
+}
+
+// ReclaimVerdict returns the policy's verdict from the most recent
+// ReclaimCandidate call for child (for the decision audit).
+func (t *Tracker) ReclaimVerdict(child id.ServerID) policy.Verdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reclaimVerdicts[child]
+}
+
+// Policy returns the tracker's policy name.
+func (t *Tracker) Policy() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pol.Name()
+}
+
+// PolicyState snapshots the policy's internal state (nil for stateless
+// policies such as paper).
+func (t *Tracker) PolicyState() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pol.State()
+}
+
+// RestorePolicyState rebuilds the policy's internal state from a
+// PolicyState snapshot.
+func (t *Tracker) RestorePolicyState(b []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pol.RestoreState(b)
 }
 
 // ChildState is one child's snapshot inside TrackerState.
@@ -325,6 +442,8 @@ func (t *Tracker) RestoreState(st TrackerState) {
 	t.childLoad = make(map[id.ServerID]int, len(st.Children))
 	t.childQueue = make(map[id.ServerID]int, len(st.Children))
 	t.belowSince = make(map[id.ServerID]time.Time, len(st.Children))
+	t.splitVerdict = policy.Verdict{}
+	t.reclaimVerdicts = make(map[id.ServerID]policy.Verdict, len(st.Children))
 	for _, cs := range st.Children {
 		t.childLoad[cs.Child] = cs.Clients
 		t.childQueue[cs.Child] = cs.QueueLen

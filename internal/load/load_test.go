@@ -1,6 +1,7 @@
 package load
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -9,7 +10,11 @@ import (
 
 func newTestTracker(cfg Config) (*Tracker, *clock.Virtual) {
 	clk := clock.NewVirtual(time.Unix(0, 0))
-	return NewTracker(cfg, clk), clk
+	tr, err := NewTracker(cfg, clk, nil)
+	if err != nil {
+		panic(err)
+	}
+	return tr, clk
 }
 
 func TestDefaultsMatchPaper(t *testing.T) {
@@ -23,7 +28,10 @@ func TestDefaultsMatchPaper(t *testing.T) {
 }
 
 func TestSanitizeZeroConfig(t *testing.T) {
-	tr := NewTracker(Config{}, nil)
+	tr, err := NewTracker(Config{}, nil, nil)
+	if err != nil {
+		t.Fatalf("NewTracker(zero config) = %v", err)
+	}
 	cfg := tr.Config()
 	if cfg.OverloadClients != 300 || cfg.UnderloadClients != 150 {
 		t.Errorf("zero config not defaulted: %+v", cfg)
@@ -33,11 +41,58 @@ func TestSanitizeZeroConfig(t *testing.T) {
 	}
 }
 
-func TestSanitizeInvertedThresholds(t *testing.T) {
-	tr := NewTracker(Config{OverloadClients: 100, UnderloadClients: 500}, nil)
-	cfg := tr.Config()
-	if cfg.UnderloadClients > cfg.OverloadClients {
-		t.Errorf("inverted thresholds survived: %+v", cfg)
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"zero defaults", Config{}, ""},
+		{"paper defaults", DefaultConfig(), ""},
+		{"equal thresholds", Config{OverloadClients: 200, UnderloadClients: 200}, ""},
+		{"queue trigger off", Config{OverloadQueue: 0}, ""},
+		{"queue trigger on", Config{OverloadQueue: 1500}, ""},
+		{
+			"inverted thresholds",
+			Config{OverloadClients: 100, UnderloadClients: 500},
+			"UnderloadClients (500) exceeds OverloadClients (100)",
+		},
+		{
+			// Only the explicit overload threshold is given: the underload
+			// default (150) must be checked against it, not silently folded.
+			"default underload above explicit overload",
+			Config{OverloadClients: 100},
+			"UnderloadClients (150) exceeds OverloadClients (100)",
+		},
+		{
+			"negative overload queue",
+			Config{OverloadQueue: -1},
+			"OverloadQueue must be zero (queue trigger off) or positive",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				if _, trErr := NewTracker(tt.cfg, nil, nil); trErr != nil {
+					t.Fatalf("NewTracker() = %v, want nil", trErr)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %q, want it to contain %q", err, tt.wantErr)
+			}
+			// The constructor must refuse the same configs Validate refuses.
+			if _, trErr := NewTracker(tt.cfg, nil, nil); trErr == nil {
+				t.Fatal("NewTracker() accepted a config Validate rejects")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"encoding/json"
+	"time"
+
+	"matrix/internal/id"
+)
+
+// costawareWindow is how long a topology event keeps counting as recent
+// churn; each recent event adds one full ReclaimDwell to the dwell a
+// reclaim must serve.
+const costawareWindow = 30 * time.Second
+
+// costaware prices the migration storm a topology change causes: every
+// granted split or reclaim this server was party to counts as recent
+// churn, and each recent event stretches the reclaim dwell by one full
+// ReclaimDwell — a family that just reshaped itself must prove the calm
+// is real before handing clients around again. Placement keeps the half
+// nearer the world center (where populations concentrate), handing the
+// peripheral half to the child so fewer clients migrate on the next
+// reshape. Split trigger and spare selection are the paper's.
+type costaware struct {
+	// eventsNs are recent topology-event times, oldest first.
+	eventsNs []int64
+}
+
+func (*costaware) Name() string { return "costaware" }
+
+func (c *costaware) ShouldSplit(v LoadView) Verdict {
+	in := splitInputs(v)
+	if !paperOverloaded(v) {
+		return Verdict{Reason: "load under both thresholds", Inputs: in}
+	}
+	if paperCoolingDown(v) {
+		return Verdict{Reason: "split cooldown", Inputs: in}
+	}
+	return Verdict{Act: true, Reason: "overloaded", Inputs: in}
+}
+
+// recent counts churn events still inside the window, pruning the rest.
+func (c *costaware) recent(now time.Time) int {
+	cut := now.Add(-costawareWindow).UnixNano()
+	for len(c.eventsNs) > 0 && c.eventsNs[0] < cut {
+		c.eventsNs = c.eventsNs[1:]
+	}
+	return len(c.eventsNs)
+}
+
+func (c *costaware) ShouldReclaim(v FamilyView) Verdict {
+	churn := c.recent(v.Now)
+	dwell := v.Cfg.ReclaimDwell * time.Duration(1+churn)
+	act, reason := paperReclaim(v, dwell)
+	in := append(reclaimInputs(v),
+		KV{"recent-churn", float64(churn)},
+		KV{"scaled-dwell-s", dwell.Seconds()},
+	)
+	if !act && v.Child.Below && churn > 0 {
+		reason = "reclaim dwell stretched by recent churn"
+	}
+	return Verdict{Act: act, Reason: reason, Inputs: in}
+}
+
+// PlaceChild keeps the half whose center is nearer the world center and
+// gives the peripheral half away; on a tie it falls back to the paper's
+// split-to-left.
+func (*costaware) PlaceChild(v SplitView) Placement {
+	lo, hi := v.Bounds.SplitHalf()
+	wc := v.World.Center()
+	dLo := lo.Center().Sub(wc).Norm()
+	dHi := hi.Center().Sub(wc).Norm()
+	if dLo < dHi {
+		return Placement{Keep: lo, Give: hi, Reason: "keep the central half"}
+	}
+	return Placement{Keep: hi, Give: lo, Reason: "keep the central half"}
+}
+
+func (*costaware) PickSpare(v PoolView) id.ServerID { return paperPickSpare(v) }
+
+func (c *costaware) NoteEvent(e Event) {
+	c.eventsNs = append(c.eventsNs, e.Now.UnixNano())
+	c.recent(e.Now)
+}
+
+type costawareState struct {
+	EventsNs []int64 `json:"eventsNs"`
+}
+
+func (c *costaware) State() []byte {
+	if len(c.eventsNs) == 0 {
+		return nil
+	}
+	b, _ := json.Marshal(costawareState{EventsNs: c.eventsNs})
+	return b
+}
+
+func (c *costaware) RestoreState(b []byte) error {
+	c.eventsNs = nil
+	if len(b) == 0 {
+		return nil
+	}
+	var st costawareState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	c.eventsNs = st.EventsNs
+	return nil
+}

@@ -1,0 +1,80 @@
+package policy
+
+import (
+	"encoding/json"
+	"time"
+
+	"matrix/internal/id"
+)
+
+// hysteresis is the paper policy with a dwell on the split side as well:
+// the overload condition must persist for one full SplitCooldown before
+// a split is requested, so a single spiky load report (one flash-crowd
+// tick, a transient queue burst) no longer costs a server. Reclaim,
+// placement and spare selection are the paper's.
+type hysteresis struct {
+	// aboveSince anchors the current overload streak; zero when the
+	// server is not overloaded.
+	aboveSince time.Time
+}
+
+func (*hysteresis) Name() string { return "hysteresis" }
+
+func (h *hysteresis) ShouldSplit(v LoadView) Verdict {
+	in := splitInputs(v)
+	if !paperOverloaded(v) {
+		h.aboveSince = time.Time{}
+		return Verdict{Reason: "load under both thresholds", Inputs: in}
+	}
+	if h.aboveSince.IsZero() {
+		h.aboveSince = v.Now
+	}
+	held := v.Now.Sub(h.aboveSince)
+	in = append(in,
+		KV{"above-for-s", held.Seconds()},
+		KV{"split-dwell-s", v.Cfg.SplitCooldown.Seconds()},
+	)
+	if held < v.Cfg.SplitCooldown {
+		return Verdict{Reason: "overload dwell not served", Inputs: in}
+	}
+	if paperCoolingDown(v) {
+		return Verdict{Reason: "split cooldown", Inputs: in}
+	}
+	return Verdict{Act: true, Reason: "overload persisted past the dwell", Inputs: in}
+}
+
+func (*hysteresis) ShouldReclaim(v FamilyView) Verdict {
+	act, reason := paperReclaim(v, v.Cfg.ReclaimDwell)
+	return Verdict{Act: act, Reason: reason, Inputs: reclaimInputs(v)}
+}
+
+func (*hysteresis) PlaceChild(v SplitView) Placement { return paperPlacement(v) }
+func (*hysteresis) PickSpare(v PoolView) id.ServerID { return paperPickSpare(v) }
+func (*hysteresis) NoteEvent(Event)                  {}
+
+type hysteresisState struct {
+	AboveSinceNs int64 `json:"aboveSinceNs"`
+}
+
+func (h *hysteresis) State() []byte {
+	if h.aboveSince.IsZero() {
+		return nil
+	}
+	b, _ := json.Marshal(hysteresisState{AboveSinceNs: h.aboveSince.UnixNano()})
+	return b
+}
+
+func (h *hysteresis) RestoreState(b []byte) error {
+	h.aboveSince = time.Time{}
+	if len(b) == 0 {
+		return nil
+	}
+	var st hysteresisState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	if st.AboveSinceNs != 0 {
+		h.aboveSince = time.Unix(0, st.AboveSinceNs)
+	}
+	return nil
+}

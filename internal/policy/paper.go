@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"time"
+
+	"matrix/internal/id"
+)
+
+// paper is the default policy: the thresholds and anti-oscillation
+// heuristics the reproduction has used since PR 1, extracted verbatim so
+// every pre-refactor fingerprint is reproduced byte-identically.
+type paper struct{}
+
+func (paper) Name() string { return "paper" }
+
+// splitInputs lists the values every threshold-style split decision
+// reads, in the order the pre-refactor audit reported them.
+func splitInputs(v LoadView) []KV {
+	return []KV{
+		{"clients", float64(v.Clients)},
+		{"queue", float64(v.QueueLen)},
+		{"overload-clients", float64(v.Cfg.OverloadClients)},
+		{"overload-queue", float64(v.Cfg.OverloadQueue)},
+		{"split-cooldown-s", v.Cfg.SplitCooldown.Seconds()},
+	}
+}
+
+// paperOverloaded is the paper's overload trigger: client count at the
+// threshold, or queue depth at the (optional) queue threshold.
+func paperOverloaded(v LoadView) bool {
+	return v.Clients >= v.Cfg.OverloadClients ||
+		(v.Cfg.OverloadQueue > 0 && v.QueueLen >= v.Cfg.OverloadQueue)
+}
+
+// paperCoolingDown is the split-storm guard: a server that already split
+// must wait out the cooldown before splitting again.
+func paperCoolingDown(v LoadView) bool {
+	return v.HaveSplit && v.Now.Sub(v.LastSplit) < v.Cfg.SplitCooldown
+}
+
+func (paper) ShouldSplit(v LoadView) Verdict {
+	in := splitInputs(v)
+	if !paperOverloaded(v) {
+		return Verdict{Reason: "load under both thresholds", Inputs: in}
+	}
+	if paperCoolingDown(v) {
+		return Verdict{Reason: "split cooldown", Inputs: in}
+	}
+	return Verdict{Act: true, Reason: "overloaded", Inputs: in}
+}
+
+// reclaimInputs lists the values every threshold-style reclaim decision
+// reads, in the order the pre-refactor audit reported them. The child
+// block is present only once the child has reported load.
+func reclaimInputs(v FamilyView) []KV {
+	in := []KV{
+		{"parent-clients", float64(v.Clients)},
+		{"parent-queue", float64(v.QueueLen)},
+		{"underload-clients", float64(v.Cfg.UnderloadClients)},
+		{"reclaim-headroom", v.Cfg.ReclaimHeadroom},
+		{"reclaim-dwell-s", v.Cfg.ReclaimDwell.Seconds()},
+	}
+	if v.Child.Known {
+		below := 0.0
+		if v.Child.Below {
+			below = 1
+		}
+		in = append(in,
+			KV{"child-clients", float64(v.Child.Clients)},
+			KV{"child-queue", float64(v.Child.QueueLen)},
+			KV{"child-below", below},
+		)
+	}
+	return in
+}
+
+// paperReclaim is the paper's reclaim rule: the mechanism's combined-
+// under condition must hold now and must have held for the full dwell.
+// Policies that only adjust the dwell reuse it.
+func paperReclaim(v FamilyView, dwell time.Duration) (bool, string) {
+	if !v.Child.Below {
+		return false, "combined load not under the reclaim ceiling"
+	}
+	if v.Child.BelowSince.IsZero() || v.Now.Sub(v.Child.BelowSince) < dwell {
+		return false, "reclaim dwell not served"
+	}
+	return true, "child idle past the dwell"
+}
+
+func (paper) ShouldReclaim(v FamilyView) Verdict {
+	act, reason := paperReclaim(v, v.Cfg.ReclaimDwell)
+	return Verdict{Act: act, Reason: reason, Inputs: reclaimInputs(v)}
+}
+
+// paperPlacement is the paper's split geometry: halve across the longer
+// axis and hand the left/low piece to the new server.
+func paperPlacement(v SplitView) Placement {
+	lo, hi := v.Bounds.SplitHalf()
+	return Placement{Keep: hi, Give: lo, Reason: "split-to-left"}
+}
+
+func (paper) PlaceChild(v SplitView) Placement { return paperPlacement(v) }
+
+// paperPickSpare takes the oldest spare: the pool is FIFO.
+func paperPickSpare(v PoolView) id.ServerID {
+	if len(v.Spares) == 0 {
+		return id.None
+	}
+	return v.Spares[0]
+}
+
+func (paper) PickSpare(v PoolView) id.ServerID { return paperPickSpare(v) }
+
+func (paper) NoteEvent(Event)           {}
+func (paper) State() []byte             { return nil }
+func (paper) RestoreState([]byte) error { return nil }

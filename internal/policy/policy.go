@@ -1,0 +1,233 @@
+// Package policy separates the control plane's *decisions* from the
+// mechanism that executes them. The four topology decisions a Matrix
+// deployment makes — when an overloaded server splits, where the child's
+// region is carved, when a parent reclaims an idle child, and which spare
+// backs the next split — were hard-coded across internal/load,
+// internal/core and internal/coordinator; this package puts them behind
+// one interface so rival heuristics can be swapped in by name and judged
+// head-to-head by the experiment suite (E8).
+//
+// The mechanism/policy boundary: trackers, servers and the coordinator
+// own the measurements (client counts, queue depths, dwell timers, the
+// spare pool, the space map) and drive the protocol; a Policy only reads
+// immutable views of those measurements and answers. Implementations
+// need no internal locking — every instance is owned by exactly one
+// tracker or one coordinator and is called under the owner's mutex.
+//
+// Determinism contract for stateful policies: a policy may keep internal
+// state (dwell anchors, load history, churn windows) but it must evolve
+// only from the views and events it is handed — never from wall-clock
+// reads, map iteration or randomness — and it must round-trip through
+// State/RestoreState exactly, so a run restored from a snapshot finishes
+// byte-identical to the uninterrupted run.
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+)
+
+// KV is one named input a policy read while deciding, in read order. The
+// flight recorder's decision audit reproduces these verbatim, so every
+// audited split/reclaim names the exact numbers that produced it.
+type KV struct {
+	Key string
+	Val float64
+}
+
+// Verdict is a policy's answer to a should-we question.
+type Verdict struct {
+	// Act is true when the policy wants the action taken now.
+	Act bool
+	// Reason is a short human explanation ("overloaded", "split cooldown").
+	Reason string
+	// Inputs are the values the policy read, for the decision audit.
+	Inputs []KV
+}
+
+// Thresholds is the policy-visible slice of load.Config: the paper's
+// tunables, already sanitized (defaults filled in, ranges validated).
+type Thresholds struct {
+	// OverloadClients is the split trigger (paper: 300 clients).
+	OverloadClients int
+	// UnderloadClients is the reclaim-candidate bound (paper: 150).
+	UnderloadClients int
+	// OverloadQueue, when positive, also triggers on queue depth.
+	OverloadQueue int
+	// SplitCooldown is the minimum interval between one server's splits.
+	SplitCooldown time.Duration
+	// ReclaimDwell is how long combined load must stay quiet pre-reclaim.
+	ReclaimDwell time.Duration
+	// ReclaimHeadroom caps combined load at this fraction of overload.
+	ReclaimHeadroom float64
+}
+
+// LoadView is what a split decision may read: one server's latest load
+// report plus its split history, on the policy clock (virtual in the sim).
+type LoadView struct {
+	Now       time.Time
+	Clients   int
+	QueueLen  int
+	HaveSplit bool
+	// LastSplit is meaningful only when HaveSplit is true.
+	LastSplit time.Time
+	Cfg       Thresholds
+}
+
+// ChildView is one child's load as its parent last heard it.
+type ChildView struct {
+	ID id.ServerID
+	// Known is false until the child's first relayed load report.
+	Known    bool
+	Clients  int
+	QueueLen int
+	// Below reports the mechanism's combined-under condition right now;
+	// BelowSince is when the current quiet streak began (zero when none).
+	// The tracker maintains the streak from the paper's combined-load
+	// predicate; policies are free to use it or apply their own test.
+	Below      bool
+	BelowSince time.Time
+}
+
+// FamilyView is what a reclaim decision may read: the parent's own load
+// and one candidate child.
+type FamilyView struct {
+	Now      time.Time
+	Clients  int
+	QueueLen int
+	Child    ChildView
+	Cfg      Thresholds
+}
+
+// SplitView is what a placement decision may read: the parent region
+// being divided and the pool pressure behind the split.
+type SplitView struct {
+	Parent  id.ServerID
+	Child   id.ServerID
+	Bounds  geom.Rect
+	World   geom.Rect
+	Clients int
+	Spares  int
+}
+
+// Placement is where the child goes: Keep and Give must partition
+// SplitView.Bounds into two disjoint non-empty rectangles (the space map
+// rejects anything else).
+type Placement struct {
+	Keep   geom.Rect
+	Give   geom.Rect
+	Reason string
+}
+
+// PoolView is what a spare-selection decision may read: the warm-spare
+// pool in arrival (FIFO) order.
+type PoolView struct {
+	Spares []id.ServerID
+}
+
+// Event is feedback a policy receives when a topology action it (or its
+// peer instance at the coordinator) approved actually happened.
+type Event struct {
+	Now time.Time
+	// Kind is "split" or "reclaim".
+	Kind  string
+	Child id.ServerID
+}
+
+// Policy answers the four topology questions. One instance serves one
+// decision site (a server's tracker, or the coordinator); instances are
+// never shared, so implementations need no locking.
+type Policy interface {
+	// Name is the registered identifier ("paper", "hysteresis", ...).
+	Name() string
+	// ShouldSplit decides whether the server should request a split now.
+	ShouldSplit(LoadView) Verdict
+	// ShouldReclaim decides whether the parent should reclaim the child.
+	ShouldReclaim(FamilyView) Verdict
+	// PlaceChild carves the child's region out of the parent's.
+	PlaceChild(SplitView) Placement
+	// PickSpare chooses the next child from a non-empty spare pool. The
+	// returned ID must be one of PoolView.Spares.
+	PickSpare(PoolView) id.ServerID
+	// NoteEvent feeds back a granted split/reclaim (for churn tracking).
+	NoteEvent(Event)
+	// State snapshots the policy's internal state deterministically; nil
+	// means stateless. RestoreState(State()) must reproduce the policy
+	// exactly — the snapshot/restore fingerprint contract depends on it.
+	State() []byte
+	// RestoreState rebuilds internal state from a State() snapshot. A nil
+	// or empty snapshot resets to the fresh state.
+	RestoreState([]byte) error
+}
+
+// Default is the policy used when no name is given.
+const Default = "paper"
+
+type entry struct {
+	name string
+	desc string
+	make func() Policy
+}
+
+// registry lists the policies in presentation order, paper first.
+var registry = []entry{
+	{"paper", "the paper's heuristics: overload at 300 clients (or queue depth), 2s split cooldown, reclaim after a 3s combined-under dwell, FIFO spares, split-to-left", func() Policy { return paper{} }},
+	{"hysteresis", "paper plus a split-side dwell: overload must persist one full cooldown before a split is requested, damping flash-crowd overreaction", func() Policy { return &hysteresis{} }},
+	{"predictive", "load-derivative trigger: splits early when the 5s client-count forecast crosses the overload threshold, reclaims like paper", func() Policy { return &predictive{} }},
+	{"costaware", "migration-storm penalty: reclaim dwell stretches with recent topology churn, and splits hand away the half farther from the world center", func() Policy { return &costaware{} }},
+	{"static", "straw man: never splits, never reclaims — the fleet keeps whatever partitioning it started with (pair with a static grid)", func() Policy { return static{} }},
+}
+
+// Names returns the registered policy names in presentation order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// Describe returns name's one-line description, or "" for unknown names.
+func Describe(name string) string {
+	for _, e := range registry {
+		if e.name == name {
+			return e.desc
+		}
+	}
+	return ""
+}
+
+// New builds a fresh instance of the named policy; the empty string means
+// Default. Unknown names fail with the valid names listed, so a mistyped
+// -policy flag is caught at parse time.
+func New(name string) (Policy, error) {
+	if name == "" {
+		name = Default
+	}
+	for _, e := range registry {
+		if e.name == name {
+			return e.make(), nil
+		}
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Valid reports whether name refers to a registered policy (or is empty,
+// meaning Default), returning the New error otherwise.
+func Valid(name string) error {
+	_, err := New(name)
+	return err
+}
+
+// Normalize maps the empty name to Default and leaves others unchanged,
+// so callers can compare policy identities.
+func Normalize(name string) string {
+	if name == "" {
+		return Default
+	}
+	return name
+}

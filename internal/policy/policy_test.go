@@ -1,0 +1,299 @@
+package policy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"matrix/internal/geom"
+	"matrix/internal/id"
+)
+
+// testThresholds are the paper's defaults, spelled out so the tables
+// below read against concrete numbers.
+func testThresholds() Thresholds {
+	return Thresholds{
+		OverloadClients:  300,
+		UnderloadClients: 150,
+		OverloadQueue:    3000,
+		SplitCooldown:    2 * time.Second,
+		ReclaimDwell:     3 * time.Second,
+		ReclaimHeadroom:  0.75,
+	}
+}
+
+func at(s float64) time.Time { return time.Unix(0, int64(s*float64(time.Second))) }
+
+func TestRegistry(t *testing.T) {
+	want := []string{"paper", "hysteresis", "predictive", "costaware", "static"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+		if Describe(n) == "" {
+			t.Errorf("Describe(%q) is empty", n)
+		}
+		p, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, p.Name())
+		}
+		if err := Valid(n); err != nil {
+			t.Errorf("Valid(%q): %v", n, err)
+		}
+	}
+	if Describe("nope") != "" {
+		t.Errorf("Describe of unknown = %q", Describe("nope"))
+	}
+	p, err := New("")
+	if err != nil || p.Name() != Default {
+		t.Errorf("New(\"\") = %v, %v; want the %q policy", p, err, Default)
+	}
+	if _, err := New("nope"); err == nil || !strings.Contains(err.Error(), "paper") {
+		t.Errorf("New(\"nope\") = %v; want an error listing the registered names", err)
+	}
+	if Normalize("") != Default || Normalize("costaware") != "costaware" {
+		t.Errorf("Normalize: %q, %q", Normalize(""), Normalize("costaware"))
+	}
+}
+
+func TestPaperShouldSplit(t *testing.T) {
+	cfg := testThresholds()
+	cases := []struct {
+		name string
+		v    LoadView
+		act  bool
+	}{
+		{"under both thresholds", LoadView{Now: at(10), Clients: 299, QueueLen: 2999, Cfg: cfg}, false},
+		{"client threshold", LoadView{Now: at(10), Clients: 300, Cfg: cfg}, true},
+		{"queue threshold", LoadView{Now: at(10), Clients: 10, QueueLen: 3000, Cfg: cfg}, true},
+		{"queue trigger off", LoadView{Now: at(10), Clients: 10, QueueLen: 9999,
+			Cfg: Thresholds{OverloadClients: 300, SplitCooldown: 2 * time.Second}}, false},
+		{"cooling down", LoadView{Now: at(10), Clients: 400, HaveSplit: true, LastSplit: at(9), Cfg: cfg}, false},
+		{"cooldown served", LoadView{Now: at(12), Clients: 400, HaveSplit: true, LastSplit: at(9), Cfg: cfg}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := paper{}.ShouldSplit(c.v)
+			if v.Act != c.act {
+				t.Errorf("Act = %v (%s), want %v", v.Act, v.Reason, c.act)
+			}
+			if v.Reason == "" || len(v.Inputs) == 0 {
+				t.Errorf("verdict must carry a reason and its inputs: %+v", v)
+			}
+		})
+	}
+}
+
+func TestPaperShouldReclaim(t *testing.T) {
+	cfg := testThresholds()
+	child := ChildView{ID: 2, Known: true, Clients: 40, Below: true, BelowSince: at(10)}
+	cases := []struct {
+		name string
+		v    FamilyView
+		act  bool
+	}{
+		{"dwell served", FamilyView{Now: at(13), Clients: 50, Child: child, Cfg: cfg}, true},
+		{"dwell not served", FamilyView{Now: at(12.9), Clients: 50, Child: child, Cfg: cfg}, false},
+		{"not below", FamilyView{Now: at(20), Clients: 50,
+			Child: ChildView{ID: 2, Known: true, Below: false}, Cfg: cfg}, false},
+		{"below-since unset", FamilyView{Now: at(20), Clients: 50,
+			Child: ChildView{ID: 2, Known: true, Below: true}, Cfg: cfg}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := paper{}.ShouldReclaim(c.v)
+			if v.Act != c.act {
+				t.Errorf("Act = %v (%s), want %v", v.Act, v.Reason, c.act)
+			}
+		})
+	}
+}
+
+func TestPaperPlacementAndSpares(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 50)
+	lo, hi := bounds.SplitHalf()
+	p := paper{}.PlaceChild(SplitView{Parent: 1, Child: 2, Bounds: bounds, World: bounds})
+	if p.Keep != hi || p.Give != lo {
+		t.Errorf("paper placement = keep %v give %v, want keep %v give %v", p.Keep, p.Give, hi, lo)
+	}
+	if got := (paper{}).PickSpare(PoolView{}); got != id.None {
+		t.Errorf("PickSpare on empty pool = %v, want None", got)
+	}
+	if got := (paper{}).PickSpare(PoolView{Spares: []id.ServerID{7, 3, 5}}); got != 7 {
+		t.Errorf("PickSpare = %v, want the FIFO head 7", got)
+	}
+}
+
+// TestHysteresisDwell pins the rival's defining behavior: overload must
+// persist a full SplitCooldown before a split is requested, and the
+// streak resets the moment load drops under the thresholds.
+func TestHysteresisDwell(t *testing.T) {
+	cfg := testThresholds()
+	h := &hysteresis{}
+	over := func(s float64) LoadView { return LoadView{Now: at(s), Clients: 400, Cfg: cfg} }
+	under := func(s float64) LoadView { return LoadView{Now: at(s), Clients: 10, Cfg: cfg} }
+
+	if v := h.ShouldSplit(over(10)); v.Act {
+		t.Fatalf("first overload report split immediately: %+v", v)
+	}
+	if v := h.ShouldSplit(over(11.9)); v.Act {
+		t.Fatalf("split before the dwell was served: %+v", v)
+	}
+	if v := h.ShouldSplit(over(12)); !v.Act {
+		t.Fatalf("dwell served but no split: %+v", v)
+	}
+	// A dip resets the streak: the next overload starts a fresh dwell.
+	h.ShouldSplit(under(13))
+	if v := h.ShouldSplit(over(14)); v.Act {
+		t.Fatalf("streak survived a dip under the thresholds: %+v", v)
+	}
+	if v := h.ShouldSplit(over(16)); !v.Act {
+		t.Fatalf("fresh dwell served but no split: %+v", v)
+	}
+}
+
+// TestPredictiveForecast pins the rival's defining behavior: a rising
+// client count splits before the threshold is ever crossed, while flat
+// load at the same level does not.
+func TestPredictiveForecast(t *testing.T) {
+	cfg := testThresholds()
+	p := &predictive{}
+	// 200 → 260 clients over 2s: slope 30/s, 5s forecast 410 ≥ 300.
+	p.ShouldSplit(LoadView{Now: at(10), Clients: 200, Cfg: cfg})
+	v := p.ShouldSplit(LoadView{Now: at(12), Clients: 260, Cfg: cfg})
+	if !v.Act || !strings.Contains(v.Reason, "forecast") {
+		t.Fatalf("rising load did not trigger a predictive split: %+v", v)
+	}
+	// Flat load at the same count never forecasts past the threshold.
+	flat := &predictive{}
+	flat.ShouldSplit(LoadView{Now: at(10), Clients: 260, Cfg: cfg})
+	if v := flat.ShouldSplit(LoadView{Now: at(12), Clients: 260, Cfg: cfg}); v.Act {
+		t.Fatalf("flat load triggered a predictive split: %+v", v)
+	}
+	// Actual overload still splits regardless of the trend.
+	if v := flat.ShouldSplit(LoadView{Now: at(14), Clients: 300, Cfg: cfg}); !v.Act {
+		t.Fatalf("overload did not split: %+v", v)
+	}
+	// History is bounded.
+	for i := 0; i < 3*predictiveHistory; i++ {
+		p.ShouldSplit(LoadView{Now: at(20 + float64(i)), Clients: 100, Cfg: cfg})
+	}
+	if len(p.hist) != predictiveHistory {
+		t.Errorf("history grew to %d, want cap %d", len(p.hist), predictiveHistory)
+	}
+}
+
+// TestCostawareChurn pins the rival's defining behavior: each recent
+// topology event adds one full ReclaimDwell to the dwell a reclaim must
+// serve, and events age out of the window.
+func TestCostawareChurn(t *testing.T) {
+	cfg := testThresholds()
+	fam := func(s float64) FamilyView {
+		return FamilyView{Now: at(s), Clients: 50,
+			Child: ChildView{ID: 2, Known: true, Below: true, BelowSince: at(10)}, Cfg: cfg}
+	}
+	c := &costaware{}
+	// No churn: behaves like paper (dwell 3s, served at t=13).
+	if v := c.ShouldReclaim(fam(13)); !v.Act {
+		t.Fatalf("no churn but reclaim denied: %+v", v)
+	}
+	// One recent event doubles the dwell: denied at t=13, granted at 16.
+	c.NoteEvent(Event{Now: at(12), Kind: "split", Child: 3})
+	if v := c.ShouldReclaim(fam(13)); v.Act {
+		t.Fatalf("churn did not stretch the dwell: %+v", v)
+	}
+	if v := c.ShouldReclaim(fam(16)); !v.Act {
+		t.Fatalf("stretched dwell served but reclaim denied: %+v", v)
+	}
+	// The event ages out of the window and the dwell relaxes back.
+	if v := c.ShouldReclaim(fam(12 + costawareWindow.Seconds() + 1)); !v.Act {
+		t.Fatalf("expired churn still stretches the dwell: %+v", v)
+	}
+	if len(c.eventsNs) != 0 {
+		t.Errorf("expired events not pruned: %v", c.eventsNs)
+	}
+}
+
+// TestCostawarePlacement pins the central-half rule: the piece whose
+// center is nearer the world center is kept, the peripheral one given.
+func TestCostawarePlacement(t *testing.T) {
+	world := geom.R(0, 0, 1000, 1000)
+	c := &costaware{}
+	// A corner region: its low half hugs the corner, its high half faces
+	// the center — keep the high half.
+	p := c.PlaceChild(SplitView{Bounds: geom.R(0, 0, 500, 250), World: world})
+	lo, hi := geom.R(0, 0, 500, 250).SplitHalf()
+	if p.Keep != hi || p.Give != lo {
+		t.Errorf("corner region: keep %v give %v, want keep %v give %v", p.Keep, p.Give, hi, lo)
+	}
+	// Mirrored on the far side: the low half is the central one.
+	p = c.PlaceChild(SplitView{Bounds: geom.R(500, 750, 1000, 1000), World: world})
+	lo, hi = geom.R(500, 750, 1000, 1000).SplitHalf()
+	if p.Keep != lo || p.Give != hi {
+		t.Errorf("far region: keep %v give %v, want keep %v give %v", p.Keep, p.Give, lo, hi)
+	}
+}
+
+func TestStaticDeniesEverything(t *testing.T) {
+	cfg := testThresholds()
+	s := static{}
+	if v := s.ShouldSplit(LoadView{Now: at(10), Clients: 9999, QueueLen: 99999, Cfg: cfg}); v.Act {
+		t.Errorf("static split granted: %+v", v)
+	}
+	v := s.ShouldReclaim(FamilyView{Now: at(99), Clients: 0,
+		Child: ChildView{ID: 2, Known: true, Below: true, BelowSince: at(1)}, Cfg: cfg})
+	if v.Act {
+		t.Errorf("static reclaim granted: %+v", v)
+	}
+}
+
+// TestStateRoundTrip drives every registered policy through some
+// decisions, snapshots its state, restores it into a fresh instance and
+// checks the re-captured state is byte-identical — the determinism
+// contract snapshot/restore relies on. It also checks that restoring nil
+// resets state and that garbage fails loudly on stateful policies.
+func TestStateRoundTrip(t *testing.T) {
+	cfg := testThresholds()
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.ShouldSplit(LoadView{Now: at(10), Clients: 400, Cfg: cfg})
+			p.ShouldSplit(LoadView{Now: at(11), Clients: 450, Cfg: cfg})
+			p.NoteEvent(Event{Now: at(11), Kind: "split", Child: 2})
+			st := p.State()
+
+			fresh, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.RestoreState(st); err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+			if got := fresh.State(); !bytes.Equal(got, st) {
+				t.Errorf("state round trip: %s != %s", got, st)
+			}
+			if err := fresh.RestoreState(nil); err != nil {
+				t.Fatalf("RestoreState(nil): %v", err)
+			}
+			if got := fresh.State(); len(got) != 0 {
+				t.Errorf("state after nil restore = %s, want empty", got)
+			}
+			if len(st) > 0 {
+				if err := fresh.RestoreState([]byte("{garbage")); err == nil {
+					t.Error("RestoreState accepted garbage")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package policy
+
+import (
+	"encoding/json"
+	"time"
+
+	"matrix/internal/id"
+)
+
+// predictiveHistory is how many load observations the forecast keeps;
+// predictiveHorizon is how far ahead it extrapolates. Observations
+// arrive at the report cadence (one per epoch), so eight of them span a
+// few seconds of recent trend.
+const (
+	predictiveHistory = 8
+	predictiveHorizon = 5 * time.Second
+)
+
+// predictive splits on the load derivative: every split decision logs an
+// observation (time, clients), and when the straight-line forecast over
+// the horizon crosses the overload threshold the split is requested
+// *before* the server is actually overloaded — trading a slightly larger
+// fleet for never serving a crowd from inside an overload. Reclaim,
+// placement and spare selection are the paper's.
+type predictive struct {
+	hist []predictiveObs
+}
+
+type predictiveObs struct {
+	TNs     int64 `json:"t"`
+	Clients int   `json:"c"`
+}
+
+func (*predictive) Name() string { return "predictive" }
+
+func (p *predictive) ShouldSplit(v LoadView) Verdict {
+	p.hist = append(p.hist, predictiveObs{TNs: v.Now.UnixNano(), Clients: v.Clients})
+	if len(p.hist) > predictiveHistory {
+		p.hist = p.hist[len(p.hist)-predictiveHistory:]
+	}
+	slope := 0.0 // clients per second
+	first, last := p.hist[0], p.hist[len(p.hist)-1]
+	if dt := float64(last.TNs-first.TNs) / float64(time.Second); dt > 0 {
+		slope = float64(last.Clients-first.Clients) / dt
+	}
+	forecast := float64(v.Clients) + slope*predictiveHorizon.Seconds()
+	in := append(splitInputs(v),
+		KV{"slope-per-s", slope},
+		KV{"forecast-clients", forecast},
+		KV{"horizon-s", predictiveHorizon.Seconds()},
+	)
+	rising := slope > 0 && forecast >= float64(v.Cfg.OverloadClients)
+	if !paperOverloaded(v) && !rising {
+		return Verdict{Reason: "load under thresholds and forecast flat", Inputs: in}
+	}
+	if paperCoolingDown(v) {
+		return Verdict{Reason: "split cooldown", Inputs: in}
+	}
+	if paperOverloaded(v) {
+		return Verdict{Act: true, Reason: "overloaded", Inputs: in}
+	}
+	return Verdict{Act: true, Reason: "forecast crosses the overload threshold", Inputs: in}
+}
+
+func (*predictive) ShouldReclaim(v FamilyView) Verdict {
+	act, reason := paperReclaim(v, v.Cfg.ReclaimDwell)
+	return Verdict{Act: act, Reason: reason, Inputs: reclaimInputs(v)}
+}
+
+func (*predictive) PlaceChild(v SplitView) Placement { return paperPlacement(v) }
+func (*predictive) PickSpare(v PoolView) id.ServerID { return paperPickSpare(v) }
+func (*predictive) NoteEvent(Event)                  {}
+
+type predictiveState struct {
+	Hist []predictiveObs `json:"hist"`
+}
+
+func (p *predictive) State() []byte {
+	if len(p.hist) == 0 {
+		return nil
+	}
+	b, _ := json.Marshal(predictiveState{Hist: p.hist})
+	return b
+}
+
+func (p *predictive) RestoreState(b []byte) error {
+	p.hist = nil
+	if len(b) == 0 {
+		return nil
+	}
+	var st predictiveState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	p.hist = st.Hist
+	return nil
+}

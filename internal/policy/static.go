@@ -1,0 +1,30 @@
+package policy
+
+import "matrix/internal/id"
+
+// static is the straw man every adaptive policy is judged against: the
+// fleet never reshapes itself. Splits and reclaims are both refused, so
+// whatever partitioning the world started with (one root server, or a
+// staticpart grid) persists for the whole run — experiment E8 pairs this
+// policy with internal/staticpart's most-square grid to reproduce the
+// paper's static baseline.
+type static struct{}
+
+func (static) Name() string { return "static" }
+
+func (static) ShouldSplit(v LoadView) Verdict {
+	return Verdict{Reason: "static partitioning never splits", Inputs: splitInputs(v)}
+}
+
+func (static) ShouldReclaim(v FamilyView) Verdict {
+	return Verdict{Reason: "static partitioning never reclaims", Inputs: reclaimInputs(v)}
+}
+
+// PlaceChild and PickSpare keep the paper's behavior so a coordinator
+// running this policy still handles an operator-forced split sanely.
+func (static) PlaceChild(v SplitView) Placement { return paperPlacement(v) }
+func (static) PickSpare(v PoolView) id.ServerID { return paperPickSpare(v) }
+
+func (static) NoteEvent(Event)           {}
+func (static) State() []byte             { return nil }
+func (static) RestoreState([]byte) error { return nil }

@@ -130,18 +130,30 @@ func (s *Sim) auditSplit(req *protocol.SplitRequest, rep *protocol.SplitReply) {
 		d.Child = int64(rep.Child)
 	}
 	if n, ok := s.nodes[req.Server]; ok {
-		// The reply has not been delivered yet, so the tracker still holds
-		// exactly the state that produced the request.
 		tr := n.core.Tracker()
-		st, cfg := tr.State(), tr.Config()
-		d.Inputs = append(d.Inputs,
-			flight.KV{Key: "clients", Val: float64(req.Clients)},
-			flight.KV{Key: "queue", Val: float64(st.QueueLen)},
-			flight.KV{Key: "overload-clients", Val: float64(cfg.OverloadClients)},
-			flight.KV{Key: "overload-queue", Val: float64(cfg.OverloadQueue)},
-			flight.KV{Key: "split-cooldown-s", Val: cfg.SplitCooldown.Seconds()},
-			flight.KV{Key: "spares-left", Val: float64(s.mc.SpareCount())},
-		)
+		d.Policy = tr.Policy()
+		// Request and reply complete within one tick (request emitted in
+		// phase A, reply routed in the same phase B), so the verdict the
+		// policy cached when it asked for this split is still current: the
+		// audit reproduces the exact inputs the policy read.
+		if v := tr.SplitVerdict(); len(v.Inputs) > 0 {
+			for _, kv := range v.Inputs {
+				d.Inputs = append(d.Inputs, flight.KV{Key: kv.Key, Val: kv.Val})
+			}
+			d.Inputs = append(d.Inputs, flight.KV{Key: "spares-left", Val: float64(s.mc.SpareCount())})
+		} else {
+			// No cached verdict (e.g. a stray reply after a restart wiped
+			// the tracker): reconstruct from tracker state and thresholds.
+			st, cfg := tr.State(), tr.Config()
+			d.Inputs = append(d.Inputs,
+				flight.KV{Key: "clients", Val: float64(req.Clients)},
+				flight.KV{Key: "queue", Val: float64(st.QueueLen)},
+				flight.KV{Key: "overload-clients", Val: float64(cfg.OverloadClients)},
+				flight.KV{Key: "overload-queue", Val: float64(cfg.OverloadQueue)},
+				flight.KV{Key: "split-cooldown-s", Val: cfg.SplitCooldown.Seconds()},
+				flight.KV{Key: "spares-left", Val: float64(s.mc.SpareCount())},
+			)
+		}
 	}
 	s.rec.Record(d)
 }
@@ -157,26 +169,34 @@ func (s *Sim) auditReclaim(req *protocol.ReclaimRequest, rep *protocol.ReclaimRe
 	}
 	if n, ok := s.nodes[req.Parent]; ok {
 		tr := n.core.Tracker()
-		st, cfg := tr.State(), tr.Config()
-		d.Inputs = append(d.Inputs,
-			flight.KV{Key: "parent-clients", Val: float64(st.Clients)},
-			flight.KV{Key: "parent-queue", Val: float64(st.QueueLen)},
-			flight.KV{Key: "underload-clients", Val: float64(cfg.UnderloadClients)},
-			flight.KV{Key: "reclaim-headroom", Val: cfg.ReclaimHeadroom},
-			flight.KV{Key: "reclaim-dwell-s", Val: cfg.ReclaimDwell.Seconds()},
-		)
-		// The parent forgets the child only when the reply lands, so its
-		// last-reported load and dwell state are still on file.
-		for _, ch := range st.Children {
-			if ch.Child != req.Child {
-				continue
+		d.Policy = tr.Policy()
+		// As with splits, the round trip completes within one tick and the
+		// parent forgets the child only when the reply lands, so the cached
+		// verdict still describes exactly what the policy saw.
+		if v := tr.ReclaimVerdict(req.Child); len(v.Inputs) > 0 {
+			for _, kv := range v.Inputs {
+				d.Inputs = append(d.Inputs, flight.KV{Key: kv.Key, Val: kv.Val})
 			}
+		} else {
+			st, cfg := tr.State(), tr.Config()
 			d.Inputs = append(d.Inputs,
-				flight.KV{Key: "child-clients", Val: float64(ch.Clients)},
-				flight.KV{Key: "child-queue", Val: float64(ch.QueueLen)},
-				flight.KV{Key: "child-below", Val: b01(ch.Below)},
+				flight.KV{Key: "parent-clients", Val: float64(st.Clients)},
+				flight.KV{Key: "parent-queue", Val: float64(st.QueueLen)},
+				flight.KV{Key: "underload-clients", Val: float64(cfg.UnderloadClients)},
+				flight.KV{Key: "reclaim-headroom", Val: cfg.ReclaimHeadroom},
+				flight.KV{Key: "reclaim-dwell-s", Val: cfg.ReclaimDwell.Seconds()},
 			)
-			break
+			for _, ch := range st.Children {
+				if ch.Child != req.Child {
+					continue
+				}
+				d.Inputs = append(d.Inputs,
+					flight.KV{Key: "child-clients", Val: float64(ch.Clients)},
+					flight.KV{Key: "child-queue", Val: float64(ch.QueueLen)},
+					flight.KV{Key: "child-below", Val: b01(ch.Below)},
+				)
+				break
+			}
 		}
 	}
 	s.rec.Record(d)

@@ -33,6 +33,7 @@ import (
 	"matrix/internal/metrics"
 	"matrix/internal/middleware"
 	"matrix/internal/netem"
+	"matrix/internal/policy"
 	"matrix/internal/protocol"
 	"matrix/internal/scratch"
 	"matrix/internal/trace"
@@ -70,6 +71,12 @@ type Config struct {
 	Static []geom.Rect
 	// LoadPolicy tunes split/reclaim thresholds (zero = paper defaults).
 	LoadPolicy load.Config
+	// Policy names the decision policy (internal/policy) that judges every
+	// split, reclaim, placement and spare pick. Empty means the paper's
+	// rules. Unlike SimWorkers this IS simulation state — it changes
+	// results — so snapshots record it (omitted when empty, keeping
+	// pre-policy snapshots byte-identical).
+	Policy string `json:",omitempty"`
 	// SampleEverySeconds is the series sampling period (default 1s).
 	SampleEverySeconds float64
 	// LatencyIgnoreBeforeSeconds, when positive, excludes response-latency
@@ -187,6 +194,9 @@ func (c Config) sanitized() (Config, error) {
 		if m.ShedQueue < 0 {
 			return c, fmt.Errorf("sim: middleware shed queue must not be negative (got %d)", m.ShedQueue)
 		}
+	}
+	if err := policy.Valid(c.Policy); err != nil {
+		return c, fmt.Errorf("sim: %w", err)
 	}
 	return c, nil
 }
@@ -409,7 +419,11 @@ func New(cfg Config) (*Sim, error) {
 		rejoinSince: make(map[id.ClientID]float64),
 		rngSeed:     cfg.Seed,
 	}
-	mcCfg := coordinator.Config{World: cfg.World, Static: cfg.Static}
+	mcPol, err := policy.New(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	mcCfg := coordinator.Config{World: cfg.World, Static: cfg.Static, Policy: mcPol}
 	s.mc, err = coordinator.New(mcCfg)
 	if err != nil {
 		return nil, err
@@ -437,9 +451,14 @@ func (s *Sim) registerServer() error {
 	if err != nil {
 		return err
 	}
+	pol, err := policy.New(s.cfg.Policy)
+	if err != nil {
+		return err
+	}
 	cs, err := core.NewServer(core.Config{
-		Load:  s.cfg.LoadPolicy,
-		Clock: s.clk,
+		Load:   s.cfg.LoadPolicy,
+		Clock:  s.clk,
+		Policy: pol,
 	}, reply, s.cfg.Profile.Radius)
 	if err != nil {
 		return err

@@ -29,6 +29,7 @@ import (
 	"matrix/internal/metrics"
 	"matrix/internal/middleware"
 	"matrix/internal/netem"
+	"matrix/internal/policy"
 	"matrix/internal/protocol"
 )
 
@@ -299,6 +300,14 @@ type RestoreOptions struct {
 	// results, so the restored run continues byte-identically to the
 	// captured one under any value).
 	SimWorkers int
+	// Policy, when non-empty, names the decision policy for the restored
+	// run — the policy-sweep branching primitive: one warmup fans out into
+	// one tail per rival. Naming a different policy than the captured run
+	// swaps in fresh instances (their internal state starts empty and the
+	// captured policy state is discarded); naming the same policy, or
+	// leaving this empty, restores the captured policy state and the run
+	// continues byte-identically.
+	Policy string
 }
 
 // Restore rebuilds a simulation from a captured state; the state is not
@@ -325,6 +334,14 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 	}
 	if opts.SimWorkers > 0 {
 		cfg.SimWorkers = opts.SimWorkers
+	}
+	// A policy swap drops the captured policy state everywhere (coordinator,
+	// per-server trackers, checkpoints): the new policy starts fresh at the
+	// snapshot point, exactly as if it had observed nothing yet.
+	dropPolicyState := false
+	if opts.Policy != "" && policy.Normalize(opts.Policy) != policy.Normalize(cfg.Policy) {
+		cfg.Policy = opts.Policy
+		dropPolicyState = true
 	}
 	cfg, err := cfg.sanitized()
 	if err != nil {
@@ -363,7 +380,11 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 	// advances equal one k-tick advance.
 	s.clk.Advance(time.Duration(st.Tick) * time.Duration(s.dt*float64(time.Second)))
 
-	mcCfg := coordinator.Config{World: cfg.World, Static: cfg.Static}
+	mcPol, err := policy.New(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	mcCfg := coordinator.Config{World: cfg.World, Static: cfg.Static, Policy: mcPol}
 	s.mc, err = coordinator.New(mcCfg)
 	if err != nil {
 		return nil, err
@@ -371,7 +392,13 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 	if st.Coordinator == nil {
 		return nil, errors.New("sim: state has no coordinator")
 	}
-	if err := s.mc.RestoreState(st.Coordinator); err != nil {
+	mcState := st.Coordinator
+	if dropPolicyState && len(mcState.PolicyState) > 0 {
+		cp := *mcState
+		cp.PolicyState = nil
+		mcState = &cp
+	}
+	if err := s.mc.RestoreState(mcState); err != nil {
 		return nil, err
 	}
 
@@ -385,11 +412,21 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 			return nil, fmt.Errorf("sim: node %v state incomplete", ns.Server)
 		}
 		reply := &protocol.RegisterReply{Server: ns.Server, Bounds: ns.Core.Bounds, World: cfg.World}
-		cs, err := core.NewServer(core.Config{Load: cfg.LoadPolicy, Clock: s.clk}, reply, cfg.Profile.Radius)
+		pol, err := policy.New(cfg.Policy)
 		if err != nil {
 			return nil, err
 		}
-		if err := cs.RestoreState(ns.Core); err != nil {
+		cs, err := core.NewServer(core.Config{Load: cfg.LoadPolicy, Clock: s.clk, Policy: pol}, reply, cfg.Profile.Radius)
+		if err != nil {
+			return nil, err
+		}
+		coreState := ns.Core
+		if dropPolicyState && len(coreState.PolicyState) > 0 {
+			cp := *coreState
+			cp.PolicyState = nil
+			coreState = &cp
+		}
+		if err := cs.RestoreState(coreState); err != nil {
 			return nil, fmt.Errorf("sim: restore %v core: %w", ns.Server, err)
 		}
 		gs, err := gameserver.New(gameserver.Config{
@@ -493,7 +530,13 @@ func RestoreWith(st *State, opts RestoreOptions) (*Sim, error) {
 		s.loseState[sid] = true
 	}
 	for _, chk := range st.Checkpoints {
-		s.checkpoints[chk.Server] = &nodeCheckpoint{takenAt: chk.TakenAt, core: chk.Core, game: chk.Game}
+		coreChk := chk.Core
+		if dropPolicyState && coreChk != nil && len(coreChk.PolicyState) > 0 {
+			cp := *coreChk
+			cp.PolicyState = nil
+			coreChk = &cp
+		}
+		s.checkpoints[chk.Server] = &nodeCheckpoint{takenAt: chk.TakenAt, core: coreChk, game: chk.Game}
 	}
 	for _, r := range st.Rejoins {
 		s.rejoinSince[r.Client] = r.Since

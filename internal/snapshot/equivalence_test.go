@@ -77,4 +77,62 @@ func TestScenarioFingerprintEquivalence(t *testing.T) {
 			}
 		})
 	}
+
+	// The same gate per rival policy: a run under each non-default policy
+	// is captured mid-run — with the policy's internal state (overload
+	// streaks, forecast history, churn windows) live in the snapshot —
+	// serialized, restored and finished. Byte-identical fingerprints here
+	// pin the stateful-policy half of the determinism contract that the
+	// paper-policy scenarios above never exercise (the paper policy is
+	// stateless beyond the mechanism's own timers).
+	for _, pol := range []string{"hysteresis", "predictive", "costaware", "static"} {
+		t.Run("policy-"+pol, func(t *testing.T) {
+			t.Parallel()
+			sc, ok := experiments.ScenarioByName("flashcrowd")
+			if !ok {
+				t.Fatal("scenario flashcrowd missing from the table")
+			}
+			cfg := sc.Config(9)
+			cfg.Policy = pol
+
+			cold, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cold.Start(); err != nil {
+				t.Fatal(err)
+			}
+			want := finishRun(t, cold)
+
+			warmCfg := cfg
+			warmCfg.SimWorkers = 4
+			warm, err := sim.New(warmCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := warm.Start(); err != nil {
+				t.Fatal(err)
+			}
+			runTo(t, warm, 55)
+			snap, err := Capture(warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := Marshal(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := Unmarshal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := Restore(decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := finishRun(t, restored); got != want {
+				t.Errorf("policy %q: restored run diverged from uninterrupted run", pol)
+			}
+		})
+	}
 }

@@ -36,6 +36,7 @@ import (
 	"matrix/internal/load"
 	"matrix/internal/middleware"
 	"matrix/internal/netem"
+	"matrix/internal/policy"
 	"matrix/internal/protocol"
 	"matrix/internal/sim"
 	"matrix/internal/snapshot"
@@ -160,6 +161,20 @@ func Figure2Script(world Rect) Script { return game.Figure2Script(world) }
 // clients, underload below 150.
 func DefaultLoadPolicy() LoadPolicy { return load.DefaultConfig() }
 
+// PolicyNames lists the registered decision policies ("paper",
+// "hysteresis", ...) in presentation order. Pass one to WithPolicy, a
+// -policy flag, or SimulationConfig.Policy.
+func PolicyNames() []string { return policy.Names() }
+
+// DescribePolicy returns a registered policy's one-line description, or ""
+// for unknown names.
+func DescribePolicy(name string) string { return policy.Describe(name) }
+
+// ValidatePolicy checks a policy name exactly like the constructors and
+// -policy flags do: the empty string (meaning the paper policy) and every
+// PolicyNames entry pass; anything else errors, naming the valid choices.
+func ValidatePolicy(name string) error { return policy.Valid(name) }
+
 // StaticGrid divides world into n fixed tiles for the static-partitioning
 // baseline (see WithStaticPartitions).
 func StaticGrid(world Rect, n int) ([]Rect, error) { return staticpart.Grid(world, n) }
@@ -171,6 +186,7 @@ type options struct {
 	world       Rect
 	radius      float64
 	loadPolicy  LoadPolicy
+	policy      string
 	static      []Rect
 	extraRadii  []float64
 	logger      *log.Logger
@@ -215,6 +231,12 @@ func WithRadius(r float64) Option { return func(o *options) { o.radius = r } }
 
 // WithLoadPolicy tunes split/reclaim thresholds (servers).
 func WithLoadPolicy(p LoadPolicy) Option { return func(o *options) { o.loadPolicy = p } }
+
+// WithPolicy selects the named decision policy (see PolicyNames). On a
+// server it judges when to split and reclaim; on a coordinator it picks
+// spares and places children. Empty means the paper's rules. Unknown names
+// fail the constructor.
+func WithPolicy(name string) Option { return func(o *options) { o.policy = name } }
 
 // WithStaticPartitions runs the coordinator as the static-partitioning
 // baseline: the i-th registering server is pinned to tiles[i] forever.
@@ -335,14 +357,19 @@ func CaptureSimulation(s *sim.Sim) (*SimulationSnapshot, error) { return snapsho
 func RestoreSimulation(snap *SimulationSnapshot) (*sim.Sim, error) { return snapshot.Restore(snap) }
 
 // internal glue shared by the constructors in cluster.go.
-func (o options) coordinatorConfig() coordinator.Config {
+func (o options) coordinatorConfig() (coordinator.Config, error) {
+	pol, err := policy.New(o.policy)
+	if err != nil {
+		return coordinator.Config{}, err
+	}
 	return coordinator.Config{
 		World:          o.world,
 		ExtraRadii:     o.extraRadii,
 		Static:         o.static,
 		HeartbeatEvery: o.heartbeat,
 		LeaseMisses:    o.leaseMisses,
-	}
+		Policy:         pol,
+	}, nil
 }
 
 // clientConfig assembles a gameclient.Config.
